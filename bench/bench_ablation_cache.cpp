@@ -1,0 +1,74 @@
+// Ablation: data-cache size.
+//
+// The paper attributes mvm's better-than-linear speedups on 4-16
+// processors to cache effects: the rotating x portion shrinks with P until
+// it fits the 16 KB i860XP cache. Sweeping the modeled cache size (and
+// disabling the cache entirely) isolates that mechanism: without a cache
+// the superlinearity must disappear.
+//
+// Flags: --sweeps=N (default 5), --procs=1,4,16, --sizes-kb=4,16,64.
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/mvm_engine.hpp"
+#include "core/sequential.hpp"
+#include "sparse/nas_cg.hpp"
+#include "support/options.hpp"
+#include "support/prng.hpp"
+
+int main(int argc, char** argv) {
+  using namespace earthred;
+  const Options opt(argc, argv);
+  const auto sweeps = static_cast<std::uint32_t>(opt.get_int("sweeps", 5));
+  const auto procs_list = opt.get_int_list("procs", {1, 4, 16});
+  const auto sizes = opt.get_int_list("sizes-kb", {4, 16, 64});
+
+  const sparse::CsrMatrix A =
+      sparse::make_nas_cg_matrix(sparse::nas_class_w());
+  std::vector<double> x(A.ncols());
+  Xoshiro256 rng(1);
+  for (auto& v : x) v = rng.uniform(-1, 1);
+
+  Table t("Ablation — cache size vs mvm class W speedup (k=2)");
+  std::vector<std::string> header{"cache"};
+  for (auto p : procs_list) header.push_back("P=" + std::to_string(p));
+  t.set_header(header);
+
+  auto sweep_row = [&](const std::string& label,
+                       const earth::MachineConfig& machine) {
+    core::SequentialOptions sopt;
+    sopt.sweeps = sweeps;
+    sopt.machine = machine;
+    sopt.collect_results = false;
+    const double seq_s =
+        bench::to_seconds(core::run_sequential_mvm(A, x, sopt).total_cycles);
+    std::vector<std::string> row{label};
+    for (const auto procs : procs_list) {
+      core::MvmOptions mopt;
+      mopt.num_procs = static_cast<std::uint32_t>(procs);
+      mopt.k = 2;
+      mopt.sweeps = sweeps;
+      mopt.machine = machine;
+      mopt.collect_results = false;
+      const double sec = bench::to_seconds(
+          core::run_mvm_engine(A, x, mopt).total_cycles);
+      row.push_back(fmt_f(seq_s / sec, 2));
+    }
+    t.add_row(row);
+  };
+
+  for (const auto kb : sizes) {
+    earth::MachineConfig machine = bench::manna_machine();
+    machine.cache.size_bytes = static_cast<std::uint32_t>(kb) * 1024;
+    sweep_row(std::to_string(kb) + " KB", machine);
+  }
+  {
+    earth::MachineConfig machine = bench::manna_machine();
+    machine.cache.enabled = false;
+    sweep_row("disabled", machine);
+  }
+  t.print(std::cout);
+  return 0;
+}

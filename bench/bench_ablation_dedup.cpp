@@ -1,0 +1,61 @@
+// Ablation: remote-buffer deduplication.
+//
+// The paper's LightInspector allocates one buffer location per deferred
+// *reference* (Figure 3). Sharing one slot per distinct deferred *element*
+// shrinks the buffer and the second loop at the cost of an inspector-side
+// hash lookup. This bench quantifies both effects on the paper's kernels.
+//
+// Flags: --sweeps=N (default 50), --procs=P (default 16).
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/reduction_engine.hpp"
+#include "inspector/light_inspector.hpp"
+#include "kernels/euler.hpp"
+#include "kernels/moldyn.hpp"
+#include "mesh/generators.hpp"
+#include "support/options.hpp"
+
+namespace earthred {
+namespace {
+
+void run_one(const char* label, const core::PhasedKernel& kernel,
+             const Options& opt, Table& t) {
+  const auto sweeps = static_cast<std::uint32_t>(opt.get_int("sweeps", 50));
+  const auto P = static_cast<std::uint32_t>(opt.get_int("procs", 16));
+  for (const bool dedup : {false, true}) {
+    core::RotationOptions ropt;
+    ropt.num_procs = P;
+    ropt.k = 2;
+    ropt.sweeps = sweeps;
+    ropt.machine = bench::machine_from_options(opt);
+    ropt.inspector.dedup_buffers = dedup;
+    ropt.collect_results = false;
+    const core::RunResult r = core::run_rotation_engine(kernel, ropt);
+    t.add_row({label, dedup ? "dedup" : "per-reference",
+               fmt_f(bench::to_seconds(r.total_cycles), 3),
+               fmt_f(r.machine.cache_miss_rate(), 3),
+               fmt_f(r.machine.eu_utilization(), 2)});
+  }
+}
+
+}  // namespace
+}  // namespace earthred
+
+int main(int argc, char** argv) {
+  using namespace earthred;
+  const Options opt(argc, argv);
+  Table t("Ablation — remote-buffer allocation policy (k=2, cyclic)");
+  t.set_header({"kernel", "policy", "time (s)", "miss rate", "EU util"});
+  {
+    const kernels::EulerKernel euler(mesh::euler_mesh_small());
+    run_one("euler 2K", euler, opt, t);
+  }
+  {
+    const kernels::MoldynKernel moldyn(mesh::moldyn_small());
+    run_one("moldyn 2K", moldyn, opt, t);
+  }
+  t.print(std::cout);
+  return 0;
+}

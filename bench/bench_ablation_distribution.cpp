@@ -1,0 +1,73 @@
+// Ablation: iteration distribution, beyond the paper's block/cyclic pair.
+//
+// The paper evaluates block and cyclic (Sec. 5.4.1) and finds block's
+// phase load imbalance the decisive factor at scale. HPF-style
+// block-cyclic interpolates between the two: this sweep maps the whole
+// spectrum (chunk 1 = cyclic ... chunk n/P = block) for euler and moldyn,
+// reporting time and the phase-size imbalance that explains it.
+//
+// Flags: --sweeps=N (default 30), --procs=P (default 32),
+//        --chunks=1,4,16,64,256.
+#include <cstdio>
+#include <iostream>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "core/reduction_engine.hpp"
+#include "kernels/euler.hpp"
+#include "kernels/moldyn.hpp"
+#include "mesh/generators.hpp"
+#include "support/options.hpp"
+
+int main(int argc, char** argv) {
+  using namespace earthred;
+  const Options opt(argc, argv);
+  const auto sweeps = static_cast<std::uint32_t>(opt.get_int("sweeps", 30));
+  const auto P = static_cast<std::uint32_t>(opt.get_int("procs", 32));
+  const auto chunks = opt.get_int_list("chunks", {1, 4, 16, 64, 256});
+  const earth::MachineConfig machine = bench::machine_from_options(opt);
+
+  const kernels::EulerKernel euler(mesh::euler_mesh_small());
+  const kernels::MoldynKernel moldyn(mesh::moldyn_small());
+
+  Table t("Ablation — iteration distribution spectrum (k=2, P=" +
+          std::to_string(P) + ")");
+  t.set_header({"distribution", "euler time (s)", "euler CoV",
+                "moldyn time (s)", "moldyn CoV"});
+
+  auto run = [&](const core::PhasedKernel& kernel,
+                 inspector::Distribution d, std::uint32_t chunk,
+                 double* time_out, double* cov_out) {
+    core::RotationOptions ropt;
+    ropt.num_procs = P;
+    ropt.k = 2;
+    ropt.distribution = d;
+    ropt.block_cyclic_size = chunk;
+    ropt.sweeps = sweeps;
+    ropt.machine = machine;
+    ropt.collect_results = false;
+    const core::RunResult r = core::run_rotation_engine(kernel, ropt);
+    *time_out = bench::to_seconds(r.total_cycles);
+    *cov_out = bench::phase_imbalance(r);
+  };
+
+  auto row = [&](const std::string& name, inspector::Distribution d,
+                 std::uint32_t chunk) {
+    double te = 0, ce = 0, tm = 0, cm = 0;
+    run(euler, d, chunk, &te, &ce);
+    run(moldyn, d, chunk, &tm, &cm);
+    t.add_row({name, fmt_f(te, 3), fmt_f(ce, 3), fmt_f(tm, 3),
+               fmt_f(cm, 3)});
+  };
+
+  row("cyclic", inspector::Distribution::Cyclic, 1);
+  for (const auto c : chunks) {
+    if (c <= 1) continue;
+    row("block-cyclic(" + std::to_string(c) + ")",
+        inspector::Distribution::BlockCyclic,
+        static_cast<std::uint32_t>(c));
+  }
+  row("block", inspector::Distribution::Block, 1);
+  t.print(std::cout);
+  return 0;
+}

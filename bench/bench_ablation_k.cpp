@@ -1,0 +1,77 @@
+// Ablation: the overlap parameter k beyond the paper's {1, 2, 4}.
+//
+// DESIGN.md calls out k as the central tuning knob: larger k gives more
+// communication/computation overlap and tolerance to load imbalance, but
+// more phases mean more fiber switches, more (smaller) messages, and less
+// locality. The paper found k=2 the sweet spot; this sweep shows the full
+// curve k = 1..8 so the trade-off is visible, at two machine sizes.
+//
+// Flags: --sweeps=N (default 50), --procs=8,32, --kmax=8,
+//        --dataset=euler|moldyn (default euler).
+#include <cstdio>
+#include <iostream>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "core/reduction_engine.hpp"
+#include "core/sequential.hpp"
+#include "kernels/euler.hpp"
+#include "kernels/moldyn.hpp"
+#include "mesh/generators.hpp"
+#include "support/options.hpp"
+
+int main(int argc, char** argv) {
+  using namespace earthred;
+  const Options opt(argc, argv);
+  const auto sweeps = static_cast<std::uint32_t>(opt.get_int("sweeps", 50));
+  const auto kmax = static_cast<std::uint32_t>(opt.get_int("kmax", 8));
+  const auto procs_list = opt.get_int_list("procs", {8, 32});
+  const earth::MachineConfig machine = bench::machine_from_options(opt);
+
+  std::unique_ptr<core::PhasedKernel> kernel;
+  std::string name = opt.get("dataset", "euler");
+  if (name == "moldyn") {
+    kernel = std::make_unique<kernels::MoldynKernel>(mesh::moldyn_small());
+  } else {
+    kernel =
+        std::make_unique<kernels::EulerKernel>(mesh::euler_mesh_small());
+  }
+
+  core::SequentialOptions sopt;
+  sopt.sweeps = sweeps;
+  sopt.machine = machine;
+  sopt.collect_results = false;
+  const double seq_s =
+      bench::to_seconds(core::run_sequential_kernel(*kernel, sopt).total_cycles);
+  std::printf("%s 2K, %u sweeps; sequential %.2f s\n", name.c_str(), sweeps,
+              seq_s);
+
+  Table t("Ablation — overlap parameter k (cyclic distribution)");
+  std::vector<std::string> header{"k"};
+  for (auto p : procs_list) {
+    header.push_back("P=" + std::to_string(p) + " time");
+    header.push_back("P=" + std::to_string(p) + " speedup");
+    header.push_back("P=" + std::to_string(p) + " EU util");
+  }
+  t.set_header(header);
+
+  for (std::uint32_t k = 1; k <= kmax; ++k) {
+    std::vector<std::string> row{std::to_string(k)};
+    for (const auto procs : procs_list) {
+      core::RotationOptions ropt;
+      ropt.num_procs = static_cast<std::uint32_t>(procs);
+      ropt.k = k;
+      ropt.sweeps = sweeps;
+      ropt.machine = machine;
+      ropt.collect_results = false;
+      const core::RunResult r = core::run_rotation_engine(*kernel, ropt);
+      const double sec = bench::to_seconds(r.total_cycles);
+      row.push_back(fmt_f(sec, 2));
+      row.push_back(fmt_f(seq_s / sec, 2));
+      row.push_back(fmt_f(r.machine.eu_utilization(), 2));
+    }
+    t.add_row(row);
+  }
+  t.print(std::cout);
+  return 0;
+}

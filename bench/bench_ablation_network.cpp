@@ -1,0 +1,70 @@
+// Ablation: network latency and bandwidth sensitivity.
+//
+// The strategy's premise is that "the performance obtained depends upon
+// the architecture's ability to overlap communication and computation".
+// Sweeping link latency shows where k=1 (no overlap window) falls off a
+// cliff while k=2/k=4 keep masking the transfers, and sweeping bandwidth
+// shows when even overlap cannot hide the volume.
+//
+// Flags: --sweeps=N (default 30), --procs=P (default 16),
+//        --latencies=0,150,1000,4000,16000, --bandwidths-x100=25,50,100,200.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/reduction_engine.hpp"
+#include "kernels/euler.hpp"
+#include "mesh/generators.hpp"
+#include "support/options.hpp"
+
+int main(int argc, char** argv) {
+  using namespace earthred;
+  const Options opt(argc, argv);
+  const auto sweeps = static_cast<std::uint32_t>(opt.get_int("sweeps", 30));
+  const auto P = static_cast<std::uint32_t>(opt.get_int("procs", 16));
+  const auto latencies =
+      opt.get_int_list("latencies", {0, 150, 1000, 4000, 16000});
+  const auto bandwidths =
+      opt.get_int_list("bandwidths-x100", {25, 50, 100, 200});
+
+  const kernels::EulerKernel kernel(mesh::euler_mesh_small());
+
+  auto run = [&](earth::Cycles latency, double bw, std::uint32_t k) {
+    core::RotationOptions ropt;
+    ropt.num_procs = P;
+    ropt.k = k;
+    ropt.sweeps = sweeps;
+    ropt.machine = bench::manna_machine();
+    ropt.machine.net.latency = latency;
+    ropt.machine.net.bytes_per_cycle = bw;
+    ropt.collect_results = false;
+    return bench::to_seconds(
+        core::run_rotation_engine(kernel, ropt).total_cycles);
+  };
+
+  Table lat("Ablation — link latency (euler 2K, P=" + std::to_string(P) +
+            ", 1 B/cycle)");
+  lat.set_header({"latency (cycles)", "k=1", "k=2", "k=4",
+                  "k=2 gain over k=1"});
+  for (const auto l : latencies) {
+    const auto lc = static_cast<earth::Cycles>(l);
+    const double t1 = run(lc, 1.0, 1);
+    const double t2 = run(lc, 1.0, 2);
+    const double t4 = run(lc, 1.0, 4);
+    lat.add_row({std::to_string(l), fmt_f(t1, 3), fmt_f(t2, 3),
+                 fmt_f(t4, 3),
+                 fmt_f(100.0 * (t1 - t2) / t2, 1) + "%"});
+  }
+  lat.print(std::cout);
+
+  Table bw("Ablation — link bandwidth (euler 2K, P=" + std::to_string(P) +
+           ", 150-cycle latency)");
+  bw.set_header({"bytes/cycle", "k=1", "k=2", "k=4"});
+  for (const auto b : bandwidths) {
+    const double bpc = static_cast<double>(b) / 100.0;
+    bw.add_row({fmt_f(bpc, 2), fmt_f(run(150, bpc, 1), 3),
+                fmt_f(run(150, bpc, 2), 3), fmt_f(run(150, bpc, 4), 3)});
+  }
+  bw.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Ablation: bulk rotation vs fine-grained pull (GET_SYNC) for mvm.
+//
+// Both are natural EARTH designs. The rotation strategy ships fixed-size
+// portions around a ring; the pull design issues one split-phase remote
+// read per distinct off-node x element and relies on outstanding-request
+// volume to hide latency. This sweep compares time, message count, and
+// bytes across machine sizes and link latencies on the class W matrix.
+//
+// Flags: --sweeps=N (default 3), --procs=4,16, --latencies=150,2000.
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/mvm_engine.hpp"
+#include "core/mvm_pull_engine.hpp"
+#include "sparse/nas_cg.hpp"
+#include "support/options.hpp"
+#include "support/prng.hpp"
+
+int main(int argc, char** argv) {
+  using namespace earthred;
+  const Options opt(argc, argv);
+  const auto sweeps = static_cast<std::uint32_t>(opt.get_int("sweeps", 3));
+  const auto procs_list = opt.get_int_list("procs", {4, 16});
+  const auto latencies = opt.get_int_list("latencies", {150, 2000});
+
+  const sparse::CsrMatrix A =
+      sparse::make_nas_cg_matrix(sparse::nas_class_w());
+  std::vector<double> x(A.ncols());
+  Xoshiro256 rng(1);
+  for (auto& v : x) v = rng.uniform(-1, 1);
+
+  Table t("Ablation — rotation vs pull mvm (class W, " +
+          std::to_string(sweeps) + " sweeps)");
+  t.set_header({"P", "latency", "engine", "time (s)", "msgs", "bytes"});
+
+  for (const auto procs : procs_list) {
+    for (const auto lat : latencies) {
+      earth::MachineConfig machine = bench::manna_machine();
+      machine.net.latency = static_cast<earth::Cycles>(lat);
+
+      core::MvmOptions ropt;
+      ropt.num_procs = static_cast<std::uint32_t>(procs);
+      ropt.k = 2;
+      ropt.sweeps = sweeps;
+      ropt.machine = machine;
+      ropt.collect_results = false;
+      const core::RunResult rot = core::run_mvm_engine(A, x, ropt);
+
+      core::MvmPullOptions popt;
+      popt.num_procs = static_cast<std::uint32_t>(procs);
+      popt.sweeps = sweeps;
+      popt.machine = machine;
+      popt.collect_results = false;
+      const core::RunResult pull = core::run_mvm_pull_engine(A, x, popt);
+
+      t.add_row({std::to_string(procs), std::to_string(lat), "rotation",
+                 fmt_f(bench::to_seconds(rot.total_cycles), 3),
+                 fmt_group(static_cast<long long>(rot.machine.total_msgs())),
+                 fmt_group(static_cast<long long>(
+                     rot.machine.total_bytes()))});
+      t.add_row({std::to_string(procs), std::to_string(lat), "pull",
+                 fmt_f(bench::to_seconds(pull.total_cycles), 3),
+                 fmt_group(static_cast<long long>(
+                     pull.machine.total_msgs())),
+                 fmt_group(static_cast<long long>(
+                     pull.machine.total_bytes()))});
+    }
+  }
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Adaptive irregular reductions (the paper's Sec. 7 future work, realized
+// as an extension): moldyn with the neighbour list rebuilt every f time
+// steps, comparing
+//
+//   classic      — communicating inspector re-run at every rebuild;
+//   light        — full LightInspector re-run (local, no communication);
+//   incremental  — incremental LightInspector touching only changed
+//                  interactions (the paper's proposed future work).
+//
+// The smaller the rebuild period, the more the preprocessing cost matters
+// — the regime where the rotation strategy's communication-free, (and with
+// the incremental variant, change-proportional) preprocessing wins.
+//
+// Flags: --procs=P (default 16), --epochs=E (default 6),
+//        --periods=1,5,10,20 (sweeps per rebuild), --dataset=small|large.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "kernels/adaptive_moldyn.hpp"
+#include "support/options.hpp"
+
+int main(int argc, char** argv) {
+  using namespace earthred;
+  const Options opt(argc, argv);
+
+  const auto P = static_cast<std::uint32_t>(opt.get_int("procs", 16));
+  const auto epochs = static_cast<std::uint32_t>(opt.get_int("epochs", 6));
+  const auto periods = opt.get_int_list("periods", {1, 5, 10, 20});
+  const earth::MachineConfig machine = bench::machine_from_options(opt);
+
+  const bool euler = opt.get("kernel", "moldyn") == "euler";
+  kernels::AdaptiveOptions aopt;
+  kernels::AdaptiveEulerOptions eopt;
+  if (opt.get("dataset", "small") == "large") {
+    aopt.dataset = mesh::MoldynParams{14, 65856, 0.05, 19941123};
+    eopt.dataset = mesh::GeomMeshParams{9428, 59863, 20020416};
+  }
+  aopt.epochs = epochs;
+  eopt.epochs = epochs;
+
+  std::printf("adaptive %s: %u processors, %u rebuild epochs\n",
+              euler ? "euler" : "moldyn", P, epochs);
+  Table t(std::string("Adaptive ") + (euler ? "euler" : "moldyn") +
+          " — total time (simulated s) and preprocessing share by rebuild "
+          "period");
+  t.set_header({"sweeps/rebuild", "classic", "classic insp%", "light",
+                "light insp%", "incremental", "incr insp%", "changed"});
+
+  for (const auto period : periods) {
+    aopt.sweeps_per_epoch = static_cast<std::uint32_t>(period);
+    eopt.sweeps_per_epoch = static_cast<std::uint32_t>(period);
+
+    core::ClassicOptions copt;
+    copt.num_procs = P;
+    copt.machine = machine;
+    core::RotationOptions ropt;
+    ropt.num_procs = P;
+    ropt.k = 2;
+    ropt.machine = machine;
+
+    const auto classic =
+        euler ? kernels::run_adaptive_euler_classic(eopt, copt)
+              : kernels::run_adaptive_moldyn_classic(aopt, copt);
+    const auto light =
+        euler ? kernels::run_adaptive_euler_rotation(eopt, ropt, false)
+              : kernels::run_adaptive_moldyn_rotation(aopt, ropt, false);
+    const auto incr =
+        euler ? kernels::run_adaptive_euler_rotation(eopt, ropt, true)
+              : kernels::run_adaptive_moldyn_rotation(aopt, ropt, true);
+
+    const auto pct = [](const kernels::AdaptiveResult& r) {
+      return r.total_cycles
+                 ? 100.0 * static_cast<double>(r.inspector_cycles) /
+                       static_cast<double>(r.total_cycles)
+                 : 0.0;
+    };
+    t.add_row({std::to_string(period),
+               fmt_f(bench::to_seconds(classic.total_cycles), 3),
+               fmt_f(pct(classic), 1),
+               fmt_f(bench::to_seconds(light.total_cycles), 3),
+               fmt_f(pct(light), 1),
+               fmt_f(bench::to_seconds(incr.total_cycles), 3),
+               fmt_f(pct(incr), 1),
+               fmt_group(static_cast<long long>(incr.changed_interactions))});
+  }
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Figure 4: parallel performance of mvm (sparse matrix-vector multiply
+// extracted from NAS CG) on the class W and class A matrices with
+// k in {1, 2, 4}, P in {1, 2, 4, 8, 16, 32}.
+//
+// Paper reference points (Sec. 5.3):
+//   class W (7,000 rows, 508,402 nnz): sequential 41.38 s; 2-proc
+//     speedups 1.97/1.98/1.98; slightly superlinear on 4-16 procs (cache);
+//     32-proc speedups 21.61 / 24.55 / 23.42 for k=1/2/4 — k=2 best,
+//     beating k=1 by 13.99% and k=4 by at most 4.84%.
+//   class A (14,000 rows, 1,853,104 nnz): sequential 154.55 s; 32-proc
+//     speedups 28.41 / 30.65 / 30.21; 64-proc gap k2 vs k1 = 15.31%.
+//
+// Flags: --sweeps=N (default 10), --procs=..., --dataset=w|a|both,
+//        --latency/--bandwidth/--cache-kb/--no-cache.
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/mvm_engine.hpp"
+#include "core/sequential.hpp"
+#include "sparse/nas_cg.hpp"
+#include "support/options.hpp"
+#include "support/prng.hpp"
+
+namespace earthred {
+namespace {
+
+void run_dataset(const char* label, const sparse::NasCgParams& params,
+                 const Options& opt) {
+  const sparse::CsrMatrix A = sparse::make_nas_cg_matrix(params);
+  std::vector<double> x(A.ncols());
+  Xoshiro256 rng(1);
+  for (auto& v : x) v = rng.uniform(-1, 1);
+
+  const auto sweeps = static_cast<std::uint32_t>(opt.get_int("sweeps", 10));
+  const auto procs_list = opt.get_int_list("procs", {1, 2, 4, 8, 16, 32});
+  const earth::MachineConfig machine = bench::machine_from_options(opt);
+
+  core::SequentialOptions sopt;
+  sopt.sweeps = sweeps;
+  sopt.machine = machine;
+  sopt.collect_results = false;
+  const core::RunResult seq = core::run_sequential_mvm(A, x, sopt);
+  const double seq_s = bench::to_seconds(seq.total_cycles);
+  std::printf("mvm class %s: %s rows, %s nonzeros, %u sweeps; sequential "
+              "%.2f s\n",
+              label, fmt_group(A.nrows()).c_str(),
+              fmt_group(static_cast<long long>(A.nnz())).c_str(), sweeps,
+              seq_s);
+
+  std::vector<bench::Series> series;
+  for (const std::uint32_t k : {1u, 2u, 4u}) {
+    bench::Series line;
+    line.name = "k=" + std::to_string(k);
+    for (const auto procs : procs_list) {
+      const auto P = static_cast<std::uint32_t>(procs);
+      core::MvmOptions mopt;
+      mopt.num_procs = P;
+      mopt.k = k;
+      mopt.sweeps = sweeps;
+      mopt.machine = machine;
+      mopt.collect_results = false;
+      const core::RunResult r = core::run_mvm_engine(A, x, mopt);
+      line.points.push_back({P, bench::to_seconds(r.total_cycles),
+                             seq_s / bench::to_seconds(r.total_cycles)});
+    }
+    series.push_back(std::move(line));
+  }
+  std::vector<std::uint32_t> procs_u32;
+  procs_u32.reserve(procs_list.size());
+  for (auto p : procs_list) procs_u32.push_back(static_cast<std::uint32_t>(p));
+
+  const std::string title = std::string("Figure 4 (mvm class ") + label + ")";
+  bench::print_figure(title, seq_s, procs_u32, series);
+
+  // The paper's headline deltas at the largest configuration.
+  const std::uint32_t top = procs_u32.back();
+  const double t1 = series[0].seconds_at(top);
+  const double t2 = series[1].seconds_at(top);
+  const double t4 = series[2].seconds_at(top);
+  if (t2 > 0) {
+    std::printf("k=2 vs k=1 at P=%u: %+.2f%%   k=2 vs k=4: %+.2f%%\n", top,
+                100.0 * (t1 - t2) / t2, 100.0 * (t4 - t2) / t2);
+  }
+}
+
+}  // namespace
+}  // namespace earthred
+
+int main(int argc, char** argv) {
+  using namespace earthred;
+  const Options opt(argc, argv);
+  const std::string dataset = opt.get("dataset", "both");
+  if (dataset == "w" || dataset == "both")
+    run_dataset("W", sparse::nas_class_w(), opt);
+  if (dataset == "a" || dataset == "both")
+    run_dataset("A", sparse::nas_class_a(), opt);
+  return 0;
+}

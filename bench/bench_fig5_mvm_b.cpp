@@ -1,0 +1,93 @@
+// Figure 5: parallel performance of mvm on the NAS CG class B matrix
+// (75,000 rows, ~13.7M nonzeros), P in {4, 8, 16, 32, 64}.
+//
+// Because of memory constraints the paper could not run class B
+// sequentially or on 2 processors; relative speedups are therefore
+// computed against the best 4-processor version, which was k=2
+// (footnote, Sec. 5.3). This bench reports the same metric.
+//
+// Flags: --sweeps=N (default 3), --procs=..., --scale=D (divide the row
+//        count by D for a quick run; default 1 = full class B),
+//        --latency/--bandwidth/--cache-kb/--no-cache.
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/mvm_engine.hpp"
+#include "sparse/nas_cg.hpp"
+#include "support/options.hpp"
+#include "support/prng.hpp"
+
+int main(int argc, char** argv) {
+  using namespace earthred;
+  const Options opt(argc, argv);
+
+  const auto scale = static_cast<std::uint32_t>(opt.get_int("scale", 1));
+  const sparse::NasCgParams params = sparse::nas_class_b_scaled(scale);
+  const sparse::CsrMatrix A = sparse::make_nas_cg_matrix(params);
+  std::vector<double> x(A.ncols());
+  Xoshiro256 rng(1);
+  for (auto& v : x) v = rng.uniform(-1, 1);
+
+  const auto sweeps = static_cast<std::uint32_t>(opt.get_int("sweeps", 3));
+  const auto procs_list = opt.get_int_list("procs", {4, 8, 16, 32, 64});
+  const earth::MachineConfig machine = bench::machine_from_options(opt);
+
+  std::printf("mvm class B%s: %s rows, %s nonzeros, %u sweeps\n",
+              scale == 1 ? "" : (" (1/" + std::to_string(scale) + ")").c_str(),
+              fmt_group(A.nrows()).c_str(),
+              fmt_group(static_cast<long long>(A.nnz())).c_str(), sweeps);
+
+  std::vector<bench::Series> series;
+  for (const std::uint32_t k : {1u, 2u, 4u}) {
+    bench::Series line;
+    line.name = "k=" + std::to_string(k);
+    for (const auto procs : procs_list) {
+      const auto P = static_cast<std::uint32_t>(procs);
+      core::MvmOptions mopt;
+      mopt.num_procs = P;
+      mopt.k = k;
+      mopt.sweeps = sweeps;
+      mopt.machine = machine;
+      mopt.collect_results = false;
+      const core::RunResult r = core::run_mvm_engine(A, x, mopt);
+      line.points.push_back(
+          {P, bench::to_seconds(r.total_cycles), 0.0});
+      std::fflush(stdout);
+    }
+    series.push_back(std::move(line));
+  }
+  std::vector<std::uint32_t> procs_u32;
+  procs_u32.reserve(procs_list.size());
+  for (auto p : procs_list) procs_u32.push_back(static_cast<std::uint32_t>(p));
+
+  // Times table.
+  Table times("Figure 5 (mvm class B) — execution time (simulated seconds)");
+  std::vector<std::string> header{"strategy"};
+  for (auto p : procs_u32) header.push_back("P=" + std::to_string(p));
+  times.set_header(header);
+  for (const auto& s : series) {
+    std::vector<std::string> row{s.name};
+    for (auto p : procs_u32) row.push_back(fmt_f(s.seconds_at(p), 2));
+    times.add_row(row);
+  }
+  times.print(std::cout);
+
+  // Relative speedups vs the best 4-processor version (k=2, as in the
+  // paper's footnote).
+  const double base = series[1].seconds_at(procs_u32.front());
+  Table rel("Figure 5 (mvm class B) — relative speedup vs best P=" +
+            std::to_string(procs_u32.front()) + " (k=2)");
+  rel.set_header(header);
+  for (const auto& s : series) {
+    std::vector<std::string> row{s.name};
+    for (auto p : procs_u32) {
+      const double t = s.seconds_at(p);
+      row.push_back(t > 0 ? fmt_f(base / t, 2) : "-");
+    }
+    rel.add_row(row);
+  }
+  rel.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,118 @@
+// Figure 6: parallel performance of euler on the 2.8K-node and 9.4K-node
+// meshes under the strategies 1c, 2c, 4c (k = 1/2/4 with cyclic iteration
+// distribution) and 2b (k = 2, block distribution).
+//
+// Paper reference points (Sec. 5.4.2):
+//   2K mesh : sequential 7.84 s; 2-proc speedups 1.10/1.20/1.17/1.24;
+//             relative speedups 2->32 of 7.12 / 9.28 / 8.49 / 6.78.
+//   10K mesh: sequential 29.07 s; 2-proc speedups 1.11/1.12/0.95/1.16;
+//             relative speedups 2->32 of 7.62 / 10.36 / 9.95 / 6.94.
+//   Cyclic beats block at P >= 8 (block suffers phase load imbalance).
+//
+// Flags: --sweeps=N (default 100), --procs=1,2,... , --dataset=small|large|both,
+//        --imbalance (print phase load-balance table),
+//        --latency/--bandwidth/--cache-kb/--no-cache.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/reduction_engine.hpp"
+#include "core/sequential.hpp"
+#include "kernels/euler.hpp"
+#include "mesh/generators.hpp"
+#include "support/options.hpp"
+
+namespace earthred {
+namespace {
+
+struct Strategy {
+  const char* name;
+  std::uint32_t k;
+  inspector::Distribution dist;
+};
+
+constexpr Strategy kStrategies[] = {
+    {"1c", 1, inspector::Distribution::Cyclic},
+    {"2c", 2, inspector::Distribution::Cyclic},
+    {"4c", 4, inspector::Distribution::Cyclic},
+    {"2b", 2, inspector::Distribution::Block},
+};
+
+void run_dataset(const char* label, const mesh::Mesh& m,
+                 const Options& opt) {
+  const kernels::EulerKernel kernel(m);
+  const auto sweeps = static_cast<std::uint32_t>(opt.get_int("sweeps", 100));
+  const auto procs_list =
+      opt.get_int_list("procs", {1, 2, 4, 8, 16, 32});
+  const earth::MachineConfig machine = bench::machine_from_options(opt);
+
+  core::SequentialOptions sopt;
+  sopt.sweeps = sweeps;
+  sopt.machine = machine;
+  sopt.collect_results = false;
+  const core::RunResult seq = core::run_sequential_kernel(kernel, sopt);
+  const double seq_s = bench::to_seconds(seq.total_cycles);
+  std::printf("euler %s: %s nodes, %s edges, %u sweeps; sequential %.2f s\n",
+              label, fmt_group(m.num_nodes).c_str(),
+              fmt_group(static_cast<long long>(m.num_edges())).c_str(),
+              sweeps, seq_s);
+
+  std::vector<bench::Series> series;
+  std::vector<std::pair<std::string, double>> imbalance;
+  std::vector<std::uint32_t> procs_u32;
+  for (const Strategy& s : kStrategies) {
+    bench::Series line;
+    line.name = s.name;
+    for (const auto procs : procs_list) {
+      const auto P = static_cast<std::uint32_t>(procs);
+      core::RotationOptions ropt;
+      ropt.num_procs = P;
+      ropt.k = s.k;
+      ropt.distribution = s.dist;
+      ropt.sweeps = sweeps;
+      ropt.machine = machine;
+      ropt.collect_results = false;
+      const core::RunResult r = core::run_rotation_engine(kernel, ropt);
+      if (opt.get_bool("stats", false))
+        std::printf("  %s P=%-3u miss=%.3f util=%.2f msgs=%llu\n", s.name, P,
+                    r.machine.cache_miss_rate(), r.machine.eu_utilization(),
+                    static_cast<unsigned long long>(r.machine.total_msgs()));
+      line.points.push_back(
+          {P, bench::to_seconds(r.total_cycles),
+           seq_s / bench::to_seconds(r.total_cycles)});
+      if (P == 32)
+        imbalance.emplace_back(s.name, bench::phase_imbalance(r));
+    }
+    series.push_back(std::move(line));
+  }
+  procs_u32.reserve(procs_list.size());
+  for (auto p : procs_list) procs_u32.push_back(static_cast<std::uint32_t>(p));
+
+  const std::string title = std::string("Figure 6 (euler ") + label + ")";
+  bench::print_figure(title, seq_s, procs_u32, series);
+  if (procs_u32.size() >= 2)
+    bench::print_relative(title, 2, procs_u32.back(), series);
+
+  if (opt.get_bool("imbalance", false)) {
+    Table t(title + " — phase load imbalance at P=32 (CoV of iterations"
+                    " per phase)");
+    t.set_header({"strategy", "CoV"});
+    for (const auto& [name, cov] : imbalance)
+      t.add_row({name, fmt_f(cov, 3)});
+    t.print(std::cout);
+  }
+}
+
+}  // namespace
+}  // namespace earthred
+
+int main(int argc, char** argv) {
+  using namespace earthred;
+  const Options opt(argc, argv);
+  const std::string dataset = opt.get("dataset", "both");
+  if (dataset == "small" || dataset == "both")
+    run_dataset("2K", mesh::euler_mesh_small(), opt);
+  if (dataset == "large" || dataset == "both")
+    run_dataset("10K", mesh::euler_mesh_large(), opt);
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Compiler demo: the full Sec. 4 pipeline on a two-reference-group loop.
+//
+// Shows: extracted reduction/indirection array sections (triplet
+// notation), reference grouping (Definition 1), loop fission, the
+// generated Threaded-C-style code with the inserted LIGHTINSPECTOR call,
+// and finally execution of the compiled loops on the simulated machine
+// with validation against direct interpretation.
+//
+// Run:   ./examples/compiler_demo [--procs=4]
+#include <cstdio>
+
+#include "compiler/codegen.hpp"
+#include "compiler/compiler.hpp"
+#include "core/reduction_engine.hpp"
+#include "support/options.hpp"
+#include "support/prng.hpp"
+
+int main(int argc, char** argv) {
+  using namespace earthred;
+  const Options opt(argc, argv);
+  const auto procs = static_cast<std::uint32_t>(opt.get_int("procs", 4));
+
+  const char* source = R"(
+    // A CFD-flavoured loop updating two node arrays through two
+    // indirections, plus a diagnostic array updated through one.
+    param num_nodes, num_edges;
+    array real flux[num_nodes];
+    array real diag[num_nodes];
+    array real pressure[num_nodes];
+    array int  left[num_edges];
+    array int  right[num_edges];
+    array real coef[num_edges];
+
+    forall (e : 0 .. num_edges) {
+      f = coef[e] * (pressure[left[e]] - pressure[right[e]]);
+      flux[left[e]]  += f;
+      flux[right[e]] -= f;
+      diag[left[e]]  += f * f;
+    }
+  )";
+
+  std::printf("=== source ===\n%s\n", source);
+  const compiler::CompileResult result = compiler::compile(source);
+
+  const compiler::LoopAnalysis& la = result.analysis.loops[0];
+  std::printf("=== analysis ===\n");
+  std::printf("reduction array sections:\n");
+  for (const auto& s : la.reduction_sections)
+    std::printf("  %s\n", s.triplet().c_str());
+  std::printf("indirection array sections:\n");
+  for (const auto& s : la.indirection_sections)
+    std::printf("  %s\n", s.triplet().c_str());
+  std::printf("reference groups (Definition 1): %zu -> %s\n",
+              la.groups.size(),
+              la.needs_fission() ? "loop fission required"
+                                 : "single loop");
+  for (const auto& g : la.groups) {
+    std::printf("  {");
+    for (const auto& r : g.reduction_arrays) std::printf(" %s", r.c_str());
+    std::printf(" } via {");
+    for (const auto& i : g.indirection_arrays)
+      std::printf(" %s", i.c_str());
+    std::printf(" }\n");
+  }
+
+  std::printf("\n=== fissioned loops ===\n");
+  for (std::size_t i = 0; i < result.analysis.fissioned.size(); ++i) {
+    std::printf("-- loop %zu --\n", i);
+    for (const auto& s : result.analysis.fissioned[i].loop.body)
+      std::printf("  %s\n", compiler::stmt_to_string(s).c_str());
+  }
+
+  std::printf("\n=== generated Threaded-C-style code (loop 0) ===\n%s\n",
+              result.threaded_c[0].c_str());
+
+  // Bind data and execute each fissioned loop on the simulated machine.
+  const std::uint32_t nodes = 500;
+  const std::uint32_t edges = 3000;
+  Xoshiro256 rng(17);
+  compiler::DataEnv env;
+  env.params["num_nodes"] = nodes;
+  env.params["num_edges"] = edges;
+  std::vector<std::uint32_t> l, r;
+  std::vector<double> coef, pressure;
+  for (std::uint32_t e = 0; e < edges; ++e) {
+    l.push_back(static_cast<std::uint32_t>(rng.below(nodes)));
+    r.push_back(static_cast<std::uint32_t>(rng.below(nodes)));
+    coef.push_back(rng.uniform(0.1, 1.0));
+  }
+  for (std::uint32_t v = 0; v < nodes; ++v)
+    pressure.push_back(rng.uniform(0.5, 2.0));
+  env.int_arrays["left"] = std::move(l);
+  env.int_arrays["right"] = std::move(r);
+  env.real_arrays["coef"] = std::move(coef);
+  env.real_arrays["pressure"] = std::move(pressure);
+
+  std::printf("=== execution on %u simulated processors ===\n", procs);
+  for (std::size_t i = 0; i < result.analysis.fissioned.size(); ++i) {
+    const auto kernel = compiler::bind(result, i, env);
+    const auto want = kernel->interpret_reference();
+
+    core::RotationOptions ropt;
+    ropt.num_procs = procs;
+    ropt.k = 2;
+    const core::RunResult run = core::run_rotation_engine(*kernel, ropt);
+
+    double max_err = 0.0;
+    for (std::size_t a = 0; a < kernel->reduction_names().size(); ++a) {
+      const auto& ref = want.at(kernel->reduction_names()[a]);
+      for (std::size_t v = 0; v < ref.size(); ++v)
+        max_err = std::max(max_err,
+                           std::abs(run.reduction[a][v] - ref[v]));
+    }
+    std::printf("loop %zu: %llu cycles, max error vs interpreter %.2e\n", i,
+                static_cast<unsigned long long>(run.total_cycles), max_err);
+    if (max_err > 1e-9) return 1;
+  }
+  std::printf("all compiled loops validated.\n");
+  return 0;
+}

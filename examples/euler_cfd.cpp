@@ -1,0 +1,78 @@
+// euler: unstructured-mesh CFD time stepping under the rotation strategy.
+//
+// Reproduces, at example scale, the workflow behind Figure 6: build the
+// paper's 2,800-node mesh, time-step the edge-flux kernel for a number of
+// sweeps, and compare strategies (k, block vs cyclic) side by side,
+// including the per-phase load balance that explains why cyclic wins on
+// larger machines.
+//
+// Run:   ./examples/euler_cfd [--procs=16] [--sweeps=25]
+#include <cstdio>
+#include <iostream>
+
+#include "core/reduction_engine.hpp"
+#include "core/sequential.hpp"
+#include "kernels/euler.hpp"
+#include "mesh/generators.hpp"
+#include "support/options.hpp"
+#include "support/stats.hpp"
+#include "support/str.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace earthred;
+  const Options opt(argc, argv);
+  const auto procs = static_cast<std::uint32_t>(opt.get_int("procs", 16));
+  const auto sweeps = static_cast<std::uint32_t>(opt.get_int("sweeps", 25));
+
+  const mesh::Mesh mesh = mesh::euler_mesh_small();
+  const kernels::EulerKernel kernel(mesh);
+  std::printf("euler: %u nodes, %llu edges, %u time steps, P=%u\n",
+              mesh.num_nodes,
+              static_cast<unsigned long long>(mesh.num_edges()), sweeps,
+              procs);
+
+  core::SequentialOptions sopt;
+  sopt.sweeps = sweeps;
+  const core::RunResult seq = core::run_sequential_kernel(kernel, sopt);
+
+  Table t("euler strategies at P=" + std::to_string(procs));
+  t.set_header({"strategy", "cycles", "speedup", "phase-balance CoV"});
+  struct S {
+    const char* name;
+    std::uint32_t k;
+    inspector::Distribution dist;
+  };
+  for (const S s : {S{"1c", 1, inspector::Distribution::Cyclic},
+                    S{"2c", 2, inspector::Distribution::Cyclic},
+                    S{"4c", 4, inspector::Distribution::Cyclic},
+                    S{"2b", 2, inspector::Distribution::Block}}) {
+    core::RotationOptions ropt;
+    ropt.num_procs = procs;
+    ropt.k = s.k;
+    ropt.distribution = s.dist;
+    ropt.sweeps = sweeps;
+    const core::RunResult r = core::run_rotation_engine(kernel, ropt);
+
+    // Check physics state against the sequential run.
+    double max_err = 0.0;
+    for (std::size_t a = 0; a < seq.node_read.size(); ++a)
+      for (std::size_t i = 0; i < seq.node_read[a].size(); ++i)
+        max_err = std::max(max_err, std::abs(r.node_read[a][i] -
+                                             seq.node_read[a][i]));
+    if (max_err > 1e-6) {
+      std::fprintf(stderr, "validation failed for %s: err %g\n", s.name,
+                   max_err);
+      return 1;
+    }
+    t.add_row({s.name, fmt_group(static_cast<long long>(r.total_cycles)),
+               fmt_f(static_cast<double>(seq.total_cycles) /
+                         static_cast<double>(r.total_cycles),
+                     2),
+               fmt_f(coefficient_of_variation(r.phase_iterations), 3)});
+  }
+  t.print(std::cout);
+  std::printf("(all strategies validated against the sequential state "
+              "within 1e-6)\n");
+  return 0;
+}

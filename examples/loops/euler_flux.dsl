@@ -1,0 +1,15 @@
+// CFD-flavoured flux loop: two reference groups -> loop fission.
+param num_nodes, num_edges;
+array real flux[num_nodes];
+array real diag[num_nodes];
+array real pressure[num_nodes];
+array int  left[num_edges];
+array int  right[num_edges];
+array real coef[num_edges];
+
+forall (e : 0 .. num_edges) {
+  f = coef[e] * (pressure[left[e]] - pressure[right[e]]);
+  flux[left[e]]  += f;
+  flux[right[e]] -= f;
+  diag[left[e]]  += f * f;
+}

@@ -1,0 +1,11 @@
+// The paper's Figure 1: the canonical irregular reduction.
+param num_nodes, num_edges;
+array real X[num_nodes];
+array int  IA1[num_edges];
+array int  IA2[num_edges];
+array real Y[num_edges];
+
+forall (i : 0 .. num_edges) {
+  X[IA1[i]] += Y[i] * 2.0;
+  X[IA2[i]] += Y[i] * 2.0;
+}

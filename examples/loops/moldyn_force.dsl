@@ -1,0 +1,19 @@
+// Pair-force accumulation with three reduction arrays, one group.
+param num_molecules, num_interactions;
+array real fx[num_molecules];
+array real fy[num_molecules];
+array real fz[num_molecules];
+array int  m1[num_interactions];
+array int  m2[num_interactions];
+array real gx[num_interactions];
+array real gy[num_interactions];
+array real gz[num_interactions];
+
+forall (i : 0 .. num_interactions) {
+  fx[m1[i]] += gx[i];
+  fx[m2[i]] -= gx[i];
+  fy[m1[i]] += gy[i];
+  fy[m2[i]] -= gy[i];
+  fz[m1[i]] += gz[i];
+  fz[m2[i]] -= gz[i];
+}

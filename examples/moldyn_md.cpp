@@ -1,0 +1,86 @@
+// moldyn: molecular-dynamics time stepping, including the *adaptive*
+// regime the paper targets as future work — molecules drift, the
+// neighbour list is rebuilt, and the LightInspector re-runs locally
+// (optionally incrementally) without any communication.
+//
+// Run:   ./examples/moldyn_md [--procs=16] [--epochs=4] [--period=10]
+#include <cstdio>
+#include <iostream>
+
+#include "core/reduction_engine.hpp"
+#include "core/sequential.hpp"
+#include "kernels/adaptive_moldyn.hpp"
+#include "kernels/moldyn.hpp"
+#include "mesh/generators.hpp"
+#include "support/options.hpp"
+#include "support/str.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace earthred;
+  const Options opt(argc, argv);
+  const auto procs = static_cast<std::uint32_t>(opt.get_int("procs", 16));
+  const auto epochs = static_cast<std::uint32_t>(opt.get_int("epochs", 4));
+  const auto period = static_cast<std::uint32_t>(opt.get_int("period", 10));
+
+  // --- static run first: validate the force computation -----------------
+  const mesh::Mesh m = mesh::make_moldyn_lattice({6, 6000, 0.04, 3});
+  const kernels::MoldynKernel kernel(m);
+  std::printf("moldyn: %u molecules, %llu interactions, P=%u\n",
+              m.num_nodes, static_cast<unsigned long long>(m.num_edges()),
+              procs);
+
+  core::SequentialOptions sopt;
+  sopt.sweeps = 5;
+  const core::RunResult seq = core::run_sequential_kernel(kernel, sopt);
+
+  core::RotationOptions ropt;
+  ropt.num_procs = procs;
+  ropt.k = 2;
+  ropt.sweeps = 5;
+  const core::RunResult par = core::run_rotation_engine(kernel, ropt);
+
+  double max_err = 0.0;
+  for (std::size_t a = 0; a < seq.node_read.size(); ++a)
+    for (std::size_t i = 0; i < seq.node_read[a].size(); ++i)
+      max_err = std::max(
+          max_err, std::abs(par.node_read[a][i] - seq.node_read[a][i]));
+  std::printf("static 5-step run: speedup %.2f, max position error vs "
+              "sequential %.2e\n",
+              static_cast<double>(seq.total_cycles) /
+                  static_cast<double>(par.total_cycles),
+              max_err);
+  if (max_err > 1e-6) return 1;
+
+  // --- adaptive runs -----------------------------------------------------
+  kernels::AdaptiveOptions aopt;
+  aopt.dataset = mesh::MoldynParams{6, 6000, 0.04, 3};
+  aopt.epochs = epochs;
+  aopt.sweeps_per_epoch = period;
+
+  core::ClassicOptions copt;
+  copt.num_procs = procs;
+  const auto classic = kernels::run_adaptive_moldyn_classic(aopt, copt);
+  const auto light = kernels::run_adaptive_moldyn_rotation(aopt, ropt, false);
+  const auto incr = kernels::run_adaptive_moldyn_rotation(aopt, ropt, true);
+
+  Table t("adaptive: " + std::to_string(epochs) + " neighbour-list "
+          "rebuilds, " + std::to_string(period) + " steps apart");
+  t.set_header({"scheme", "total cycles", "preprocessing cycles"});
+  t.add_row({"classic inspector/executor",
+             fmt_group(static_cast<long long>(classic.total_cycles)),
+             fmt_group(static_cast<long long>(classic.inspector_cycles))});
+  t.add_row({"rotation + LightInspector",
+             fmt_group(static_cast<long long>(light.total_cycles)),
+             fmt_group(static_cast<long long>(light.inspector_cycles))});
+  t.add_row({"rotation + incremental LightInspector",
+             fmt_group(static_cast<long long>(incr.total_cycles)),
+             fmt_group(static_cast<long long>(incr.inspector_cycles))});
+  t.print(std::cout);
+  std::printf("%s interactions changed across rebuilds — the incremental "
+              "inspector's work is proportional to that, the classic "
+              "inspector repeats its full communicating analysis.\n",
+              fmt_group(static_cast<long long>(incr.changed_interactions))
+                  .c_str());
+  return 0;
+}

@@ -1,0 +1,58 @@
+// NAS CG end-to-end: the benchmark the paper's mvm kernel was extracted
+// from, solved on the simulated EARTH machine with the rotation strategy
+// doing every A*p product.
+//
+// Run:   ./examples/nas_cg [--class=s|w] [--procs=8] [--k=2] [--iters=25]
+#include <cstdio>
+
+#include "core/cg.hpp"
+#include "sparse/nas_cg.hpp"
+#include "support/options.hpp"
+#include "support/str.hpp"
+
+int main(int argc, char** argv) {
+  using namespace earthred;
+  const Options opt(argc, argv);
+  const auto procs = static_cast<std::uint32_t>(opt.get_int("procs", 8));
+  const auto k = static_cast<std::uint32_t>(opt.get_int("k", 2));
+  const auto iters = static_cast<std::uint32_t>(opt.get_int("iters", 25));
+
+  const sparse::NasCgParams params =
+      opt.get("class", "s") == "w" ? sparse::nas_class_w()
+                                   : sparse::nas_class_s();
+  const sparse::CsrMatrix A = sparse::make_nas_cg_matrix(params);
+  const std::vector<double> x(A.nrows(), 1.0);
+  std::printf("NAS CG class %s: %s rows, %s nonzeros, %u CG iterations\n",
+              opt.get("class", "s").c_str(), fmt_group(A.nrows()).c_str(),
+              fmt_group(static_cast<long long>(A.nnz())).c_str(), iters);
+
+  const core::CgResult ref =
+      core::reference_cg(A, x, params.shift, iters);
+
+  core::CgOptions copt;
+  copt.num_procs = procs;
+  copt.k = k;
+  copt.cg_iterations = iters;
+  const core::CgResult sim = core::run_cg(A, x, params.shift, copt);
+
+  std::printf("zeta      : %.10f (reference %.10f)\n", sim.zeta, ref.zeta);
+  std::printf("residual  : %.3e\n", sim.rnorm);
+  std::printf("cycles    : %s total = %s mvm (%.1f%%) + %s vector ops\n",
+              fmt_group(static_cast<long long>(sim.total_cycles)).c_str(),
+              fmt_group(static_cast<long long>(sim.mvm_cycles)).c_str(),
+              100.0 * static_cast<double>(sim.mvm_cycles) /
+                  static_cast<double>(sim.total_cycles),
+              fmt_group(static_cast<long long>(sim.vector_cycles)).c_str());
+
+  core::CgOptions one = copt;
+  one.num_procs = 1;
+  const core::CgResult seq = core::run_cg(A, x, params.shift, one);
+  std::printf("speedup   : %.2f on %u simulated processors (k=%u)\n",
+              static_cast<double>(seq.total_cycles) /
+                  static_cast<double>(sim.total_cycles),
+              procs, k);
+  const double err = std::abs(sim.zeta - ref.zeta);
+  std::printf("validation: |zeta - reference| = %.2e (expect < 1e-8)\n",
+              err);
+  return err < 1e-8 ? 0 : 1;
+}

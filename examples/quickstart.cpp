@@ -1,0 +1,73 @@
+// Quickstart: run the paper's Figure 1 loop under the rotation execution
+// strategy on a simulated 8-node EARTH machine, validate the result
+// against the sequential reference, and print what the strategy did.
+//
+//   X(IA(i,1)) += Y(i) * C
+//   X(IA(i,2)) += Y(i) * C
+//
+// Build & run:   ./examples/quickstart [--procs=8] [--k=2] [--sweeps=4]
+#include <cstdio>
+
+#include "core/reduction_engine.hpp"
+#include "core/sequential.hpp"
+#include "kernels/fig1.hpp"
+#include "mesh/generators.hpp"
+#include "support/options.hpp"
+#include "support/str.hpp"
+
+int main(int argc, char** argv) {
+  using namespace earthred;
+  const Options opt(argc, argv);
+  const auto procs = static_cast<std::uint32_t>(opt.get_int("procs", 8));
+  const auto k = static_cast<std::uint32_t>(opt.get_int("k", 2));
+  const auto sweeps = static_cast<std::uint32_t>(opt.get_int("sweeps", 4));
+
+  // 1. A small irregular mesh: 1,000 nodes, 5,000 edges.
+  mesh::Mesh mesh = mesh::make_geometric_mesh({1000, 5000, 42});
+  std::printf("mesh: %u nodes, %llu edges\n", mesh.num_nodes,
+              static_cast<unsigned long long>(mesh.num_edges()));
+
+  // 2. The Figure 1 kernel with integer-valued Y (so the parallel result
+  //    must match the sequential one bitwise).
+  const auto kernel = kernels::Fig1Kernel::with_integer_values(std::move(mesh));
+
+  // 3. Sequential reference on one simulated processor.
+  core::SequentialOptions sopt;
+  sopt.sweeps = sweeps;
+  const core::RunResult seq = core::run_sequential_kernel(kernel, sopt);
+
+  // 4. The rotation strategy: iterations distributed cyclically, the
+  //    reduction array rotating through k*P phases per sweep, and the
+  //    LightInspector assigning iterations to phases — no partitioner, no
+  //    communicating inspector.
+  core::RotationOptions ropt;
+  ropt.num_procs = procs;
+  ropt.k = k;
+  ropt.sweeps = sweeps;
+  ropt.machine.trace = opt.get_bool("gantt", false);
+  const core::RunResult par = core::run_rotation_engine(kernel, ropt);
+
+  // 5. Validate.
+  std::size_t mismatches = 0;
+  for (std::size_t i = 0; i < seq.reduction[0].size(); ++i)
+    if (par.reduction[0][i] != seq.reduction[0][i]) ++mismatches;
+
+  std::printf("P=%u k=%u sweeps=%u\n", procs, k, sweeps);
+  std::printf("sequential: %s cycles\n",
+              fmt_group(static_cast<long long>(seq.total_cycles)).c_str());
+  std::printf("rotation  : %s cycles (inspector %s), speedup %.2f\n",
+              fmt_group(static_cast<long long>(par.total_cycles)).c_str(),
+              fmt_group(static_cast<long long>(par.inspector_cycles)).c_str(),
+              static_cast<double>(seq.total_cycles) /
+                  static_cast<double>(par.total_cycles));
+  std::printf("messages  : %llu (%s bytes) — volume independent of the "
+              "indirection contents\n",
+              static_cast<unsigned long long>(par.machine.total_msgs()),
+              fmt_group(static_cast<long long>(par.machine.total_bytes()))
+                  .c_str());
+  std::printf("validation: %zu mismatching elements (expect 0)\n",
+              mismatches);
+  if (!par.gantt.empty())
+    std::printf("\n%s", par.gantt.c_str());  // --gantt: EU timelines
+  return mismatches == 0 ? 0 : 1;
+}

@@ -1,0 +1,306 @@
+#include "compiler/analysis.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace earthred::compiler {
+
+namespace {
+
+struct SymbolTable {
+  std::set<std::string> params;
+  std::map<std::string, const ArrayDecl*> arrays;
+};
+
+/// Collects the scalar names an expression reads.
+void collect_scalar_reads(const Expr& e, std::set<std::string>& out) {
+  if (e.kind == ExprKind::ScalarRef) out.insert(e.name);
+  if (e.lhs) collect_scalar_reads(*e.lhs, out);
+  if (e.rhs) collect_scalar_reads(*e.rhs, out);
+}
+
+/// Collects the (array, index) references an expression makes.
+void collect_array_refs(const Expr& e,
+                        std::vector<const Expr*>& out) {
+  if (e.kind == ExprKind::ArrayRef) out.push_back(&e);
+  if (e.lhs) collect_array_refs(*e.lhs, out);
+  if (e.rhs) collect_array_refs(*e.rhs, out);
+}
+
+class Analyzer {
+ public:
+  Analyzer(const Program& program, DiagnosticSink& sink)
+      : prog_(program), sink_(sink) {}
+
+  AnalysisResult run() {
+    build_symbols();
+    AnalysisResult result;
+    for (const Loop& loop : prog_.loops) {
+      LoopAnalysis la = analyze_loop(loop);
+      fission(loop, la, result.fissioned);
+      result.loops.push_back(std::move(la));
+    }
+    return result;
+  }
+
+ private:
+  void error(std::uint32_t line, std::uint32_t col, std::string msg) {
+    sink_.error(line, col, std::move(msg));
+  }
+
+  void build_symbols() {
+    for (const std::string& p : prog_.params) {
+      if (!syms_.params.insert(p).second)
+        error(0, 0, "duplicate parameter '" + p + "'");
+    }
+    for (const ArrayDecl& a : prog_.arrays) {
+      if (syms_.params.count(a.name))
+        error(a.line, a.column,
+              "'" + a.name + "' already declared as a parameter");
+      if (!syms_.arrays.emplace(a.name, &a).second)
+        error(a.line, a.column, "duplicate array '" + a.name + "'");
+      if (!syms_.params.count(a.size_param))
+        error(a.line, a.column,
+              "array '" + a.name + "' sized by undeclared parameter '" +
+                  a.size_param + "'");
+    }
+  }
+
+  const ArrayDecl* lookup_array(const std::string& name, std::uint32_t line,
+                                std::uint32_t col) {
+    const auto it = syms_.arrays.find(name);
+    if (it == syms_.arrays.end()) {
+      error(line, col, "undeclared array '" + name + "'");
+      return nullptr;
+    }
+    return it->second;
+  }
+
+  /// Validates one index expression; returns the indirection array decl
+  /// (nullptr for direct access). `loop_extent` is the loop's symbolic
+  /// extent for section bookkeeping.
+  const ArrayDecl* check_index(const Loop& loop, const IndexExpr& idx) {
+    if (idx.inner_var != loop.var) {
+      error(idx.line, idx.column,
+            "index variable '" + idx.inner_var +
+                "' is not the loop variable '" + loop.var + "'");
+    }
+    if (idx.is_direct()) return nullptr;
+    const ArrayDecl* ia = lookup_array(idx.indirection, idx.line, idx.column);
+    if (ia && ia->type != ElemType::Int)
+      error(idx.line, idx.column,
+            "indirection array '" + ia->name + "' must be 'int'");
+    return ia;
+  }
+
+  LoopAnalysis analyze_loop(const Loop& loop) {
+    LoopAnalysis la;
+    const std::string extent =
+        loop.hi_param.empty() ? std::to_string(static_cast<long long>(
+                                    loop.hi_literal))
+                              : loop.hi_param;
+
+    // Loop-variable sanity.
+    if (syms_.params.count(loop.var) || syms_.arrays.count(loop.var))
+      error(loop.line, loop.column,
+            "loop variable '" + loop.var + "' shadows a declaration");
+
+    // Reduction targets (arrays written via +=/-=) in this loop.
+    std::set<std::string> reduction_targets;
+    for (const Stmt& s : loop.body)
+      if (s.kind == StmtKind::Accumulate) reduction_targets.insert(s.target);
+
+    std::set<std::string> defined_scalars;
+    std::set<std::string> seen_reduction_sections;   // array|via
+    std::set<std::string> seen_indirection_sections; // array
+
+    for (const Stmt& s : loop.body) {
+      // RHS checks (both statement kinds).
+      std::set<std::string> reads;
+      if (s.value) collect_scalar_reads(*s.value, reads);
+      for (const std::string& r : reads) {
+        if (!defined_scalars.count(r))
+          error(s.line, s.column,
+                "scalar '" + r + "' used before definition");
+      }
+      std::vector<const Expr*> refs;
+      if (s.value) collect_array_refs(*s.value, refs);
+      for (const Expr* ref : refs) {
+        const ArrayDecl* arr = lookup_array(ref->name, ref->line,
+                                            ref->column);
+        const ArrayDecl* ia = check_index(loop, ref->index);
+        if (!arr) continue;
+        if (arr->type == ElemType::Int)
+          error(ref->line, ref->column,
+                "int array '" + arr->name +
+                    "' may only be used as an indirection index");
+        if (reduction_targets.count(ref->name)) {
+          // Reading a reduction array in the loop that updates it is a
+          // loop-carried dependency beyond reduction semantics.
+          error(ref->line, ref->column,
+                "reduction array '" + ref->name +
+                    "' is read in the same loop (loop-carried dependence; "
+                    "not an irregular reduction)");
+        }
+        if (ref->index.is_direct()) {
+          // Iteration-aligned read: extent must match the loop extent.
+          if (!loop.hi_param.empty() && arr->size_param != loop.hi_param)
+            error(ref->line, ref->column,
+                  "iteration-aligned array '" + arr->name + "' has extent '" +
+                      arr->size_param + "' but the loop iterates over '" +
+                      loop.hi_param + "'");
+        } else if (ia) {
+          if (!loop.hi_param.empty() && ia->size_param != loop.hi_param)
+            error(ref->index.line, ref->index.column,
+                  "indirection array '" + ia->name + "' has extent '" +
+                      ia->size_param + "' but the loop iterates over '" +
+                      loop.hi_param + "'");
+        }
+      }
+
+      if (s.kind == StmtKind::ScalarAssign) {
+        if (syms_.arrays.count(s.target) || syms_.params.count(s.target))
+          error(s.line, s.column,
+                "scalar '" + s.target + "' shadows a declaration");
+        defined_scalars.insert(s.target);
+        continue;
+      }
+
+      // Accumulate statement.
+      const ArrayDecl* target = lookup_array(s.target, s.line, s.column);
+      const ArrayDecl* ia = check_index(loop, s.index);
+      if (target && target->type != ElemType::Real)
+        error(s.line, s.column,
+              "reduction array '" + s.target + "' must be 'real'");
+      if (s.index.is_direct()) {
+        error(s.line, s.column,
+              "accumulation into '" + s.target +
+                  "' is not through an indirection array; direct "
+                  "iteration-aligned updates are outside the irregular-"
+                  "reduction model (see the mvm engine for that case)");
+        continue;
+      }
+      if (ia && !loop.hi_param.empty() && ia->size_param != loop.hi_param)
+        error(s.index.line, s.index.column,
+              "indirection array '" + ia->name + "' has extent '" +
+                  ia->size_param + "' but the loop iterates over '" +
+                  loop.hi_param + "'");
+      if (target && ia) {
+        if (seen_reduction_sections
+                .insert(s.target + "|" + ia->name)
+                .second) {
+          la.reduction_sections.push_back(
+              SectionInfo{s.target, target->size_param});
+        }
+        if (seen_indirection_sections.insert(ia->name).second)
+          la.indirection_sections.push_back(
+              SectionInfo{ia->name, ia->size_param});
+      }
+    }
+    (void)extent;
+
+    // Reference groups (Definition 1): key = the set of indirection
+    // sections through which a reduction array is accessed in this loop.
+    std::map<std::string, std::set<std::string>> ind_sets;  // array -> IAs
+    for (const Stmt& s : loop.body)
+      if (s.kind == StmtKind::Accumulate && !s.index.is_direct())
+        ind_sets[s.target].insert(s.index.indirection);
+
+    std::map<std::vector<std::string>, ReferenceGroup> by_key;
+    for (const auto& [array, ias] : ind_sets) {
+      std::vector<std::string> key(ias.begin(), ias.end());
+      ReferenceGroup& g = by_key[key];
+      g.indirection_arrays = key;
+      g.reduction_arrays.push_back(array);
+    }
+    for (std::size_t si = 0; si < loop.body.size(); ++si) {
+      const Stmt& s = loop.body[si];
+      if (s.kind != StmtKind::Accumulate || s.index.is_direct()) continue;
+      const auto& ias = ind_sets[s.target];
+      std::vector<std::string> key(ias.begin(), ias.end());
+      by_key[key].statement_indices.push_back(si);
+    }
+    for (auto& [key, group] : by_key) {
+      std::sort(group.reduction_arrays.begin(),
+                group.reduction_arrays.end());
+      la.groups.push_back(std::move(group));
+    }
+    return la;
+  }
+
+  /// Splits `loop` into one FissionedLoop per reference group, replicating
+  /// the scalar-assignment chains each group's statements depend on.
+  void fission(const Loop& loop, const LoopAnalysis& la,
+               std::vector<FissionedLoop>& out) {
+    if (la.groups.empty()) return;
+
+    // scalar -> statement index defining it (last definition wins; the
+    // DSL forbids redefinition only implicitly, fine for analysis).
+    std::map<std::string, std::size_t> def_of;
+    for (std::size_t si = 0; si < loop.body.size(); ++si)
+      if (loop.body[si].kind == StmtKind::ScalarAssign)
+        def_of[loop.body[si].target] = si;
+
+    for (const ReferenceGroup& g : la.groups) {
+      // Transitive closure of scalar dependencies.
+      std::set<std::size_t> needed(g.statement_indices.begin(),
+                                   g.statement_indices.end());
+      std::vector<std::size_t> work(g.statement_indices.begin(),
+                                    g.statement_indices.end());
+      while (!work.empty()) {
+        const std::size_t si = work.back();
+        work.pop_back();
+        std::set<std::string> reads;
+        if (loop.body[si].value)
+          collect_scalar_reads(*loop.body[si].value, reads);
+        for (const std::string& r : reads) {
+          const auto it = def_of.find(r);
+          if (it != def_of.end() && needed.insert(it->second).second)
+            work.push_back(it->second);
+        }
+      }
+
+      FissionedLoop f;
+      f.loop.var = loop.var;
+      f.loop.lo_param = loop.lo_param;
+      f.loop.hi_param = loop.hi_param;
+      f.loop.lo_literal = loop.lo_literal;
+      f.loop.hi_literal = loop.hi_literal;
+      f.loop.line = loop.line;
+      f.loop.column = loop.column;
+      f.group = g;
+      std::set<std::string> gathers, edges;
+      for (std::size_t si = 0; si < loop.body.size(); ++si) {
+        if (!needed.count(si)) continue;
+        f.loop.body.push_back(clone_stmt(loop.body[si]));
+        std::vector<const Expr*> refs;
+        if (loop.body[si].value)
+          collect_array_refs(*loop.body[si].value, refs);
+        for (const Expr* ref : refs) {
+          if (ref->index.is_direct()) {
+            edges.insert(ref->name);
+          } else {
+            gathers.insert(ref->name);
+          }
+        }
+      }
+      f.gather_arrays.assign(gathers.begin(), gathers.end());
+      f.edge_arrays.assign(edges.begin(), edges.end());
+      out.push_back(std::move(f));
+    }
+  }
+
+  const Program& prog_;
+  DiagnosticSink& sink_;
+  SymbolTable syms_;
+};
+
+}  // namespace
+
+AnalysisResult analyze(const Program& program, DiagnosticSink& sink) {
+  Analyzer a(program, sink);
+  return a.run();
+}
+
+}  // namespace earthred::compiler

@@ -1,0 +1,78 @@
+// Semantic checking and the paper's compiler analysis (Sec. 4):
+//
+//   1. extract *reduction array sections* (regular sections updated
+//      through indirection with associative/commutative += / -=) and
+//      *indirection array sections* (sections used to perform those
+//      accesses), in the paper's triplet notation;
+//   2. verify the loop really is an irregular reduction: single level of
+//      indirection, no loop-carried dependencies except on reduction
+//      arrays (in particular, a reduction array must not be read in the
+//      same loop);
+//   3. partition the reduction sections into *reference groups*
+//      (Definition 1: same set of indirection sections);
+//   4. apply *loop fission* so each resulting loop updates a single
+//      reference group, replicating the scalar computations each fragment
+//      needs (the paper notes temporaries may be introduced; since DSL
+//      scalars are iteration-local, recomputation is always legal);
+//   5. attach the runtime-preprocessing call: each fissioned loop carries
+//      the indirection set that parameterizes its LightInspector.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "compiler/ast.hpp"
+#include "compiler/diagnostics.hpp"
+
+namespace earthred::compiler {
+
+/// An array section in the paper's triplet notation, e.g.
+/// "X(1, num_edges, 1) via IA(1, num_edges, 1, 1)".
+struct SectionInfo {
+  std::string array;
+  std::string extent_param;  ///< symbolic extent of the section
+  std::string triplet() const {
+    return array + "(0:" + extent_param + ":1)";
+  }
+};
+
+/// One reference group (Definition 1) of a loop: the reduction arrays it
+/// updates and the indirection sections they are all accessed through.
+struct ReferenceGroup {
+  std::vector<std::string> reduction_arrays;   // sorted, unique
+  std::vector<std::string> indirection_arrays; // sorted, unique (the key)
+  /// Indices into the original loop body of the Accumulate statements
+  /// belonging to this group.
+  std::vector<std::size_t> statement_indices;
+};
+
+/// Analysis result for one source loop.
+struct LoopAnalysis {
+  std::vector<SectionInfo> reduction_sections;
+  std::vector<SectionInfo> indirection_sections;
+  std::vector<ReferenceGroup> groups;
+  bool needs_fission() const noexcept { return groups.size() > 1; }
+};
+
+/// A loop produced by fission: single reference group, ready for code
+/// generation. `body` contains the replicated scalar assignments followed
+/// by the group's accumulate statements.
+struct FissionedLoop {
+  Loop loop;                    ///< the rewritten loop body
+  ReferenceGroup group;         ///< its single reference group
+  std::vector<std::string> gather_arrays;  ///< RHS node arrays (replicated)
+  std::vector<std::string> edge_arrays;    ///< RHS iteration-aligned arrays
+};
+
+/// Full per-program analysis output.
+struct AnalysisResult {
+  std::vector<LoopAnalysis> loops;           ///< one per source loop
+  std::vector<FissionedLoop> fissioned;      ///< all loops after fission
+};
+
+/// Runs semantic checks and the Sec. 4 analysis. Errors go to `sink`;
+/// on error the result may be partial.
+AnalysisResult analyze(const Program& program, DiagnosticSink& sink);
+
+}  // namespace earthred::compiler

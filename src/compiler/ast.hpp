@@ -1,0 +1,95 @@
+// Abstract syntax tree for the loop DSL.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace earthred::compiler {
+
+enum class ElemType : std::uint8_t { Real, Int };
+
+/// Index of an array access: either the loop variable itself (`A[i]`,
+/// depth 0) or a single level of indirection (`A[IA[i]]`, depth 1). The
+/// paper's analysis assumes no deeper indirection (Sec. 4).
+struct IndexExpr {
+  /// Empty for `A[i]`; otherwise the indirection array name of `A[IA[i]]`.
+  std::string indirection;
+  /// The variable appearing innermost (`i` in both `A[i]` and `A[IA[i]]`);
+  /// sema requires it to be the loop variable.
+  std::string inner_var;
+  std::uint32_t line = 0, column = 0;
+
+  bool is_direct() const noexcept { return indirection.empty(); }
+};
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class ExprKind : std::uint8_t {
+  Number,      // literal
+  ScalarRef,   // loop-local scalar temp
+  ArrayRef,    // array[index]
+  Unary,       // -x
+  Binary,      // a (+|-|*|/) b
+};
+
+enum class BinOp : std::uint8_t { Add, Sub, Mul, Div };
+
+struct Expr {
+  ExprKind kind = ExprKind::Number;
+  std::uint32_t line = 0, column = 0;
+
+  double number = 0.0;          // Number
+  std::string name;             // ScalarRef / ArrayRef
+  IndexExpr index;              // ArrayRef
+  BinOp op = BinOp::Add;        // Binary
+  ExprPtr lhs, rhs;             // Binary (lhs also Unary operand)
+};
+
+enum class StmtKind : std::uint8_t {
+  ScalarAssign,  // t = expr;
+  Accumulate,    // A[index] += expr;  or  -=
+};
+
+struct Stmt {
+  StmtKind kind = StmtKind::ScalarAssign;
+  std::uint32_t line = 0, column = 0;
+
+  std::string target;   // scalar name or array name
+  IndexExpr index;      // Accumulate only
+  bool subtract = false;  // Accumulate: -= instead of +=
+  ExprPtr value;
+};
+
+/// A `forall (var : lo .. hi)` loop. Bounds are parameter names or integer
+/// literals; the analysis only needs the extent symbolically.
+struct Loop {
+  std::string var;
+  std::string lo_param;  // empty if literal
+  std::string hi_param;  // empty if literal
+  double lo_literal = 0.0;
+  double hi_literal = 0.0;
+  std::vector<Stmt> body;
+  std::uint32_t line = 0, column = 0;
+};
+
+struct ArrayDecl {
+  std::string name;
+  ElemType type = ElemType::Real;
+  std::string size_param;
+  std::uint32_t line = 0, column = 0;
+};
+
+struct Program {
+  std::vector<std::string> params;
+  std::vector<ArrayDecl> arrays;
+  std::vector<Loop> loops;
+};
+
+/// Deep copy helpers (used by loop fission, which replicates statements).
+ExprPtr clone_expr(const Expr& e);
+Stmt clone_stmt(const Stmt& s);
+
+}  // namespace earthred::compiler

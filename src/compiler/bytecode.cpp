@@ -1,0 +1,33 @@
+#include "compiler/bytecode.hpp"
+
+#include "support/str.hpp"
+
+namespace earthred::compiler {
+
+std::string Bytecode::disassemble() const {
+  std::string out;
+  for (const Instr& in : code) {
+    switch (in.op) {
+      case Op::PushConst:
+        out += strformat("push %g\n", in.c);
+        break;
+      case Op::LoadScalar:
+        out += strformat("lds %u\n", in.a);
+        break;
+      case Op::LoadEdge:
+        out += strformat("lde %u\n", in.a);
+        break;
+      case Op::LoadNode:
+        out += strformat("ldn %u via %u\n", in.a, in.b);
+        break;
+      case Op::Add: out += "add\n"; break;
+      case Op::Sub: out += "sub\n"; break;
+      case Op::Mul: out += "mul\n"; break;
+      case Op::Div: out += "div\n"; break;
+      case Op::Neg: out += "neg\n"; break;
+    }
+  }
+  return out;
+}
+
+}  // namespace earthred::compiler

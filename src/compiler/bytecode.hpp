@@ -1,0 +1,43 @@
+// Stack-machine bytecode for DSL expressions.
+//
+// Compiled loops execute on the simulated machine: each iteration runs the
+// statement bytecodes, reading kernel-bound data and charging simulated
+// cycles, so a DSL program is measured exactly like a hand-written kernel.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace earthred::compiler {
+
+enum class Op : std::uint8_t {
+  PushConst,   ///< push c
+  LoadScalar,  ///< push scalar slot a
+  LoadEdge,    ///< push edge array a at the current iteration
+  LoadNode,    ///< push node array a at element IA_b[iteration]
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Neg,
+};
+
+struct Instr {
+  Op op = Op::PushConst;
+  std::uint32_t a = 0;  ///< array / scalar slot id
+  std::uint32_t b = 0;  ///< indirection id (LoadNode)
+  double c = 0.0;       ///< constant (PushConst)
+};
+
+/// A compiled expression. Execution is performed by CompiledKernel (which
+/// owns the bound data); max_stack is precomputed for allocation-free
+/// evaluation.
+struct Bytecode {
+  std::vector<Instr> code;
+  std::uint32_t max_stack = 0;
+
+  std::string disassemble() const;
+};
+
+}  // namespace earthred::compiler

@@ -1,0 +1,108 @@
+#include "compiler/codegen.hpp"
+
+#include <sstream>
+
+namespace earthred::compiler {
+
+std::string expr_to_string(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::Number: {
+      std::ostringstream os;
+      os << e.number;
+      return os.str();
+    }
+    case ExprKind::ScalarRef:
+      return e.name;
+    case ExprKind::ArrayRef:
+      if (e.index.is_direct()) return e.name + "[" + e.index.inner_var + "]";
+      return e.name + "[" + e.index.indirection + "[" + e.index.inner_var +
+             "]]";
+    case ExprKind::Unary:
+      return "(-" + expr_to_string(*e.lhs) + ")";
+    case ExprKind::Binary: {
+      const char* op = "+";
+      switch (e.op) {
+        case BinOp::Add: op = "+"; break;
+        case BinOp::Sub: op = "-"; break;
+        case BinOp::Mul: op = "*"; break;
+        case BinOp::Div: op = "/"; break;
+      }
+      return "(" + expr_to_string(*e.lhs) + " " + op + " " +
+             expr_to_string(*e.rhs) + ")";
+    }
+  }
+  return "?";
+}
+
+std::string stmt_to_string(const Stmt& s) {
+  if (s.kind == StmtKind::ScalarAssign)
+    return s.target + " = " + expr_to_string(*s.value) + ";";
+  std::string idx = s.index.is_direct()
+                        ? s.index.inner_var
+                        : s.index.indirection + "[" + s.index.inner_var + "]";
+  return s.target + "[" + idx + "] " + (s.subtract ? "-=" : "+=") + " " +
+         expr_to_string(*s.value) + ";";
+}
+
+std::string emit_threaded_c(const Program&, const FissionedLoop& f) {
+  std::ostringstream os;
+  const std::string extent =
+      f.loop.hi_param.empty()
+          ? std::to_string(static_cast<long long>(f.loop.hi_literal))
+          : f.loop.hi_param;
+
+  os << "/* phased execution of reference group {";
+  for (std::size_t i = 0; i < f.group.indirection_arrays.size(); ++i)
+    os << (i ? ", " : " ") << f.group.indirection_arrays[i];
+  os << " } updating {";
+  for (std::size_t i = 0; i < f.group.reduction_arrays.size(); ++i)
+    os << (i ? ", " : " ") << f.group.reduction_arrays[i];
+  os << " } */\n";
+
+  os << "THREADED loop_proc(int proc_id, SPTR done)\n{\n";
+  os << "  SLOT SYNC_SLOTS[KP + 1];   /* one per phase fiber + done */\n";
+  os << "  /* runtime preprocessing: local, no communication */\n";
+  os << "  LIGHTINSPECTOR(";
+  for (std::size_t i = 0; i < f.group.indirection_arrays.size(); ++i)
+    os << f.group.indirection_arrays[i] << "_local, ";
+  os << "0, " << extent << "/NUM_PROCS, 1,\n"
+     << "                 ";
+  for (std::size_t i = 0; i < f.group.indirection_arrays.size(); ++i)
+    os << f.group.indirection_arrays[i] << "_out, ";
+  os << "iters_out, copy_out);\n\n";
+
+  os << "  for (phase = 0; phase < KP; phase++) {   /* one fiber each */\n";
+  os << "    FIBER compute_phase:  /* sync: prev phase + portion arrival"
+        " */\n";
+  os << "      for (j = phase_begin[phase]; j < phase_end[phase]; j++) {\n";
+  for (const Stmt& s : f.loop.body) {
+    if (s.kind == StmtKind::ScalarAssign) {
+      os << "        " << stmt_to_string(s) << "\n";
+    } else {
+      os << "        " << s.target << "[" << s.index.indirection
+         << "_out[j]] " << (s.subtract ? "-=" : "+=") << " "
+         << expr_to_string(*s.value) << ";\n";
+    }
+  }
+  os << "      }\n";
+  os << "      /* second loop: fold buffered contributions */\n";
+  os << "      for (j = copy_begin[phase]; j < copy_end[phase]; j++) {\n";
+  for (const std::string& red : f.group.reduction_arrays) {
+    os << "        " << red << "[copy_dst[j]] += " << red
+       << "[copy_src[j]];  " << red << "[copy_src[j]] = 0.0;\n";
+  }
+  os << "      }\n";
+  os << "      /* forward the owned portion; overlapped for k > 1 */\n";
+  os << "      BLKMOV_SYNC(portion_of(";
+  for (std::size_t i = 0; i < f.group.reduction_arrays.size(); ++i)
+    os << (i ? ", " : "") << f.group.reduction_arrays[i];
+  os << "), NODE(proc_id + NUM_PROCS - 1),\n"
+     << "                  SLOT_ADR(SYNC_SLOTS[(phase + K) % KP]));\n";
+  os << "      SYNC(SLOT_ADR(SYNC_SLOTS[phase + 1]));\n";
+  os << "  }\n";
+  os << "  END_FIBER;\n";
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace earthred::compiler

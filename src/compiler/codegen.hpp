@@ -1,0 +1,28 @@
+// Threaded-C-style code emission.
+//
+// EARTH-C compiles to Threaded-C, a C dialect with explicit fibers,
+// sync slots, and split-phase operations (Sec. 5.1). This emitter renders
+// each fissioned loop as the phased Threaded-C-like pseudocode our
+// execution strategy generates — the LIGHTINSPECTOR call, the per-phase
+// main and second loops, the portion forwarding, and the sync-slot
+// declarations — primarily for inspection, documentation and tests.
+#pragma once
+
+#include <string>
+
+#include "compiler/analysis.hpp"
+
+namespace earthred::compiler {
+
+/// Renders one fissioned loop as phased Threaded-C-like pseudocode.
+std::string emit_threaded_c(const Program& program,
+                            const FissionedLoop& loop);
+
+/// Renders an expression back to DSL syntax (used by the emitter and in
+/// diagnostics).
+std::string expr_to_string(const Expr& e);
+
+/// Renders a statement back to DSL syntax.
+std::string stmt_to_string(const Stmt& s);
+
+}  // namespace earthred::compiler

@@ -1,0 +1,52 @@
+#include "compiler/compiler.hpp"
+
+#include "compiler/codegen.hpp"
+#include "compiler/parser.hpp"
+#include "support/check.hpp"
+
+namespace earthred::compiler {
+
+CompileResult compile(std::string_view source,
+                      const CompileOptions& options) {
+  DiagnosticSink sink;
+  CompileResult result;
+  result.program = parse(source, sink);
+  if (!sink.has_errors() && options.optimize)
+    result.optimize_stats = optimize(result.program);
+  if (!sink.has_errors()) {
+    result.analysis = analyze(result.program, sink);
+  }
+  result.diagnostics = sink.diagnostics();
+  if (sink.has_errors()) throw compile_error(sink.summary());
+
+  result.threaded_c.reserve(result.analysis.fissioned.size());
+  for (const FissionedLoop& f : result.analysis.fissioned)
+    result.threaded_c.push_back(emit_threaded_c(result.program, f));
+  return result;
+}
+
+std::unique_ptr<CompiledKernel> bind(const CompileResult& compiled,
+                                     std::size_t index, DataEnv env) {
+  ER_EXPECTS(index < compiled.analysis.fissioned.size());
+  return std::make_unique<CompiledKernel>(
+      compiled.program, compiled.analysis.fissioned[index], std::move(env));
+}
+
+ProgramRunResult run_program(const CompileResult& compiled,
+                             const DataEnv& env,
+                             const core::RotationOptions& options) {
+  ProgramRunResult out;
+  for (std::size_t i = 0; i < compiled.analysis.fissioned.size(); ++i) {
+    const auto kernel = bind(compiled, i, env);
+    core::RotationOptions opts = options;
+    opts.collect_results = true;
+    const core::RunResult r = core::run_rotation_engine(*kernel, opts);
+    out.total_cycles += r.total_cycles;
+    out.inspector_cycles += r.inspector_cycles;
+    for (std::size_t a = 0; a < kernel->reduction_names().size(); ++a)
+      out.reduction[kernel->reduction_names()[a]] = r.reduction[a];
+  }
+  return out;
+}
+
+}  // namespace earthred::compiler

@@ -1,0 +1,64 @@
+// Compiler driver: source -> parse -> analyze -> fission -> code.
+//
+// The public entry points mirror how the EARTH-C pipeline is described in
+// the paper: compile() performs the Sec. 4 analysis and returns the
+// fissioned loops plus Threaded-C-style renderings; bind() attaches data
+// to one fissioned loop, producing a CompiledKernel that any engine in
+// core/ can execute on the simulated machine.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "compiler/analysis.hpp"
+#include "compiler/compiled_kernel.hpp"
+#include "compiler/diagnostics.hpp"
+#include "compiler/optimize.hpp"
+#include "core/reduction_engine.hpp"
+
+namespace earthred::compiler {
+
+struct CompileOptions {
+  /// Run the optimize.hpp passes (constant folding/propagation, dead
+  /// scalar elimination) before analysis.
+  bool optimize = false;
+};
+
+struct CompileResult {
+  Program program;
+  AnalysisResult analysis;
+  /// Threaded-C-style pseudocode, one entry per fissioned loop.
+  std::vector<std::string> threaded_c;
+  /// All diagnostics produced (empty on success).
+  std::vector<Diagnostic> diagnostics;
+  /// Rewrite counts when CompileOptions::optimize was set.
+  OptimizeStats optimize_stats;
+};
+
+/// Compiles DSL `source`. Throws compile_error (carrying the rendered
+/// diagnostics) if the source is invalid.
+CompileResult compile(std::string_view source,
+                      const CompileOptions& options = {});
+
+/// Binds `env` to fissioned loop `index` of a compile result.
+std::unique_ptr<CompiledKernel> bind(const CompileResult& compiled,
+                                     std::size_t index, DataEnv env);
+
+/// Result of executing a whole compiled program.
+struct ProgramRunResult {
+  earth::Cycles total_cycles = 0;
+  earth::Cycles inspector_cycles = 0;
+  /// Final reduction arrays by name, accumulated across all loops.
+  std::map<std::string, std::vector<double>> reduction;
+};
+
+/// Runs every fissioned loop of a compiled program under the rotation
+/// strategy (loops execute in sequence; each is one engine run, as the
+/// fission transformation prescribes), summing simulated time.
+ProgramRunResult run_program(const CompileResult& compiled,
+                             const DataEnv& env,
+                             const core::RotationOptions& options);
+
+}  // namespace earthred::compiler

@@ -1,0 +1,204 @@
+#include "compiler/lexer.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_map>
+
+namespace earthred::compiler {
+
+const char* token_kind_name(TokenKind k) {
+  switch (k) {
+    case TokenKind::Identifier: return "identifier";
+    case TokenKind::IntLiteral: return "integer literal";
+    case TokenKind::RealLiteral: return "real literal";
+    case TokenKind::KwParam: return "'param'";
+    case TokenKind::KwArray: return "'array'";
+    case TokenKind::KwReal: return "'real'";
+    case TokenKind::KwInt: return "'int'";
+    case TokenKind::KwForall: return "'forall'";
+    case TokenKind::LParen: return "'('";
+    case TokenKind::RParen: return "')'";
+    case TokenKind::LBrace: return "'{'";
+    case TokenKind::RBrace: return "'}'";
+    case TokenKind::LBracket: return "'['";
+    case TokenKind::RBracket: return "']'";
+    case TokenKind::Comma: return "','";
+    case TokenKind::Semicolon: return "';'";
+    case TokenKind::Colon: return "':'";
+    case TokenKind::DotDot: return "'..'";
+    case TokenKind::Plus: return "'+'";
+    case TokenKind::Minus: return "'-'";
+    case TokenKind::Star: return "'*'";
+    case TokenKind::Slash: return "'/'";
+    case TokenKind::Assign: return "'='";
+    case TokenKind::PlusAssign: return "'+='";
+    case TokenKind::MinusAssign: return "'-='";
+    case TokenKind::EndOfFile: return "end of file";
+  }
+  return "?";
+}
+
+namespace {
+const std::unordered_map<std::string_view, TokenKind> kKeywords = {
+    {"param", TokenKind::KwParam}, {"array", TokenKind::KwArray},
+    {"real", TokenKind::KwReal},   {"int", TokenKind::KwInt},
+    {"forall", TokenKind::KwForall},
+};
+}  // namespace
+
+std::vector<Token> lex(std::string_view src, DiagnosticSink& sink) {
+  std::vector<Token> out;
+  std::size_t i = 0;
+  std::uint32_t line = 1, col = 1;
+
+  const auto advance = [&](std::size_t n = 1) {
+    for (std::size_t j = 0; j < n && i < src.size(); ++j) {
+      if (src[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+      ++i;
+    }
+  };
+  const auto peek = [&](std::size_t off = 0) -> char {
+    return i + off < src.size() ? src[i + off] : '\0';
+  };
+  const auto push = [&](TokenKind k, std::string text, double num = 0.0) {
+    Token t;
+    t.kind = k;
+    t.text = std::move(text);
+    t.number = num;
+    t.line = line;
+    t.column = col;
+    out.push_back(std::move(t));
+  };
+
+  while (i < src.size()) {
+    const char c = peek();
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance();
+      continue;
+    }
+    if (c == '/' && peek(1) == '/') {
+      while (i < src.size() && peek() != '\n') advance();
+      continue;
+    }
+    if (c == '/' && peek(1) == '*') {
+      const std::uint32_t sl = line, sc = col;
+      advance(2);
+      while (i < src.size() && !(peek() == '*' && peek(1) == '/')) advance();
+      if (i >= src.size()) {
+        sink.error(sl, sc, "unterminated block comment");
+        break;
+      }
+      advance(2);
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      const std::uint32_t sl = line, sc = col;
+      std::string word;
+      while (i < src.size() &&
+             (std::isalnum(static_cast<unsigned char>(peek())) ||
+              peek() == '_')) {
+        word.push_back(peek());
+        advance();
+      }
+      Token t;
+      const auto kw = kKeywords.find(word);
+      t.kind = kw == kKeywords.end() ? TokenKind::Identifier : kw->second;
+      t.text = std::move(word);
+      t.line = sl;
+      t.column = sc;
+      out.push_back(std::move(t));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      const std::uint32_t sl = line, sc = col;
+      std::string num;
+      bool real = false;
+      while (i < src.size() &&
+             (std::isdigit(static_cast<unsigned char>(peek())) ||
+              (peek() == '.' && peek(1) != '.') || peek() == 'e' ||
+              peek() == 'E' ||
+              ((peek() == '+' || peek() == '-') && !num.empty() &&
+               (num.back() == 'e' || num.back() == 'E')))) {
+        if (peek() == '.' || peek() == 'e' || peek() == 'E') real = true;
+        num.push_back(peek());
+        advance();
+      }
+      Token t;
+      t.kind = real ? TokenKind::RealLiteral : TokenKind::IntLiteral;
+      t.number = std::strtod(num.c_str(), nullptr);
+      t.text = std::move(num);
+      t.line = sl;
+      t.column = sc;
+      out.push_back(std::move(t));
+      continue;
+    }
+
+    const std::uint32_t sl = line, sc = col;
+    auto push_at = [&](TokenKind k, std::string text) {
+      Token t;
+      t.kind = k;
+      t.text = std::move(text);
+      t.line = sl;
+      t.column = sc;
+      out.push_back(std::move(t));
+    };
+    switch (c) {
+      case '(': push_at(TokenKind::LParen, "("); advance(); break;
+      case ')': push_at(TokenKind::RParen, ")"); advance(); break;
+      case '{': push_at(TokenKind::LBrace, "{"); advance(); break;
+      case '}': push_at(TokenKind::RBrace, "}"); advance(); break;
+      case '[': push_at(TokenKind::LBracket, "["); advance(); break;
+      case ']': push_at(TokenKind::RBracket, "]"); advance(); break;
+      case ',': push_at(TokenKind::Comma, ","); advance(); break;
+      case ';': push_at(TokenKind::Semicolon, ";"); advance(); break;
+      case ':': push_at(TokenKind::Colon, ":"); advance(); break;
+      case '*': push_at(TokenKind::Star, "*"); advance(); break;
+      case '/': push_at(TokenKind::Slash, "/"); advance(); break;
+      case '.':
+        if (peek(1) == '.') {
+          push_at(TokenKind::DotDot, "..");
+          advance(2);
+        } else {
+          sink.error(sl, sc, "stray '.'");
+          advance();
+        }
+        break;
+      case '+':
+        if (peek(1) == '=') {
+          push_at(TokenKind::PlusAssign, "+=");
+          advance(2);
+        } else {
+          push_at(TokenKind::Plus, "+");
+          advance();
+        }
+        break;
+      case '-':
+        if (peek(1) == '=') {
+          push_at(TokenKind::MinusAssign, "-=");
+          advance(2);
+        } else {
+          push_at(TokenKind::Minus, "-");
+          advance();
+        }
+        break;
+      case '=':
+        push_at(TokenKind::Assign, "=");
+        advance();
+        break;
+      default:
+        sink.error(sl, sc,
+                   std::string("unexpected character '") + c + "'");
+        advance();
+        break;
+    }
+  }
+  push(TokenKind::EndOfFile, "");
+  return out;
+}
+
+}  // namespace earthred::compiler

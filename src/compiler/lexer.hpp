@@ -1,0 +1,17 @@
+// Hand-written lexer for the loop DSL. Supports '//' line comments and
+// '/* */' block comments; reports malformed input through the sink.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "compiler/diagnostics.hpp"
+#include "compiler/token.hpp"
+
+namespace earthred::compiler {
+
+/// Tokenizes `source`; always ends with an EndOfFile token. Lexical errors
+/// are reported to `sink` and the offending character skipped.
+std::vector<Token> lex(std::string_view source, DiagnosticSink& sink);
+
+}  // namespace earthred::compiler

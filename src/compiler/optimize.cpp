@@ -1,0 +1,185 @@
+#include "compiler/optimize.hpp"
+
+#include <map>
+#include <set>
+#include <utility>
+
+#include "compiler/parser.hpp"  // clone_expr
+
+namespace earthred::compiler {
+
+namespace {
+
+bool is_number(const Expr& e, double v) {
+  return e.kind == ExprKind::Number && e.number == v;
+}
+
+/// Replaces `e` with its (cloned) child `child`.
+void hoist(Expr& e, ExprPtr child) {
+  Expr moved = std::move(*child);
+  e = std::move(moved);
+}
+
+void collect_scalar_reads(const Expr& e, std::set<std::string>& out) {
+  if (e.kind == ExprKind::ScalarRef) out.insert(e.name);
+  if (e.lhs) collect_scalar_reads(*e.lhs, out);
+  if (e.rhs) collect_scalar_reads(*e.rhs, out);
+}
+
+std::size_t propagate(Expr& e,
+                      const std::map<std::string, double>& constants) {
+  std::size_t n = 0;
+  if (e.kind == ExprKind::ScalarRef) {
+    const auto it = constants.find(e.name);
+    if (it != constants.end()) {
+      e.kind = ExprKind::Number;
+      e.number = it->second;
+      e.name.clear();
+      return 1;
+    }
+    return 0;
+  }
+  if (e.lhs) n += propagate(*e.lhs, constants);
+  if (e.rhs) n += propagate(*e.rhs, constants);
+  return n;
+}
+
+}  // namespace
+
+std::size_t fold_constants(Expr& e) {
+  std::size_t n = 0;
+  if (e.lhs) n += fold_constants(*e.lhs);
+  if (e.rhs) n += fold_constants(*e.rhs);
+
+  switch (e.kind) {
+    case ExprKind::Unary:
+      if (e.lhs->kind == ExprKind::Number) {
+        e.kind = ExprKind::Number;
+        e.number = -e.lhs->number;
+        e.lhs.reset();
+        ++n;
+      }
+      break;
+    case ExprKind::Binary: {
+      const bool lnum = e.lhs->kind == ExprKind::Number;
+      const bool rnum = e.rhs->kind == ExprKind::Number;
+      if (lnum && rnum) {
+        double v = 0;
+        switch (e.op) {
+          case BinOp::Add: v = e.lhs->number + e.rhs->number; break;
+          case BinOp::Sub: v = e.lhs->number - e.rhs->number; break;
+          case BinOp::Mul: v = e.lhs->number * e.rhs->number; break;
+          case BinOp::Div: v = e.lhs->number / e.rhs->number; break;
+        }
+        e.kind = ExprKind::Number;
+        e.number = v;
+        e.lhs.reset();
+        e.rhs.reset();
+        ++n;
+        break;
+      }
+      // Algebraic identities that are exact in IEEE arithmetic for the
+      // finite case and leave the variable operand untouched.
+      if (e.op == BinOp::Mul && is_number(*e.rhs, 1.0)) {
+        hoist(e, std::move(e.lhs));
+        ++n;
+      } else if (e.op == BinOp::Mul && is_number(*e.lhs, 1.0)) {
+        hoist(e, std::move(e.rhs));
+        ++n;
+      } else if (e.op == BinOp::Div && is_number(*e.rhs, 1.0)) {
+        hoist(e, std::move(e.lhs));
+        ++n;
+      } else if (e.op == BinOp::Add && is_number(*e.rhs, 0.0)) {
+        hoist(e, std::move(e.lhs));
+        ++n;
+      } else if (e.op == BinOp::Add && is_number(*e.lhs, 0.0)) {
+        hoist(e, std::move(e.rhs));
+        ++n;
+      } else if (e.op == BinOp::Sub && is_number(*e.rhs, 0.0)) {
+        hoist(e, std::move(e.lhs));
+        ++n;
+      }
+      break;
+    }
+    default:
+      break;
+  }
+  return n;
+}
+
+OptimizeStats optimize(Program& program) {
+  OptimizeStats stats;
+  for (Loop& loop : program.loops) {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+
+      // Fold everywhere.
+      std::map<std::string, double> constants;
+      for (Stmt& s : loop.body) {
+        if (s.value) {
+          const std::size_t n = fold_constants(*s.value);
+          stats.folded += n;
+          changed |= n > 0;
+        }
+        // Track scalars that are (now) literal constants. A redefinition
+        // with a non-constant value invalidates the binding.
+        if (s.kind == StmtKind::ScalarAssign) {
+          if (s.value && s.value->kind == ExprKind::Number) {
+            constants[s.target] = s.value->number;
+          } else {
+            constants.erase(s.target);
+          }
+        } else if (s.value) {
+          const std::size_t n = propagate(*s.value, constants);
+          stats.propagated += n;
+          changed |= n > 0;
+        }
+      }
+      // Propagate into later scalar definitions too (ordered pass above
+      // already handled accumulate statements; redo scalar RHS uses).
+      constants.clear();
+      for (Stmt& s : loop.body) {
+        if (s.kind != StmtKind::ScalarAssign) continue;
+        if (s.value) {
+          const std::size_t n = propagate(*s.value, constants);
+          stats.propagated += n;
+          changed |= n > 0;
+          stats.folded += fold_constants(*s.value);
+        }
+        if (s.value && s.value->kind == ExprKind::Number) {
+          constants[s.target] = s.value->number;
+        } else {
+          constants.erase(s.target);
+        }
+      }
+
+      // Dead-scalar elimination: drop assignments never read afterwards.
+      std::set<std::string> live;
+      std::vector<bool> keep(loop.body.size(), true);
+      for (std::size_t i = loop.body.size(); i-- > 0;) {
+        const Stmt& s = loop.body[i];
+        if (s.kind == StmtKind::ScalarAssign && !live.count(s.target)) {
+          keep[i] = false;
+          continue;
+        }
+        if (s.kind == StmtKind::ScalarAssign) live.erase(s.target);
+        if (s.value) collect_scalar_reads(*s.value, live);
+      }
+      std::vector<Stmt> kept;
+      kept.reserve(loop.body.size());
+      for (std::size_t i = 0; i < loop.body.size(); ++i) {
+        if (keep[i]) {
+          kept.push_back(std::move(loop.body[i]));
+        } else {
+          ++stats.dead_removed;
+          changed = true;
+        }
+      }
+      loop.body = std::move(kept);
+    }
+  }
+  return stats;
+}
+
+}  // namespace earthred::compiler

@@ -1,0 +1,38 @@
+// Classic scalar optimizations over the loop AST.
+//
+// The EARTH-C compiler performed conventional optimizations (loop
+// invariant code motion, common subexpression elimination, ...) before
+// thread generation [22]. This module provides the subset that pays off
+// for reduction loops — constant folding, algebraic identity
+// simplification, per-iteration constant propagation, and dead-scalar
+// elimination — applied before the Sec. 4 analysis so fissioned loops
+// replicate less work.
+#pragma once
+
+#include <cstddef>
+
+#include "compiler/ast.hpp"
+
+namespace earthred::compiler {
+
+struct OptimizeStats {
+  std::size_t folded = 0;        ///< constant/identity rewrites
+  std::size_t propagated = 0;    ///< constant scalar uses replaced
+  std::size_t dead_removed = 0;  ///< unused scalar assignments dropped
+
+  std::size_t total() const noexcept {
+    return folded + propagated + dead_removed;
+  }
+};
+
+/// Folds constant subexpressions and algebraic identities in place:
+/// c1 (op) c2, -c, x*1, 1*x, x/1, x+0, 0+x, x-0. (0*x is NOT folded: it
+/// would change semantics for non-finite x.) Returns rewrite count.
+std::size_t fold_constants(Expr& e);
+
+/// Runs folding, constant propagation (scalars assigned a literal are
+/// substituted into later uses within the same body), and dead-scalar
+/// elimination to a fixed point over every loop of the program.
+OptimizeStats optimize(Program& program);
+
+}  // namespace earthred::compiler

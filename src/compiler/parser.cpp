@@ -1,0 +1,346 @@
+#include "compiler/parser.hpp"
+
+#include <utility>
+
+#include "compiler/lexer.hpp"
+
+namespace earthred::compiler {
+
+ExprPtr clone_expr(const Expr& e) {
+  auto out = std::make_unique<Expr>();
+  out->kind = e.kind;
+  out->line = e.line;
+  out->column = e.column;
+  out->number = e.number;
+  out->name = e.name;
+  out->index = e.index;
+  out->op = e.op;
+  if (e.lhs) out->lhs = clone_expr(*e.lhs);
+  if (e.rhs) out->rhs = clone_expr(*e.rhs);
+  return out;
+}
+
+Stmt clone_stmt(const Stmt& s) {
+  Stmt out;
+  out.kind = s.kind;
+  out.line = s.line;
+  out.column = s.column;
+  out.target = s.target;
+  out.index = s.index;
+  out.subtract = s.subtract;
+  if (s.value) out.value = clone_expr(*s.value);
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, DiagnosticSink& sink)
+      : tokens_(std::move(tokens)), sink_(sink) {}
+
+  Program run() {
+    Program prog;
+    while (!at(TokenKind::EndOfFile)) {
+      if (at(TokenKind::KwParam)) {
+        parse_param(prog);
+      } else if (at(TokenKind::KwArray)) {
+        parse_array(prog);
+      } else if (at(TokenKind::KwForall)) {
+        parse_loop(prog);
+      } else {
+        error("expected 'param', 'array', or 'forall'");
+        advance();
+      }
+    }
+    return prog;
+  }
+
+ private:
+  const Token& cur() const { return tokens_[pos_]; }
+  bool at(TokenKind k) const { return cur().kind == k; }
+  void advance() {
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+  }
+  void error(const std::string& msg) {
+    sink_.error(cur().line, cur().column,
+                msg + " (found " + token_kind_name(cur().kind) + ")");
+  }
+  bool expect(TokenKind k) {
+    if (at(k)) {
+      advance();
+      return true;
+    }
+    error(std::string("expected ") + token_kind_name(k));
+    return false;
+  }
+  /// Skips to just past the next `sync` token (error recovery).
+  void recover_past(TokenKind sync) {
+    while (!at(TokenKind::EndOfFile) && !at(sync)) advance();
+    if (at(sync)) advance();
+  }
+
+  void parse_param(Program& prog) {
+    advance();  // 'param'
+    do {
+      if (!at(TokenKind::Identifier)) {
+        error("expected parameter name");
+        recover_past(TokenKind::Semicolon);
+        return;
+      }
+      prog.params.push_back(cur().text);
+      advance();
+    } while (at(TokenKind::Comma) && (advance(), true));
+    expect(TokenKind::Semicolon);
+  }
+
+  void parse_array(Program& prog) {
+    ArrayDecl decl;
+    decl.line = cur().line;
+    decl.column = cur().column;
+    advance();  // 'array'
+    if (at(TokenKind::KwReal)) {
+      decl.type = ElemType::Real;
+      advance();
+    } else if (at(TokenKind::KwInt)) {
+      decl.type = ElemType::Int;
+      advance();
+    } else {
+      error("expected 'real' or 'int'");
+      recover_past(TokenKind::Semicolon);
+      return;
+    }
+    if (!at(TokenKind::Identifier)) {
+      error("expected array name");
+      recover_past(TokenKind::Semicolon);
+      return;
+    }
+    decl.name = cur().text;
+    advance();
+    if (!expect(TokenKind::LBracket)) {
+      recover_past(TokenKind::Semicolon);
+      return;
+    }
+    if (!at(TokenKind::Identifier)) {
+      error("expected size parameter name");
+      recover_past(TokenKind::Semicolon);
+      return;
+    }
+    decl.size_param = cur().text;
+    advance();
+    expect(TokenKind::RBracket);
+    expect(TokenKind::Semicolon);
+    prog.arrays.push_back(std::move(decl));
+  }
+
+  void parse_loop(Program& prog) {
+    Loop loop;
+    loop.line = cur().line;
+    loop.column = cur().column;
+    advance();  // 'forall'
+    expect(TokenKind::LParen);
+    if (!at(TokenKind::Identifier)) {
+      error("expected loop variable");
+      recover_past(TokenKind::RBrace);
+      return;
+    }
+    loop.var = cur().text;
+    advance();
+    expect(TokenKind::Colon);
+    parse_bound(loop.lo_param, loop.lo_literal);
+    expect(TokenKind::DotDot);
+    parse_bound(loop.hi_param, loop.hi_literal);
+    expect(TokenKind::RParen);
+    expect(TokenKind::LBrace);
+    while (!at(TokenKind::RBrace) && !at(TokenKind::EndOfFile))
+      parse_stmt(loop);
+    expect(TokenKind::RBrace);
+    prog.loops.push_back(std::move(loop));
+  }
+
+  void parse_bound(std::string& param, double& literal) {
+    if (at(TokenKind::Identifier)) {
+      param = cur().text;
+      advance();
+    } else if (at(TokenKind::IntLiteral)) {
+      literal = cur().number;
+      advance();
+    } else {
+      error("expected loop bound (parameter or integer)");
+    }
+  }
+
+  void parse_stmt(Loop& loop) {
+    Stmt stmt;
+    stmt.line = cur().line;
+    stmt.column = cur().column;
+    if (!at(TokenKind::Identifier)) {
+      error("expected statement");
+      recover_past(TokenKind::Semicolon);
+      return;
+    }
+    stmt.target = cur().text;
+    advance();
+
+    if (at(TokenKind::LBracket)) {
+      stmt.kind = StmtKind::Accumulate;
+      stmt.index = parse_index();
+      if (at(TokenKind::PlusAssign)) {
+        stmt.subtract = false;
+        advance();
+      } else if (at(TokenKind::MinusAssign)) {
+        stmt.subtract = true;
+        advance();
+      } else {
+        error("expected '+=' or '-=' on array statement (plain '=' to "
+              "arrays is not an irregular reduction)");
+        recover_past(TokenKind::Semicolon);
+        return;
+      }
+    } else {
+      stmt.kind = StmtKind::ScalarAssign;
+      if (!expect(TokenKind::Assign)) {
+        recover_past(TokenKind::Semicolon);
+        return;
+      }
+    }
+    stmt.value = parse_expr();
+    expect(TokenKind::Semicolon);
+    loop.body.push_back(std::move(stmt));
+  }
+
+  /// index := '[' IDENT ']'                (direct, must be loop var)
+  ///        | '[' IDENT '[' IDENT ']' ']'  (one level of indirection)
+  IndexExpr parse_index() {
+    IndexExpr idx;
+    idx.line = cur().line;
+    idx.column = cur().column;
+    expect(TokenKind::LBracket);
+    if (!at(TokenKind::Identifier)) {
+      error("expected index expression");
+      recover_past(TokenKind::RBracket);
+      return idx;
+    }
+    const std::string first = cur().text;
+    advance();
+    if (at(TokenKind::LBracket)) {
+      idx.indirection = first;
+      advance();
+      if (at(TokenKind::Identifier)) {
+        // Inner index must be the loop variable; checked in sema.
+        idx.inner_var = cur().text;
+        advance();
+      } else {
+        error("expected loop variable inside indirection");
+      }
+      expect(TokenKind::RBracket);
+      if (at(TokenKind::LBracket)) {
+        error("more than one level of indirection is not supported "
+              "(apply the source-to-source splitting of [6] first)");
+        recover_past(TokenKind::RBracket);
+      }
+    } else {
+      idx.inner_var = first;
+    }
+    expect(TokenKind::RBracket);
+    return idx;
+  }
+
+  ExprPtr parse_expr() { return parse_additive(); }
+
+  ExprPtr parse_additive() {
+    ExprPtr lhs = parse_multiplicative();
+    while (at(TokenKind::Plus) || at(TokenKind::Minus)) {
+      const BinOp op = at(TokenKind::Plus) ? BinOp::Add : BinOp::Sub;
+      const auto line = cur().line, column = cur().column;
+      advance();
+      auto node = std::make_unique<Expr>();
+      node->kind = ExprKind::Binary;
+      node->op = op;
+      node->line = line;
+      node->column = column;
+      node->lhs = std::move(lhs);
+      node->rhs = parse_multiplicative();
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_multiplicative() {
+    ExprPtr lhs = parse_unary();
+    while (at(TokenKind::Star) || at(TokenKind::Slash)) {
+      const BinOp op = at(TokenKind::Star) ? BinOp::Mul : BinOp::Div;
+      const auto line = cur().line, column = cur().column;
+      advance();
+      auto node = std::make_unique<Expr>();
+      node->kind = ExprKind::Binary;
+      node->op = op;
+      node->line = line;
+      node->column = column;
+      node->lhs = std::move(lhs);
+      node->rhs = parse_unary();
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_unary() {
+    if (at(TokenKind::Minus)) {
+      auto node = std::make_unique<Expr>();
+      node->kind = ExprKind::Unary;
+      node->line = cur().line;
+      node->column = cur().column;
+      advance();
+      node->lhs = parse_unary();
+      return node;
+    }
+    return parse_primary();
+  }
+
+  ExprPtr parse_primary() {
+    auto node = std::make_unique<Expr>();
+    node->line = cur().line;
+    node->column = cur().column;
+    if (at(TokenKind::IntLiteral) || at(TokenKind::RealLiteral)) {
+      node->kind = ExprKind::Number;
+      node->number = cur().number;
+      advance();
+      return node;
+    }
+    if (at(TokenKind::LParen)) {
+      advance();
+      node = parse_expr();
+      expect(TokenKind::RParen);
+      return node;
+    }
+    if (at(TokenKind::Identifier)) {
+      node->name = cur().text;
+      advance();
+      if (at(TokenKind::LBracket)) {
+        node->kind = ExprKind::ArrayRef;
+        node->index = parse_index();
+      } else {
+        node->kind = ExprKind::ScalarRef;
+      }
+      return node;
+    }
+    error("expected expression");
+    node->kind = ExprKind::Number;
+    node->number = 0.0;
+    advance();
+    return node;
+  }
+
+  std::vector<Token> tokens_;
+  DiagnosticSink& sink_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Program parse(std::string_view source, DiagnosticSink& sink) {
+  Parser p(lex(source, sink), sink);
+  return p.run();
+}
+
+}  // namespace earthred::compiler

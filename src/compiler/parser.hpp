@@ -1,0 +1,17 @@
+// Recursive-descent parser for the loop DSL (grammar in token.hpp's
+// header comment). Syntax errors are reported to the sink; the parser
+// recovers at statement boundaries so several errors surface per run.
+#pragma once
+
+#include <string_view>
+
+#include "compiler/ast.hpp"
+#include "compiler/diagnostics.hpp"
+
+namespace earthred::compiler {
+
+/// Parses `source` into a Program. On errors, the returned Program may be
+/// partial; check sink.has_errors().
+Program parse(std::string_view source, DiagnosticSink& sink);
+
+}  // namespace earthred::compiler

@@ -1,0 +1,65 @@
+// Token stream for the irregular-reduction loop DSL.
+//
+// The DSL is a small EARTH-C-like language covering exactly the loops the
+// paper's compiler analysis (Sec. 4) handles:
+//
+//   param num_nodes, num_edges;
+//   array real X[num_nodes];
+//   array int  IA1[num_edges];
+//   array real Y[num_edges];
+//   forall (i : 0 .. num_edges) {
+//     t = Y[i] * 2.0;
+//     X[IA1[i]] += t;
+//     X[IA2[i]] += t;
+//   }
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace earthred::compiler {
+
+enum class TokenKind : std::uint8_t {
+  // literals & identifiers
+  Identifier,
+  IntLiteral,
+  RealLiteral,
+  // keywords
+  KwParam,
+  KwArray,
+  KwReal,
+  KwInt,
+  KwForall,
+  // punctuation
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Comma,
+  Semicolon,
+  Colon,
+  DotDot,
+  // operators
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Assign,     // =
+  PlusAssign, // +=
+  MinusAssign,// -=
+  EndOfFile,
+};
+
+const char* token_kind_name(TokenKind k);
+
+struct Token {
+  TokenKind kind = TokenKind::EndOfFile;
+  std::string text;    ///< identifier spelling or literal text
+  double number = 0.0; ///< value for literals
+  std::uint32_t line = 1;
+  std::uint32_t column = 1;
+};
+
+}  // namespace earthred::compiler

@@ -1,0 +1,54 @@
+// NAS-CG conjugate-gradient driver on the simulated machine.
+//
+// The paper's mvm kernel is "extracted from the NAS Conjugate Gradient
+// benchmark" (Sec. 5.3). This driver puts it back: the NPB CG power-
+// iteration step — 25 unpreconditioned CG iterations on A z = x followed
+// by the eigenvalue estimate zeta = shift + 1 / (x . z) — with every
+// operation executed on the simulated EARTH machine:
+//
+//   * q = A p        : the rotation mvm engine (k-phase overlap);
+//   * dot products   : local partial sums + a ring all-reduce;
+//   * axpy updates   : local block updates.
+//
+// Timing composes the per-operation simulations sequentially (CG's data
+// dependencies leave little cross-operation overlap to model). Numerical
+// results are real and validated against a host-side reference.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/result.hpp"
+#include "earth/types.hpp"
+#include "sparse/csr.hpp"
+
+namespace earthred::core {
+
+struct CgOptions {
+  std::uint32_t num_procs = 2;
+  std::uint32_t k = 2;              ///< mvm overlap parameter
+  std::uint32_t cg_iterations = 25; ///< NPB uses 25 inner iterations
+  earth::MachineConfig machine{};
+};
+
+struct CgResult {
+  earth::Cycles total_cycles = 0;
+  earth::Cycles mvm_cycles = 0;      ///< spent in A*p
+  earth::Cycles vector_cycles = 0;   ///< dots, axpys, allreduce
+  std::vector<double> z;             ///< solution estimate
+  double rnorm = 0.0;                ///< ||r|| after the last iteration
+  double zeta = 0.0;                 ///< shift + 1 / (x . z)
+};
+
+/// Runs one NPB-style CG solve of A z = x on the simulated machine.
+/// `shift` only affects the reported zeta.
+CgResult run_cg(const sparse::CsrMatrix& A, std::span<const double> x,
+                double shift, const CgOptions& opt);
+
+/// Host-side reference CG (same algorithm, no simulation); ground truth
+/// for tests.
+CgResult reference_cg(const sparse::CsrMatrix& A, std::span<const double> x,
+                      double shift, std::uint32_t cg_iterations);
+
+}  // namespace earthred::core

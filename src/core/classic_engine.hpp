@@ -1,0 +1,42 @@
+// Classic (CHAOS-style) inspector/executor engine — the conventional
+// distributed-memory scheme the paper contrasts with (Sec. 5.4.3, 6).
+//
+// Owner-computes with block-owned reduction arrays: each sweep, every
+// processor accumulates all its iterations locally (owned elements into
+// its block, off-processor elements into ghost slots), then ships one
+// aggregated message per destination owner, which folds the values and
+// runs the node update for its block. Node-read arrays are replicated and
+// refreshed by one broadcast per processor per sweep.
+//
+// Differences from the rotation engine that the benches surface:
+//   * the inspector requires communication (translation-table exchange),
+//     paid again at every adaptive rebuild;
+//   * per-sweep communication volume depends on the indirection contents
+//     and the partition quality (see bench_classic_vs_light).
+#pragma once
+
+#include <cstdint>
+
+#include "core/kernel.hpp"
+#include "core/result.hpp"
+#include "inspector/distribution.hpp"
+
+namespace earthred::core {
+
+struct ClassicOptions {
+  std::uint32_t num_procs = 2;
+  inspector::Distribution distribution = inspector::Distribution::Block;
+  /// Chunk size when distribution == BlockCyclic.
+  std::uint32_t block_cyclic_size = 16;
+  std::uint32_t sweeps = 1;
+  earth::MachineConfig machine{};
+  /// Cycles per (iteration x reference) of inspector analysis.
+  earth::Cycles inspector_cycles_per_ref = 20;
+  bool collect_results = true;
+};
+
+/// Runs `kernel` under the classic inspector/executor scheme.
+RunResult run_classic_engine(const PhasedKernel& kernel,
+                             const ClassicOptions& opt);
+
+}  // namespace earthred::core

@@ -1,0 +1,176 @@
+#include "core/collectives.hpp"
+
+#include <algorithm>
+
+#include "earth/machine.hpp"
+#include "support/check.hpp"
+
+namespace earthred::core {
+
+using earth::Cycles;
+using earth::EarthMachine;
+using earth::FiberContext;
+using earth::FiberId;
+
+namespace {
+
+std::uint64_t block_begin(std::uint64_t n, std::uint32_t P, std::uint32_t p) {
+  const std::uint64_t q = n / P, r = n % P;
+  return p * q + std::min<std::uint64_t>(p, r);
+}
+
+}  // namespace
+
+earth::Cycles simulate_dot(std::span<const double> a,
+                           std::span<const double> b, double* out,
+                           const CollectiveOptions& opt) {
+  ER_EXPECTS(a.size() == b.size());
+  ER_EXPECTS(opt.num_procs >= 1);
+  const std::uint32_t P = opt.num_procs;
+  const std::uint64_t n = a.size();
+
+  earth::MachineConfig mcfg = opt.machine;
+  mcfg.num_nodes = P;
+  EarthMachine m(mcfg);
+  earth::ArrayTagAllocator alloc;
+  const earth::ArrayTag ta = alloc.next();
+  const earth::ArrayTag tb = alloc.next();
+
+  std::vector<double> partial(P, 0.0);
+  std::vector<FiberId> reduce_hop(P), bcast_hop(P);
+  double total = 0.0;
+
+  // Ring reduce: node p adds its partial and forwards to p+1; node P-1
+  // completes the sum and starts the broadcast ring.
+  for (std::uint32_t p = 0; p < P; ++p) {
+    reduce_hop[p] = m.add_fiber(
+        p, p == 0 ? 1 : 2,  // local partial (self-sync) +, for p>0, ring
+        [&, p](FiberContext& ctx) {
+          ctx.charge_flops(1);
+          total += partial[p];
+          if (p + 1 < P) {
+            ctx.send(reduce_hop[p + 1], 8, {});
+          } else if (P > 1) {
+            ctx.send(bcast_hop[0], 8, {});
+          }
+        },
+        "reduce[" + std::to_string(p) + "]");
+  }
+  for (std::uint32_t p = 0; p < P; ++p) {
+    bcast_hop[p] = m.add_fiber(
+        p, 1,
+        [&, p](FiberContext& ctx) {
+          if (p + 1 < P) ctx.send(bcast_hop[p + 1], 8, {});
+        },
+        "bcast[" + std::to_string(p) + "]");
+  }
+
+  // Local partial-sum fibers.
+  for (std::uint32_t p = 0; p < P; ++p) {
+    const std::uint64_t lo = block_begin(n, P, p);
+    const std::uint64_t hi = block_begin(n, P, p + 1);
+    const FiberId f = m.add_fiber(
+        p, 0,
+        [&, p, lo, hi](FiberContext& ctx) {
+          double s = 0.0;
+          for (std::uint64_t i = lo; i < hi; ++i) {
+            ctx.load(ta, i);
+            ctx.load(tb, i);
+            ctx.charge_flops(2);
+            s += a[i] * b[i];
+          }
+          partial[p] = s;
+          ctx.sync(reduce_hop[p]);
+        },
+        "partial[" + std::to_string(p) + "]");
+    m.credit(f);
+  }
+  // Node 0's reduce hop needs only its own partial (sync count 1); the
+  // partial fiber's ctx.sync supplies it, so no extra credits here.
+  const Cycles t = m.run();
+  if (out) *out = total;
+  return t;
+}
+
+earth::Cycles simulate_axpy(double alpha, std::span<const double> x,
+                            std::span<double> y,
+                            const CollectiveOptions& opt, double beta) {
+  ER_EXPECTS(x.size() == y.size());
+  const std::uint32_t P = opt.num_procs;
+  const std::uint64_t n = x.size();
+
+  earth::MachineConfig mcfg = opt.machine;
+  mcfg.num_nodes = P;
+  EarthMachine m(mcfg);
+  earth::ArrayTagAllocator alloc;
+  const earth::ArrayTag tx = alloc.next();
+  const earth::ArrayTag ty = alloc.next();
+
+  for (std::uint32_t p = 0; p < P; ++p) {
+    const std::uint64_t lo = block_begin(n, P, p);
+    const std::uint64_t hi = block_begin(n, P, p + 1);
+    const FiberId f = m.add_fiber(
+        p, 0,
+        [&, lo, hi, alpha, beta](FiberContext& ctx) {
+          for (std::uint64_t i = lo; i < hi; ++i) {
+            ctx.load(tx, i);
+            ctx.load(ty, i);
+            ctx.charge_flops(beta == 1.0 ? 2 : 3);
+            ctx.store(ty, i);
+            y[i] = alpha * x[i] + beta * y[i];
+          }
+        },
+        "axpy[" + std::to_string(p) + "]");
+    m.credit(f);
+  }
+  return m.run();
+}
+
+earth::Cycles simulate_allgather(std::uint64_t n,
+                                 const CollectiveOptions& opt) {
+  const std::uint32_t P = opt.num_procs;
+  ER_EXPECTS(P >= 1);
+  if (P == 1) return 0;
+
+  earth::MachineConfig mcfg = opt.machine;
+  mcfg.num_nodes = P;
+  EarthMachine m(mcfg);
+
+  // Pipelined ring: in each of P-1 steps every node forwards the block it
+  // received in the previous step to its successor. step[p][s] fires when
+  // (a) node p reached step s locally and (b) the block from p-1 arrived.
+  std::vector<std::vector<FiberId>> step(P,
+                                         std::vector<FiberId>(P - 1));
+  for (std::uint32_t p = 0; p < P; ++p) {
+    for (std::uint32_t s = 0; s < P - 1; ++s) {
+      step[p][s] = m.add_fiber(
+          p, s == 0 ? 1 : 2,
+          [&, p, s](FiberContext& ctx) {
+            const std::uint64_t block = (n + P - 1) / P;
+            const std::uint32_t succ = (p + 1) % P;
+            if (s + 1 < P - 1) {
+              ctx.send(step[succ][s + 1], block * 8, {});
+              ctx.sync(step[p][s + 1]);
+            } else {
+              // Last step: final block arrives, nothing to forward.
+              ctx.charge_intops(1);
+            }
+          },
+          "ag[" + std::to_string(p) + "][" + std::to_string(s) + "]");
+    }
+  }
+  for (std::uint32_t p = 0; p < P; ++p) {
+    // Step 0: every node sends its own block.
+    const FiberId kick = m.add_fiber(
+        p, 0,
+        [&, p](FiberContext& ctx) {
+          const std::uint64_t block = (n + P - 1) / P;
+          ctx.send(step[(p + 1) % P][0], block * 8, {});
+        },
+        "ag-kick[" + std::to_string(p) + "]");
+    m.credit(kick);
+  }
+  return m.run();
+}
+
+}  // namespace earthred::core

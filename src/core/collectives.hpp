@@ -1,0 +1,46 @@
+// Collective operations built from fibers on the simulated EARTH machine.
+//
+// The paper's predecessor work (Theobald et al. [23]) hand-coded sparse
+// MVM and the NAS CG solver on EARTH; CG needs global dot products and
+// vector updates besides the matrix-vector product. These engines run
+// those collectives as real fiber graphs — a ring reduce-then-broadcast
+// for scalars, a pipelined ring all-gather for vectors — so the CG driver
+// (core/cg.hpp) can charge measured, not modeled, cycles.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/result.hpp"
+#include "earth/types.hpp"
+
+namespace earthred::core {
+
+struct CollectiveOptions {
+  std::uint32_t num_procs = 2;
+  earth::MachineConfig machine{};
+};
+
+/// Simulates a distributed dot product of two `n`-element vectors (block
+/// distribution): local partial sums on every node, then a ring reduce and
+/// ring broadcast of the scalar. Returns the makespan. The numeric result
+/// equals the host dot product and is written to *out when non-null.
+earth::Cycles simulate_dot(std::span<const double> a,
+                           std::span<const double> b, double* out,
+                           const CollectiveOptions& opt);
+
+/// Simulates y = alpha*x + beta*y over block-distributed vectors (pure
+/// local work; the makespan is the slowest node). Mutates `y` host-side.
+earth::Cycles simulate_axpy(double alpha, std::span<const double> x,
+                            std::span<double> y,
+                            const CollectiveOptions& opt,
+                            double beta = 1.0);
+
+/// Simulates a ring all-gather of a block-distributed `n`-element vector
+/// (each node starts with its block, ends with the whole vector): P-1
+/// pipelined ring steps. Returns the makespan.
+earth::Cycles simulate_allgather(std::uint64_t n,
+                                 const CollectiveOptions& opt);
+
+}  // namespace earthred::core

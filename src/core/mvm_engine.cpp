@@ -1,0 +1,225 @@
+#include "core/mvm_engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "earth/machine.hpp"
+#include "inspector/rotation.hpp"
+#include "support/check.hpp"
+
+namespace earthred::core {
+
+using earth::Cycles;
+using earth::EarthMachine;
+using earth::FiberContext;
+using earth::FiberId;
+using inspector::RotationSchedule;
+
+namespace {
+
+/// Nonzeros of one processor's rows, bucketed by column portion and laid
+/// out contiguously per bucket (the gathered streaming layout the cost
+/// model addresses).
+struct Buckets {
+  std::vector<std::uint64_t> offsets;  // per portion, into the arrays below
+  std::vector<std::uint32_t> row_local;
+  std::vector<std::uint32_t> col;
+  std::vector<double> val;
+};
+
+Buckets bucket_nonzeros(const sparse::CsrMatrix& A, std::uint32_t row_begin,
+                        std::uint32_t row_end,
+                        const RotationSchedule& sched) {
+  Buckets b;
+  const std::uint32_t np = sched.num_portions();
+  b.offsets.assign(np + 1, 0);
+  const auto row_ptr = A.row_ptr();
+  const auto col_idx = A.col_idx();
+  const auto values = A.values();
+  for (std::uint32_t r = row_begin; r < row_end; ++r)
+    for (std::uint64_t j = row_ptr[r]; j < row_ptr[r + 1]; ++j)
+      ++b.offsets[sched.portion_of(col_idx[j]) + 1];
+  for (std::uint32_t pid = 0; pid < np; ++pid)
+    b.offsets[pid + 1] += b.offsets[pid];
+  const std::uint64_t total = b.offsets[np];
+  b.row_local.resize(total);
+  b.col.resize(total);
+  b.val.resize(total);
+  std::vector<std::uint64_t> cur(b.offsets.begin(), b.offsets.end() - 1);
+  for (std::uint32_t r = row_begin; r < row_end; ++r) {
+    for (std::uint64_t j = row_ptr[r]; j < row_ptr[r + 1]; ++j) {
+      const std::uint32_t pid = sched.portion_of(col_idx[j]);
+      const std::uint64_t slot = cur[pid]++;
+      b.row_local[slot] = r - row_begin;
+      b.col[slot] = col_idx[j];
+      b.val[slot] = values[j];
+    }
+  }
+  return b;
+}
+
+std::uint32_t block_begin(std::uint32_t n, std::uint32_t P, std::uint32_t p) {
+  const std::uint32_t q = n / P, r = n % P;
+  return p * q + std::min(p, r);
+}
+
+}  // namespace
+
+RunResult run_mvm_engine(const sparse::CsrMatrix& A,
+                         std::span<const double> x, const MvmOptions& opt) {
+  ER_EXPECTS(A.nrows() >= 1 && A.ncols() >= 1);
+  ER_EXPECTS(x.size() == A.ncols());
+  ER_EXPECTS(opt.num_procs >= 1 && opt.k >= 1 && opt.sweeps >= 1);
+
+  const std::uint32_t P = opt.num_procs;
+  const std::uint32_t kp = P * opt.k;
+  const RotationSchedule sched(A.ncols(), P, opt.k);
+
+  earth::ArrayTagAllocator alloc;
+  const earth::ArrayTag tag_x = alloc.next();
+  const earth::ArrayTag tag_y = alloc.next();
+  const earth::ArrayTag tag_acol = alloc.next();
+  const earth::ArrayTag tag_aval = alloc.next();
+  const earth::ArrayTag tag_arow = alloc.next();
+
+  struct ProcState {
+    std::uint32_t row_begin = 0, row_end = 0;
+    Buckets buckets;
+    std::vector<double> x_local;  // full length; non-resident = NaN
+    std::vector<double> y_local;
+  };
+  std::vector<ProcState> procs(P);
+  for (std::uint32_t p = 0; p < P; ++p) {
+    ProcState& ps = procs[p];
+    ps.row_begin = block_begin(A.nrows(), P, p);
+    ps.row_end = block_begin(A.nrows(), P, p + 1);
+    ps.buckets = bucket_nonzeros(A, ps.row_begin, ps.row_end, sched);
+    // Poison non-resident x regions: a scheduling bug that reads a portion
+    // before it arrived surfaces as NaN in the validated result.
+    ps.x_local.assign(A.ncols(), std::numeric_limits<double>::quiet_NaN());
+    for (std::uint32_t j = 0; j < opt.k; ++j) {
+      const std::uint32_t pid = sched.initial_portion(p, j);
+      for (std::uint32_t e = sched.portion_begin(pid);
+           e < sched.portion_end(pid); ++e)
+        ps.x_local[e] = x[e];
+    }
+    ps.y_local.assign(ps.row_end - ps.row_begin, 0.0);
+  }
+
+  earth::MachineConfig mcfg = opt.machine;
+  mcfg.num_nodes = P;
+  EarthMachine m(mcfg);
+
+  // Stage 1: the local bucketing pass (replaces the LightInspector).
+  for (std::uint32_t p = 0; p < P; ++p) {
+    const std::uint64_t work =
+        procs[p].buckets.val.size() * opt.bucketing_cycles_per_nnz;
+    const FiberId f = m.add_fiber(
+        p, 0, [work](FiberContext& ctx) { ctx.charge(work); },
+        "bucketing[" + std::to_string(p) + "]");
+    m.credit(f);
+  }
+  const Cycles t_inspector = m.run();
+
+  // Stage 2: the rotating sweep graph.
+  RunResult result;
+  if (opt.collect_results)
+    result.reduction.assign(1, std::vector<double>(A.nrows(), 0.0));
+
+  std::vector<std::vector<FiberId>> compute(P, std::vector<FiberId>(kp));
+  const std::uint32_t sweeps = opt.sweeps;
+  const bool collect = opt.collect_results;
+
+  for (std::uint32_t p = 0; p < P; ++p) {
+    for (std::uint32_t ph = 0; ph < kp; ++ph) {
+      compute[p][ph] = m.add_fiber(
+          p, 2,
+          [&, p, ph](FiberContext& ctx) {
+            ProcState& ps = procs[p];
+            const std::uint64_t sweep = ctx.activation();
+
+            // New sweep: clear the local y rows.
+            if (ph == 0) {
+              std::fill(ps.y_local.begin(), ps.y_local.end(), 0.0);
+              for (std::uint32_t r = 0; r < ps.y_local.size(); ++r)
+                ctx.store(tag_y, r);
+            }
+
+            const std::uint32_t pid = sched.owned_portion(p, ph);
+            const std::uint64_t b0 = ps.buckets.offsets[pid];
+            const std::uint64_t b1 = ps.buckets.offsets[pid + 1];
+            ctx.charge_intops(4 + (b1 - b0));
+            for (std::uint64_t s = b0; s < b1; ++s) {
+              const std::uint32_t rloc = ps.buckets.row_local[s];
+              const std::uint32_t c = ps.buckets.col[s];
+              ctx.load(tag_arow, s, 4);
+              ctx.load(tag_acol, s, 4);
+              ctx.load(tag_aval, s, 8);
+              ctx.load(tag_x, c, 8);
+              ctx.load(tag_y, rloc, 8);
+              ctx.charge_flops(2);
+              ctx.store(tag_y, rloc, 8);
+              ps.y_local[rloc] += ps.buckets.val[s] * ps.x_local[c];
+            }
+
+            if (collect && sweep + 1 == sweeps && ph + 1 == kp) {
+              std::copy(ps.y_local.begin(), ps.y_local.end(),
+                        result.reduction[0].begin() + ps.row_begin);
+            }
+
+            // Forward the x portion around the ring.
+            std::uint32_t tph = ph + opt.k;
+            std::uint64_t tsweep = sweep + (tph >= kp ? 1 : 0);
+            tph %= kp;
+            if (tsweep < sweeps) {
+              const std::uint32_t q = sched.next_owner(p);
+              const std::uint32_t begin = sched.portion_begin(pid);
+              const std::uint32_t end = sched.portion_end(pid);
+              ctx.send(compute[q][tph],
+                       static_cast<std::uint64_t>(end - begin) * 8,
+                       [&procs, p, q, begin, end] {
+                         std::copy(procs[p].x_local.begin() + begin,
+                                   procs[p].x_local.begin() + end,
+                                   procs[q].x_local.begin() + begin);
+                       });
+            }
+
+            std::uint32_t nph = ph + 1;
+            std::uint64_t nsweep = sweep + (nph == kp ? 1 : 0);
+            nph %= kp;
+            if (nsweep < sweeps) ctx.sync(compute[p][nph]);
+          },
+          "mvm[" + std::to_string(p) + "][" + std::to_string(ph) + "]");
+    }
+  }
+
+  for (std::uint32_t p = 0; p < P; ++p) {
+    m.credit(compute[p][0], 2);
+    for (std::uint32_t ph = 1; ph < opt.k && ph < kp; ++ph)
+      m.credit(compute[p][ph], 1);
+  }
+
+  result.total_cycles = m.run();
+  result.inspector_cycles = t_inspector;
+  result.machine = m.stats();
+  if (mcfg.trace) result.gantt = m.trace().render_gantt(P);
+  result.phases_per_proc = kp;
+  result.phase_iterations.reserve(static_cast<std::size_t>(P) * kp);
+  for (std::uint32_t p = 0; p < P; ++p) {
+    for (std::uint32_t ph = 0; ph < kp; ++ph) {
+      const std::uint32_t pid = sched.owned_portion(p, ph);
+      result.phase_iterations.push_back(procs[p].buckets.offsets[pid + 1] -
+                                        procs[p].buckets.offsets[pid]);
+    }
+  }
+
+  for (std::uint32_t p = 0; p < P; ++p)
+    for (std::uint32_t ph = 0; ph < kp; ++ph)
+      ER_ENSURES_MSG(m.fiber_activations(compute[p][ph]) == sweeps,
+                     "mvm phase fiber fired wrong number of times");
+  return result;
+}
+
+}  // namespace earthred::core

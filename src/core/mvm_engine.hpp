@@ -1,0 +1,38 @@
+// Rotation engine for sparse matrix-vector multiply (Sec. 5.3).
+//
+// mvm is the case where the *reduction* array (y) is not accessed through
+// indirection — each row's result is local to the processor owning the
+// row — while the *gathered* array (x) is. The execution strategy still
+// applies: x is split into k*P portions that rotate around the ring; each
+// processor processes, during phase ph, exactly the nonzeros of its rows
+// whose column falls in the portion resident that phase. The
+// LightInspector is not required (Sec. 5.3): a single local bucketing
+// pass over the nonzeros replaces it, and there is no remote buffer or
+// second loop.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/result.hpp"
+#include "earth/types.hpp"
+#include "sparse/csr.hpp"
+
+namespace earthred::core {
+
+struct MvmOptions {
+  std::uint32_t num_procs = 2;
+  std::uint32_t k = 2;
+  std::uint32_t sweeps = 1;  ///< repeated y = A*x multiplies
+  earth::MachineConfig machine{};
+  /// Cycles charged per nonzero by the local bucketing pass.
+  earth::Cycles bucketing_cycles_per_nnz = 6;
+  bool collect_results = true;
+};
+
+/// Runs repeated y = A*x under the rotation strategy. On return,
+/// result.reduction[0] holds the final y (when collect_results).
+RunResult run_mvm_engine(const sparse::CsrMatrix& A,
+                         std::span<const double> x, const MvmOptions& opt);
+
+}  // namespace earthred::core

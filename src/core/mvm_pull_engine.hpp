@@ -1,0 +1,40 @@
+// Pull-based mvm: the fine-grained alternative to portion rotation.
+//
+// EARTH's split-phase GET_SYNC invites a different design than the
+// paper's bulk rotation: keep x block-distributed and *pull* each distinct
+// off-node element with an individual remote read, overlapping all the
+// outstanding gets (this is how fine-grained multithreading is usually
+// pitched). The contrast with run_mvm_engine is the point:
+//
+//   * pull volume and message count depend on the sparsity pattern
+//     (one request+response per distinct remote column), while rotation's
+//     traffic is fixed;
+//   * pull pays per-message overheads on thousands of small messages;
+//     rotation amortizes them over portion-sized transfers;
+//   * pull needs no phase structure at all — maximum simplicity.
+//
+// bench_ablation_pull quantifies where each wins.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/result.hpp"
+#include "sparse/csr.hpp"
+
+namespace earthred::core {
+
+struct MvmPullOptions {
+  std::uint32_t num_procs = 2;
+  std::uint32_t sweeps = 1;
+  earth::MachineConfig machine{};
+  bool collect_results = true;
+};
+
+/// Runs repeated y = A*x with block-distributed rows and x, pulling
+/// remote x elements via GET_SYNC each sweep. result.reduction[0] = y.
+RunResult run_mvm_pull_engine(const sparse::CsrMatrix& A,
+                              std::span<const double> x,
+                              const MvmPullOptions& opt);
+
+}  // namespace earthred::core

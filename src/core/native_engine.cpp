@@ -1,0 +1,228 @@
+#include "core/native_engine.hpp"
+
+#include <chrono>
+#include <memory>
+#include <semaphore>
+#include <thread>
+#include <vector>
+
+#include "inspector/rotation.hpp"
+#include "support/check.hpp"
+
+namespace earthred::core {
+
+using inspector::InspectorResult;
+using inspector::RotationSchedule;
+
+namespace {
+
+/// One-slot bounded buffer: sender waits `free`, writes, posts `full`;
+/// receiver waits `full`, reads, posts `free`.
+struct StagedSlot {
+  std::vector<double> data;
+  std::binary_semaphore full{0};
+  std::binary_semaphore free{1};
+};
+
+struct ProcState {
+  ProcArrays arrays;
+  InspectorResult insp;
+};
+
+}  // namespace
+
+NativeResult run_native_engine(const PhasedKernel& kernel,
+                               const NativeOptions& opt) {
+  const KernelShape shape = kernel.shape();
+  ER_EXPECTS(opt.num_procs >= 1);
+  ER_EXPECTS(opt.k >= 1);
+  ER_EXPECTS(opt.sweeps >= 1);
+
+  const std::uint32_t P = opt.num_procs;
+  const std::uint32_t kp = P * opt.k;
+  const std::uint32_t RA = shape.num_reduction_arrays;
+  const std::uint32_t NA = shape.num_node_read_arrays;
+  const RotationSchedule sched(shape.num_nodes, P, opt.k);
+
+  // ---- preprocessing (host side, single-threaded) -----------------------
+  const auto owned_iters = inspector::distribute_iterations(
+      shape.num_edges, P, opt.distribution, opt.block_cyclic_size);
+  std::vector<ProcState> procs(P);
+  for (std::uint32_t p = 0; p < P; ++p) {
+    inspector::IterationRefs refs;
+    refs.global_iter = owned_iters[p];
+    refs.refs.resize(shape.num_refs);
+    for (std::uint32_t r = 0; r < shape.num_refs; ++r)
+      for (std::uint32_t e : refs.global_iter)
+        refs.refs[r].push_back(kernel.ref(r, e));
+    procs[p].insp =
+        inspector::run_light_inspector(sched, p, refs, opt.inspector);
+    procs[p].arrays.reduction.assign(
+        RA, std::vector<double>(procs[p].insp.local_array_size, 0.0));
+    procs[p].arrays.node_read.assign(
+        NA, std::vector<double>(shape.num_nodes, 0.0));
+    kernel.init_node_arrays(procs[p].arrays.node_read);
+  }
+
+  // ---- staging buffers ---------------------------------------------------
+  // rotation[q][ph]: the portion arriving for q's phase ph.
+  std::vector<std::vector<std::unique_ptr<StagedSlot>>> rotation(P);
+  // bcast[q][pid]: the refreshed node-read portion pid for receiver q.
+  std::vector<std::vector<std::unique_ptr<StagedSlot>>> bcast(P);
+  for (std::uint32_t q = 0; q < P; ++q) {
+    rotation[q].resize(kp);
+    for (std::uint32_t ph = 0; ph < kp; ++ph) {
+      rotation[q][ph] = std::make_unique<StagedSlot>();
+      const std::uint32_t pid = sched.owned_portion(q, ph);
+      rotation[q][ph]->data.assign(
+          static_cast<std::size_t>(sched.portion_size(pid)) * RA, 0.0);
+    }
+    bcast[q].resize(sched.num_portions());
+    for (std::uint32_t pid = 0; pid < sched.num_portions(); ++pid) {
+      if (sched.final_owner(pid) == q) continue;  // local, no staging
+      bcast[q][pid] = std::make_unique<StagedSlot>();
+      bcast[q][pid]->data.assign(
+          static_cast<std::size_t>(sched.portion_size(pid)) *
+              std::max<std::uint32_t>(NA, 1),
+          0.0);
+    }
+  }
+
+  // Kernels index into the tag vectors even though detached contexts
+  // ignore the charges, so size them properly.
+  CostTags tags;
+  {
+    earth::ArrayTagAllocator alloc;
+    for (std::uint32_t a = 0; a < RA; ++a)
+      tags.reduction.push_back(alloc.next());
+    for (std::uint32_t a = 0; a < NA; ++a)
+      tags.node_read.push_back(alloc.next());
+    tags.edge_data = alloc.next();
+    tags.indir = alloc.next();
+  }
+
+  NativeResult result;
+  result.reduction.assign(RA, std::vector<double>(shape.num_nodes, 0.0));
+  result.node_read.assign(NA, std::vector<double>(shape.num_nodes, 0.0));
+
+  const std::uint32_t sweeps = opt.sweeps;
+  const auto t0 = std::chrono::steady_clock::now();
+
+  std::vector<std::thread> threads;
+  threads.reserve(P);
+  for (std::uint32_t p = 0; p < P; ++p) {
+    threads.emplace_back([&, p] {
+      earth::FiberContext ctx = earth::FiberContext::detached(p);
+      ProcState& ps = procs[p];
+      std::vector<std::uint32_t> redirected(shape.num_refs);
+
+      for (std::uint32_t sweep = 0; sweep < sweeps; ++sweep) {
+        for (std::uint32_t ph = 0; ph < kp; ++ph) {
+          const std::uint32_t pid = sched.owned_portion(p, ph);
+          const std::uint32_t begin = sched.portion_begin(pid);
+          const std::uint32_t end = sched.portion_end(pid);
+          const std::uint32_t psize = end - begin;
+
+          // Sweep boundary: apply the staged node-read refreshes.
+          if (ph == 0 && sweep > 0 && NA > 0) {
+            for (std::uint32_t opid = 0; opid < sched.num_portions();
+                 ++opid) {
+              StagedSlot* slot = bcast[p][opid].get();
+              if (!slot) continue;  // finalized locally
+              slot->full.acquire();
+              const std::uint32_t ob = sched.portion_begin(opid);
+              const std::uint32_t osz = sched.portion_size(opid);
+              for (std::uint32_t a = 0; a < NA; ++a)
+                std::copy(slot->data.begin() + a * osz,
+                          slot->data.begin() + (a + 1) * osz,
+                          ps.arrays.node_read[a].begin() + ob);
+              slot->free.release();
+            }
+          }
+
+          // Portion arrival (the first k phases of sweep 0 start local).
+          if (!(sweep == 0 && ph < opt.k)) {
+            StagedSlot* slot = rotation[p][ph].get();
+            slot->full.acquire();
+            for (std::uint32_t a = 0; a < RA; ++a)
+              std::copy(slot->data.begin() + a * psize,
+                        slot->data.begin() + (a + 1) * psize,
+                        ps.arrays.reduction[a].begin() + begin);
+            slot->free.release();
+          }
+
+          // Main loop.
+          const inspector::PhaseSchedule& phase = ps.insp.phases[ph];
+          for (std::size_t j = 0; j < phase.iter_global.size(); ++j) {
+            for (std::uint32_t r = 0; r < shape.num_refs; ++r)
+              redirected[r] = phase.indir[r][j];
+            kernel.compute_edge(ctx, tags, phase.iter_global[j],
+                                phase.iter_local[j], redirected, ps.arrays);
+          }
+          // Second loop.
+          for (std::size_t j = 0; j < phase.copy_dst.size(); ++j) {
+            for (std::uint32_t a = 0; a < RA; ++a) {
+              ps.arrays.reduction[a][phase.copy_dst[j]] +=
+                  ps.arrays.reduction[a][phase.copy_src[j]];
+              ps.arrays.reduction[a][phase.copy_src[j]] = 0.0;
+            }
+          }
+
+          // Portion complete: node update, result capture, zero, bcast.
+          if (sched.last_owning_phase(pid) == ph) {
+            kernel.update_nodes(ctx, tags, begin, end, begin,
+                                ps.arrays);
+            if (sweep + 1 == sweeps) {
+              for (std::uint32_t a = 0; a < RA; ++a)
+                std::copy(ps.arrays.reduction[a].begin() + begin,
+                          ps.arrays.reduction[a].begin() + end,
+                          result.reduction[a].begin() + begin);
+              for (std::uint32_t a = 0; a < NA; ++a)
+                std::copy(ps.arrays.node_read[a].begin() + begin,
+                          ps.arrays.node_read[a].begin() + end,
+                          result.node_read[a].begin() + begin);
+            }
+            for (std::uint32_t a = 0; a < RA; ++a)
+              std::fill(ps.arrays.reduction[a].begin() + begin,
+                        ps.arrays.reduction[a].begin() + end, 0.0);
+            if (NA > 0 && sweep + 1 < sweeps) {
+              for (std::uint32_t q = 0; q < P; ++q) {
+                if (q == p) continue;
+                StagedSlot* slot = bcast[q][pid].get();
+                slot->free.acquire();
+                for (std::uint32_t a = 0; a < NA; ++a)
+                  std::copy(ps.arrays.node_read[a].begin() + begin,
+                            ps.arrays.node_read[a].begin() + end,
+                            slot->data.begin() + a * psize);
+                slot->full.release();
+              }
+            }
+          }
+
+          // Forward the portion around the ring.
+          std::uint32_t tph = ph + opt.k;
+          std::uint32_t tsweep = sweep + (tph >= kp ? 1 : 0);
+          tph %= kp;
+          if (tsweep < sweeps) {
+            const std::uint32_t q = sched.next_owner(p);
+            StagedSlot* slot = rotation[q][tph].get();
+            slot->free.acquire();
+            for (std::uint32_t a = 0; a < RA; ++a)
+              std::copy(ps.arrays.reduction[a].begin() + begin,
+                        ps.arrays.reduction[a].begin() + end,
+                        slot->data.begin() + a * psize);
+            slot->full.release();
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return result;
+}
+
+}  // namespace earthred::core

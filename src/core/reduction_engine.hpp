@@ -1,0 +1,63 @@
+// The paper's execution strategy (Sec. 2.2) for LHS-indirect irregular
+// reductions, realized as a fiber graph on the simulated EARTH machine.
+//
+// Per processor p and phase ph (0 <= ph < k*P), a persistent compute fiber
+// fires once per sweep when (a) the previous phase on p finished, (b) the
+// rotating reduction portion for ph arrived, and — for phase 0 — (c) all
+// node-read replication broadcasts of the previous sweep landed. Its body:
+//
+//   1. main loop: the iterations the LightInspector assigned to ph, with
+//      redirected references (direct into the owned portion, or into the
+//      remote buffer appended past the array);
+//   2. second loop: fold buffered contributions into elements owned this
+//      phase (copy1_out/copy2_out of Figure 3), zeroing the slots;
+//   3. if ph is the portion's last owning phase (always within the final
+//      k phases of the sweep): run the kernel's node update for the
+//      now-complete portion, broadcast the refreshed node-read portion to
+//      the other processors, and zero the reduction portion for the next
+//      sweep;
+//   4. forward the reduction portion to next_owner(p) = p-1 mod P (owned
+//      there k phases later — the overlap window) and signal the next
+//      local phase.
+//
+// Communication per phase is one portion-sized message regardless of the
+// indirection arrays' contents — the paper's central property.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "core/kernel.hpp"
+#include "core/result.hpp"
+#include "earth/types.hpp"
+#include "inspector/distribution.hpp"
+#include "inspector/light_inspector.hpp"
+
+namespace earthred::core {
+
+struct RotationOptions {
+  std::uint32_t num_procs = 2;
+  std::uint32_t k = 2;  ///< the paper's overlap parameter
+  inspector::Distribution distribution = inspector::Distribution::Cyclic;
+  /// Chunk size when distribution == BlockCyclic.
+  std::uint32_t block_cyclic_size = 16;
+  std::uint32_t sweeps = 1;  ///< time-step iterations (paper: 100)
+  earth::MachineConfig machine{};
+  inspector::LightInspectorOptions inspector{};
+  /// Cycles charged per (iteration x reference) of LightInspector work.
+  earth::Cycles inspector_cycles_per_ref = 12;
+  /// Optional per-processor override of the iteration count the inspector
+  /// stage charges for (used by the adaptive driver to model the
+  /// *incremental* LightInspector, which only touches changed iterations).
+  /// Empty = charge for every local iteration (a full run).
+  std::vector<std::uint64_t> inspector_work_items;
+  /// Assemble final arrays into RunResult (costs host time only).
+  bool collect_results = true;
+};
+
+/// Runs `kernel` under the rotation strategy and returns timing, machine
+/// stats, per-phase iteration counts, and (optionally) the final arrays.
+RunResult run_rotation_engine(const PhasedKernel& kernel,
+                              const RotationOptions& opt);
+
+}  // namespace earthred::core

@@ -1,0 +1,37 @@
+// Result of one simulated execution, shared by all engines.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "earth/stats.hpp"
+#include "earth/types.hpp"
+
+namespace earthred::core {
+
+struct RunResult {
+  /// Total simulated time including runtime preprocessing.
+  earth::Cycles total_cycles = 0;
+  /// Portion spent in the inspector stage (0 when none is needed).
+  earth::Cycles inspector_cycles = 0;
+  /// Machine counters at drain.
+  earth::MachineStats machine;
+
+  /// Final reduction arrays assembled to global indexing
+  /// ([array][element]); filled when the engine runs with validation
+  /// output enabled.
+  std::vector<std::vector<double>> reduction;
+  /// Final node read arrays ([array][element]).
+  std::vector<std::vector<double>> node_read;
+
+  /// Iterations executed per (proc, phase), flattened proc-major; feeds
+  /// the load-balance analysis of Sec. 5.4.3.
+  std::vector<std::uint64_t> phase_iterations;
+  std::uint32_t phases_per_proc = 0;
+
+  /// Text Gantt chart of the run (filled when machine.trace was set).
+  std::string gantt;
+};
+
+}  // namespace earthred::core

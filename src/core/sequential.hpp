@@ -1,0 +1,38 @@
+// Sequential reference executors.
+//
+// These run the same kernels on a one-node machine in natural iteration
+// order with direct (unredirected) references, charging the same
+// per-operation cost model. They serve two purposes:
+//   * numerical ground truth for validating the parallel engines;
+//   * the sequential times from which the paper's absolute speedups are
+//     computed (Sec. 5.3/5.4: "the sequential versions were timed on one
+//     i860XP processor").
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/kernel.hpp"
+#include "core/result.hpp"
+#include "sparse/csr.hpp"
+
+namespace earthred::core {
+
+struct SequentialOptions {
+  std::uint32_t sweeps = 1;
+  earth::MachineConfig machine{};
+  bool collect_results = true;
+};
+
+/// Runs `sweeps` time steps of the kernel on one simulated processor.
+RunResult run_sequential_kernel(const PhasedKernel& kernel,
+                                const SequentialOptions& opt);
+
+/// Runs `sweeps` repetitions of y = A*x on one simulated processor using
+/// the cache-friendly row-major CSR loop (per-row accumulator in a
+/// register, one y store per row). result.reduction[0] holds y.
+RunResult run_sequential_mvm(const sparse::CsrMatrix& A,
+                             std::span<const double> x,
+                             const SequentialOptions& opt);
+
+}  // namespace earthred::core

@@ -1,0 +1,53 @@
+#include "earth/cache.hpp"
+
+#include <bit>
+
+#include "support/check.hpp"
+
+namespace earthred::earth {
+
+CacheModel::CacheModel(const CacheConfig& cfg) : enabled_(cfg.enabled) {
+  ER_EXPECTS(cfg.line_bytes >= 4 && std::has_single_bit(cfg.line_bytes));
+  ER_EXPECTS(cfg.ways >= 1);
+  ER_EXPECTS(cfg.size_bytes >= cfg.line_bytes * cfg.ways);
+  line_shift_ = static_cast<std::uint32_t>(std::countr_zero(cfg.line_bytes));
+  ways_ = cfg.ways;
+  const std::uint32_t num_lines = cfg.size_bytes / cfg.line_bytes;
+  num_sets_ = num_lines / cfg.ways;
+  ER_EXPECTS_MSG(num_sets_ >= 1 && std::has_single_bit(num_sets_),
+                 "cache size / (line * ways) must be a power of two");
+  lines_.assign(static_cast<std::size_t>(num_sets_) * ways_, Line{});
+}
+
+bool CacheModel::access(std::uint64_t addr) noexcept {
+  if (!enabled_) {
+    ++hits_;
+    return true;
+  }
+  const std::uint64_t line_addr = addr >> line_shift_;
+  const std::uint64_t set = line_addr & (num_sets_ - 1);
+  Line* base = &lines_[static_cast<std::size_t>(set) * ways_];
+  ++tick_;
+
+  Line* victim = base;
+  for (std::uint32_t w = 0; w < ways_; ++w) {
+    Line& ln = base[w];
+    if (ln.tag == line_addr) {
+      ln.lru = tick_;
+      ++hits_;
+      return true;
+    }
+    if (ln.lru < victim->lru) victim = &ln;
+  }
+  victim->tag = line_addr;
+  victim->lru = tick_;
+  ++misses_;
+  return false;
+}
+
+void CacheModel::clear() noexcept {
+  for (Line& ln : lines_) ln = Line{};
+  tick_ = 0;
+}
+
+}  // namespace earthred::earth

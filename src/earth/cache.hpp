@@ -1,0 +1,53 @@
+// Set-associative LRU data-cache model used by the Execution Unit cost
+// model. The paper attributes both the superlinear mvm speedups and the
+// small-configuration euler/moldyn overheads to cache behaviour (Sec. 5.3,
+// 5.4.3); this model is what lets the simulator reproduce those shapes.
+//
+// Addresses are synthetic: kernels form them from an array tag and an
+// element index (see MemRef in cost.hpp). The model tracks tags only — no
+// data — so a lookup is a few dozen nanoseconds of host time.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "earth/types.hpp"
+
+namespace earthred::earth {
+
+/// One node's private data cache. LRU within each set, allocate-on-miss
+/// for both loads and stores (write-allocate, write-back; dirty evictions
+/// are not charged separately — the miss latency subsumes them).
+class CacheModel {
+ public:
+  explicit CacheModel(const CacheConfig& cfg);
+
+  /// Touches `addr`; returns true on hit. Updates LRU state.
+  bool access(std::uint64_t addr) noexcept;
+
+  /// Invalidates all lines (used at simulation resets).
+  void clear() noexcept;
+
+  std::uint64_t hits() const noexcept { return hits_; }
+  std::uint64_t misses() const noexcept { return misses_; }
+  std::uint32_t num_sets() const noexcept { return num_sets_; }
+  std::uint32_t ways() const noexcept { return ways_; }
+  bool enabled() const noexcept { return enabled_; }
+
+ private:
+  struct Line {
+    std::uint64_t tag = ~0ULL;
+    std::uint64_t lru = 0;  // larger = more recently used
+  };
+
+  bool enabled_;
+  std::uint32_t line_shift_;
+  std::uint32_t num_sets_;
+  std::uint32_t ways_;
+  std::uint64_t tick_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::vector<Line> lines_;  // num_sets_ * ways_, set-major
+};
+
+}  // namespace earthred::earth

@@ -1,0 +1,39 @@
+// Memory-reference helpers for the EU cost model.
+//
+// Kernels running inside fibers charge their work through the FiberContext
+// (flops, index ops, and memory references). A memory reference is a
+// synthetic address composed from an array tag and a byte offset; each node
+// resolves it against its private CacheModel. Two nodes touching the same
+// (tag, offset) do NOT interfere — every node has its own cache, matching
+// the distributed-memory reality of EARTH where each node holds local
+// copies / portions of the arrays.
+#pragma once
+
+#include <cstdint>
+
+namespace earthred::earth {
+
+/// Identifies one logical array for address synthesis. Allocate tags with
+/// ArrayTagAllocator (or pick small distinct constants in tests).
+struct ArrayTag {
+  std::uint32_t value = 0;
+};
+
+/// Synthesizes the address of element `index` (of `elem_bytes` each) in the
+/// array `tag`. Tags are placed 2^28 bytes apart — far beyond any modeled
+/// array — so distinct arrays never alias.
+constexpr std::uint64_t mem_addr(ArrayTag tag, std::uint64_t index,
+                                 std::uint32_t elem_bytes) noexcept {
+  return (static_cast<std::uint64_t>(tag.value) << 28) + index * elem_bytes;
+}
+
+/// Hands out distinct array tags.
+class ArrayTagAllocator {
+ public:
+  ArrayTag next() noexcept { return ArrayTag{counter_++}; }
+
+ private:
+  std::uint32_t counter_ = 1;
+};
+
+}  // namespace earthred::earth

@@ -1,0 +1,120 @@
+// Fibers and the context handed to a running fiber body.
+//
+// A fiber is EARTH's unit of non-preemptive computation. In this simulator
+// a fiber's body is ordinary C++ code that performs the *real* computation
+// (so results can be validated against sequential references) while
+// charging simulated cycles for the work it does: arithmetic through
+// charge_flops/charge_intops, memory references through load/store (which
+// consult the node's cache model), and EARTH operations through sync/send.
+//
+// EARTH semantics preserved by the model:
+//   * a fiber becomes ready when its sync slot reaches zero, and the slot
+//     then re-arms with its reset count (fibers are persistent and may fire
+//     many times — e.g. once per phase per sweep);
+//   * fibers are non-preemptive: the EU runs one fiber to completion;
+//   * EARTH operations are split-phase: the issuing fiber pays only a small
+//     issue cost, and the SU / network complete the operation
+//     asynchronously — this is what makes communication/computation
+//     overlap possible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "earth/cost.hpp"
+#include "earth/types.hpp"
+
+namespace earthred::earth {
+
+class EarthMachine;
+class FiberContext;
+
+/// A fiber body. Runs once per activation.
+using FiberFn = std::function<void(FiberContext&)>;
+
+/// Execution context passed to a fiber body; valid only during the call.
+///
+/// A *detached* context (FiberContext::detached()) is not bound to a
+/// machine: cost charges accumulate in the context but memory accesses
+/// consult no cache and EARTH operations are forbidden. The native
+/// thread-pool engine uses detached contexts to run kernels outside the
+/// simulator.
+class FiberContext {
+ public:
+  /// Creates a machine-less context (see class comment).
+  static FiberContext detached(NodeId node = 0) noexcept {
+    return FiberContext(nullptr, node, FiberId{}, 0, 0);
+  }
+
+  /// True when bound to a simulated machine.
+  bool attached() const noexcept { return machine_ != nullptr; }
+
+  /// Node the fiber is executing on.
+  NodeId node() const noexcept { return node_; }
+
+  /// Identity of the executing fiber.
+  FiberId self() const noexcept { return self_; }
+
+  /// Number of previous activations of this fiber (0 on the first firing).
+  std::uint64_t activation() const noexcept { return activation_; }
+
+  /// Simulated time: dispatch time plus cycles charged so far.
+  Cycles now() const noexcept { return start_ + charged_; }
+
+  /// Cycles charged by this activation so far.
+  Cycles charged() const noexcept { return charged_; }
+
+  // --- cost accounting -----------------------------------------------
+  void charge(Cycles c) noexcept { charged_ += c; }
+  void charge_flops(std::uint64_t n) noexcept;
+  void charge_intops(std::uint64_t n) noexcept;
+
+  /// Models a data load/store of element `index` of array `tag`; charges
+  /// hit or miss latency against this node's cache.
+  void load(ArrayTag tag, std::uint64_t index, std::uint32_t elem_bytes = 8);
+  void store(ArrayTag tag, std::uint64_t index, std::uint32_t elem_bytes = 8);
+
+  // --- EARTH operations ----------------------------------------------
+  /// Signals the sync slot of `target` (possibly on another node).
+  void sync(FiberId target);
+
+  /// Sends `bytes` of data to `target`'s node and signals `target`'s slot
+  /// on arrival. `deliver` (optional) is executed at the simulated arrival
+  /// time, before the sync fires — use it to perform the actual data copy
+  /// so program state respects simulated message ordering.
+  void send(FiberId target, std::uint64_t bytes,
+            std::function<void()> deliver = {});
+
+  /// Spawns a threaded procedure: registers a new fiber on `node` (or a
+  /// load-balancer-chosen node for kAnyNode) and ships the invocation
+  /// token there. A fiber spawned with `sync_count == 0` becomes ready
+  /// when the token arrives; with a positive count it waits for that many
+  /// sync signals as usual. Returns the new fiber's id immediately so the
+  /// spawner can wire further signals to it.
+  FiberId spawn(NodeId node, std::uint32_t sync_count, FiberFn fn,
+                std::string name = {});
+
+  /// Split-phase remote read (EARTH GET_SYNC): sends a request to `from`;
+  /// when it arrives there, `fetch` runs (sampling remote state at that
+  /// simulated time) and returns an applier; the applier runs when the
+  /// response arrives back here, after which `target`'s slot is signaled.
+  void get(NodeId from, std::uint64_t bytes,
+           std::function<std::function<void()>()> fetch, FiberId target);
+
+ private:
+  friend class EarthMachine;
+  FiberContext(EarthMachine* m, NodeId node, FiberId self, Cycles start,
+               std::uint64_t activation) noexcept
+      : machine_(m), node_(node), self_(self), start_(start),
+        activation_(activation) {}
+
+  EarthMachine* machine_;
+  NodeId node_;
+  FiberId self_;
+  Cycles start_;
+  std::uint64_t activation_;
+  Cycles charged_ = 0;
+};
+
+}  // namespace earthred::earth

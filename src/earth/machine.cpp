@@ -1,0 +1,387 @@
+#include "earth/machine.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "support/check.hpp"
+#include "support/str.hpp"
+
+namespace earthred::earth {
+
+void FiberContext::charge_flops(std::uint64_t n) noexcept {
+  charged_ += n * (machine_ ? machine_->config().cost.flop : 1);
+}
+
+void FiberContext::charge_intops(std::uint64_t n) noexcept {
+  charged_ += n * (machine_ ? machine_->config().cost.intop : 1);
+}
+
+void FiberContext::load(ArrayTag tag, std::uint64_t index,
+                        std::uint32_t elem_bytes) {
+  if (machine_) {
+    machine_->mem_access(*this, tag, index, elem_bytes);
+  } else {
+    charged_ += 1;
+  }
+}
+
+void FiberContext::store(ArrayTag tag, std::uint64_t index,
+                         std::uint32_t elem_bytes) {
+  if (machine_) {
+    machine_->mem_access(*this, tag, index, elem_bytes);
+  } else {
+    charged_ += 1;
+  }
+}
+
+void FiberContext::sync(FiberId target) {
+  ER_EXPECTS_MSG(machine_ != nullptr,
+                 "EARTH operations require an attached context");
+  machine_->op_sync(*this, target);
+}
+
+FiberId FiberContext::spawn(NodeId node, std::uint32_t sync_count,
+                            FiberFn fn, std::string name) {
+  ER_EXPECTS_MSG(machine_ != nullptr,
+                 "EARTH operations require an attached context");
+  return machine_->op_spawn(*this, node, sync_count, std::move(fn),
+                            std::move(name));
+}
+
+void FiberContext::get(NodeId from, std::uint64_t bytes,
+                       std::function<std::function<void()>()> fetch,
+                       FiberId target) {
+  ER_EXPECTS_MSG(machine_ != nullptr,
+                 "EARTH operations require an attached context");
+  machine_->op_get(*this, from, bytes, std::move(fetch), target);
+}
+
+void FiberContext::send(FiberId target, std::uint64_t bytes,
+                        std::function<void()> deliver) {
+  ER_EXPECTS_MSG(machine_ != nullptr,
+                 "EARTH operations require an attached context");
+  machine_->op_send(*this, target, bytes, std::move(deliver));
+}
+
+EarthMachine::EarthMachine(MachineConfig cfg) : cfg_(cfg) {
+  ER_EXPECTS(cfg_.num_nodes >= 1);
+  nodes_.reserve(cfg_.num_nodes);
+  for (std::uint32_t i = 0; i < cfg_.num_nodes; ++i)
+    nodes_.emplace_back(cfg_.cache);
+  stats_.node.resize(cfg_.num_nodes);
+}
+
+FiberId EarthMachine::add_fiber(NodeId node, std::uint32_t sync_count,
+                                FiberFn fn, std::string name) {
+  ER_EXPECTS(!running_);
+  ER_EXPECTS(node < cfg_.num_nodes);
+  ER_EXPECTS_MSG(static_cast<bool>(fn), "fiber body must be callable");
+  Fiber f;
+  f.node = node;
+  f.sync_count = sync_count;
+  f.remaining = static_cast<std::int64_t>(sync_count);
+  f.fn = std::move(fn);
+  f.name = std::move(name);
+  fibers_.push_back(std::move(f));
+  return FiberId{static_cast<std::uint32_t>(fibers_.size() - 1)};
+}
+
+void EarthMachine::credit(FiberId fiber, std::uint32_t n) {
+  ER_EXPECTS(!running_);
+  ER_EXPECTS(fiber.value < fibers_.size());
+  Fiber& f = fibers_[fiber.value];
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (f.sync_count == 0) {
+      nodes_[f.node].ready.push_back(fiber);
+      push_event(make_try_dispatch(now(), f.node));
+      continue;
+    }
+    if (--f.remaining == 0) {
+      f.remaining += static_cast<std::int64_t>(f.sync_count);
+      nodes_[f.node].ready.push_back(fiber);
+      push_event(make_try_dispatch(now(), f.node));
+    }
+  }
+}
+
+const std::string& EarthMachine::fiber_name(FiberId f) const {
+  ER_EXPECTS(f.value < fibers_.size());
+  return fibers_[f.value].name;
+}
+
+NodeId EarthMachine::fiber_node(FiberId f) const {
+  ER_EXPECTS(f.value < fibers_.size());
+  return fibers_[f.value].node;
+}
+
+std::uint64_t EarthMachine::fiber_activations(FiberId f) const {
+  ER_EXPECTS(f.value < fibers_.size());
+  return fibers_[f.value].activations;
+}
+
+EarthMachine::Event EarthMachine::make_try_dispatch(Cycles at,
+                                                    NodeId node) {
+  Event ev;
+  ev.time = at;
+  ev.kind = Event::Kind::TryDispatch;
+  ev.node = node;
+  return ev;
+}
+
+void EarthMachine::push_event(Event ev) {
+  ev.seq = ++seq_;
+  queue_.push(std::move(ev));
+}
+
+Cycles EarthMachine::run() {
+  ER_EXPECTS(!running_);
+  running_ = true;
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    ++stats_.events;
+    if (cfg_.max_events != 0 && stats_.events > cfg_.max_events)
+      throw check_error("EarthMachine: max_events exceeded (live-lock?)");
+    stats_.makespan = std::max(stats_.makespan, ev.time);
+    switch (ev.kind) {
+      case Event::Kind::Deliver:
+        process_deliver(ev);
+        break;
+      case Event::Kind::TryDispatch:
+        process_try_dispatch(ev);
+        break;
+      case Event::Kind::Token:
+        process_token(ev);
+        break;
+      case Event::Kind::GetRequest:
+        process_get_request(ev);
+        break;
+    }
+  }
+  // Fold cache counters into the public stats.
+  for (std::uint32_t i = 0; i < cfg_.num_nodes; ++i) {
+    stats_.node[i].cache_hits = nodes_[i].cache.hits();
+    stats_.node[i].cache_misses = nodes_[i].cache.misses();
+  }
+  running_ = false;
+  return stats_.makespan;
+}
+
+void EarthMachine::signal(FiberId target, Cycles at) {
+  Fiber& f = fibers_[target.value];
+  ER_ENSURES_MSG(f.sync_count > 0,
+                 "signal sent to credit-only fiber '" + f.name + "'");
+  if (--f.remaining == 0) {
+    f.remaining += static_cast<std::int64_t>(f.sync_count);
+    nodes_[f.node].ready.push_back(target);
+    push_event(make_try_dispatch(at, f.node));
+  }
+}
+
+void EarthMachine::process_deliver(const Event& ev) {
+  ER_ENSURES(ev.target.value < fibers_.size());
+  const NodeId dst = fibers_[ev.target.value].node;
+  Node& node = nodes_[dst];
+  const Cycles start = std::max(ev.time, node.su_free);
+  node.su_free = start + cfg_.cost.su_event;
+  stats_.node[dst].su_busy += cfg_.cost.su_event;
+  ++stats_.node[dst].su_events;
+  stats_.makespan = std::max(stats_.makespan, node.su_free);
+  if (cfg_.trace)
+    trace_.record(TraceRecord{start, node.su_free, dst,
+                              TraceRecord::Kind::SuEvent, {}});
+  if (ev.deliver) ev.deliver();
+  signal(ev.target, node.su_free);
+}
+
+void EarthMachine::process_try_dispatch(const Event& ev) {
+  Node& node = nodes_[ev.node];
+  if (node.ready.empty()) return;
+  if (node.eu_free > ev.time) {
+    // EU still busy; re-poke when it frees up.
+    push_event(make_try_dispatch(node.eu_free, ev.node));
+    return;
+  }
+  dispatch(ev.node, ev.time);
+}
+
+void EarthMachine::dispatch(NodeId node_id, Cycles at) {
+  Node& node = nodes_[node_id];
+  const FiberId fid = node.ready.front();
+  node.ready.pop_front();
+  Fiber& f = fibers_[fid.value];
+
+  FiberContext ctx(this, node_id, fid, at, f.activations);
+  ctx.charge(cfg_.cost.fiber_switch);
+  f.fn(ctx);
+  ++f.activations;
+
+  node.eu_free = at + ctx.charged();
+  stats_.node[node_id].eu_busy += ctx.charged();
+  ++stats_.node[node_id].fibers_run;
+  stats_.makespan = std::max(stats_.makespan, node.eu_free);
+  if (cfg_.trace)
+    trace_.record(TraceRecord{at, node.eu_free, node_id,
+                              TraceRecord::Kind::Fiber, f.name});
+
+  if (!node.ready.empty())
+    push_event(make_try_dispatch(node.eu_free, node_id));
+}
+
+void EarthMachine::op_sync(FiberContext& ctx, FiberId target) {
+  // A sync signal is a tiny message; model it as a 16-byte send.
+  op_send(ctx, target, 16, {});
+}
+
+Cycles EarthMachine::route(NodeId src, Cycles at, std::uint64_t bytes) {
+  Node& snode = nodes_[src];
+  const Cycles start_tx = std::max(at, snode.port_free);
+  const auto transfer = static_cast<Cycles>(std::llround(
+      std::ceil(static_cast<double>(bytes) / cfg_.net.bytes_per_cycle)));
+  snode.port_free = start_tx + cfg_.net.inject_overhead + transfer;
+  ++stats_.node[src].msgs_sent;
+  stats_.node[src].bytes_sent += bytes;
+  return snode.port_free + cfg_.net.latency;
+}
+
+NodeId EarthMachine::pick_spawn_node() {
+  if (cfg_.spawn_policy == SpawnPolicy::RoundRobin)
+    return (spawn_rr_++) % cfg_.num_nodes;
+  NodeId best = 0;
+  std::uint64_t best_load = ~std::uint64_t{0};
+  for (NodeId n = 0; n < cfg_.num_nodes; ++n) {
+    const std::uint64_t load =
+        nodes_[n].ready.size() + nodes_[n].tokens_in_flight +
+        (nodes_[n].eu_free > stats_.makespan ? 1 : 0);
+    if (load < best_load) {
+      best = n;
+      best_load = load;
+    }
+  }
+  return best;
+}
+
+FiberId EarthMachine::op_spawn(FiberContext& ctx, NodeId node,
+                               std::uint32_t sync_count, FiberFn fn,
+                               std::string name) {
+  ER_EXPECTS_MSG(static_cast<bool>(fn), "fiber body must be callable");
+  const NodeId dst = node == kAnyNode ? pick_spawn_node() : node;
+  ER_EXPECTS(dst < cfg_.num_nodes);
+  Fiber f;
+  f.node = dst;
+  f.sync_count = sync_count;
+  f.remaining = static_cast<std::int64_t>(sync_count);
+  f.fn = std::move(fn);
+  f.name = std::move(name);
+  fibers_.push_back(std::move(f));
+  const FiberId fid{static_cast<std::uint32_t>(fibers_.size() - 1)};
+  ++nodes_[dst].tokens_in_flight;
+
+  ctx.charge(cfg_.cost.op_issue);
+  const Cycles issue = ctx.now();
+  const Cycles arrival =
+      dst == ctx.node() ? issue
+                        : route(ctx.node(), issue, cfg_.spawn_token_bytes);
+  Event ev;
+  ev.time = arrival;
+  ev.kind = Event::Kind::Token;
+  ev.target = fid;
+  push_event(std::move(ev));
+  return fid;
+}
+
+void EarthMachine::op_get(FiberContext& ctx, NodeId from,
+                          std::uint64_t bytes,
+                          std::function<std::function<void()>()> fetch,
+                          FiberId target) {
+  ER_EXPECTS(from < cfg_.num_nodes);
+  ER_EXPECTS(target.value < fibers_.size());
+  ER_EXPECTS_MSG(static_cast<bool>(fetch), "get() needs a fetch closure");
+  ctx.charge(cfg_.cost.op_issue);
+  const Cycles issue = ctx.now();
+  // Request message (small) to the remote node; the response is scheduled
+  // by process_get_request when the request is handled there.
+  const Cycles arrival =
+      from == ctx.node() ? issue : route(ctx.node(), issue, 16);
+  Event ev;
+  ev.time = arrival;
+  ev.kind = Event::Kind::GetRequest;
+  ev.target = target;
+  ev.fetch = std::move(fetch);
+  ev.reply_to = ctx.node();
+  ev.node = from;
+  ev.bytes = bytes;
+  push_event(std::move(ev));
+}
+
+void EarthMachine::process_token(const Event& ev) {
+  Fiber& f = fibers_[ev.target.value];
+  Node& node = nodes_[f.node];
+  if (node.tokens_in_flight > 0) --node.tokens_in_flight;
+  const Cycles start = std::max(ev.time, node.su_free);
+  node.su_free = start + cfg_.cost.su_event;
+  stats_.node[f.node].su_busy += cfg_.cost.su_event;
+  ++stats_.node[f.node].su_events;
+  stats_.makespan = std::max(stats_.makespan, node.su_free);
+  if (f.sync_count == 0) {
+    node.ready.push_back(ev.target);
+    push_event(make_try_dispatch(node.su_free, f.node));
+  }
+}
+
+void EarthMachine::process_get_request(const Event& ev) {
+  // Handled by the remote node's SU: sample state, send the response.
+  Node& rnode = nodes_[ev.node];
+  const Cycles start = std::max(ev.time, rnode.su_free);
+  rnode.su_free = start + cfg_.cost.su_event;
+  stats_.node[ev.node].su_busy += cfg_.cost.su_event;
+  ++stats_.node[ev.node].su_events;
+  stats_.makespan = std::max(stats_.makespan, rnode.su_free);
+
+  std::function<void()> applier = ev.fetch();
+  const Cycles arrival = ev.node == ev.reply_to
+                             ? rnode.su_free
+                             : route(ev.node, rnode.su_free, ev.bytes);
+  Event resp;
+  resp.time = arrival;
+  resp.kind = Event::Kind::Deliver;
+  resp.target = ev.target;
+  resp.deliver = std::move(applier);
+  resp.bytes = ev.bytes;
+  push_event(std::move(resp));
+}
+
+void EarthMachine::op_send(FiberContext& ctx, FiberId target,
+                           std::uint64_t bytes,
+                           std::function<void()> deliver) {
+  ER_EXPECTS(target.value < fibers_.size());
+  ctx.charge(cfg_.cost.op_issue);
+  const Cycles issue = ctx.now();
+  const NodeId src = ctx.node();
+  const NodeId dst = fibers_[target.value].node;
+
+  // Local operations skip the network; remote ones serialize on the
+  // sender's outgoing port and pay injection + transfer + latency.
+  //
+  // Port bookkeeping in route() is done eagerly rather than via a
+  // separate event: events are processed in global time order and issue
+  // times within a node are nondecreasing, so eager accounting follows
+  // simulated time order per node.
+  const Cycles arrival = src == dst ? issue : route(src, issue, bytes);
+  Event ev;
+  ev.time = arrival;
+  ev.kind = Event::Kind::Deliver;
+  ev.target = target;
+  ev.deliver = std::move(deliver);
+  ev.bytes = bytes;
+  push_event(std::move(ev));
+}
+
+void EarthMachine::mem_access(FiberContext& ctx, ArrayTag tag,
+                              std::uint64_t index, std::uint32_t elem_bytes) {
+  Node& node = nodes_[ctx.node()];
+  const bool hit = node.cache.access(mem_addr(tag, index, elem_bytes));
+  ctx.charge(hit ? cfg_.cost.cache_hit : cfg_.cost.cache_miss);
+}
+
+}  // namespace earthred::earth

@@ -1,0 +1,162 @@
+// Discrete-event simulator of an EARTH-style multithreaded machine.
+//
+// Machine model (Sec. 5.2 of the paper):
+//   * `num_nodes` nodes; each node pairs an Execution Unit (EU) running
+//     non-preemptive fibers from a FIFO Ready Queue with a Synchronization
+//     Unit (SU) processing sync/communication events from an Event Queue;
+//   * fibers fire when their sync slot counts down to zero (dataflow-like
+//     local synchronization — no global barriers);
+//   * EARTH operations (sync signals, data sends) are split-phase: issued
+//     cheaply by the EU, completed asynchronously by SU + network;
+//   * the network charges a per-message latency plus a bandwidth term, and
+//     serializes each node's outgoing port.
+//
+// The simulation is deterministic: events at equal times are processed in
+// insertion order. Bodies of fibers execute host-side at their dispatch
+// time, so all state mutation follows the simulated partial order.
+//
+// Typical lifecycle:
+//   EarthMachine m(cfg);
+//   auto f = m.add_fiber(node, /*sync_count=*/2, body, "compute[0][3]");
+//   m.credit(f);            // initial-condition signals
+//   Cycles makespan = m.run();
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "earth/cache.hpp"
+#include "earth/fiber.hpp"
+#include "earth/stats.hpp"
+#include "earth/trace.hpp"
+#include "earth/types.hpp"
+
+namespace earthred::earth {
+
+class EarthMachine {
+ public:
+  explicit EarthMachine(MachineConfig cfg);
+
+  EarthMachine(const EarthMachine&) = delete;
+  EarthMachine& operator=(const EarthMachine&) = delete;
+
+  const MachineConfig& config() const noexcept { return cfg_; }
+  std::uint32_t num_nodes() const noexcept { return cfg_.num_nodes; }
+
+  /// Registers a fiber on `node` whose slot must receive `sync_count`
+  /// signals per activation. `sync_count == 0` means the fiber can only be
+  /// activated via credit(). May not be called while run() is executing.
+  FiberId add_fiber(NodeId node, std::uint32_t sync_count, FiberFn fn,
+                    std::string name = {});
+
+  /// Applies `n` pre-run signals to `fiber`'s slot (initial conditions —
+  /// e.g. "the first k portions are already local"). If the slot reaches
+  /// zero the fiber is made ready at time 0.
+  void credit(FiberId fiber, std::uint32_t n = 1);
+
+  /// Runs until no events remain; returns the makespan in cycles.
+  /// May be called again after adding more credits/fibers; simulated time
+  /// continues monotonically.
+  Cycles run();
+
+  /// Simulated time of the most recently processed event.
+  Cycles now() const noexcept { return stats_.makespan; }
+
+  const MachineStats& stats() const noexcept { return stats_; }
+  const NodeStats& node_stats(NodeId n) const { return stats_.node.at(n); }
+  /// The recorded trace (empty unless config().trace).
+  const Trace& trace() const noexcept { return trace_; }
+  const std::string& fiber_name(FiberId f) const;
+  NodeId fiber_node(FiberId f) const;
+  /// Total number of activations of `f` so far.
+  std::uint64_t fiber_activations(FiberId f) const;
+
+ private:
+  friend class FiberContext;
+
+  struct Fiber {
+    NodeId node = 0;
+    std::uint32_t sync_count = 0;  // reset value
+    std::int64_t remaining = 0;    // signals still needed this activation
+    FiberFn fn;
+    std::string name;
+    std::uint64_t activations = 0;
+  };
+
+  struct Event {
+    Cycles time = 0;
+    std::uint64_t seq = 0;
+    enum class Kind {
+      Deliver,      // signal target's slot (optional data copy first)
+      TryDispatch,  // poke a node's EU
+      Token,        // spawn token arrival (activate if sync_count == 0)
+      GetRequest,   // remote-read request arriving at the remote node
+    } kind = Kind::Deliver;
+    NodeId node = 0;                   // TryDispatch: node to poke
+    FiberId target{};                  // Deliver/Token/GetRequest
+    std::function<void()> deliver;     // Deliver: optional data copy
+    std::function<std::function<void()>()> fetch;  // GetRequest
+    NodeId reply_to = 0;               // GetRequest: requesting node
+    std::uint64_t bytes = 0;           // stats / response sizing
+  };
+
+  struct EventOrder {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  struct Node {
+    Cycles eu_free = 0;    // EU available from this time
+    Cycles su_free = 0;    // SU available from this time
+    Cycles port_free = 0;  // outgoing network port available from this time
+    std::deque<FiberId> ready;
+    /// Spawn tokens issued to this node but not yet arrived — counted by
+    /// the LeastLoaded balancer so a burst of spawns spreads out.
+    std::uint64_t tokens_in_flight = 0;
+    CacheModel cache;
+
+    explicit Node(const CacheConfig& c) : cache(c) {}
+  };
+
+  static Event make_try_dispatch(Cycles at, NodeId node);
+  void push_event(Event ev);
+  void signal(FiberId target, Cycles at);          // slot decrement at SU
+  void process_deliver(const Event& ev);
+  void process_try_dispatch(const Event& ev);
+  void process_token(const Event& ev);
+  void process_get_request(const Event& ev);
+  void dispatch(NodeId node, Cycles at);
+  /// Computes network arrival time for a message leaving `src` at `at`
+  /// (eager port accounting; see op_send) and records traffic stats.
+  Cycles route(NodeId src, Cycles at, std::uint64_t bytes);
+  NodeId pick_spawn_node();
+  // Called from FiberContext:
+  void op_sync(FiberContext& ctx, FiberId target);
+  void op_send(FiberContext& ctx, FiberId target, std::uint64_t bytes,
+               std::function<void()> deliver);
+  FiberId op_spawn(FiberContext& ctx, NodeId node, std::uint32_t sync_count,
+                   FiberFn fn, std::string name);
+  void op_get(FiberContext& ctx, NodeId from, std::uint64_t bytes,
+              std::function<std::function<void()>()> fetch, FiberId target);
+  void mem_access(FiberContext& ctx, ArrayTag tag, std::uint64_t index,
+                  std::uint32_t elem_bytes);
+
+  MachineConfig cfg_;
+  // deque: stable references across dynamic spawns during dispatch.
+  std::deque<Fiber> fibers_;
+  std::vector<Node> nodes_;
+  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+  std::uint64_t seq_ = 0;
+  std::uint32_t spawn_rr_ = 0;  // round-robin spawn cursor
+  MachineStats stats_;
+  Trace trace_;
+  bool running_ = false;
+};
+
+}  // namespace earthred::earth

@@ -1,0 +1,58 @@
+// Execution statistics collected by the EARTH machine simulator.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "earth/types.hpp"
+
+namespace earthred::earth {
+
+/// Per-node counters.
+struct NodeStats {
+  Cycles eu_busy = 0;          ///< cycles the EU spent running fibers
+  Cycles su_busy = 0;          ///< cycles the SU spent processing events
+  std::uint64_t fibers_run = 0;
+  std::uint64_t su_events = 0;
+  std::uint64_t msgs_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+};
+
+/// Whole-machine counters.
+struct MachineStats {
+  Cycles makespan = 0;         ///< time of the last processed event
+  std::uint64_t events = 0;    ///< total simulator events processed
+  std::vector<NodeStats> node; ///< indexed by NodeId
+
+  std::uint64_t total_msgs() const noexcept {
+    std::uint64_t s = 0;
+    for (const auto& n : node) s += n.msgs_sent;
+    return s;
+  }
+  std::uint64_t total_bytes() const noexcept {
+    std::uint64_t s = 0;
+    for (const auto& n : node) s += n.bytes_sent;
+    return s;
+  }
+  double cache_miss_rate() const noexcept {
+    std::uint64_t h = 0, m = 0;
+    for (const auto& n : node) {
+      h += n.cache_hits;
+      m += n.cache_misses;
+    }
+    return (h + m) == 0 ? 0.0
+                        : static_cast<double>(m) / static_cast<double>(h + m);
+  }
+  /// Mean EU utilization over all nodes (busy / makespan).
+  double eu_utilization() const noexcept {
+    if (makespan == 0 || node.empty()) return 0.0;
+    double s = 0;
+    for (const auto& n : node) s += static_cast<double>(n.eu_busy);
+    return s / (static_cast<double>(makespan) *
+                static_cast<double>(node.size()));
+  }
+};
+
+}  // namespace earthred::earth

@@ -1,0 +1,65 @@
+#include "earth/trace.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "support/check.hpp"
+#include "support/str.hpp"
+
+namespace earthred::earth {
+
+void Trace::dump_csv(std::ostream& os) const {
+  os << "start,end,node,kind,label\n";
+  for (const TraceRecord& r : records_) {
+    os << r.start << ',' << r.end << ',' << r.node << ','
+       << (r.kind == TraceRecord::Kind::Fiber ? "fiber" : "su") << ','
+       << r.label << '\n';
+  }
+}
+
+std::string Trace::render_gantt(std::uint32_t num_nodes,
+                                std::uint32_t width) const {
+  ER_EXPECTS(width >= 1);
+  Cycles horizon = 1;
+  for (const TraceRecord& r : records_) horizon = std::max(horizon, r.end);
+
+  // busy[node][bucket] accumulates EU-busy cycles.
+  std::vector<std::vector<double>> busy(
+      num_nodes, std::vector<double>(width, 0.0));
+  const double bucket_cycles =
+      static_cast<double>(horizon) / static_cast<double>(width);
+  for (const TraceRecord& r : records_) {
+    if (r.kind != TraceRecord::Kind::Fiber || r.node >= num_nodes) continue;
+    const auto b0 = static_cast<std::uint32_t>(
+        static_cast<double>(r.start) / bucket_cycles);
+    const auto b1 = std::min<std::uint32_t>(
+        width - 1,
+        static_cast<std::uint32_t>(static_cast<double>(r.end) /
+                                   bucket_cycles));
+    for (std::uint32_t b = b0; b <= b1; ++b) {
+      const double lo = std::max(static_cast<double>(r.start),
+                                 b * bucket_cycles);
+      const double hi = std::min(static_cast<double>(r.end),
+                                 (b + 1) * bucket_cycles);
+      if (hi > lo) busy[r.node][b] += hi - lo;
+    }
+  }
+
+  static constexpr char kGlyphs[] = " .:+#";
+  std::ostringstream os;
+  os << "EU timeline, " << fmt_group(static_cast<long long>(horizon))
+     << " cycles across " << width << " buckets ('#' = busy)\n";
+  for (std::uint32_t n = 0; n < num_nodes; ++n) {
+    os << pad_left(std::to_string(n), 3) << " |";
+    for (std::uint32_t b = 0; b < width; ++b) {
+      const double frac =
+          std::clamp(busy[n][b] / bucket_cycles, 0.0, 1.0);
+      os << kGlyphs[static_cast<std::size_t>(frac * 4.0 + 0.5)];
+    }
+    os << "|\n";
+  }
+  return os.str();
+}
+
+}  // namespace earthred::earth

@@ -1,0 +1,50 @@
+// Execution tracing for the EARTH machine simulator.
+//
+// When enabled (MachineConfig::trace), the machine records every fiber
+// dispatch and SU event with start/end times. The trace can be dumped as
+// CSV for offline analysis or rendered as a per-node text Gantt chart —
+// the quickest way to *see* communication/computation overlap (k=1 shows
+// EU gaps where portions are awaited; k=2 shows them filled).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "earth/types.hpp"
+
+namespace earthred::earth {
+
+struct TraceRecord {
+  Cycles start = 0;
+  Cycles end = 0;
+  NodeId node = 0;
+  enum class Kind : std::uint8_t { Fiber, SuEvent } kind = Kind::Fiber;
+  std::string label;  ///< fiber name (empty for unnamed)
+};
+
+class Trace {
+ public:
+  void record(TraceRecord r) { records_.push_back(std::move(r)); }
+  void clear() { records_.clear(); }
+
+  const std::vector<TraceRecord>& records() const noexcept {
+    return records_;
+  }
+  std::size_t size() const noexcept { return records_.size(); }
+
+  /// Writes "start,end,node,kind,label" lines.
+  void dump_csv(std::ostream& os) const;
+
+  /// Renders one row per node over `width` time buckets; each cell shows
+  /// the EU busy fraction in that bucket (' ' idle .. '#' saturated).
+  /// `num_nodes` rows are emitted even for nodes with no records.
+  std::string render_gantt(std::uint32_t num_nodes,
+                           std::uint32_t width = 72) const;
+
+ private:
+  std::vector<TraceRecord> records_;
+};
+
+}  // namespace earthred::earth

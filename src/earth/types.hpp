@@ -1,0 +1,97 @@
+// Fundamental identifiers and configuration types for the simulated EARTH
+// machine (Efficient Architecture for Running Threads, Sec. 5.2 of the
+// paper). The simulator models, per node, an Execution Unit (EU) that runs
+// non-preemptive fibers and a Synchronization Unit (SU) that handles sync /
+// communication events — mirroring the paper's manna-dual configuration in
+// which two i860XP processors per node serve as EU and SU respectively.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace earthred::earth {
+
+/// Index of a machine node (processor pair EU+SU).
+using NodeId = std::uint32_t;
+
+/// Target for dynamic spawns meaning "any node": the machine's load
+/// balancer picks the destination (EARTH token semantics).
+inline constexpr NodeId kAnyNode = 0xFFFFFFFFu;
+
+/// Placement policy for kAnyNode spawns.
+enum class SpawnPolicy : std::uint8_t { RoundRobin, LeastLoaded };
+
+/// Simulated time in processor cycles.
+using Cycles = std::uint64_t;
+
+/// Handle to a fiber registered with the machine.
+struct FiberId {
+  std::uint32_t value = kInvalid;
+  static constexpr std::uint32_t kInvalid =
+      std::numeric_limits<std::uint32_t>::max();
+
+  constexpr bool valid() const noexcept { return value != kInvalid; }
+  friend constexpr bool operator==(FiberId, FiberId) = default;
+};
+
+/// Cycle charges for primitive machine actions. Defaults approximate a
+/// 50 MHz i860XP-class node; they are deliberately coarse — the figures of
+/// the paper depend on ratios (compute per iteration vs. communication
+/// latency vs. switch overhead), not on absolute accuracy.
+struct CostConfig {
+  /// Cycles per floating-point operation charged by kernels.
+  Cycles flop = 1;
+  /// Cycles per integer/index operation charged by kernels.
+  Cycles intop = 1;
+  /// EU cycles to dispatch (switch to) a fiber.
+  Cycles fiber_switch = 40;
+  /// EU cycles to issue an EARTH operation (sync/send/spawn) to the SU.
+  Cycles op_issue = 8;
+  /// SU cycles to process one event (sync decrement, message handling).
+  Cycles su_event = 30;
+  /// Cache hit / miss latencies for modeled memory references.
+  Cycles cache_hit = 1;
+  Cycles cache_miss = 20;
+};
+
+/// Interconnection network model: a fixed per-message latency plus a
+/// bandwidth term, with each node's outgoing port serialized (a message
+/// occupies the sender's port for bytes/bandwidth cycles).
+struct NetworkConfig {
+  /// End-to-end latency of a message in cycles (wire + routing).
+  Cycles latency = 150;
+  /// Outgoing link bandwidth in bytes per cycle (MANNA-like: ~1 B/cycle).
+  double bytes_per_cycle = 1.0;
+  /// Fixed SU-side cost to inject a message.
+  Cycles inject_overhead = 50;
+};
+
+/// Per-node data cache model (i860XP-like: 16 KB, 4-way, 32 B lines).
+struct CacheConfig {
+  std::uint32_t size_bytes = 16 * 1024;
+  std::uint32_t line_bytes = 32;
+  std::uint32_t ways = 4;
+  /// Disables the cache model entirely (every access costs `cache_hit`);
+  /// used by tests that want pure arithmetic costs.
+  bool enabled = true;
+};
+
+/// Top-level machine configuration.
+struct MachineConfig {
+  std::uint32_t num_nodes = 1;
+  CostConfig cost{};
+  NetworkConfig net{};
+  CacheConfig cache{};
+  /// Placement of kAnyNode spawns.
+  SpawnPolicy spawn_policy = SpawnPolicy::LeastLoaded;
+  /// Bytes carried by a spawn token (the threaded-procedure frame).
+  std::uint64_t spawn_token_bytes = 64;
+  /// Record a TraceRecord per fiber dispatch and SU event (see
+  /// earth/trace.hpp); costs host memory proportional to event count.
+  bool trace = false;
+  /// Upper bound on processed events; guards against accidental live-lock
+  /// in tests (0 = unlimited).
+  std::uint64_t max_events = 0;
+};
+
+}  // namespace earthred::earth

@@ -1,0 +1,92 @@
+#include "inspector/classic_inspector.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "support/check.hpp"
+
+namespace earthred::inspector {
+
+std::uint64_t ClassicSchedule::active_channels() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& p : proc)
+    for (const auto& v : p.send_ghost_slot)
+      if (!v.empty()) ++n;
+  return n;
+}
+
+std::uint64_t ClassicSchedule::total_values_sent() const noexcept {
+  std::uint64_t s = 0;
+  for (const auto& p : proc) s += p.total_sent();
+  return s;
+}
+
+std::uint32_t classic_owner(std::uint32_t num_elements,
+                            std::uint32_t num_procs, std::uint32_t element) {
+  ER_EXPECTS(element < num_elements);
+  const std::uint32_t q = num_elements / num_procs;
+  const std::uint32_t r = num_elements % num_procs;
+  const std::uint32_t split = r * (q + 1);
+  if (element < split) return element / (q + 1);
+  return r + (element - split) / q;
+}
+
+namespace {
+std::uint32_t block_begin(std::uint32_t num_elements, std::uint32_t num_procs,
+                          std::uint32_t p) {
+  const std::uint32_t q = num_elements / num_procs;
+  const std::uint32_t r = num_elements % num_procs;
+  return p * q + std::min(p, r);
+}
+}  // namespace
+
+ClassicSchedule build_classic_schedule(
+    std::uint32_t num_elements, std::uint32_t num_procs,
+    const std::vector<IterationRefs>& per_proc) {
+  ER_EXPECTS(num_procs >= 1);
+  ER_EXPECTS(per_proc.size() == num_procs);
+  ER_EXPECTS(num_elements >= num_procs);
+
+  ClassicSchedule sched;
+  sched.proc.resize(num_procs);
+
+  for (std::uint32_t p = 0; p < num_procs; ++p) {
+    const IterationRefs& iters = per_proc[p];
+    ClassicProcSchedule& out = sched.proc[p];
+    out.owned_begin = block_begin(num_elements, num_procs, p);
+    out.owned_end = block_begin(num_elements, num_procs, p + 1);
+    out.iter_global = iters.global_iter;
+    out.indir.resize(iters.num_refs());
+    out.send_ghost_slot.resize(num_procs);
+    out.send_dest_offset.resize(num_procs);
+
+    // Ghost table: distinct off-processor element -> ghost slot.
+    std::unordered_map<std::uint32_t, std::uint32_t> ghost_of;
+    for (std::size_t r = 0; r < iters.num_refs(); ++r) {
+      ER_EXPECTS_MSG(iters.refs[r].size() == iters.num_iterations(),
+                     "ragged indirection reference rows");
+      out.indir[r].reserve(iters.num_iterations());
+      for (std::uint32_t e : iters.refs[r]) {
+        ER_EXPECTS_MSG(e < num_elements, "indirection value out of range");
+        if (e >= out.owned_begin && e < out.owned_end) {
+          out.indir[r].push_back(e - out.owned_begin);
+          continue;
+        }
+        auto [it, inserted] =
+            ghost_of.try_emplace(e, out.num_ghosts);
+        if (inserted) {
+          const std::uint32_t owner =
+              classic_owner(num_elements, num_procs, e);
+          out.send_ghost_slot[owner].push_back(out.num_ghosts);
+          out.send_dest_offset[owner].push_back(
+              e - block_begin(num_elements, num_procs, owner));
+          ++out.num_ghosts;
+        }
+        out.indir[r].push_back(out.owned_size() + it->second);
+      }
+    }
+  }
+  return sched;
+}
+
+}  // namespace earthred::inspector

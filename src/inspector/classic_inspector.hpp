@@ -1,0 +1,80 @@
+// Classic inspector/executor baseline (the CHAOS/PARTI scheme of Saltz et
+// al. [21, 25] the paper compares against, Sec. 5.4.3 and 6).
+//
+// Owner-computes with block ownership of the reduction array: each
+// processor owns a contiguous block of elements; contributions to
+// non-owned elements accumulate in local *ghost* slots and are shipped to
+// the owner once per sweep as aggregated (element, value) messages.
+//
+// Contrast with the LightInspector:
+//   * building this schedule requires communication (processors must
+//     exchange which ghost elements they will send — the translation
+//     table), so an adaptive problem pays that cost at every rebuild;
+//   * per-sweep communication volume depends on the contents of the
+//     indirection arrays and on partition quality, whereas the rotation
+//     scheme's volume is fixed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "inspector/light_inspector.hpp"  // IterationRefs
+
+namespace earthred::inspector {
+
+/// Executor schedule for one processor under the classic scheme.
+struct ClassicProcSchedule {
+  /// Global element range owned by this processor (block partition).
+  std::uint32_t owned_begin = 0;
+  std::uint32_t owned_end = 0;
+
+  /// Global ids of the local iterations (all run in one loop, no phases).
+  std::vector<std::uint32_t> iter_global;
+  /// indir[r][i]: redirected local index for reference r of iteration i.
+  /// Values < owned_size() address the owned block (offset from
+  /// owned_begin); values >= owned_size() address ghost slots.
+  std::vector<std::vector<std::uint32_t>> indir;
+
+  std::uint32_t num_ghosts = 0;
+
+  /// Per destination processor: ghost slots to ship and the destination-
+  /// local element offsets they fold into (parallel vectors, same order on
+  /// both sides of the channel).
+  std::vector<std::vector<std::uint32_t>> send_ghost_slot;  // [dest][j]
+  std::vector<std::vector<std::uint32_t>> send_dest_offset; // [dest][j]
+
+  std::uint32_t owned_size() const noexcept { return owned_end - owned_begin; }
+  /// Local accumulation array length: owned block + ghosts.
+  std::uint64_t local_array_size() const noexcept {
+    return static_cast<std::uint64_t>(owned_size()) + num_ghosts;
+  }
+  /// Total values shipped per sweep.
+  std::uint64_t total_sent() const noexcept {
+    std::uint64_t s = 0;
+    for (const auto& v : send_ghost_slot) s += v.size();
+    return s;
+  }
+};
+
+/// Whole-machine classic schedule.
+struct ClassicSchedule {
+  std::vector<ClassicProcSchedule> proc;
+
+  /// Number of point-to-point channels with nonzero traffic.
+  std::uint64_t active_channels() const noexcept;
+  /// Total values shipped per sweep over all processors.
+  std::uint64_t total_values_sent() const noexcept;
+};
+
+/// Builds the classic owner-computes schedule. `per_proc[p]` carries
+/// processor p's iterations and references (same input type as the
+/// LightInspector, so benches can feed both from one distribution).
+ClassicSchedule build_classic_schedule(
+    std::uint32_t num_elements, std::uint32_t num_procs,
+    const std::vector<IterationRefs>& per_proc);
+
+/// Block owner of a global element.
+std::uint32_t classic_owner(std::uint32_t num_elements,
+                            std::uint32_t num_procs, std::uint32_t element);
+
+}  // namespace earthred::inspector

@@ -1,0 +1,57 @@
+#include "inspector/distribution.hpp"
+
+#include "support/check.hpp"
+
+namespace earthred::inspector {
+
+Distribution parse_distribution(const std::string& name) {
+  if (name == "block" || name == "b") return Distribution::Block;
+  if (name == "cyclic" || name == "c") return Distribution::Cyclic;
+  if (name == "block-cyclic" || name == "bc")
+    return Distribution::BlockCyclic;
+  throw check_error("unknown distribution '" + name +
+                    "' (expected block|cyclic|block-cyclic)");
+}
+
+const char* to_string(Distribution d) {
+  switch (d) {
+    case Distribution::Block: return "block";
+    case Distribution::Cyclic: return "cyclic";
+    case Distribution::BlockCyclic: return "block-cyclic";
+  }
+  return "?";
+}
+
+std::vector<std::vector<std::uint32_t>> distribute_iterations(
+    std::uint64_t num_iterations, std::uint32_t num_procs, Distribution d,
+    std::uint32_t bc_block) {
+  ER_EXPECTS(num_procs >= 1);
+  std::vector<std::vector<std::uint32_t>> owned(num_procs);
+  if (d == Distribution::BlockCyclic) {
+    ER_EXPECTS(bc_block >= 1);
+    for (std::uint64_t i = 0; i < num_iterations; ++i)
+      owned[(i / bc_block) % num_procs].push_back(
+          static_cast<std::uint32_t>(i));
+    return owned;
+  }
+  if (d == Distribution::Block) {
+    const std::uint64_t q = num_iterations / num_procs;
+    const std::uint64_t r = num_iterations % num_procs;
+    std::uint64_t start = 0;
+    for (std::uint32_t p = 0; p < num_procs; ++p) {
+      const std::uint64_t len = q + (p < r ? 1 : 0);
+      owned[p].reserve(len);
+      for (std::uint64_t i = 0; i < len; ++i)
+        owned[p].push_back(static_cast<std::uint32_t>(start + i));
+      start += len;
+    }
+  } else {
+    for (std::uint32_t p = 0; p < num_procs; ++p)
+      owned[p].reserve(num_iterations / num_procs + 1);
+    for (std::uint64_t i = 0; i < num_iterations; ++i)
+      owned[i % num_procs].push_back(static_cast<std::uint32_t>(i));
+  }
+  return owned;
+}
+
+}  // namespace earthred::inspector

@@ -1,0 +1,29 @@
+// Iteration distributions (Sec. 5.4.1): how the edges/interactions of an
+// irregular reduction loop — and the iteration-aligned arrays like IA and
+// Y in Figure 1 — are divided among processors. The paper evaluates block
+// ("b") and cyclic ("c") distributions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace earthred::inspector {
+
+enum class Distribution { Block, Cyclic, BlockCyclic };
+
+/// Parses "block"/"b", "cyclic"/"c", or "block-cyclic"/"bc"; throws
+/// check_error otherwise.
+Distribution parse_distribution(const std::string& name);
+const char* to_string(Distribution d);
+
+/// Global iteration ids owned by each processor, in local order.
+/// Block: processor p owns a contiguous chunk (sizes differing by at most
+/// one). Cyclic: processor p owns p, p+P, p+2P, ... BlockCyclic: HPF-style
+/// round-robin chunks of `bc_block` iterations (Block and Cyclic are its
+/// two extremes). `bc_block` is ignored for the other kinds.
+std::vector<std::vector<std::uint32_t>> distribute_iterations(
+    std::uint64_t num_iterations, std::uint32_t num_procs, Distribution d,
+    std::uint32_t bc_block = 16);
+
+}  // namespace earthred::inspector

@@ -1,0 +1,216 @@
+#include "inspector/light_inspector.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "support/check.hpp"
+
+namespace earthred::inspector {
+
+std::vector<std::uint64_t> InspectorResult::phase_sizes() const {
+  std::vector<std::uint64_t> sizes;
+  sizes.reserve(phases.size());
+  for (const PhaseSchedule& p : phases) sizes.push_back(p.iter_global.size());
+  return sizes;
+}
+
+std::uint64_t InspectorResult::total_deferred() const {
+  std::uint64_t n = 0;
+  for (const PhaseSchedule& p : phases) n += p.copy_dst.size();
+  return n;
+}
+
+namespace {
+
+void check_refs(const RotationSchedule& sched, const IterationRefs& iters) {
+  ER_EXPECTS_MSG(!iters.refs.empty(), "at least one indirection reference");
+  for (const auto& row : iters.refs) {
+    ER_EXPECTS_MSG(row.size() == iters.num_iterations(),
+                   "ragged indirection reference rows");
+    for (std::uint32_t e : row)
+      ER_EXPECTS_MSG(e < sched.num_elements(),
+                     "indirection value out of range");
+  }
+}
+
+/// Shared slot allocator for the full and incremental paths.
+class SlotAllocator {
+ public:
+  SlotAllocator(InspectorResult& result, const RotationSchedule& sched,
+                std::uint32_t proc, bool dedup)
+      : result_(result), sched_(sched), proc_(proc), dedup_(dedup) {}
+
+  /// Returns the redirected index (num_elements + slot) for a reference to
+  /// `elem` that is owned only in a later phase, adding the second-loop
+  /// copy entry in `elem`'s owning phase when a new slot is created.
+  std::uint32_t defer(std::uint32_t elem) {
+    if (dedup_) {
+      const auto it = dedup_map_.find(elem);
+      if (it != dedup_map_.end())
+        return sched_.num_elements() + it->second;
+    }
+    std::uint32_t slot;
+    if (!result_.free_slots.empty()) {
+      slot = result_.free_slots.back();
+      result_.free_slots.pop_back();
+      result_.slot_elem[slot] = elem;
+    } else {
+      slot = result_.num_buffer_slots++;
+      result_.slot_elem.push_back(elem);
+    }
+    if (dedup_) dedup_map_.emplace(elem, slot);
+    const std::uint32_t fold_phase =
+        sched_.owning_phase(proc_, sched_.portion_of(elem));
+    result_.phases[fold_phase].copy_dst.push_back(elem);
+    result_.phases[fold_phase].copy_src.push_back(sched_.num_elements() +
+                                                  slot);
+    return sched_.num_elements() + slot;
+  }
+
+ private:
+  InspectorResult& result_;
+  const RotationSchedule& sched_;
+  std::uint32_t proc_;
+  bool dedup_;
+  std::unordered_map<std::uint32_t, std::uint32_t> dedup_map_;
+};
+
+/// Assigns one iteration: computes its phase, appends it with redirected
+/// references.
+void place_iteration(const RotationSchedule& sched, std::uint32_t proc,
+                     const IterationRefs& iters, std::uint32_t local,
+                     InspectorResult& result, SlotAllocator& slots) {
+  const std::size_t nrefs = iters.num_refs();
+  // Step 1 (per iteration): earliest owning phase over all references.
+  std::uint32_t assigned = sched.phases_per_sweep();
+  for (std::size_t r = 0; r < nrefs; ++r) {
+    const std::uint32_t ph =
+        sched.owning_phase(proc, sched.portion_of(iters.refs[r][local]));
+    assigned = std::min(assigned, ph);
+  }
+  // Step 2: append to the phase with redirected references.
+  PhaseSchedule& phase = result.phases[assigned];
+  phase.iter_global.push_back(iters.global_iter[local]);
+  phase.iter_local.push_back(local);
+  for (std::size_t r = 0; r < nrefs; ++r) {
+    const std::uint32_t elem = iters.refs[r][local];
+    const std::uint32_t ph = sched.owning_phase(proc, sched.portion_of(elem));
+    phase.indir[r].push_back(ph == assigned ? elem : slots.defer(elem));
+  }
+  result.assigned_phase[local] = assigned;
+}
+
+}  // namespace
+
+InspectorResult run_light_inspector(const RotationSchedule& sched,
+                                    std::uint32_t proc,
+                                    const IterationRefs& iters,
+                                    const LightInspectorOptions& opt) {
+  ER_EXPECTS(proc < sched.num_procs());
+  check_refs(sched, iters);
+
+  InspectorResult result;
+  result.phases.resize(sched.phases_per_sweep());
+  for (PhaseSchedule& p : result.phases) p.indir.resize(iters.num_refs());
+  result.assigned_phase.assign(iters.num_iterations(), 0);
+
+  SlotAllocator slots(result, sched, proc, opt.dedup_buffers);
+  for (std::uint32_t i = 0; i < iters.num_iterations(); ++i)
+    place_iteration(sched, proc, iters, i, result, slots);
+
+  result.local_array_size =
+      static_cast<std::uint64_t>(sched.num_elements()) +
+      result.num_buffer_slots;
+  return result;
+}
+
+InspectorResult update_light_inspector(
+    const RotationSchedule& sched, std::uint32_t proc,
+    const IterationRefs& iters, const InspectorResult& previous,
+    std::span<const std::uint32_t> changed_local,
+    const LightInspectorOptions& opt) {
+  ER_EXPECTS(proc < sched.num_procs());
+  ER_EXPECTS_MSG(!opt.dedup_buffers,
+                 "incremental update supports the paper's one-slot-per-"
+                 "reference scheme only");
+  check_refs(sched, iters);
+  ER_EXPECTS(previous.assigned_phase.size() == iters.num_iterations());
+
+  InspectorResult result = previous;
+
+  std::unordered_set<std::uint32_t> changed(changed_local.begin(),
+                                            changed_local.end());
+  for (std::uint32_t c : changed_local)
+    ER_EXPECTS_MSG(c < iters.num_iterations(),
+                   "changed iteration index out of range");
+
+  // Phases that contain changed iterations (removal targets).
+  std::unordered_set<std::uint32_t> affected;
+  for (std::uint32_t c : changed_local)
+    affected.insert(result.assigned_phase[c]);
+
+  // Remove changed iterations (and the copy entries their freed slots
+  // feed) from their old phases.
+  std::unordered_set<std::uint32_t> freed_redirects;  // num_elements + slot
+  for (std::uint32_t ph : affected) {
+    PhaseSchedule& phase = result.phases[ph];
+    std::size_t w = 0;
+    for (std::size_t j = 0; j < phase.iter_local.size(); ++j) {
+      if (changed.count(phase.iter_local[j])) {
+        for (auto& row : phase.indir) {
+          if (row[j] >= sched.num_elements()) {
+            const std::uint32_t slot =
+                row[j] - sched.num_elements();
+            result.free_slots.push_back(slot);
+            freed_redirects.insert(row[j]);
+          }
+        }
+        continue;  // drop this entry
+      }
+      phase.iter_global[w] = phase.iter_global[j];
+      phase.iter_local[w] = phase.iter_local[j];
+      for (auto& row : phase.indir) row[w] = row[j];
+      ++w;
+    }
+    phase.iter_global.resize(w);
+    phase.iter_local.resize(w);
+    for (auto& row : phase.indir) row.resize(w);
+  }
+
+  // Drop the second-loop entries that folded the freed slots. A freed
+  // slot's fold entry lives in the owning phase of its old element, which
+  // may be outside `affected`; locate it via slot_elem.
+  if (!freed_redirects.empty()) {
+    std::unordered_set<std::uint32_t> fold_phases;
+    for (std::uint32_t redirect : freed_redirects) {
+      const std::uint32_t slot = redirect - sched.num_elements();
+      fold_phases.insert(
+          sched.owning_phase(proc, sched.portion_of(result.slot_elem[slot])));
+    }
+    for (std::uint32_t ph : fold_phases) {
+      PhaseSchedule& phase = result.phases[ph];
+      std::size_t w = 0;
+      for (std::size_t j = 0; j < phase.copy_src.size(); ++j) {
+        if (freed_redirects.count(phase.copy_src[j])) continue;
+        phase.copy_dst[w] = phase.copy_dst[j];
+        phase.copy_src[w] = phase.copy_src[j];
+        ++w;
+      }
+      phase.copy_dst.resize(w);
+      phase.copy_src.resize(w);
+    }
+  }
+
+  // Re-insert the changed iterations with their new references.
+  SlotAllocator slots(result, sched, proc, /*dedup=*/false);
+  for (std::uint32_t c : changed_local)
+    place_iteration(sched, proc, iters, c, result, slots);
+
+  result.local_array_size =
+      static_cast<std::uint64_t>(sched.num_elements()) +
+      result.num_buffer_slots;
+  return result;
+}
+
+}  // namespace earthred::inspector

@@ -1,0 +1,123 @@
+// The LightInspector (Sec. 3 of the paper).
+//
+// Runtime preprocessing that runs *independently on each processor* — no
+// inter-processor communication, which is what makes it "light" compared
+// to the CHAOS-style inspector/executor. Given the iterations assigned to
+// one processor and the indirection references each iteration makes into
+// the reduction array, it produces:
+//
+//   1. the partition of iterations into the k*P phases (each iteration is
+//      assigned to the earliest phase in which one of its referenced
+//      portions is owned by this processor);
+//   2. redirected indirection arrays per phase: a reference owned in the
+//      iteration's phase keeps its element index; a reference owned only
+//      in a later phase is redirected to a *remote buffer* slot appended
+//      past the reduction array (the paper's Figure 3 "location 8, 9, ...");
+//   3. the per-phase second loop (copy1_out/copy2_out in Figure 3) that
+//      folds each buffer slot into its element during the phase in which
+//      the element is owned.
+//
+// Buffer allocation supports two policies: one slot per deferred reference
+// (the paper's scheme, illustrated in Figure 3), or deduplicated — one
+// slot per distinct deferred element, shared by all iterations of this
+// processor that update it (an ablation; see bench_ablation_dedup).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "inspector/rotation.hpp"
+
+namespace earthred::inspector {
+
+/// The indirection references of one processor's iterations:
+/// refs[r][i] = element updated by local iteration i through reference
+/// slot r (e.g. r=0 is IA(i,1), r=1 is IA(i,2)). All rows must have equal
+/// length. One row (a single distinct indirection reference) is the easy
+/// case the paper notes needs no buffers; two or more rows exercise the
+/// full machinery.
+struct IterationRefs {
+  /// Global ids of the local iterations, in local order (used by engines
+  /// to gather iteration-aligned data such as the Y array of Figure 1).
+  std::vector<std::uint32_t> global_iter;
+  /// refs[r][i]: element index referenced by local iteration i, slot r.
+  std::vector<std::vector<std::uint32_t>> refs;
+
+  std::size_t num_iterations() const noexcept { return global_iter.size(); }
+  std::size_t num_refs() const noexcept { return refs.size(); }
+};
+
+struct LightInspectorOptions {
+  /// Share one buffer slot among all deferred references to the same
+  /// element (false reproduces the paper's one-slot-per-reference scheme).
+  bool dedup_buffers = false;
+};
+
+/// One phase of the executor schedule.
+struct PhaseSchedule {
+  /// Global iteration ids assigned to this phase, in execution order.
+  std::vector<std::uint32_t> iter_global;
+  /// Local iteration indices (into IterationRefs rows) parallel to
+  /// iter_global; consumed by the incremental update.
+  std::vector<std::uint32_t> iter_local;
+  /// indir[r][j]: redirected index for reference slot r of the j-th
+  /// iteration of this phase. Values < num_elements address the reduction
+  /// array directly (always within the portion owned this phase for the
+  /// reference that determined the assignment); values >= num_elements
+  /// address buffer slots.
+  std::vector<std::vector<std::uint32_t>> indir;
+  /// Second loop: element copy_dst[j] (owned this phase) accumulates
+  /// buffer slot copy_src[j] (>= num_elements).
+  std::vector<std::uint32_t> copy_dst;
+  std::vector<std::uint32_t> copy_src;
+};
+
+/// Full LightInspector output for one processor.
+struct InspectorResult {
+  std::vector<PhaseSchedule> phases;  ///< one per phase (k*P entries)
+  std::uint32_t num_buffer_slots = 0;
+  /// num_elements + num_buffer_slots: required local array length.
+  std::uint64_t local_array_size = 0;
+
+  // --- bookkeeping consumed by update_light_inspector ------------------
+  /// Phase each local iteration was assigned to.
+  std::vector<std::uint32_t> assigned_phase;
+  /// Element a buffer slot folds into (slot -> element).
+  std::vector<std::uint32_t> slot_elem;
+  /// Slots freed by incremental updates, available for reuse.
+  std::vector<std::uint32_t> free_slots;
+
+  /// Iterations per phase (load-balance analysis, Sec. 5.4.3).
+  std::vector<std::uint64_t> phase_sizes() const;
+  /// Total deferred references (== total second-loop entries).
+  std::uint64_t total_deferred() const;
+};
+
+/// Runs the LightInspector for processor `proc`.
+///
+/// Complexity: O(num_iterations * num_refs); no communication.
+/// Throws precondition_error on ragged refs or out-of-range elements.
+InspectorResult run_light_inspector(const RotationSchedule& sched,
+                                    std::uint32_t proc,
+                                    const IterationRefs& iters,
+                                    const LightInspectorOptions& opt = {});
+
+/// Incremental variant (the paper's planned future work, Sec. 7): given a
+/// previous result and the subset of local iterations whose references
+/// changed, updates only the affected phases. Produces a result identical
+/// to a full re-run (verified by property tests); the point is cost — the
+/// engine charges cycles proportional to the touched iterations instead of
+/// all of them.
+///
+/// `changed_local` lists local iteration indices (into iters.global_iter)
+/// whose references differ from the run that produced `previous`. `iters`
+/// must contain the *new* references for all iterations.
+InspectorResult update_light_inspector(const RotationSchedule& sched,
+                                       std::uint32_t proc,
+                                       const IterationRefs& iters,
+                                       const InspectorResult& previous,
+                                       std::span<const std::uint32_t> changed_local,
+                                       const LightInspectorOptions& opt = {});
+
+}  // namespace earthred::inspector

@@ -1,0 +1,86 @@
+#include "inspector/rotation.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace earthred::inspector {
+
+RotationSchedule::RotationSchedule(std::uint32_t num_elements,
+                                   std::uint32_t num_procs, std::uint32_t k)
+    : n_(num_elements), procs_(num_procs), k_(k), kp_(num_procs * k) {
+  ER_EXPECTS(num_procs >= 1);
+  ER_EXPECTS(k >= 1);
+  ER_EXPECTS_MSG(num_elements >= kp_,
+                 "reduction array must have at least one element per portion");
+  q_ = n_ / kp_;
+  r_ = n_ % kp_;
+}
+
+std::uint32_t RotationSchedule::portion_of(std::uint32_t element) const {
+  ER_EXPECTS(element < n_);
+  // First r_ portions have q_+1 elements; the rest have q_.
+  const std::uint32_t split = r_ * (q_ + 1);
+  if (element < split) return element / (q_ + 1);
+  return r_ + (element - split) / q_;
+}
+
+std::uint32_t RotationSchedule::portion_begin(std::uint32_t portion) const {
+  ER_EXPECTS(portion < kp_);
+  return portion * q_ + std::min(portion, r_);
+}
+
+std::uint32_t RotationSchedule::portion_end(std::uint32_t portion) const {
+  return portion_begin(portion) + portion_size(portion);
+}
+
+std::uint32_t RotationSchedule::portion_size(std::uint32_t portion) const {
+  ER_EXPECTS(portion < kp_);
+  return q_ + (portion < r_ ? 1 : 0);
+}
+
+std::uint32_t RotationSchedule::max_portion_size() const {
+  return q_ + (r_ > 0 ? 1 : 0);
+}
+
+std::uint32_t RotationSchedule::owned_portion(std::uint32_t proc,
+                                              std::uint32_t phase) const {
+  ER_EXPECTS(proc < procs_);
+  ER_EXPECTS(phase < kp_);
+  return (k_ * proc + phase) % kp_;
+}
+
+std::uint32_t RotationSchedule::owning_phase(std::uint32_t proc,
+                                             std::uint32_t portion) const {
+  ER_EXPECTS(proc < procs_);
+  ER_EXPECTS(portion < kp_);
+  return (portion + kp_ - (k_ * proc) % kp_) % kp_;
+}
+
+std::uint32_t RotationSchedule::next_owner(std::uint32_t proc) const {
+  ER_EXPECTS(proc < procs_);
+  return (proc + procs_ - 1) % procs_;
+}
+
+std::uint32_t RotationSchedule::last_owning_phase(
+    std::uint32_t portion) const {
+  ER_EXPECTS(portion < kp_);
+  return kp_ - k_ + (portion % k_);
+}
+
+std::uint32_t RotationSchedule::final_owner(std::uint32_t portion) const {
+  const std::uint32_t ph = last_owning_phase(portion);
+  // Find p with (k*p + ph) mod kP == portion, i.e. k*p == portion - ph
+  // (mod kP); portion - ph is a multiple of k by construction.
+  const std::uint32_t diff = (portion + kp_ - ph % kp_) % kp_;
+  ER_ENSURES(diff % k_ == 0);
+  return diff / k_;
+}
+
+std::uint32_t RotationSchedule::initial_portion(
+    std::uint32_t proc, std::uint32_t phase_lt_k) const {
+  ER_EXPECTS(phase_lt_k < k_);
+  return owned_portion(proc, phase_lt_k);
+}
+
+}  // namespace earthred::inspector

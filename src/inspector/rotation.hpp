@@ -1,0 +1,81 @@
+// Rotation schedule for the reduction array (Sec. 2.2 of the paper).
+//
+// The reduction array of `num_elements` elements is split into
+// k * num_procs block portions. During phase `ph` (0 <= ph < k*P),
+// processor `p` owns portion
+//
+//     owned_portion(p, ph) = (k*p + ph) mod (k*P)              [paper]
+//
+// and therefore owns any given portion during exactly one phase per sweep:
+//
+//     owning_phase(p, pid) = (pid - k*p) mod (k*P).
+//
+// After finishing a phase, a processor forwards the portion it owned to
+// next_owner(p) = (p + P - 1) mod P, which owns it k phases later — for
+// k > 1 the transfer is in flight for k-1 phase-widths, which is the
+// communication/computation overlap the whole strategy relies on.
+//
+// Every portion is complete (has visited all P processors) during the last
+// k phases of a sweep: last_owning_phase(pid) = k*P - k + (pid mod k).
+#pragma once
+
+#include <cstdint>
+
+namespace earthred::inspector {
+
+class RotationSchedule {
+ public:
+  /// `num_elements` — reduction array length; `num_procs` — P; `k` — the
+  /// paper's overlap parameter (1, 2, 4, ...). Portion sizes differ by at
+  /// most one (the first num_elements mod k*P portions are one longer).
+  RotationSchedule(std::uint32_t num_elements, std::uint32_t num_procs,
+                   std::uint32_t k);
+
+  std::uint32_t num_elements() const noexcept { return n_; }
+  std::uint32_t num_procs() const noexcept { return procs_; }
+  std::uint32_t k() const noexcept { return k_; }
+  /// Portions == phases per sweep == k * P.
+  std::uint32_t num_portions() const noexcept { return kp_; }
+  std::uint32_t phases_per_sweep() const noexcept { return kp_; }
+
+  /// Block decomposition of elements into portions.
+  std::uint32_t portion_of(std::uint32_t element) const;
+  std::uint32_t portion_begin(std::uint32_t portion) const;
+  std::uint32_t portion_end(std::uint32_t portion) const;
+  std::uint32_t portion_size(std::uint32_t portion) const;
+  /// Size of the largest portion (== size of portion 0).
+  std::uint32_t max_portion_size() const;
+
+  /// Portion owned by `proc` during `phase` ((k*p + ph) mod kP).
+  std::uint32_t owned_portion(std::uint32_t proc, std::uint32_t phase) const;
+
+  /// The unique phase in which `proc` owns `portion`.
+  std::uint32_t owning_phase(std::uint32_t proc, std::uint32_t portion) const;
+
+  /// Processor a finished portion is forwarded to ((p + P - 1) mod P).
+  std::uint32_t next_owner(std::uint32_t proc) const;
+
+  /// Last phase of a sweep in which `portion` is owned by anyone — the
+  /// phase at which its reduction is complete.
+  std::uint32_t last_owning_phase(std::uint32_t portion) const;
+
+  /// The processor owning `portion` at last_owning_phase(portion).
+  std::uint32_t final_owner(std::uint32_t portion) const;
+
+  /// Portions held by `proc` at sweep start, i.e. the ones it owns during
+  /// phases 0..k-1 before any transfer could arrive. Returned as the list
+  /// of portion ids for phases 0..k-1.
+  /// (Initial data placement must follow this layout.)
+  std::uint32_t initial_portion(std::uint32_t proc,
+                                std::uint32_t phase_lt_k) const;
+
+ private:
+  std::uint32_t n_;
+  std::uint32_t procs_;
+  std::uint32_t k_;
+  std::uint32_t kp_;
+  std::uint32_t q_;  // n / kp
+  std::uint32_t r_;  // n % kp
+};
+
+}  // namespace earthred::inspector

@@ -1,0 +1,159 @@
+#include "kernels/adaptive_moldyn.hpp"
+
+#include <vector>
+
+#include "inspector/distribution.hpp"
+#include "kernels/euler.hpp"
+#include "kernels/moldyn.hpp"
+#include "support/check.hpp"
+#include "support/prng.hpp"
+
+namespace earthred::kernels {
+
+namespace {
+
+/// Per-processor count of owned iterations whose endpoints changed.
+std::vector<std::uint64_t> changed_per_proc(
+    const mesh::Mesh& before, const mesh::Mesh& after, std::uint32_t procs,
+    inspector::Distribution dist, std::uint64_t* total_changed) {
+  ER_EXPECTS(before.num_edges() == after.num_edges());
+  const auto owned = inspector::distribute_iterations(after.num_edges(),
+                                                      procs, dist);
+  std::vector<std::uint64_t> changed(procs, 0);
+  std::uint64_t total = 0;
+  for (std::uint32_t p = 0; p < procs; ++p) {
+    for (const std::uint32_t e : owned[p]) {
+      if (!(before.edges[e] == after.edges[e])) {
+        ++changed[p];
+        ++total;
+      }
+    }
+  }
+  if (total_changed) *total_changed += total;
+  return changed;
+}
+
+/// Shared epoch loop for the rotation strategy. `make_kernel` builds the
+/// per-epoch kernel from the current mesh.
+template <typename MakeKernel>
+AdaptiveResult adaptive_rotation_impl(mesh::Mesh m,
+                                      std::uint64_t num_interactions,
+                                      std::uint32_t epochs,
+                                      std::uint32_t sweeps_per_epoch,
+                                      double drift_sigma,
+                                      std::uint64_t drift_seed,
+                                      const MakeKernel& make_kernel,
+                                      core::RotationOptions rotation,
+                                      bool incremental) {
+  ER_EXPECTS(epochs >= 1);
+  rotation.sweeps = sweeps_per_epoch;
+  rotation.collect_results = false;
+
+  Xoshiro256 drift(drift_seed);
+  AdaptiveResult result;
+  for (std::uint32_t epoch = 0; epoch < epochs; ++epoch) {
+    if (epoch > 0) {
+      const mesh::Mesh before = m;
+      mesh::jitter_coords(m, drift_sigma, drift);
+      mesh::rebuild_interactions(m, num_interactions);
+      if (incremental) {
+        rotation.inspector_work_items =
+            changed_per_proc(before, m, rotation.num_procs,
+                             rotation.distribution,
+                             &result.changed_interactions);
+      } else {
+        rotation.inspector_work_items.clear();
+        changed_per_proc(before, m, rotation.num_procs,
+                         rotation.distribution,
+                         &result.changed_interactions);
+      }
+    }
+    const auto kernel = make_kernel(m);
+    const core::RunResult r = core::run_rotation_engine(*kernel, rotation);
+    result.total_cycles += r.total_cycles;
+    result.inspector_cycles += r.inspector_cycles;
+  }
+  return result;
+}
+
+/// Shared epoch loop for the classic scheme (full communicating inspector
+/// every epoch).
+template <typename MakeKernel>
+AdaptiveResult adaptive_classic_impl(mesh::Mesh m,
+                                     std::uint64_t num_interactions,
+                                     std::uint32_t epochs,
+                                     std::uint32_t sweeps_per_epoch,
+                                     double drift_sigma,
+                                     std::uint64_t drift_seed,
+                                     const MakeKernel& make_kernel,
+                                     core::ClassicOptions classic) {
+  ER_EXPECTS(epochs >= 1);
+  classic.sweeps = sweeps_per_epoch;
+  classic.collect_results = false;
+
+  Xoshiro256 drift(drift_seed);
+  AdaptiveResult result;
+  for (std::uint32_t epoch = 0; epoch < epochs; ++epoch) {
+    if (epoch > 0) {
+      const mesh::Mesh before = m;
+      mesh::jitter_coords(m, drift_sigma, drift);
+      mesh::rebuild_interactions(m, num_interactions);
+      changed_per_proc(before, m, classic.num_procs, classic.distribution,
+                       &result.changed_interactions);
+    }
+    const auto kernel = make_kernel(m);
+    const core::RunResult r = core::run_classic_engine(*kernel, classic);
+    result.total_cycles += r.total_cycles;
+    result.inspector_cycles += r.inspector_cycles;
+  }
+  return result;
+}
+
+std::unique_ptr<core::PhasedKernel> make_moldyn(const mesh::Mesh& m) {
+  return std::make_unique<MoldynKernel>(m);
+}
+
+std::unique_ptr<core::PhasedKernel> make_euler(const mesh::Mesh& m) {
+  return std::make_unique<EulerKernel>(m);
+}
+
+}  // namespace
+
+AdaptiveResult run_adaptive_moldyn_rotation(const AdaptiveOptions& adaptive,
+                                            core::RotationOptions rotation,
+                                            bool incremental) {
+  return adaptive_rotation_impl(
+      mesh::make_moldyn_lattice(adaptive.dataset),
+      adaptive.dataset.num_interactions, adaptive.epochs,
+      adaptive.sweeps_per_epoch, adaptive.drift_sigma, adaptive.drift_seed,
+      make_moldyn, rotation, incremental);
+}
+
+AdaptiveResult run_adaptive_moldyn_classic(const AdaptiveOptions& adaptive,
+                                           core::ClassicOptions classic) {
+  return adaptive_classic_impl(
+      mesh::make_moldyn_lattice(adaptive.dataset),
+      adaptive.dataset.num_interactions, adaptive.epochs,
+      adaptive.sweeps_per_epoch, adaptive.drift_sigma, adaptive.drift_seed,
+      make_moldyn, classic);
+}
+
+AdaptiveResult run_adaptive_euler_rotation(const AdaptiveEulerOptions& a,
+                                           core::RotationOptions rotation,
+                                           bool incremental) {
+  return adaptive_rotation_impl(mesh::make_geometric_mesh(a.dataset),
+                                a.dataset.num_edges, a.epochs,
+                                a.sweeps_per_epoch, a.drift_sigma,
+                                a.drift_seed, make_euler, rotation,
+                                incremental);
+}
+
+AdaptiveResult run_adaptive_euler_classic(const AdaptiveEulerOptions& a,
+                                          core::ClassicOptions classic) {
+  return adaptive_classic_impl(mesh::make_geometric_mesh(a.dataset),
+                               a.dataset.num_edges, a.epochs,
+                               a.sweeps_per_epoch, a.drift_sigma,
+                               a.drift_seed, make_euler, classic);
+}
+
+}  // namespace earthred::kernels

@@ -1,0 +1,66 @@
+// Adaptive irregular reductions (the paper's Sec. 7 future work, built out
+// here as an extension): moldyn with periodic neighbour-list rebuilds.
+//
+// Every `sweeps_per_epoch` time steps the molecules have drifted enough
+// that the interaction list is rebuilt from current coordinates. Under the
+// rotation strategy this costs one LightInspector re-run — purely local —
+// and with the *incremental* LightInspector only the changed interactions
+// are reprocessed. Under the classic scheme every rebuild repeats the
+// communicating inspector (translation-table exchange), which is the
+// overhead the paper argues makes conventional approaches unsuited to
+// adaptive problems.
+#pragma once
+
+#include <cstdint>
+
+#include "core/classic_engine.hpp"
+#include "core/reduction_engine.hpp"
+#include "earth/types.hpp"
+#include "mesh/generators.hpp"
+
+namespace earthred::kernels {
+
+struct AdaptiveOptions {
+  mesh::MoldynParams dataset{9, 26244, 0.05, 19941122};
+  std::uint32_t epochs = 5;            ///< neighbour-list rebuilds
+  std::uint32_t sweeps_per_epoch = 10; ///< time steps between rebuilds
+  double drift_sigma = 0.04;           ///< coordinate drift per epoch
+  std::uint64_t drift_seed = 7;
+};
+
+struct AdaptiveResult {
+  earth::Cycles total_cycles = 0;
+  earth::Cycles inspector_cycles = 0;  ///< preprocessing across all epochs
+  std::uint64_t changed_interactions = 0;  ///< total across rebuilds
+};
+
+/// Rotation strategy; `incremental` switches the post-first-epoch
+/// inspector charge from all local iterations to only the changed ones.
+AdaptiveResult run_adaptive_moldyn_rotation(const AdaptiveOptions& adaptive,
+                                            core::RotationOptions rotation,
+                                            bool incremental);
+
+/// Classic inspector/executor: the full communicating inspector re-runs
+/// every epoch.
+AdaptiveResult run_adaptive_moldyn_classic(const AdaptiveOptions& adaptive,
+                                           core::ClassicOptions classic);
+
+/// Adaptive euler: an unstructured mesh whose connectivity drifts between
+/// epochs (the adaptive-CFD remeshing regime the paper targets). Same
+/// protocol as adaptive moldyn, on the geometric mesh generator.
+struct AdaptiveEulerOptions {
+  mesh::GeomMeshParams dataset{2800, 17377, 20020415};
+  std::uint32_t epochs = 5;
+  std::uint32_t sweeps_per_epoch = 10;
+  double drift_sigma = 0.01;  ///< in unit-square coordinates
+  std::uint64_t drift_seed = 9;
+};
+
+AdaptiveResult run_adaptive_euler_rotation(const AdaptiveEulerOptions& a,
+                                           core::RotationOptions rotation,
+                                           bool incremental);
+
+AdaptiveResult run_adaptive_euler_classic(const AdaptiveEulerOptions& a,
+                                          core::ClassicOptions classic);
+
+}  // namespace earthred::kernels

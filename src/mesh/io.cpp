@@ -1,0 +1,63 @@
+#include "mesh/io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace earthred::mesh {
+
+void write_mesh(std::ostream& os, const Mesh& m) {
+  m.validate();
+  os << "mesh " << m.num_nodes << ' ' << m.num_edges() << ' '
+     << (m.coords.empty() ? 0 : 1) << '\n';
+  for (const Edge& e : m.edges) os << "e " << e.a << ' ' << e.b << '\n';
+  if (!m.coords.empty()) {
+    os.precision(17);
+    for (const auto& c : m.coords)
+      os << "c " << c[0] << ' ' << c[1] << ' ' << c[2] << '\n';
+  }
+}
+
+void save_mesh(const std::string& path, const Mesh& m) {
+  std::ofstream os(path);
+  ER_CHECK_MSG(os.good(), "cannot open '" + path + "' for writing");
+  write_mesh(os, m);
+  ER_CHECK_MSG(os.good(), "write to '" + path + "' failed");
+}
+
+Mesh read_mesh(std::istream& is) {
+  std::string tag;
+  Mesh m;
+  std::uint64_t num_edges = 0;
+  int has_coords = 0;
+  is >> tag >> m.num_nodes >> num_edges >> has_coords;
+  ER_CHECK_MSG(is.good() && tag == "mesh",
+               "not an earthred mesh file (missing 'mesh' header)");
+  ER_CHECK_MSG(has_coords == 0 || has_coords == 1,
+               "malformed has_coords flag");
+  m.edges.reserve(num_edges);
+  for (std::uint64_t i = 0; i < num_edges; ++i) {
+    Edge e;
+    is >> tag >> e.a >> e.b;
+    ER_CHECK_MSG(is.good() && tag == "e", "malformed edge line");
+    m.edges.push_back(e);
+  }
+  if (has_coords) {
+    m.coords.resize(m.num_nodes);
+    for (std::uint32_t v = 0; v < m.num_nodes; ++v) {
+      is >> tag >> m.coords[v][0] >> m.coords[v][1] >> m.coords[v][2];
+      ER_CHECK_MSG(!is.fail() && tag == "c", "malformed coordinate line");
+    }
+  }
+  m.validate();
+  return m;
+}
+
+Mesh load_mesh(const std::string& path) {
+  std::ifstream is(path);
+  ER_CHECK_MSG(is.good(), "cannot open '" + path + "'");
+  return read_mesh(is);
+}
+
+}  // namespace earthred::mesh

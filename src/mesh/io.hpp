@@ -1,0 +1,26 @@
+// Mesh serialization: a small line-oriented text format plus Chaco/METIS-
+// style edge-list export, so users can run the engines on their own
+// meshes and inspect generated ones.
+//
+// Format ("earthred mesh v1"):
+//   mesh <num_nodes> <num_edges> <has_coords:0|1>
+//   e <a> <b>            (num_edges lines)
+//   c <x> <y> <z>        (num_nodes lines, if has_coords)
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "mesh/mesh.hpp"
+
+namespace earthred::mesh {
+
+/// Writes `m` in the earthred mesh v1 format.
+void write_mesh(std::ostream& os, const Mesh& m);
+void save_mesh(const std::string& path, const Mesh& m);
+
+/// Reads a mesh; throws check_error on malformed input.
+Mesh read_mesh(std::istream& is);
+Mesh load_mesh(const std::string& path);
+
+}  // namespace earthred::mesh

@@ -1,0 +1,93 @@
+#include "mesh/partition.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/check.hpp"
+
+namespace earthred::mesh {
+
+namespace {
+
+/// Recursively bisects `ids` (a subrange of node indices) into `parts`
+/// partitions, writing labels starting at `first_label`.
+void rcb_recurse(const Mesh& m, std::vector<std::uint32_t>& ids,
+                 std::size_t lo, std::size_t hi, std::uint32_t parts,
+                 std::uint32_t first_label,
+                 std::vector<std::uint32_t>& out) {
+  if (parts == 1) {
+    for (std::size_t i = lo; i < hi; ++i) out[ids[i]] = first_label;
+    return;
+  }
+  // Split proportionally: left gets floor(parts/2) of the parts and the
+  // matching share of nodes.
+  const std::uint32_t left_parts = parts / 2;
+  const std::uint32_t right_parts = parts - left_parts;
+  const std::size_t count = hi - lo;
+  const std::size_t left_count =
+      count * left_parts / parts;
+
+  // Widest axis of the bounding box.
+  double mins[3] = {1e300, 1e300, 1e300};
+  double maxs[3] = {-1e300, -1e300, -1e300};
+  for (std::size_t i = lo; i < hi; ++i) {
+    for (int d = 0; d < 3; ++d) {
+      mins[d] = std::min(mins[d], m.coords[ids[i]][d]);
+      maxs[d] = std::max(maxs[d], m.coords[ids[i]][d]);
+    }
+  }
+  int axis = 0;
+  for (int d = 1; d < 3; ++d)
+    if (maxs[d] - mins[d] > maxs[axis] - mins[axis]) axis = d;
+
+  std::nth_element(ids.begin() + static_cast<std::ptrdiff_t>(lo),
+                   ids.begin() + static_cast<std::ptrdiff_t>(lo + left_count),
+                   ids.begin() + static_cast<std::ptrdiff_t>(hi),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     if (m.coords[a][axis] != m.coords[b][axis])
+                       return m.coords[a][axis] < m.coords[b][axis];
+                     return a < b;
+                   });
+  rcb_recurse(m, ids, lo, lo + left_count, left_parts, first_label, out);
+  rcb_recurse(m, ids, lo + left_count, hi, right_parts,
+              first_label + left_parts, out);
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> rcb_partition(const Mesh& m,
+                                         std::uint32_t parts) {
+  ER_EXPECTS(parts >= 1);
+  ER_EXPECTS_MSG(!m.coords.empty(), "RCB needs node coordinates");
+  ER_EXPECTS(m.num_nodes >= parts);
+  std::vector<std::uint32_t> ids(m.num_nodes);
+  std::iota(ids.begin(), ids.end(), 0u);
+  std::vector<std::uint32_t> out(m.num_nodes, 0);
+  rcb_recurse(m, ids, 0, m.num_nodes, parts, 0, out);
+  return out;
+}
+
+std::uint64_t edge_cut(const Mesh& m, std::span<const std::uint32_t> part) {
+  ER_EXPECTS(part.size() == m.num_nodes);
+  std::uint64_t cut = 0;
+  for (const Edge& e : m.edges) cut += (part[e.a] != part[e.b]);
+  return cut;
+}
+
+std::vector<std::uint32_t> partition_order(
+    std::span<const std::uint32_t> part, std::uint32_t parts) {
+  // Counting sort by partition label, stable in original order.
+  std::vector<std::uint64_t> offsets(parts + 1, 0);
+  for (const std::uint32_t p : part) {
+    ER_EXPECTS(p < parts);
+    ++offsets[p + 1];
+  }
+  std::partial_sum(offsets.begin(), offsets.end(), offsets.begin());
+  std::vector<std::uint32_t> perm(part.size());
+  std::vector<std::uint64_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (std::uint32_t v = 0; v < part.size(); ++v)
+    perm[v] = static_cast<std::uint32_t>(cursor[part[v]]++);
+  return perm;
+}
+
+}  // namespace earthred::mesh

@@ -1,0 +1,35 @@
+// Geometric mesh partitioning (coordinate recursive bisection).
+//
+// The paper's central claim is that the rotation strategy needs *no*
+// partitioning: its communication is independent of the mesh numbering.
+// The conventional schemes it compares against (Agrawal-Saltz et al.)
+// depend on a good partition. This module supplies one — recursive
+// coordinate bisection, the standard geometric partitioner — so the
+// classic baseline can be evaluated "with partitioning" and the
+// independence claim demonstrated (see bench_ablation_partition).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "mesh/mesh.hpp"
+
+namespace earthred::mesh {
+
+/// Assigns each node to one of `parts` partitions by recursive coordinate
+/// bisection. Parts are balanced to within one node. Requires
+/// coordinates. Works for any `parts` >= 1 (not just powers of two).
+std::vector<std::uint32_t> rcb_partition(const Mesh& m, std::uint32_t parts);
+
+/// Number of edges whose endpoints lie in different partitions.
+std::uint64_t edge_cut(const Mesh& m, std::span<const std::uint32_t> part);
+
+/// Permutation (perm[old] = new) that renumbers nodes so each partition's
+/// nodes are contiguous (partition-major, original order within a
+/// partition). Applying it with renumber() aligns block ownership with
+/// the partition.
+std::vector<std::uint32_t> partition_order(
+    std::span<const std::uint32_t> part, std::uint32_t parts);
+
+}  // namespace earthred::mesh

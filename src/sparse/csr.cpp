@@ -1,0 +1,94 @@
+#include "sparse/csr.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace earthred::sparse {
+
+CsrMatrix CsrMatrix::from_triplets(std::uint32_t nrows, std::uint32_t ncols,
+                                   std::vector<Triplet> entries) {
+  for (const Triplet& t : entries) {
+    ER_EXPECTS_MSG(t.row < nrows && t.col < ncols,
+                   "triplet index out of range");
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+
+  CsrMatrix m;
+  m.nrows_ = nrows;
+  m.ncols_ = ncols;
+  m.row_ptr_.assign(nrows + 1, 0);
+  m.col_idx_.reserve(entries.size());
+  m.values_.reserve(entries.size());
+
+  std::size_t i = 0;
+  for (std::uint32_t r = 0; r < nrows; ++r) {
+    while (i < entries.size() && entries[i].row == r) {
+      const std::uint32_t c = entries[i].col;
+      double v = 0.0;
+      while (i < entries.size() && entries[i].row == r &&
+             entries[i].col == c) {
+        v += entries[i].value;
+        ++i;
+      }
+      m.col_idx_.push_back(c);
+      m.values_.push_back(v);
+    }
+    m.row_ptr_[r + 1] = m.col_idx_.size();
+  }
+  return m;
+}
+
+std::uint64_t CsrMatrix::row_nnz(std::uint32_t r) const {
+  ER_EXPECTS(r < nrows_);
+  return row_ptr_[r + 1] - row_ptr_[r];
+}
+
+void CsrMatrix::spmv(std::span<const double> x, std::span<double> y) const {
+  ER_EXPECTS(x.size() == ncols_);
+  ER_EXPECTS(y.size() == nrows_);
+  for (std::uint32_t r = 0; r < nrows_; ++r) {
+    double acc = 0.0;
+    for (std::uint64_t j = row_ptr_[r]; j < row_ptr_[r + 1]; ++j)
+      acc += values_[j] * x[col_idx_[j]];
+    y[r] = acc;
+  }
+}
+
+CsrMatrix CsrMatrix::transpose() const {
+  std::vector<Triplet> entries;
+  entries.reserve(nnz());
+  for (std::uint32_t r = 0; r < nrows_; ++r)
+    for (std::uint64_t j = row_ptr_[r]; j < row_ptr_[r + 1]; ++j)
+      entries.push_back(Triplet{col_idx_[j], r, values_[j]});
+  return from_triplets(ncols_, nrows_, std::move(entries));
+}
+
+bool CsrMatrix::is_symmetric(double tol) const {
+  if (nrows_ != ncols_) return false;
+  const CsrMatrix t = transpose();
+  if (t.col_idx_ != col_idx_ || t.row_ptr_ != row_ptr_) return false;
+  for (std::size_t j = 0; j < values_.size(); ++j)
+    if (std::abs(values_[j] - t.values_[j]) > tol) return false;
+  return true;
+}
+
+void CsrMatrix::validate() const {
+  ER_ENSURES(row_ptr_.size() == static_cast<std::size_t>(nrows_) + 1);
+  ER_ENSURES(row_ptr_.front() == 0);
+  ER_ENSURES(row_ptr_.back() == col_idx_.size());
+  ER_ENSURES(col_idx_.size() == values_.size());
+  for (std::uint32_t r = 0; r < nrows_; ++r) {
+    ER_ENSURES(row_ptr_[r] <= row_ptr_[r + 1]);
+    for (std::uint64_t j = row_ptr_[r]; j < row_ptr_[r + 1]; ++j) {
+      ER_ENSURES(col_idx_[j] < ncols_);
+      if (j + 1 < row_ptr_[r + 1]) ER_ENSURES(col_idx_[j] < col_idx_[j + 1]);
+    }
+  }
+}
+
+}  // namespace earthred::sparse

@@ -1,0 +1,65 @@
+// Sparse matrix types for the mvm kernel (Sec. 5.3 of the paper: sparse
+// matrix-vector multiply extracted from NAS CG).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace earthred::sparse {
+
+/// One coordinate-format entry.
+struct Triplet {
+  std::uint32_t row = 0;
+  std::uint32_t col = 0;
+  double value = 0.0;
+};
+
+/// Compressed-sparse-row matrix.
+///
+/// Invariants (checked by validate()):
+///   * row_ptr.size() == nrows + 1, row_ptr.front() == 0,
+///     row_ptr.back() == col_idx.size() == values.size();
+///   * row_ptr nondecreasing;
+///   * within each row, column indices strictly increase and are < ncols.
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+
+  /// Builds from triplets; duplicate (row, col) entries are summed.
+  static CsrMatrix from_triplets(std::uint32_t nrows, std::uint32_t ncols,
+                                 std::vector<Triplet> entries);
+
+  std::uint32_t nrows() const noexcept { return nrows_; }
+  std::uint32_t ncols() const noexcept { return ncols_; }
+  std::uint64_t nnz() const noexcept { return col_idx_.size(); }
+
+  std::span<const std::uint64_t> row_ptr() const noexcept { return row_ptr_; }
+  std::span<const std::uint32_t> col_idx() const noexcept { return col_idx_; }
+  std::span<const double> values() const noexcept { return values_; }
+
+  /// Number of nonzeros in row r.
+  std::uint64_t row_nnz(std::uint32_t r) const;
+
+  /// y = A * x. Sizes must match; the reference implementation for all
+  /// parallel-execution validation.
+  void spmv(std::span<const double> x, std::span<double> y) const;
+
+  /// Returns the transpose.
+  CsrMatrix transpose() const;
+
+  /// True if structurally and numerically symmetric within `tol`.
+  bool is_symmetric(double tol = 1e-12) const;
+
+  /// Throws internal_error if any invariant is violated.
+  void validate() const;
+
+ private:
+  std::uint32_t nrows_ = 0;
+  std::uint32_t ncols_ = 0;
+  std::vector<std::uint64_t> row_ptr_{0};
+  std::vector<std::uint32_t> col_idx_;
+  std::vector<double> values_;
+};
+
+}  // namespace earthred::sparse

@@ -1,0 +1,24 @@
+// Sparse-matrix serialization in MatrixMarket coordinate format
+// (`%%MatrixMarket matrix coordinate real general`), the de-facto exchange
+// format for sparse matrices — so users can feed their own matrices to
+// the mvm engine and export the NAS-CG generated ones.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sparse/csr.hpp"
+
+namespace earthred::sparse {
+
+/// Writes `m` as MatrixMarket coordinate/real/general (1-based indices).
+void write_matrix_market(std::ostream& os, const CsrMatrix& m);
+void save_matrix_market(const std::string& path, const CsrMatrix& m);
+
+/// Reads a MatrixMarket coordinate file. Supports `general` and
+/// `symmetric` (the lower triangle is mirrored). Throws check_error on
+/// malformed input or unsupported variants (complex/pattern).
+CsrMatrix read_matrix_market(std::istream& is);
+CsrMatrix load_matrix_market(const std::string& path);
+
+}  // namespace earthred::sparse

@@ -1,0 +1,105 @@
+#include "sparse/nas_cg.hpp"
+
+#include <bit>
+#include <cmath>
+#include <vector>
+
+#include "support/check.hpp"
+#include "support/prng.hpp"
+
+namespace earthred::sparse {
+
+NasCgParams nas_class_s() { return {1400, 7, 0.1, 10.0, 314159265.0}; }
+NasCgParams nas_class_w() { return {7000, 8, 0.1, 12.0, 314159265.0}; }
+NasCgParams nas_class_a() { return {14000, 11, 0.1, 20.0, 314159265.0}; }
+NasCgParams nas_class_b() { return {75000, 13, 0.1, 60.0, 314159265.0}; }
+
+NasCgParams nas_class_b_scaled(std::uint32_t divisor) {
+  NasCgParams p = nas_class_b();
+  ER_EXPECTS(divisor >= 1);
+  p.n = p.n / divisor;
+  return p;
+}
+
+namespace {
+
+/// NPB sprnvc: draws `nz` distinct random positions (0-based here) with
+/// random values, rejecting positions >= n and duplicates.
+void sprnvc(NasRandlc& rng, std::uint32_t n, std::uint32_t nz,
+            std::vector<double>& v, std::vector<std::uint32_t>& iv) {
+  v.clear();
+  iv.clear();
+  const std::uint64_t nn1 = std::bit_ceil(static_cast<std::uint64_t>(n));
+  while (iv.size() < nz) {
+    const double vecelt = rng.next();
+    const double vecloc = rng.next();
+    const auto i =
+        static_cast<std::uint64_t>(static_cast<double>(nn1) * vecloc);
+    if (i >= n) continue;
+    bool used = false;
+    for (std::uint32_t prev : iv) {
+      if (prev == i) {
+        used = true;
+        break;
+      }
+    }
+    if (used) continue;
+    v.push_back(vecelt);
+    iv.push_back(static_cast<std::uint32_t>(i));
+  }
+}
+
+/// NPB vecset: force entry `i` to `val`, appending it if absent.
+void vecset(std::vector<double>& v, std::vector<std::uint32_t>& iv,
+            std::uint32_t i, double val) {
+  for (std::size_t k = 0; k < iv.size(); ++k) {
+    if (iv[k] == i) {
+      v[k] = val;
+      return;
+    }
+  }
+  v.push_back(val);
+  iv.push_back(i);
+}
+
+}  // namespace
+
+CsrMatrix make_nas_cg_matrix(const NasCgParams& p) {
+  ER_EXPECTS(p.n >= 2);
+  ER_EXPECTS(p.nonzer >= 1);
+  ER_EXPECTS(p.rcond > 0.0 && p.rcond < 1.0);
+
+  NasRandlc rng(p.seed);
+  const double ratio =
+      std::pow(p.rcond, 1.0 / static_cast<double>(p.n));
+  double size = 1.0;
+
+  std::vector<Triplet> entries;
+  // Each outer product contributes ~(nonzer+1)^2 entries.
+  entries.reserve(static_cast<std::size_t>(p.n) *
+                  (p.nonzer + 1) * (p.nonzer + 1));
+
+  std::vector<double> vc;
+  std::vector<std::uint32_t> ic;
+  for (std::uint32_t iouter = 0; iouter < p.n; ++iouter) {
+    sprnvc(rng, p.n, p.nonzer, vc, ic);
+    vecset(vc, ic, iouter, 0.5);
+    // Scaled outer product v * v^T added into A (NPB `sparse`).
+    for (std::size_t a = 0; a < ic.size(); ++a) {
+      for (std::size_t b = 0; b < ic.size(); ++b) {
+        entries.push_back(
+            Triplet{ic[b], ic[a], size * vc[a] * vc[b]});
+      }
+    }
+    size *= ratio;
+  }
+  // Shifted identity: a(i,i) += rcond - shift.
+  for (std::uint32_t i = 0; i < p.n; ++i)
+    entries.push_back(Triplet{i, i, p.rcond - p.shift});
+
+  CsrMatrix m = CsrMatrix::from_triplets(p.n, p.n, std::move(entries));
+  m.validate();
+  return m;
+}
+
+}  // namespace earthred::sparse

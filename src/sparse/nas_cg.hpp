@@ -1,0 +1,42 @@
+// NAS-CG style sparse matrix generator (`makea` from the NAS Parallel
+// Benchmarks). The paper's mvm experiments use the class W, A and B
+// matrices (7,000 / 14,000 / 75,000 rows with 508,402 / 1,853,104 /
+// 13,708,072 nonzeros); this generator follows the NPB construction —
+// random sparse vectors accumulated as scaled outer products with a
+// shifted diagonal — using the same 48-bit `randlc` generator, so the
+// resulting matrices have the statistical structure the paper ran on.
+#pragma once
+
+#include <cstdint>
+
+#include "sparse/csr.hpp"
+
+namespace earthred::sparse {
+
+/// Parameters of the NPB CG matrix construction.
+struct NasCgParams {
+  std::uint32_t n = 1400;     ///< matrix dimension
+  std::uint32_t nonzer = 7;   ///< nonzeros per generated sparse vector
+  double rcond = 0.1;         ///< condition-number control
+  double shift = 10.0;        ///< diagonal shift (lambda)
+  double seed = 314159265.0;  ///< randlc seed
+};
+
+/// NPB class S (1,400 rows) — handy for tests.
+NasCgParams nas_class_s();
+/// NPB class W (7,000 rows) — the paper's first mvm dataset.
+NasCgParams nas_class_w();
+/// NPB class A (14,000 rows) — the paper's second mvm dataset.
+NasCgParams nas_class_a();
+/// NPB class B (75,000 rows) — the paper's third mvm dataset.
+NasCgParams nas_class_b();
+
+/// A class-B-shaped matrix scaled down by `divisor` in dimension, used
+/// when the full 13.7M-nonzero matrix is too slow for a quick bench run.
+NasCgParams nas_class_b_scaled(std::uint32_t divisor);
+
+/// Runs the `makea` construction and returns the matrix in CSR form.
+/// The result is structurally symmetric with a positive shifted diagonal.
+CsrMatrix make_nas_cg_matrix(const NasCgParams& params);
+
+}  // namespace earthred::sparse

@@ -1,0 +1,32 @@
+#include "support/check.hpp"
+
+#include <sstream>
+
+namespace earthred::detail {
+
+namespace {
+std::string compose(const char* kind, const char* cond, const char* file,
+                    int line, const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << cond << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  return os.str();
+}
+}  // namespace
+
+void fail_expects(const char* cond, const char* file, int line,
+                  const std::string& msg) {
+  throw precondition_error(compose("precondition", cond, file, line, msg));
+}
+
+void fail_ensures(const char* cond, const char* file, int line,
+                  const std::string& msg) {
+  throw internal_error(compose("invariant", cond, file, line, msg));
+}
+
+void fail_check(const char* cond, const char* file, int line,
+                const std::string& msg) {
+  throw check_error(compose("check", cond, file, line, msg));
+}
+
+}  // namespace earthred::detail

@@ -1,0 +1,87 @@
+// Precondition / invariant checking for the earthred library.
+//
+// The library distinguishes three classes of failure:
+//   * ER_EXPECTS  — caller violated a documented precondition.
+//   * ER_ENSURES  — the library itself failed to establish a postcondition
+//                   (an internal bug).
+//   * ER_CHECK    — a runtime condition that may legitimately fail on bad
+//                   input data (e.g. a malformed mesh file).
+//
+// All three throw; they never abort, so a host application can recover and
+// tests can assert on the failure. The what() string carries file:line and
+// the stringified condition.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace earthred {
+
+/// Thrown when a caller violates a documented precondition.
+class precondition_error : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Thrown when the library detects an internal invariant violation.
+class internal_error : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Thrown on invalid runtime data (bad file, inconsistent sizes, ...).
+class check_error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+namespace detail {
+[[noreturn]] void fail_expects(const char* cond, const char* file, int line,
+                               const std::string& msg);
+[[noreturn]] void fail_ensures(const char* cond, const char* file, int line,
+                               const std::string& msg);
+[[noreturn]] void fail_check(const char* cond, const char* file, int line,
+                             const std::string& msg);
+}  // namespace detail
+
+}  // namespace earthred
+
+#define ER_EXPECTS(cond)                                                    \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::earthred::detail::fail_expects(#cond, __FILE__, __LINE__, {});      \
+  } while (0)
+
+#define ER_EXPECTS_MSG(cond, msg)                                           \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::earthred::detail::fail_expects(#cond, __FILE__, __LINE__, (msg));   \
+  } while (0)
+
+#define ER_ENSURES(cond)                                                    \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::earthred::detail::fail_ensures(#cond, __FILE__, __LINE__, {});      \
+  } while (0)
+
+#define ER_ENSURES_MSG(cond, msg)                                           \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::earthred::detail::fail_ensures(#cond, __FILE__, __LINE__, (msg));   \
+  } while (0)
+
+#define ER_CHECK(cond)                                                      \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::earthred::detail::fail_check(#cond, __FILE__, __LINE__, {});        \
+  } while (0)
+
+#define ER_CHECK_MSG(cond, msg)                                             \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::earthred::detail::fail_check(#cond, __FILE__, __LINE__, (msg));     \
+  } while (0)
+
+/// Marks unreachable code paths; throws internal_error if ever executed.
+#define ER_UNREACHABLE(msg)                                                 \
+  ::earthred::detail::fail_ensures("unreachable", __FILE__, __LINE__, (msg))

@@ -1,0 +1,49 @@
+// Leveled logging to stderr. Off by default above Warn so library code can
+// narrate (simulator phase transitions, inspector statistics) without
+// polluting bench output; tests and examples raise the level explicitly.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace earthred {
+
+enum class LogLevel : int { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off = 5 };
+
+/// Global log threshold; messages below it are dropped.
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& msg);
+}
+
+/// Stream-style log statement: ER_LOG(Info) << "built " << n << " fibers";
+#define ER_LOG(levelname)                                                  \
+  for (bool er_log_once =                                                  \
+           ::earthred::log_level() <= ::earthred::LogLevel::levelname;     \
+       er_log_once; er_log_once = false)                                   \
+  ::earthred::detail::LogLine(::earthred::LogLevel::levelname)
+
+namespace detail {
+/// Accumulates one log line and emits it on destruction.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_emit(level_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace earthred

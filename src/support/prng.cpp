@@ -1,0 +1,107 @@
+#include "support/prng.hpp"
+
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace earthred {
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Xoshiro256::Xoshiro256(std::uint64_t seed) noexcept {
+  SplitMix64 sm(seed);
+  for (auto& w : s_) w = sm.next();
+}
+
+Xoshiro256::result_type Xoshiro256::operator()() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+void Xoshiro256::jump() noexcept {
+  static constexpr std::uint64_t kJump[] = {
+      0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL, 0xa9582618e03fc9aaULL,
+      0x39abdc4529b1661cULL};
+  std::array<std::uint64_t, 4> acc{0, 0, 0, 0};
+  for (std::uint64_t word : kJump) {
+    for (int b = 0; b < 64; ++b) {
+      if (word & (1ULL << b)) {
+        for (int i = 0; i < 4; ++i) acc[static_cast<std::size_t>(i)] ^= s_[static_cast<std::size_t>(i)];
+      }
+      (*this)();
+    }
+  }
+  s_ = acc;
+}
+
+double Xoshiro256::uniform() noexcept {
+  // 53 high bits -> double in [0,1).
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Xoshiro256::uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t Xoshiro256::below(std::uint64_t n) noexcept {
+  if (n == 0) return 0;
+  // Lemire's multiply-shift with rejection for exact uniformity.
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * n;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < n) {
+    const std::uint64_t threshold = (0 - n) % n;
+    while (lo < threshold) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * n;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Xoshiro256::range(std::int64_t lo, std::int64_t hi) noexcept {
+  if (lo >= hi) return lo;
+  const auto width = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(below(width));
+}
+
+bool Xoshiro256::chance(double p) noexcept { return uniform() < p; }
+
+NasRandlc::NasRandlc(double seed, double a) noexcept : x_(seed), a_(a) {}
+
+double NasRandlc::next() noexcept {
+  // Exact 46-bit LCG following the NPB reference implementation: split both
+  // multiplier and state into 23-bit halves and recombine mod 2^46.
+  constexpr double r23 = 0x1.0p-23, t23 = 0x1.0p23;
+  constexpr double r46 = 0x1.0p-46, t46 = 0x1.0p46;
+
+  const double t1 = r23 * a_;
+  const double a1 = std::trunc(t1);
+  const double a2 = a_ - t23 * a1;
+
+  const double t1b = r23 * x_;
+  const double x1 = std::trunc(t1b);
+  const double x2 = x_ - t23 * x1;
+
+  const double t1c = a1 * x2 + a2 * x1;
+  const double t2 = std::trunc(r23 * t1c);
+  const double z = t1c - t23 * t2;
+  const double t3 = t23 * z + a2 * x2;
+  const double t4 = std::trunc(r46 * t3);
+  x_ = t3 - t46 * t4;
+  return r46 * x_;
+}
+
+}  // namespace earthred

@@ -1,0 +1,86 @@
+// Pseudo-random number generation for workload synthesis.
+//
+// Two families:
+//   * xoshiro256** — the library's general-purpose generator (fast, good
+//     statistical quality, splittable via jump()), used for meshes,
+//     molecular layouts, and property-test inputs.
+//   * NasRandlc    — a bit-faithful reimplementation of the NAS Parallel
+//     Benchmarks `randlc` 48-bit linear congruential generator, used by the
+//     NAS-CG `makea` sparse-matrix construction so that the class W/A/B
+//     matrices have the same statistical structure the paper used.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace earthred {
+
+/// SplitMix64: seeds other generators from a single 64-bit value.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** by Blackman & Vigna. Satisfies UniformRandomBitGenerator.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed = 0x9d2c5680u) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  result_type operator()() noexcept;
+
+  /// Advances 2^128 steps; yields an independent stream for parallel use.
+  void jump() noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+  /// Unbiased uniform integer in [0, n) for n > 0 (Lemire rejection).
+  std::uint64_t below(std::uint64_t n) noexcept;
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept;
+  /// Bernoulli trial with probability p.
+  bool chance(double p) noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> s_;
+};
+
+/// NAS Parallel Benchmarks `randlc`: x_{k+1} = a * x_k mod 2^46, returning
+/// x_{k+1} * 2^-46. All arithmetic is done in exact double-width pieces as
+/// in the reference Fortran, so sequences match the NPB reference.
+class NasRandlc {
+ public:
+  /// NPB standard multiplier 5^13.
+  static constexpr double kDefaultA = 1220703125.0;
+
+  explicit NasRandlc(double seed = 314159265.0,
+                     double a = kDefaultA) noexcept;
+
+  /// Returns the next uniform value in (0, 1) and advances the state.
+  double next() noexcept;
+
+  /// Current raw state x (an integer value stored in a double).
+  double state() const noexcept { return x_; }
+
+ private:
+  double x_;
+  double a_;
+};
+
+}  // namespace earthred

@@ -1,0 +1,94 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace earthred {
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto n1 = static_cast<double>(n_);
+  const auto n2 = static_cast<double>(other.n_);
+  const double nt = n1 + n2;
+  mean_ += delta * n2 / nt;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / nt;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double quantile_sorted(std::span<const double> sorted, double q) {
+  ER_EXPECTS(q >= 0.0 && q <= 1.0);
+  if (sorted.empty()) return 0.0;
+  if (sorted.size() == 1) return sorted[0];
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+Summary summarize(std::span<const double> xs) {
+  Summary s;
+  if (xs.empty()) return s;
+  std::vector<double> v(xs.begin(), xs.end());
+  std::sort(v.begin(), v.end());
+  RunningStats rs;
+  for (double x : v) rs.add(x);
+  s.count = rs.count();
+  s.mean = rs.mean();
+  s.stddev = rs.stddev();
+  s.min = v.front();
+  s.max = v.back();
+  s.p50 = quantile_sorted(v, 0.5);
+  s.p90 = quantile_sorted(v, 0.9);
+  return s;
+}
+
+double imbalance_factor(std::span<const std::uint64_t> work) {
+  if (work.empty()) return 0.0;
+  std::uint64_t maxw = 0, total = 0;
+  for (auto w : work) {
+    maxw = std::max(maxw, w);
+    total += w;
+  }
+  if (total == 0) return 0.0;
+  const double mean = static_cast<double>(total) / static_cast<double>(work.size());
+  return static_cast<double>(maxw) / mean;
+}
+
+double coefficient_of_variation(std::span<const std::uint64_t> work) {
+  RunningStats rs;
+  for (auto w : work) rs.add(static_cast<double>(w));
+  return rs.mean() > 0.0 ? rs.stddev() / rs.mean() : 0.0;
+}
+
+}  // namespace earthred

@@ -1,0 +1,61 @@
+// Small statistics helpers used by the benchmark harness and by the
+// load-balance analyses (Sec. 5.4.3 of the paper examines the number of
+// iterations assigned to each phase on each processor).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace earthred {
+
+/// Streaming mean / variance / extrema (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+  double sum() const noexcept { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Summary of a sample set, including order statistics.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double max = 0.0;
+};
+
+/// Computes a Summary; copies and sorts the data internally.
+Summary summarize(std::span<const double> xs);
+
+/// Load-imbalance factor of a work distribution: max / mean.
+/// 1.0 is perfectly balanced; returns 0 for empty or all-zero input.
+double imbalance_factor(std::span<const std::uint64_t> work);
+
+/// Coefficient of variation (stddev / mean) of a work distribution.
+double coefficient_of_variation(std::span<const std::uint64_t> work);
+
+/// Interpolated quantile q in [0,1] of already-sorted data.
+double quantile_sorted(std::span<const double> sorted, double q);
+
+}  // namespace earthred

@@ -1,0 +1,63 @@
+#include "support/str.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace earthred {
+
+std::string fmt_f(double v, int precision) {
+  return strformat("%.*f", precision, v);
+}
+
+std::string fmt_group(long long v) {
+  std::string digits = std::to_string(v < 0 ? -v : v);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3 + 1);
+  std::size_t lead = digits.size() % 3;
+  if (lead == 0) lead = 3;
+  out.append(digits, 0, lead);
+  for (std::size_t i = lead; i < digits.size(); i += 3) {
+    out.push_back(',');
+    out.append(digits, i, 3);
+  }
+  if (v < 0) out.insert(out.begin(), '-');
+  return out;
+}
+
+std::vector<std::string> split(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = s.find(delim, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(s.substr(start));
+      break;
+    }
+    out.emplace_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::string_view trim(std::string_view s) {
+  const auto is_space = [](unsigned char c) { return std::isspace(c) != 0; };
+  while (!s.empty() && is_space(static_cast<unsigned char>(s.front()))) s.remove_prefix(1);
+  while (!s.empty() && is_space(static_cast<unsigned char>(s.back()))) s.remove_suffix(1);
+  return s;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+std::string pad_left(std::string s, std::size_t width) {
+  if (s.size() < width) s.insert(s.begin(), width - s.size(), ' ');
+  return s;
+}
+
+std::string pad_right(std::string s, std::size_t width) {
+  if (s.size() < width) s.append(width - s.size(), ' ');
+  return s;
+}
+
+}  // namespace earthred

@@ -1,0 +1,42 @@
+// String formatting helpers. GCC 12 ships without std::format, so the
+// library carries a minimal printf-backed `strformat` plus the handful of
+// numeric-to-string conveniences the bench tables need.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace earthred {
+
+/// printf-style formatting into a std::string.
+template <typename... Args>
+std::string strformat(const char* fmt, Args&&... args) {
+  const int n = std::snprintf(nullptr, 0, fmt, args...);
+  if (n <= 0) return {};
+  std::string out(static_cast<std::size_t>(n), '\0');
+  std::snprintf(out.data(), out.size() + 1, fmt, args...);
+  return out;
+}
+
+/// Fixed-precision double, e.g. fmt_f(3.14159, 2) == "3.14".
+std::string fmt_f(double v, int precision = 2);
+
+/// Thousands-separated integer, e.g. fmt_group(1853104) == "1,853,104".
+std::string fmt_group(long long v);
+
+/// Splits on a delimiter; empty fields preserved.
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// Removes leading/trailing whitespace.
+std::string_view trim(std::string_view s);
+
+/// True if `s` begins with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Left/right padding to a width (spaces); no-op if already wider.
+std::string pad_left(std::string s, std::size_t width);
+std::string pad_right(std::string s, std::size_t width);
+
+}  // namespace earthred

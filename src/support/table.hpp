@@ -1,0 +1,50 @@
+// Console table printer used by the benchmark harness to emit the rows and
+// series of the paper's figures in an aligned, diffable text form.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace earthred {
+
+/// Column alignment within a Table.
+enum class Align { Left, Right };
+
+/// An aligned text table with a header row and optional title, rendered
+/// with a separator rule under the header. Cell content is free-form text;
+/// callers format numbers with fmt_f / fmt_group.
+class Table {
+ public:
+  explicit Table(std::string title = {});
+
+  /// Declares the header. Must be called before any add_row.
+  void set_header(std::vector<std::string> header,
+                  std::vector<Align> align = {});
+
+  /// Appends a data row; must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Appends a horizontal rule between row groups.
+  void add_rule();
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Renders the table (title, header, rule, rows) to `os`.
+  void print(std::ostream& os) const;
+
+  /// Renders to a string (mostly for tests).
+  std::string to_string() const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool rule = false;
+  };
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<Align> align_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace earthred

@@ -1,0 +1,193 @@
+// Tests for the classic (CHAOS-style) inspector/executor baseline.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "inspector/classic_inspector.hpp"
+#include "inspector/distribution.hpp"
+#include "support/check.hpp"
+#include "support/prng.hpp"
+
+namespace earthred::inspector {
+namespace {
+
+std::vector<IterationRefs> random_input(std::uint32_t num_elements,
+                                        std::uint32_t procs,
+                                        std::uint32_t iters_per_proc,
+                                        std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<IterationRefs> per_proc(procs);
+  std::uint32_t g = 0;
+  for (auto& ir : per_proc) {
+    ir.refs.resize(2);
+    for (std::uint32_t i = 0; i < iters_per_proc; ++i) {
+      ir.global_iter.push_back(g++);
+      ir.refs[0].push_back(static_cast<std::uint32_t>(rng.below(num_elements)));
+      ir.refs[1].push_back(static_cast<std::uint32_t>(rng.below(num_elements)));
+    }
+  }
+  return per_proc;
+}
+
+TEST(ClassicOwner, BlockPartition) {
+  // 10 elements over 3 procs: sizes 4,3,3.
+  EXPECT_EQ(classic_owner(10, 3, 0), 0u);
+  EXPECT_EQ(classic_owner(10, 3, 3), 0u);
+  EXPECT_EQ(classic_owner(10, 3, 4), 1u);
+  EXPECT_EQ(classic_owner(10, 3, 6), 1u);
+  EXPECT_EQ(classic_owner(10, 3, 7), 2u);
+  EXPECT_EQ(classic_owner(10, 3, 9), 2u);
+  EXPECT_THROW(classic_owner(10, 3, 10), precondition_error);
+}
+
+TEST(Classic, OwnedRangesTileTheArray) {
+  const auto input = random_input(100, 4, 20, 1);
+  const ClassicSchedule s = build_classic_schedule(100, 4, input);
+  std::uint32_t covered = 0;
+  for (const auto& p : s.proc) {
+    EXPECT_EQ(p.owned_begin, covered);
+    covered = p.owned_end;
+  }
+  EXPECT_EQ(covered, 100u);
+}
+
+TEST(Classic, RedirectionsAreConsistent) {
+  const std::uint32_t n = 64, procs = 4;
+  const auto input = random_input(n, procs, 50, 2);
+  const ClassicSchedule s = build_classic_schedule(n, procs, input);
+  for (std::uint32_t p = 0; p < procs; ++p) {
+    const auto& ps = s.proc[p];
+    const auto& in = input[p];
+    for (std::size_t r = 0; r < 2; ++r) {
+      for (std::size_t i = 0; i < in.num_iterations(); ++i) {
+        const std::uint32_t elem = in.refs[r][i];
+        const std::uint32_t redirected = ps.indir[r][i];
+        if (elem >= ps.owned_begin && elem < ps.owned_end) {
+          EXPECT_EQ(redirected, elem - ps.owned_begin);
+        } else {
+          EXPECT_GE(redirected, ps.owned_size());
+          EXPECT_LT(redirected, ps.local_array_size());
+        }
+      }
+    }
+  }
+}
+
+TEST(Classic, GhostsDedupAcrossReferences) {
+  // Two iterations referencing the same off-proc element share one ghost.
+  std::vector<IterationRefs> input(2);
+  input[0].global_iter = {0, 1};
+  input[0].refs = {{0, 9}, {9, 1}};  // element 9 off-proc for P0, used 3x
+  input[1].global_iter = {2};
+  input[1].refs = {{5}, {6}};
+  const ClassicSchedule s = build_classic_schedule(10, 2, input);
+  EXPECT_EQ(s.proc[0].num_ghosts, 1u);
+  EXPECT_EQ(s.proc[0].total_sent(), 1u);
+  EXPECT_EQ(s.proc[1].num_ghosts, 0u);
+}
+
+TEST(Classic, SendSchedulesTargetTheOwner) {
+  const std::uint32_t n = 40, procs = 4;
+  const auto input = random_input(n, procs, 30, 3);
+  const ClassicSchedule s = build_classic_schedule(n, procs, input);
+  for (std::uint32_t p = 0; p < procs; ++p) {
+    const auto& ps = s.proc[p];
+    for (std::uint32_t dest = 0; dest < procs; ++dest) {
+      ASSERT_EQ(ps.send_ghost_slot[dest].size(),
+                ps.send_dest_offset[dest].size());
+      if (dest == p) {
+        EXPECT_TRUE(ps.send_ghost_slot[dest].empty());
+      }
+      for (std::uint32_t off : ps.send_dest_offset[dest])
+        EXPECT_LT(off, s.proc[dest].owned_size());
+      for (std::uint32_t slot : ps.send_ghost_slot[dest])
+        EXPECT_LT(slot, ps.num_ghosts);
+    }
+  }
+}
+
+TEST(Classic, ExecutorSemanticsMatchReference) {
+  // Replay the classic executor by hand: accumulate locally, ship ghosts,
+  // owners fold — final owned blocks must equal the sequential reduction.
+  const std::uint32_t n = 30, procs = 3;
+  const auto input = random_input(n, procs, 40, 4);
+  const ClassicSchedule s = build_classic_schedule(n, procs, input);
+
+  Xoshiro256 rng(5);
+  std::vector<std::vector<double>> vals(procs);
+  std::vector<double> reference(n, 0.0);
+  for (std::uint32_t p = 0; p < procs; ++p) {
+    for (std::size_t i = 0; i < input[p].num_iterations(); ++i) {
+      const double v = rng.uniform(-1, 1);
+      vals[p].push_back(v);
+      reference[input[p].refs[0][i]] += v;
+      reference[input[p].refs[1][i]] += 2 * v;
+    }
+  }
+
+  std::vector<std::vector<double>> local(procs);
+  for (std::uint32_t p = 0; p < procs; ++p) {
+    local[p].assign(s.proc[p].local_array_size(), 0.0);
+    for (std::size_t i = 0; i < input[p].num_iterations(); ++i) {
+      local[p][s.proc[p].indir[0][i]] += vals[p][i];
+      local[p][s.proc[p].indir[1][i]] += 2 * vals[p][i];
+    }
+  }
+  for (std::uint32_t p = 0; p < procs; ++p) {
+    for (std::uint32_t dest = 0; dest < procs; ++dest) {
+      const auto& slots = s.proc[p].send_ghost_slot[dest];
+      const auto& offs = s.proc[p].send_dest_offset[dest];
+      for (std::size_t j = 0; j < slots.size(); ++j)
+        local[dest][offs[j]] += local[p][s.proc[p].owned_size() + slots[j]];
+    }
+  }
+  for (std::uint32_t p = 0; p < procs; ++p)
+    for (std::uint32_t e = s.proc[p].owned_begin; e < s.proc[p].owned_end;
+         ++e)
+      EXPECT_NEAR(local[p][e - s.proc[p].owned_begin], reference[e], 1e-12);
+}
+
+TEST(Classic, CommunicationDependsOnLocality) {
+  // The motivating contrast to the rotation scheme: with spatially local
+  // references the classic scheme ships few values, with scattered
+  // references it ships many.
+  const std::uint32_t n = 1000, procs = 4;
+  std::vector<IterationRefs> local_refs(procs), scattered(procs);
+  Xoshiro256 rng(6);
+  std::uint32_t g = 0;
+  for (std::uint32_t p = 0; p < procs; ++p) {
+    local_refs[p].refs.resize(2);
+    scattered[p].refs.resize(2);
+    const std::uint32_t base = p * (n / procs);
+    for (std::uint32_t i = 0; i < 200; ++i) {
+      local_refs[p].global_iter.push_back(g);
+      scattered[p].global_iter.push_back(g++);
+      // Local: both endpoints within the proc's own block.
+      local_refs[p].refs[0].push_back(
+          base + static_cast<std::uint32_t>(rng.below(n / procs)));
+      local_refs[p].refs[1].push_back(
+          base + static_cast<std::uint32_t>(rng.below(n / procs)));
+      scattered[p].refs[0].push_back(
+          static_cast<std::uint32_t>(rng.below(n)));
+      scattered[p].refs[1].push_back(
+          static_cast<std::uint32_t>(rng.below(n)));
+    }
+  }
+  const auto s_local = build_classic_schedule(n, procs, local_refs);
+  const auto s_scattered = build_classic_schedule(n, procs, scattered);
+  EXPECT_EQ(s_local.total_values_sent(), 0u);
+  EXPECT_GT(s_scattered.total_values_sent(), 500u);
+  EXPECT_GT(s_scattered.active_channels(), 6u);
+}
+
+TEST(Classic, RejectsBadInput) {
+  std::vector<IterationRefs> input(2);
+  input[0].global_iter = {0};
+  input[0].refs = {{10}, {0}};  // out of range
+  input[1].refs.resize(2);
+  EXPECT_THROW(build_classic_schedule(10, 2, input), precondition_error);
+  EXPECT_THROW(build_classic_schedule(10, 3, input), precondition_error);
+}
+
+}  // namespace
+}  // namespace earthred::inspector

@@ -1,0 +1,90 @@
+// Tests for the fiber-graph collectives (ring dot, axpy, all-gather).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/collectives.hpp"
+#include "support/check.hpp"
+#include "support/prng.hpp"
+
+namespace earthred::core {
+namespace {
+
+CollectiveOptions opts(std::uint32_t P) {
+  CollectiveOptions o;
+  o.num_procs = P;
+  o.machine.max_events = 10'000'000;
+  return o;
+}
+
+TEST(Collectives, DotMatchesHostAcrossProcCounts) {
+  Xoshiro256 rng(7);
+  std::vector<double> a(500), b(500);
+  for (auto& v : a) v = rng.uniform(-2, 2);
+  for (auto& v : b) v = rng.uniform(-2, 2);
+  double host = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) host += a[i] * b[i];
+
+  for (const std::uint32_t P : {1u, 2u, 3u, 8u}) {
+    double got = 0;
+    const auto cycles = simulate_dot(a, b, &got, opts(P));
+    EXPECT_GT(cycles, 0u);
+    EXPECT_NEAR(got, host, 1e-9 * (1.0 + std::abs(host))) << "P=" << P;
+  }
+}
+
+TEST(Collectives, DotScalesWithProcessors) {
+  std::vector<double> a(20000, 1.0), b(20000, 2.0);
+  double out = 0;
+  const auto t1 = simulate_dot(a, b, &out, opts(1));
+  const auto t8 = simulate_dot(a, b, &out, opts(8));
+  EXPECT_LT(t8, t1);  // local work dominates at this size
+}
+
+TEST(Collectives, DotRingCostGrowsWithProcsOnTinyVectors) {
+  std::vector<double> a(64, 1.0), b(64, 1.0);
+  double out = 0;
+  const auto t2 = simulate_dot(a, b, &out, opts(2));
+  const auto t16 = simulate_dot(a, b, &out, opts(16));
+  EXPECT_GT(t16, t2);  // ring latency dominates when blocks are tiny
+}
+
+TEST(Collectives, AxpyComputesAndCharges) {
+  std::vector<double> x(100), y(100);
+  for (std::size_t i = 0; i < 100; ++i) {
+    x[i] = static_cast<double>(i);
+    y[i] = 1.0;
+  }
+  const auto cycles = simulate_axpy(2.0, x, y, opts(4));
+  EXPECT_GT(cycles, 0u);
+  for (std::size_t i = 0; i < 100; ++i)
+    ASSERT_DOUBLE_EQ(y[i], 1.0 + 2.0 * static_cast<double>(i));
+}
+
+TEST(Collectives, AxpbyScalesY) {
+  std::vector<double> x(10, 1.0), y(10, 10.0);
+  simulate_axpy(1.0, x, y, opts(2), 0.5);  // y = x + 0.5 y
+  for (const double v : y) ASSERT_DOUBLE_EQ(v, 6.0);
+}
+
+TEST(Collectives, AllGatherCostsRingSteps) {
+  const auto t2 = simulate_allgather(8000, opts(2));
+  const auto t8 = simulate_allgather(8000, opts(8));
+  EXPECT_GT(t2, 0u);
+  EXPECT_GT(t8, 0u);
+  EXPECT_EQ(simulate_allgather(8000, opts(1)), 0u);
+  // 8 procs move smaller blocks per step but take 7 pipelined steps; for
+  // a fixed n the total stays within a small factor.
+  EXPECT_LT(t8, 4 * t2);
+}
+
+TEST(Collectives, SizeMismatchRejected) {
+  std::vector<double> a(5, 1.0), b(6, 1.0);
+  EXPECT_THROW(simulate_dot(a, b, nullptr, opts(2)), precondition_error);
+  std::vector<double> y(4, 0.0);
+  EXPECT_THROW(simulate_axpy(1.0, a, y, opts(2)), precondition_error);
+}
+
+}  // namespace
+}  // namespace earthred::core

@@ -1,0 +1,442 @@
+// Tests for the DSL compiler: lexing, parsing, semantic checks, the
+// Sec. 4 analysis (sections, reference groups, loop fission), Threaded-C
+// emission, and end-to-end execution of compiled kernels on the engines.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "compiler/compiler.hpp"
+#include "compiler/lexer.hpp"
+#include "compiler/parser.hpp"
+#include "core/reduction_engine.hpp"
+#include "core/sequential.hpp"
+#include "support/check.hpp"
+#include "support/prng.hpp"
+
+namespace earthred::compiler {
+namespace {
+
+constexpr const char* kFig1Source = R"(
+  // Figure 1 of the paper.
+  param num_nodes, num_edges;
+  array real X[num_nodes];
+  array int  IA1[num_edges];
+  array int  IA2[num_edges];
+  array real Y[num_edges];
+
+  forall (i : 0 .. num_edges) {
+    X[IA1[i]] += Y[i] * 2.0;
+    X[IA2[i]] += Y[i] * 2.0;
+  }
+)";
+
+constexpr const char* kTwoGroupSource = R"(
+  param num_nodes, num_edges;
+  array real X[num_nodes];
+  array real W[num_nodes];
+  array int  IA1[num_edges];
+  array int  IA2[num_edges];
+  array real Y[num_edges];
+
+  forall (i : 0 .. num_edges) {
+    t = Y[i] * 3.0;
+    X[IA1[i]] += t;
+    X[IA2[i]] -= t;
+    W[IA1[i]] += t * t;
+  }
+)";
+
+// ------------------------------------------------------------- lexer
+
+TEST(Lexer, TokenizesOperatorsAndLiterals) {
+  DiagnosticSink sink;
+  const auto toks = lex("x += 3.5e2 .. // comment\n [i]", sink);
+  EXPECT_FALSE(sink.has_errors());
+  ASSERT_GE(toks.size(), 7u);
+  EXPECT_EQ(toks[0].kind, TokenKind::Identifier);
+  EXPECT_EQ(toks[1].kind, TokenKind::PlusAssign);
+  EXPECT_EQ(toks[2].kind, TokenKind::RealLiteral);
+  EXPECT_DOUBLE_EQ(toks[2].number, 350.0);
+  EXPECT_EQ(toks[3].kind, TokenKind::DotDot);
+  EXPECT_EQ(toks[4].kind, TokenKind::LBracket);
+}
+
+TEST(Lexer, TracksPositions) {
+  DiagnosticSink sink;
+  const auto toks = lex("param\n  forall", sink);
+  EXPECT_EQ(toks[0].line, 1u);
+  EXPECT_EQ(toks[1].line, 2u);
+  EXPECT_EQ(toks[1].column, 3u);
+}
+
+TEST(Lexer, ReportsBadCharacters) {
+  DiagnosticSink sink;
+  lex("x @ y", sink);
+  EXPECT_TRUE(sink.has_errors());
+}
+
+TEST(Lexer, BlockCommentsAndUnterminated) {
+  DiagnosticSink sink;
+  const auto toks = lex("a /* hi \n there */ b", sink);
+  EXPECT_FALSE(sink.has_errors());
+  EXPECT_EQ(toks.size(), 3u);  // a, b, EOF
+  DiagnosticSink sink2;
+  lex("a /* never closed", sink2);
+  EXPECT_TRUE(sink2.has_errors());
+}
+
+// ------------------------------------------------------------- parser
+
+TEST(Parser, ParsesFig1) {
+  DiagnosticSink sink;
+  const Program p = parse(kFig1Source, sink);
+  ASSERT_FALSE(sink.has_errors()) << sink.summary();
+  EXPECT_EQ(p.params.size(), 2u);
+  EXPECT_EQ(p.arrays.size(), 4u);
+  ASSERT_EQ(p.loops.size(), 1u);
+  EXPECT_EQ(p.loops[0].var, "i");
+  EXPECT_EQ(p.loops[0].hi_param, "num_edges");
+  ASSERT_EQ(p.loops[0].body.size(), 2u);
+  EXPECT_EQ(p.loops[0].body[0].kind, StmtKind::Accumulate);
+  EXPECT_EQ(p.loops[0].body[0].index.indirection, "IA1");
+  EXPECT_EQ(p.loops[0].body[0].index.inner_var, "i");
+}
+
+TEST(Parser, RejectsPlainAssignToArray) {
+  DiagnosticSink sink;
+  parse("param n, m; array real X[n]; array int IA[m];"
+        "forall (i : 0 .. m) { X[IA[i]] = 1.0; }",
+        sink);
+  EXPECT_TRUE(sink.has_errors());
+}
+
+TEST(Parser, RejectsDoubleIndirection) {
+  DiagnosticSink sink;
+  parse("param n, m; array real X[n]; array int A[m]; array int B[m];"
+        "forall (i : 0 .. m) { X[A[B[i]]] += 1.0; }",
+        sink);
+  EXPECT_TRUE(sink.has_errors());
+}
+
+TEST(Parser, RecoversAndReportsMultipleErrors) {
+  DiagnosticSink sink;
+  parse("param n; array real X[n]; forall (i : 0 .. n) { = ; X = ; }",
+        sink);
+  EXPECT_GE(sink.diagnostics().size(), 2u);
+}
+
+// ------------------------------------------------------------- sema
+
+TEST(Sema, UndeclaredArrayReported) {
+  EXPECT_THROW(compile("param n, m; forall (i : 0 .. m) "
+                       "{ X[IA[i]] += 1.0; }"),
+               compile_error);
+}
+
+TEST(Sema, IndirectionMustBeInt) {
+  try {
+    compile("param n, m; array real X[n]; array real F[m];"
+            "forall (i : 0 .. m) { X[F[i]] += 1.0; }");
+    FAIL();
+  } catch (const compile_error& e) {
+    EXPECT_NE(std::string(e.what()).find("must be 'int'"),
+              std::string::npos);
+  }
+}
+
+TEST(Sema, ReductionArrayReadIsLoopCarried) {
+  try {
+    compile("param n, m; array real X[n]; array int IA[m]; array int IB[m];"
+            "forall (i : 0 .. m) { X[IA[i]] += X[IB[i]]; }");
+    FAIL();
+  } catch (const compile_error& e) {
+    EXPECT_NE(std::string(e.what()).find("loop-carried"),
+              std::string::npos);
+  }
+}
+
+TEST(Sema, ScalarUseBeforeDefinition) {
+  EXPECT_THROW(compile("param n, m; array real X[n]; array int IA[m];"
+                       "forall (i : 0 .. m) { X[IA[i]] += t; t = 1.0; }"),
+               compile_error);
+}
+
+TEST(Sema, WrongExtentReported) {
+  EXPECT_THROW(compile("param n, m; array real X[n]; array int IA[n];"
+                       "forall (i : 0 .. m) { X[IA[i]] += 1.0; }"),
+               compile_error);
+}
+
+TEST(Sema, IndexMustUseLoopVariable) {
+  EXPECT_THROW(compile("param n, m; array real X[n]; array int IA[m];"
+                       "forall (i : 0 .. m) { X[IA[j]] += 1.0; }"),
+               compile_error);
+}
+
+TEST(Sema, DirectAccumulateRejected) {
+  EXPECT_THROW(compile("param n, m; array real Y[m]; "
+                       "forall (i : 0 .. m) { Y[i] += 1.0; }"),
+               compile_error);
+}
+
+// ----------------------------------------------------------- analysis
+
+TEST(Analysis, Fig1SingleGroupNoFission) {
+  const CompileResult r = compile(kFig1Source);
+  ASSERT_EQ(r.analysis.loops.size(), 1u);
+  const LoopAnalysis& la = r.analysis.loops[0];
+  EXPECT_EQ(la.reduction_sections.size(), 2u);  // X via IA1, X via IA2
+  EXPECT_EQ(la.indirection_sections.size(), 2u);
+  ASSERT_EQ(la.groups.size(), 1u);
+  EXPECT_FALSE(la.needs_fission());
+  EXPECT_EQ(la.groups[0].reduction_arrays,
+            (std::vector<std::string>{"X"}));
+  EXPECT_EQ(la.groups[0].indirection_arrays,
+            (std::vector<std::string>{"IA1", "IA2"}));
+  EXPECT_EQ(r.analysis.fissioned.size(), 1u);
+}
+
+TEST(Analysis, SectionTripletNotation) {
+  const CompileResult r = compile(kFig1Source);
+  EXPECT_EQ(r.analysis.loops[0].reduction_sections[0].triplet(),
+            "X(0:num_nodes:1)");
+  EXPECT_EQ(r.analysis.loops[0].indirection_sections[0].triplet(),
+            "IA1(0:num_edges:1)");
+}
+
+TEST(Analysis, TwoGroupsForceFission) {
+  const CompileResult r = compile(kTwoGroupSource);
+  const LoopAnalysis& la = r.analysis.loops[0];
+  ASSERT_EQ(la.groups.size(), 2u);
+  EXPECT_TRUE(la.needs_fission());
+  ASSERT_EQ(r.analysis.fissioned.size(), 2u);
+  // W is accessed via {IA1} only; X via {IA1, IA2}.
+  const auto& g0 = r.analysis.fissioned[0].group;
+  const auto& g1 = r.analysis.fissioned[1].group;
+  const bool w_first = g0.reduction_arrays == std::vector<std::string>{"W"};
+  const auto& wg = w_first ? g0 : g1;
+  const auto& xg = w_first ? g1 : g0;
+  EXPECT_EQ(wg.indirection_arrays, (std::vector<std::string>{"IA1"}));
+  EXPECT_EQ(xg.indirection_arrays, (std::vector<std::string>{"IA1", "IA2"}));
+}
+
+TEST(Analysis, FissionReplicatesScalarChain) {
+  const CompileResult r = compile(kTwoGroupSource);
+  // Both fissioned loops must carry the `t = Y[i] * 3.0;` definition.
+  for (const FissionedLoop& f : r.analysis.fissioned) {
+    bool has_t = false;
+    for (const Stmt& s : f.loop.body)
+      if (s.kind == StmtKind::ScalarAssign && s.target == "t") has_t = true;
+    EXPECT_TRUE(has_t);
+  }
+}
+
+TEST(Analysis, ThreadedCEmissionMentionsKeyConstructs) {
+  const CompileResult r = compile(kFig1Source);
+  ASSERT_EQ(r.threaded_c.size(), 1u);
+  const std::string& code = r.threaded_c[0];
+  EXPECT_NE(code.find("LIGHTINSPECTOR"), std::string::npos);
+  EXPECT_NE(code.find("second loop"), std::string::npos);
+  EXPECT_NE(code.find("BLKMOV_SYNC"), std::string::npos);
+  EXPECT_NE(code.find("IA1_out"), std::string::npos);
+}
+
+// ----------------------------------------------------- compiled kernel
+
+DataEnv fig1_env(std::uint32_t nodes, std::uint32_t edges,
+                 std::uint64_t seed) {
+  DataEnv env;
+  env.params["num_nodes"] = nodes;
+  env.params["num_edges"] = edges;
+  Xoshiro256 rng(seed);
+  std::vector<std::uint32_t> ia1, ia2;
+  std::vector<double> y;
+  for (std::uint32_t e = 0; e < edges; ++e) {
+    ia1.push_back(static_cast<std::uint32_t>(rng.below(nodes)));
+    ia2.push_back(static_cast<std::uint32_t>(rng.below(nodes)));
+    y.push_back(static_cast<double>(rng.range(1, 9)));  // integer: exact
+  }
+  env.int_arrays["IA1"] = std::move(ia1);
+  env.int_arrays["IA2"] = std::move(ia2);
+  env.real_arrays["Y"] = std::move(y);
+  return env;
+}
+
+TEST(CompiledKernel, ShapeAndRefs) {
+  const CompileResult r = compile(kFig1Source);
+  const auto kernel = bind(r, 0, fig1_env(40, 100, 3));
+  const core::KernelShape s = kernel->shape();
+  EXPECT_EQ(s.num_nodes, 40u);
+  EXPECT_EQ(s.num_edges, 100u);
+  EXPECT_EQ(s.num_refs, 2u);
+  EXPECT_EQ(s.num_reduction_arrays, 1u);
+  EXPECT_EQ(s.num_node_read_arrays, 0u);
+  for (std::uint32_t r2 = 0; r2 < 2; ++r2)
+    for (std::uint64_t e = 0; e < 100; ++e)
+      EXPECT_LT(kernel->ref(r2, e), 40u);
+}
+
+TEST(CompiledKernel, BindingValidatesShapes) {
+  const CompileResult r = compile(kFig1Source);
+  DataEnv env = fig1_env(40, 100, 3);
+  env.real_arrays["Y"].pop_back();
+  EXPECT_THROW(bind(r, 0, std::move(env)), check_error);
+
+  DataEnv env2 = fig1_env(40, 100, 3);
+  env2.int_arrays["IA1"][5] = 40;  // out of node range
+  EXPECT_THROW(bind(r, 0, std::move(env2)), check_error);
+
+  DataEnv env3 = fig1_env(40, 100, 3);
+  env3.params.erase("num_nodes");
+  EXPECT_THROW(bind(r, 0, std::move(env3)), check_error);
+}
+
+TEST(CompiledKernel, EngineMatchesInterpreterExactly) {
+  const CompileResult r = compile(kFig1Source);
+  const auto kernel = bind(r, 0, fig1_env(48, 300, 7));
+  const auto want = kernel->interpret_reference();
+
+  core::RotationOptions opt;
+  opt.num_procs = 4;
+  opt.k = 2;
+  opt.sweeps = 1;
+  opt.machine.max_events = 10'000'000;
+  const core::RunResult run = core::run_rotation_engine(*kernel, opt);
+  ASSERT_EQ(run.reduction.size(), 1u);
+  const auto& x = want.at("X");
+  for (std::size_t i = 0; i < x.size(); ++i)
+    ASSERT_EQ(run.reduction[0][i], x[i]) << "element " << i;
+}
+
+TEST(CompiledKernel, FissionedProgramMatchesInterpreter) {
+  const CompileResult r = compile(kTwoGroupSource);
+  ASSERT_EQ(r.analysis.fissioned.size(), 2u);
+  for (std::size_t li = 0; li < 2; ++li) {
+    const auto kernel = bind(r, li, fig1_env(32, 200, 11));
+    const auto want = kernel->interpret_reference();
+    core::SequentialOptions opt;
+    opt.machine.max_events = 10'000'000;
+    const core::RunResult run = core::run_sequential_kernel(*kernel, opt);
+    ASSERT_EQ(run.reduction.size(), kernel->reduction_names().size());
+    for (std::size_t a = 0; a < run.reduction.size(); ++a) {
+      const auto& ref = want.at(kernel->reduction_names()[a]);
+      for (std::size_t i = 0; i < ref.size(); ++i)
+        ASSERT_NEAR(run.reduction[a][i], ref[i], 1e-12);
+    }
+  }
+}
+
+TEST(CompiledKernel, GatherReadsWork) {
+  // A loop reading a node array through an indirection that is not used
+  // for any update (a pure gather).
+  const char* src = R"(
+    param n, m;
+    array real X[n];
+    array real P[n];
+    array int  IA1[m];
+    array int  IA2[m];
+    forall (i : 0 .. m) {
+      X[IA1[i]] += P[IA2[i]] * 0.5;
+    }
+  )";
+  const CompileResult r = compile(src);
+  ASSERT_EQ(r.analysis.fissioned.size(), 1u);
+  // Only IA1 parameterizes the inspector (single-reference easy case).
+  EXPECT_EQ(r.analysis.fissioned[0].group.indirection_arrays,
+            (std::vector<std::string>{"IA1"}));
+  EXPECT_EQ(r.analysis.fissioned[0].gather_arrays,
+            (std::vector<std::string>{"P"}));
+
+  DataEnv env;
+  env.params["n"] = 24;
+  env.params["m"] = 120;
+  Xoshiro256 rng(5);
+  std::vector<std::uint32_t> ia1, ia2;
+  std::vector<double> pv;
+  for (int i = 0; i < 120; ++i) {
+    ia1.push_back(static_cast<std::uint32_t>(rng.below(24)));
+    ia2.push_back(static_cast<std::uint32_t>(rng.below(24)));
+  }
+  for (int i = 0; i < 24; ++i) pv.push_back(static_cast<double>(i * 2));
+  env.int_arrays["IA1"] = std::move(ia1);
+  env.int_arrays["IA2"] = std::move(ia2);
+  env.real_arrays["P"] = std::move(pv);
+  const auto kernel = bind(r, 0, std::move(env));
+  EXPECT_EQ(kernel->shape().num_refs, 1u);
+  EXPECT_EQ(kernel->shape().num_node_read_arrays, 1u);
+
+  const auto want = kernel->interpret_reference();
+  core::RotationOptions opt;
+  opt.num_procs = 3;
+  opt.k = 2;
+  opt.machine.max_events = 10'000'000;
+  const core::RunResult run = core::run_rotation_engine(*kernel, opt);
+  const auto& x = want.at("X");
+  for (std::size_t i = 0; i < x.size(); ++i)
+    ASSERT_NEAR(run.reduction[0][i], x[i], 1e-12);
+}
+
+TEST(CompiledKernel, DivisionAndUnaryMinus) {
+  const char* src = R"(
+    param n, m;
+    array real X[n];
+    array int IA[m];
+    array real Y[m];
+    forall (i : 0 .. m) {
+      X[IA[i]] += -Y[i] / 4.0;
+    }
+  )";
+  const CompileResult r = compile(src);
+  DataEnv env;
+  env.params["n"] = 8;
+  env.params["m"] = 4;
+  env.int_arrays["IA"] = {0, 1, 0, 7};
+  env.real_arrays["Y"] = {4.0, 8.0, 12.0, 16.0};
+  const auto kernel = bind(r, 0, std::move(env));
+  const auto want = kernel->interpret_reference();
+  EXPECT_DOUBLE_EQ(want.at("X")[0], -4.0);  // -(4+12)/4
+  EXPECT_DOUBLE_EQ(want.at("X")[1], -2.0);
+  EXPECT_DOUBLE_EQ(want.at("X")[7], -4.0);
+}
+
+TEST(CompiledKernel, BytecodeDisassembles) {
+  const CompileResult r = compile(kFig1Source);
+  const auto kernel = bind(r, 0, fig1_env(16, 20, 1));
+  (void)kernel;
+  // Smoke: disassembly of a simple bytecode contains the load op.
+  Bytecode bc;
+  bc.code.push_back({Op::LoadEdge, 0, 0, 0.0});
+  bc.code.push_back({Op::PushConst, 0, 0, 2.0});
+  bc.code.push_back({Op::Mul, 0, 0, 0.0});
+  const std::string dis = bc.disassemble();
+  EXPECT_NE(dis.find("lde 0"), std::string::npos);
+  EXPECT_NE(dis.find("mul"), std::string::npos);
+}
+
+
+TEST(CompiledKernel, RunProgramExecutesAllFissionedLoops) {
+  const CompileResult r = compile(kTwoGroupSource);
+  const DataEnv env = fig1_env(32, 200, 19);
+  core::RotationOptions opt;
+  opt.num_procs = 4;
+  opt.k = 2;
+  opt.machine.max_events = 50'000'000;
+  const ProgramRunResult run = run_program(r, env, opt);
+  EXPECT_GT(run.total_cycles, 0u);
+  // Both groups' arrays present, matching the interpreters.
+  ASSERT_TRUE(run.reduction.count("X"));
+  ASSERT_TRUE(run.reduction.count("W"));
+  for (std::size_t li = 0; li < 2; ++li) {
+    const auto kernel = bind(r, li, env);
+    const auto want = kernel->interpret_reference();
+    for (const auto& name : kernel->reduction_names()) {
+      const auto& got = run.reduction.at(name);
+      const auto& ref = want.at(name);
+      for (std::size_t i = 0; i < ref.size(); ++i)
+        ASSERT_NEAR(got[i], ref[i], 1e-12) << name << " elem " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace earthred::compiler

@@ -1,0 +1,249 @@
+// Tests for dynamic EARTH operations: threaded-procedure spawning (with
+// load-balanced token placement) and split-phase remote reads (GET_SYNC).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "earth/machine.hpp"
+#include "support/check.hpp"
+
+namespace earthred::earth {
+namespace {
+
+MachineConfig cfg(std::uint32_t nodes) {
+  MachineConfig c;
+  c.num_nodes = nodes;
+  c.max_events = 10'000'000;
+  return c;
+}
+
+TEST(Spawn, RunsOnRequestedNode) {
+  EarthMachine m(cfg(3));
+  NodeId ran_on = 99;
+  FiberId root = m.add_fiber(0, 1, [&](FiberContext& ctx) {
+    ctx.spawn(2, 0, [&](FiberContext& inner) { ran_on = inner.node(); });
+  });
+  m.credit(root);
+  m.run();
+  EXPECT_EQ(ran_on, 2u);
+}
+
+TEST(Spawn, TokenTravelTakesNetworkTime) {
+  MachineConfig c = cfg(2);
+  c.net.latency = 2000;
+  EarthMachine m(c);
+  Cycles child_start = 0;
+  FiberId root = m.add_fiber(0, 1, [&](FiberContext& ctx) {
+    ctx.spawn(1, 0,
+              [&](FiberContext& inner) { child_start = inner.now(); });
+  });
+  m.credit(root);
+  m.run();
+  EXPECT_GE(child_start, 2000u);
+
+  // Local spawn: no network charge.
+  EarthMachine m2(c);
+  Cycles local_start = 0;
+  FiberId root2 = m2.add_fiber(0, 1, [&](FiberContext& ctx) {
+    ctx.spawn(0, 0,
+              [&](FiberContext& inner) { local_start = inner.now(); });
+  });
+  m2.credit(root2);
+  m2.run();
+  EXPECT_LT(local_start, 2000u);
+}
+
+TEST(Spawn, SpawnedFiberWithSyncCountWaitsForSignals) {
+  EarthMachine m(cfg(1));
+  std::vector<int> order;
+  FiberId root = m.add_fiber(0, 1, [&](FiberContext& ctx) {
+    const FiberId waiter = ctx.spawn(0, 2, [&](FiberContext&) {
+      order.push_back(2);
+    });
+    const FiberId signaler = ctx.spawn(0, 0, [&, waiter](FiberContext& c2) {
+      order.push_back(1);
+      c2.sync(waiter);
+      c2.sync(waiter);
+    });
+    (void)signaler;
+    order.push_back(0);
+  });
+  m.credit(root);
+  m.run();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 0);
+  EXPECT_EQ(order[1], 1);
+  EXPECT_EQ(order[2], 2);
+}
+
+TEST(Spawn, LeastLoadedBalancesAcrossNodes) {
+  MachineConfig c = cfg(4);
+  c.spawn_policy = SpawnPolicy::LeastLoaded;
+  EarthMachine m(c);
+  std::vector<int> per_node(4, 0);
+  FiberId root = m.add_fiber(0, 1, [&](FiberContext& ctx) {
+    for (int i = 0; i < 64; ++i) {
+      ctx.spawn(kAnyNode, 0, [&](FiberContext& inner) {
+        ++per_node[inner.node()];
+        inner.charge(500);
+      });
+    }
+  });
+  m.credit(root);
+  m.run();
+  int total = 0;
+  for (int n : per_node) {
+    EXPECT_GT(n, 0);
+    total += n;
+  }
+  EXPECT_EQ(total, 64);
+}
+
+TEST(Spawn, RoundRobinDistributesEvenly) {
+  MachineConfig c = cfg(4);
+  c.spawn_policy = SpawnPolicy::RoundRobin;
+  EarthMachine m(c);
+  std::vector<int> per_node(4, 0);
+  FiberId root = m.add_fiber(0, 1, [&](FiberContext& ctx) {
+    for (int i = 0; i < 16; ++i)
+      ctx.spawn(kAnyNode, 0,
+                [&](FiberContext& inner) { ++per_node[inner.node()]; });
+  });
+  m.credit(root);
+  m.run();
+  for (int n : per_node) EXPECT_EQ(n, 4);
+}
+
+TEST(Spawn, DivideAndConquerTreeSum) {
+  // The classic EARTH demonstration: a binary tree of threaded
+  // procedures, each leaf contributing 1, sums propagating back through
+  // sync'd sends. 2^7 leaves across 4 nodes.
+  EarthMachine m(cfg(4));
+  long long total = 0;
+
+  struct TreeSpawner {
+    EarthMachine& m;
+    long long* accumulator;
+
+    void spawn_tree(FiberContext& ctx, int depth) const {
+      if (depth == 0) {
+        *accumulator += 1;  // leaf
+        return;
+      }
+      for (int child = 0; child < 2; ++child) {
+        ctx.spawn(kAnyNode, 0, [this, depth](FiberContext& inner) {
+          spawn_tree(inner, depth - 1);
+        });
+      }
+    }
+  };
+  TreeSpawner spawner{m, &total};
+
+  FiberId root = m.add_fiber(
+      0, 1, [&](FiberContext& ctx) { spawner.spawn_tree(ctx, 7); });
+  m.credit(root);
+  m.run();
+  EXPECT_EQ(total, 128);
+  // Work actually spread: several nodes ran fibers.
+  int busy_nodes = 0;
+  for (std::uint32_t n = 0; n < 4; ++n)
+    busy_nodes += m.node_stats(n).fibers_run > 0;
+  EXPECT_GE(busy_nodes, 2);
+}
+
+TEST(Get, RemoteReadSamplesAtRemoteTime) {
+  // Node 1 sets `value = 2` in a fiber that becomes ready at t~1000 (it
+  // is sync'd by a predecessor that charges 1000 cycles). A get request
+  // from node 0 samples `value` when the request reaches node 1: with a
+  // 10-cycle link it arrives before the write fiber runs (sees 1); with
+  // a 5000-cycle link it arrives after (sees 2). This pins down *when*
+  // the fetch closure executes in simulated time.
+  for (const Cycles latency : {Cycles{10}, Cycles{5000}}) {
+    MachineConfig c = cfg(2);
+    c.net.latency = latency;
+    EarthMachine m(c);
+    int value = 1;
+    int observed = -1;
+
+    std::vector<FiberId> writer(1);
+    writer[0] = m.add_fiber(1, 1, [&](FiberContext&) { value = 2; });
+    FiberId delayer = m.add_fiber(1, 0, [&](FiberContext& ctx) {
+      ctx.charge(1000);
+      ctx.sync(writer[0]);
+    });
+    m.credit(delayer);
+
+    FiberId receiver = m.add_fiber(0, 1, [&](FiberContext&) {});
+    FiberId requester = m.add_fiber(0, 1, [&](FiberContext& ctx) {
+      ctx.get(1, 8, [&] {
+        const int sampled = value;
+        return [&observed, sampled] { observed = sampled; };
+      },
+              receiver);
+    });
+    m.credit(requester);
+    m.run();
+    if (latency == 10) {
+      EXPECT_EQ(observed, 1) << "request should beat the write";
+    } else {
+      EXPECT_EQ(observed, 2) << "request should arrive after the write";
+    }
+  }
+}
+
+TEST(Get, LocalGetWorks) {
+  EarthMachine m(cfg(1));
+  double store = 7.5;
+  double got = 0;
+  FiberId receiver = m.add_fiber(0, 1, [&](FiberContext&) {});
+  FiberId root = m.add_fiber(0, 1, [&](FiberContext& ctx) {
+    ctx.get(0, 8, [&] { return [&got, &store] { got = store; }; },
+            receiver);
+  });
+  m.credit(root);
+  m.run();
+  EXPECT_DOUBLE_EQ(got, 7.5);
+}
+
+TEST(Get, ResponsePaysBothDirections) {
+  MachineConfig c = cfg(2);
+  c.net.latency = 3000;
+  EarthMachine m(c);
+  Cycles done_at = 0;
+  FiberId receiver = m.add_fiber(0, 1, [&](FiberContext& ctx) {
+    done_at = ctx.now();
+  });
+  FiberId root = m.add_fiber(0, 1, [&](FiberContext& ctx) {
+    ctx.get(1, 64, [] { return [] {}; }, receiver);
+  });
+  m.credit(root);
+  m.run();
+  EXPECT_GE(done_at, 6000u);  // two traversals
+  EXPECT_EQ(m.stats().total_msgs(), 2u);
+}
+
+TEST(Get, RejectsBadArguments) {
+  EarthMachine m(cfg(2));
+  FiberId receiver = m.add_fiber(0, 1, [](FiberContext&) {});
+  FiberId root = m.add_fiber(0, 1, [&](FiberContext& ctx) {
+    EXPECT_THROW(ctx.get(5, 8, [] { return [] {}; }, receiver),
+                 precondition_error);
+    EXPECT_THROW(ctx.get(1, 8, {}, receiver), precondition_error);
+  });
+  m.credit(root);
+  m.run();
+}
+
+TEST(Spawn, InvalidTargetRejected) {
+  EarthMachine m(cfg(2));
+  FiberId root = m.add_fiber(0, 1, [&](FiberContext& ctx) {
+    EXPECT_THROW(ctx.spawn(7, 0, [](FiberContext&) {}),
+                 precondition_error);
+  });
+  m.credit(root);
+  m.run();
+}
+
+}  // namespace
+}  // namespace earthred::earth

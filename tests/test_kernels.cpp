@@ -1,0 +1,161 @@
+// Unit tests for the kernels themselves: shapes, reference exposure, and
+// the physical invariants their equal-and-opposite accumulation implies
+// (conservation of summed residual / total force), checked both on the
+// kernel math and through the full parallel engines.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "core/reduction_engine.hpp"
+#include "core/sequential.hpp"
+#include "kernels/euler.hpp"
+#include "kernels/fig1.hpp"
+#include "kernels/moldyn.hpp"
+#include "mesh/generators.hpp"
+#include "support/check.hpp"
+
+namespace earthred::kernels {
+namespace {
+
+TEST(EulerKernel, ShapeAndRefsMatchMesh) {
+  const mesh::Mesh m = mesh::make_geometric_mesh({100, 400, 1});
+  const EulerKernel k(m);
+  const core::KernelShape s = k.shape();
+  EXPECT_EQ(s.num_nodes, 100u);
+  EXPECT_EQ(s.num_edges, 400u);
+  EXPECT_EQ(s.num_refs, 2u);
+  EXPECT_EQ(s.num_reduction_arrays, 2u);
+  EXPECT_EQ(s.num_node_read_arrays, 2u);
+  for (std::uint64_t e = 0; e < 400; ++e) {
+    EXPECT_EQ(k.ref(0, e), m.edges[e].a);
+    EXPECT_EQ(k.ref(1, e), m.edges[e].b);
+  }
+  EXPECT_THROW(k.ref(2, 0), precondition_error);
+  EXPECT_THROW(k.ref(0, 400), precondition_error);
+}
+
+TEST(EulerKernel, RequiresCoordinates) {
+  mesh::Mesh m;
+  m.num_nodes = 4;
+  m.edges = {{0, 1}};
+  EXPECT_THROW(EulerKernel k(m), precondition_error);
+}
+
+TEST(EulerKernel, VelocityResidualConserved) {
+  // Each edge adds +vflux to one node and -vflux to the other, so the
+  // summed velocity residual over all nodes is exactly zero every sweep.
+  const EulerKernel kernel(mesh::make_geometric_mesh({120, 500, 2}));
+  core::SequentialOptions opt;
+  opt.sweeps = 1;
+  const core::RunResult r = core::run_sequential_kernel(kernel, opt);
+  const double total =
+      std::accumulate(r.reduction[0].begin(), r.reduction[0].end(), 0.0);
+  EXPECT_NEAR(total, 0.0, 1e-9);
+}
+
+TEST(EulerKernel, ConservationSurvivesParallelExecution) {
+  const EulerKernel kernel(mesh::make_geometric_mesh({120, 500, 2}));
+  core::RotationOptions opt;
+  opt.num_procs = 6;
+  opt.k = 2;
+  opt.machine.max_events = 50'000'000;
+  const core::RunResult r = core::run_rotation_engine(kernel, opt);
+  const double total =
+      std::accumulate(r.reduction[0].begin(), r.reduction[0].end(), 0.0);
+  EXPECT_NEAR(total, 0.0, 1e-9);
+}
+
+TEST(EulerKernel, StateStaysBoundedOver100Sweeps) {
+  // The flux has an advective term, so pressure variance need not decay
+  // monotonically — but the relaxation must stay bounded over the
+  // paper's 100 time steps (no blow-up).
+  const EulerKernel kernel(mesh::make_geometric_mesh({200, 1200, 3}), 5e-3);
+  core::SequentialOptions opt;
+  opt.sweeps = 100;
+  const core::RunResult r = core::run_sequential_kernel(kernel, opt);
+  for (const double p : r.node_read[1]) {
+    ASSERT_TRUE(std::isfinite(p));
+    ASSERT_GT(p, 0.0);
+    ASSERT_LT(p, 4.0);
+  }
+  for (const double v : r.node_read[0]) ASSERT_LT(std::abs(v), 4.0);
+}
+
+TEST(MoldynKernel, TotalForceIsZero) {
+  // Newton's third law in the accumulation: pair forces are equal and
+  // opposite, so each force component sums to zero over all molecules.
+  const MoldynKernel kernel(mesh::make_moldyn_lattice({4, 2000, 0.04, 4}));
+  core::SequentialOptions opt;
+  opt.sweeps = 1;
+  const core::RunResult r = core::run_sequential_kernel(kernel, opt);
+  for (int a = 0; a < 3; ++a) {
+    const double total = std::accumulate(
+        r.reduction[static_cast<std::size_t>(a)].begin(),
+        r.reduction[static_cast<std::size_t>(a)].end(), 0.0);
+    EXPECT_NEAR(total, 0.0, 1e-8) << "axis " << a;
+  }
+}
+
+TEST(MoldynKernel, TotalForceZeroSurvivesParallelExecution) {
+  const MoldynKernel kernel(mesh::make_moldyn_lattice({4, 2000, 0.04, 4}));
+  core::RotationOptions opt;
+  opt.num_procs = 8;
+  opt.k = 2;
+  opt.machine.max_events = 50'000'000;
+  const core::RunResult r = core::run_rotation_engine(kernel, opt);
+  for (int a = 0; a < 3; ++a) {
+    const double total = std::accumulate(
+        r.reduction[static_cast<std::size_t>(a)].begin(),
+        r.reduction[static_cast<std::size_t>(a)].end(), 0.0);
+    EXPECT_NEAR(total, 0.0, 1e-8);
+  }
+}
+
+TEST(MoldynKernel, ForcesBoundedByClamp) {
+  // The softened/clamped magnitude keeps per-pair contributions finite
+  // even for coincident molecules.
+  mesh::Mesh m;
+  m.num_nodes = 4;
+  m.coords = {{0, 0, 0}, {0, 0, 0}, {1, 1, 1}, {5, 5, 5}};
+  m.edges = {{0, 1}, {1, 2}, {2, 3}};
+  const MoldynKernel kernel(m);
+  core::SequentialOptions opt;
+  const core::RunResult r = core::run_sequential_kernel(kernel, opt);
+  for (const auto& axis : r.reduction)
+    for (const double f : axis) {
+      ASSERT_TRUE(std::isfinite(f));
+      ASSERT_LE(std::abs(f), 64.0);
+    }
+}
+
+TEST(MoldynKernel, PositionsStayFiniteOver100Sweeps) {
+  const MoldynKernel kernel(mesh::make_moldyn_lattice({3, 600, 0.04, 6}));
+  core::SequentialOptions opt;
+  opt.sweeps = 100;  // the paper's time-step count
+  const core::RunResult r = core::run_sequential_kernel(kernel, opt);
+  for (const auto& axis : r.node_read)
+    for (const double x : axis) ASSERT_TRUE(std::isfinite(x));
+}
+
+TEST(Fig1Kernel, IntegerValuesAreSmallIntegers) {
+  const auto kernel = Fig1Kernel::with_integer_values(
+      mesh::make_geometric_mesh({50, 200, 7}));
+  core::SequentialOptions opt;
+  const core::RunResult r = core::run_sequential_kernel(kernel, opt);
+  for (const double v : r.reduction[0]) {
+    ASSERT_EQ(v, std::floor(v));  // exactly representable integers
+    ASSERT_EQ(static_cast<long long>(v) % 2, 0);  // every term is 2*y
+  }
+}
+
+TEST(Fig1Kernel, RejectsMismatchedY) {
+  mesh::Mesh m;
+  m.num_nodes = 4;
+  m.edges = {{0, 1}, {2, 3}};
+  EXPECT_THROW(Fig1Kernel(m, std::vector<double>{1.0}),
+               precondition_error);
+}
+
+}  // namespace
+}  // namespace earthred::kernels

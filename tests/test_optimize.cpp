@@ -1,0 +1,168 @@
+// Tests for the compiler optimization passes: constant folding, identity
+// simplification, constant propagation, dead-scalar elimination — and
+// semantic preservation through the full pipeline.
+#include <gtest/gtest.h>
+
+#include "compiler/codegen.hpp"
+#include "compiler/compiler.hpp"
+#include "compiler/optimize.hpp"
+#include "compiler/parser.hpp"
+#include "support/prng.hpp"
+
+namespace earthred::compiler {
+namespace {
+
+Program parse_ok(const char* src) {
+  DiagnosticSink sink;
+  Program p = parse(src, sink);
+  EXPECT_FALSE(sink.has_errors()) << sink.summary();
+  return p;
+}
+
+const Stmt& only_accumulate(const Loop& loop) {
+  const Stmt* found = nullptr;
+  for (const Stmt& s : loop.body)
+    if (s.kind == StmtKind::Accumulate) {
+      EXPECT_EQ(found, nullptr);
+      found = &s;
+    }
+  EXPECT_NE(found, nullptr);
+  return *found;
+}
+
+TEST(Optimize, FoldsConstantArithmetic) {
+  Program p = parse_ok(
+      "param n, m; array real X[n]; array int IA[m];"
+      "forall (i : 0 .. m) { X[IA[i]] += 2.0 * 3.0 + 4.0 / 2.0; }");
+  const OptimizeStats stats = optimize(p);
+  EXPECT_GE(stats.folded, 2u);
+  const Stmt& s = only_accumulate(p.loops[0]);
+  ASSERT_EQ(s.value->kind, ExprKind::Number);
+  EXPECT_DOUBLE_EQ(s.value->number, 8.0);
+}
+
+TEST(Optimize, FoldsUnaryMinus) {
+  Program p = parse_ok(
+      "param n, m; array real X[n]; array int IA[m];"
+      "forall (i : 0 .. m) { X[IA[i]] += -(2.0 + 1.0); }");
+  optimize(p);
+  const Stmt& s = only_accumulate(p.loops[0]);
+  ASSERT_EQ(s.value->kind, ExprKind::Number);
+  EXPECT_DOUBLE_EQ(s.value->number, -3.0);
+}
+
+TEST(Optimize, AppliesAlgebraicIdentities) {
+  Program p = parse_ok(
+      "param n, m; array real X[n]; array int IA[m]; array real Y[m];"
+      "forall (i : 0 .. m) { X[IA[i]] += (Y[i] * 1.0 + 0.0) / 1.0; }");
+  const OptimizeStats stats = optimize(p);
+  EXPECT_GE(stats.folded, 3u);
+  const Stmt& s = only_accumulate(p.loops[0]);
+  // Reduced to the bare array read.
+  EXPECT_EQ(s.value->kind, ExprKind::ArrayRef);
+  EXPECT_EQ(s.value->name, "Y");
+}
+
+TEST(Optimize, DoesNotFoldZeroTimesVariable) {
+  Program p = parse_ok(
+      "param n, m; array real X[n]; array int IA[m]; array real Y[m];"
+      "forall (i : 0 .. m) { X[IA[i]] += 0.0 * Y[i]; }");
+  optimize(p);
+  const Stmt& s = only_accumulate(p.loops[0]);
+  // 0*Y must stay: Y could be inf/NaN.
+  EXPECT_EQ(s.value->kind, ExprKind::Binary);
+}
+
+TEST(Optimize, PropagatesConstantScalars) {
+  Program p = parse_ok(
+      "param n, m; array real X[n]; array int IA[m]; array real Y[m];"
+      "forall (i : 0 .. m) { c = 2.0 * 2.0; X[IA[i]] += Y[i] * c; }");
+  const OptimizeStats stats = optimize(p);
+  EXPECT_GE(stats.propagated, 1u);
+  EXPECT_GE(stats.dead_removed, 1u);  // c is dead after propagation
+  ASSERT_EQ(p.loops[0].body.size(), 1u);
+  const Stmt& s = only_accumulate(p.loops[0]);
+  // Y[i] * 4.0 remains.
+  ASSERT_EQ(s.value->kind, ExprKind::Binary);
+  EXPECT_DOUBLE_EQ(s.value->rhs->number, 4.0);
+}
+
+TEST(Optimize, RemovesDeadScalars) {
+  Program p = parse_ok(
+      "param n, m; array real X[n]; array int IA[m]; array real Y[m];"
+      "forall (i : 0 .. m) { unused = Y[i] * 3.0; X[IA[i]] += Y[i]; }");
+  const OptimizeStats stats = optimize(p);
+  EXPECT_EQ(stats.dead_removed, 1u);
+  EXPECT_EQ(p.loops[0].body.size(), 1u);
+}
+
+TEST(Optimize, KeepsLiveScalarChains) {
+  Program p = parse_ok(
+      "param n, m; array real X[n]; array int IA[m]; array real Y[m];"
+      "forall (i : 0 .. m) { a = Y[i]; b = a * a; X[IA[i]] += b; }");
+  optimize(p);
+  EXPECT_EQ(p.loops[0].body.size(), 3u);
+}
+
+TEST(Optimize, EndToEndResultsUnchanged) {
+  const char* src = R"(
+    param n, m;
+    array real X[n];
+    array int IA1[m]; array int IA2[m];
+    array real Y[m];
+    forall (i : 0 .. m) {
+      c = 1.0 * 2.0 + 0.0;
+      t = Y[i] * c / 1.0;
+      dead = t * 99.0;
+      X[IA1[i]] += t + 0.0;
+      X[IA2[i]] -= t * 1.0;
+    }
+  )";
+  DataEnv env;
+  env.params["n"] = 40;
+  env.params["m"] = 150;
+  Xoshiro256 rng(3);
+  std::vector<std::uint32_t> ia1, ia2;
+  std::vector<double> y;
+  for (int i = 0; i < 150; ++i) {
+    ia1.push_back(static_cast<std::uint32_t>(rng.below(40)));
+    ia2.push_back(static_cast<std::uint32_t>(rng.below(40)));
+    y.push_back(static_cast<double>(rng.range(-5, 5)));
+  }
+  env.int_arrays["IA1"] = std::move(ia1);
+  env.int_arrays["IA2"] = std::move(ia2);
+  env.real_arrays["Y"] = std::move(y);
+
+  const CompileResult plain = compile(src);
+  const CompileResult opt = compile(src, {.optimize = true});
+  EXPECT_GT(opt.optimize_stats.total(), 0u);
+
+  const auto kplain = bind(plain, 0, env);
+  const auto kopt = bind(opt, 0, env);
+  const auto a = kplain->interpret_reference();
+  const auto b = kopt->interpret_reference();
+  for (const auto& [name, ref] : a) {
+    const auto& got = b.at(name);
+    for (std::size_t i = 0; i < ref.size(); ++i)
+      ASSERT_EQ(got[i], ref[i]) << name << " elem " << i;
+  }
+  // The optimized kernel executes fewer bytecode ops (dead scalar gone).
+  std::size_t plain_stmts = 0, opt_stmts = 0;
+  for (const auto& s : plain.analysis.fissioned[0].loop.body)
+    plain_stmts += 1 + (s.value ? 1 : 0);
+  for (const auto& s : opt.analysis.fissioned[0].loop.body)
+    opt_stmts += 1 + (s.value ? 1 : 0);
+  EXPECT_LT(opt_stmts, plain_stmts);
+}
+
+TEST(Optimize, IdempotentSecondPass) {
+  Program p = parse_ok(
+      "param n, m; array real X[n]; array int IA[m]; array real Y[m];"
+      "forall (i : 0 .. m) { c = 4.0; X[IA[i]] += Y[i] * c; }");
+  optimize(p);
+  const OptimizeStats again = optimize(p);
+  EXPECT_EQ(again.total(), 0u);
+}
+
+}  // namespace
+}  // namespace earthred::compiler

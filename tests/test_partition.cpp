@@ -1,0 +1,96 @@
+// Tests for the RCB partitioner and partition-major renumbering.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "mesh/generators.hpp"
+#include "mesh/partition.hpp"
+#include "support/check.hpp"
+#include "support/prng.hpp"
+
+namespace earthred::mesh {
+namespace {
+
+TEST(Rcb, BalancedSizes) {
+  const Mesh m = euler_mesh_small();
+  for (const std::uint32_t parts : {2u, 3u, 7u, 16u}) {
+    const auto part = rcb_partition(m, parts);
+    std::vector<std::uint32_t> count(parts, 0);
+    for (const auto p : part) {
+      ASSERT_LT(p, parts);
+      ++count[p];
+    }
+    std::uint32_t lo = m.num_nodes, hi = 0;
+    for (const auto c : count) {
+      lo = std::min(lo, c);
+      hi = std::max(hi, c);
+    }
+    // Proportional splitting keeps parts within a few nodes of each other.
+    EXPECT_LE(hi - lo, parts) << parts << " parts";
+  }
+}
+
+TEST(Rcb, CutFarBelowRandomAssignment) {
+  const Mesh m = euler_mesh_small();
+  const std::uint32_t parts = 8;
+  const auto part = rcb_partition(m, parts);
+  const std::uint64_t cut = edge_cut(m, part);
+
+  Xoshiro256 rng(3);
+  std::vector<std::uint32_t> random_part(m.num_nodes);
+  for (auto& p : random_part)
+    p = static_cast<std::uint32_t>(rng.below(parts));
+  const std::uint64_t random_cut = edge_cut(m, random_part);
+  // Random assignment cuts ~ (1 - 1/parts) of edges; geometric bisection
+  // should cut several times fewer.
+  EXPECT_LT(cut * 3, random_cut);
+}
+
+TEST(Rcb, SinglePartIsTrivial) {
+  const Mesh m = make_geometric_mesh({50, 180, 4});
+  const auto part = rcb_partition(m, 1);
+  for (const auto p : part) EXPECT_EQ(p, 0u);
+  EXPECT_EQ(edge_cut(m, part), 0u);
+}
+
+TEST(Rcb, RequiresCoordinates) {
+  Mesh m;
+  m.num_nodes = 4;
+  m.edges = {{0, 1}};
+  EXPECT_THROW(rcb_partition(m, 2), precondition_error);
+}
+
+TEST(PartitionOrder, GroupsNodesContiguously) {
+  const Mesh m = make_geometric_mesh({200, 800, 5});
+  const std::uint32_t parts = 4;
+  const auto part = rcb_partition(m, parts);
+  const auto perm = partition_order(part, parts);
+
+  // perm is a bijection.
+  std::set<std::uint32_t> seen(perm.begin(), perm.end());
+  EXPECT_EQ(seen.size(), m.num_nodes);
+
+  // New ids are partition-major: ids of part p form a contiguous range
+  // that precedes part p+1's.
+  std::vector<std::uint32_t> label_at_new(m.num_nodes);
+  for (std::uint32_t v = 0; v < m.num_nodes; ++v)
+    label_at_new[perm[v]] = part[v];
+  for (std::uint32_t i = 1; i < m.num_nodes; ++i)
+    EXPECT_LE(label_at_new[i - 1], label_at_new[i]);
+}
+
+TEST(PartitionOrder, RenumberPreservesCut) {
+  const Mesh m = make_geometric_mesh({150, 600, 6});
+  const auto part = rcb_partition(m, 4);
+  const auto perm = partition_order(part, 4);
+  const Mesh r = renumber(m, perm);
+  // Relabel partitions to the new ids and verify cut invariant.
+  std::vector<std::uint32_t> new_part(m.num_nodes);
+  for (std::uint32_t v = 0; v < m.num_nodes; ++v)
+    new_part[perm[v]] = part[v];
+  EXPECT_EQ(edge_cut(r, new_part), edge_cut(m, part));
+}
+
+}  // namespace
+}  // namespace earthred::mesh

@@ -1,0 +1,206 @@
+// Tests for the rotation schedule (Sec. 2.2) and iteration distributions
+// (Sec. 5.4.1), including exhaustive property checks of the ownership
+// algebra the execution strategy depends on.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "inspector/distribution.hpp"
+#include "inspector/rotation.hpp"
+#include "support/check.hpp"
+
+namespace earthred::inspector {
+namespace {
+
+TEST(Distribution, ParseAndName) {
+  EXPECT_EQ(parse_distribution("block"), Distribution::Block);
+  EXPECT_EQ(parse_distribution("c"), Distribution::Cyclic);
+  EXPECT_THROW(parse_distribution("diag"), check_error);
+  EXPECT_STREQ(to_string(Distribution::Cyclic), "cyclic");
+}
+
+TEST(Distribution, BlockIsContiguousAndBalanced) {
+  const auto owned = distribute_iterations(10, 3, Distribution::Block);
+  ASSERT_EQ(owned.size(), 3u);
+  EXPECT_EQ(owned[0].size(), 4u);  // remainder goes to the first procs
+  EXPECT_EQ(owned[1].size(), 3u);
+  EXPECT_EQ(owned[2].size(), 3u);
+  EXPECT_EQ(owned[0].front(), 0u);
+  EXPECT_EQ(owned[0].back(), 3u);
+  EXPECT_EQ(owned[2].back(), 9u);
+}
+
+TEST(Distribution, CyclicRoundRobins) {
+  const auto owned = distribute_iterations(7, 3, Distribution::Cyclic);
+  EXPECT_EQ(owned[0], (std::vector<std::uint32_t>{0, 3, 6}));
+  EXPECT_EQ(owned[1], (std::vector<std::uint32_t>{1, 4}));
+  EXPECT_EQ(owned[2], (std::vector<std::uint32_t>{2, 5}));
+}
+
+TEST(Distribution, EveryIterationOwnedExactlyOnce) {
+  for (const auto d : {Distribution::Block, Distribution::Cyclic}) {
+    const auto owned = distribute_iterations(1000, 7, d);
+    std::vector<int> count(1000, 0);
+    for (const auto& v : owned)
+      for (auto i : v) ++count[i];
+    for (int c : count) EXPECT_EQ(c, 1);
+  }
+}
+
+TEST(Rotation, PaperFigure3Geometry) {
+  // The worked example of Sec. 3.1: 8 nodes, 2 processors, k = 2 ->
+  // 4 phases per processor, 2 nodes per portion, remote buffer at 8.
+  const RotationSchedule s(8, 2, 2);
+  EXPECT_EQ(s.num_portions(), 4u);
+  EXPECT_EQ(s.phases_per_sweep(), 4u);
+  for (std::uint32_t pid = 0; pid < 4; ++pid)
+    EXPECT_EQ(s.portion_size(pid), 2u);
+  EXPECT_EQ(s.portion_of(7), 3u);
+  EXPECT_EQ(s.portion_of(4), 2u);
+  // P0 owns portion ph during phase ph; node 4 is owned by P0 in phase 2
+  // (as the example narrates).
+  EXPECT_EQ(s.owning_phase(0, s.portion_of(4)), 2u);
+  // P1 starts at portion 2: (k*1 + 0) mod 4.
+  EXPECT_EQ(s.owned_portion(1, 0), 2u);
+}
+
+TEST(Rotation, OwnedPortionFollowsPaperFormula) {
+  const RotationSchedule s(64, 4, 2);
+  for (std::uint32_t p = 0; p < 4; ++p)
+    for (std::uint32_t ph = 0; ph < 8; ++ph)
+      EXPECT_EQ(s.owned_portion(p, ph), (2 * p + ph) % 8);
+}
+
+TEST(Rotation, OwningPhaseInvertsOwnedPortion) {
+  const RotationSchedule s(120, 5, 3);
+  for (std::uint32_t p = 0; p < 5; ++p)
+    for (std::uint32_t ph = 0; ph < s.phases_per_sweep(); ++ph)
+      EXPECT_EQ(s.owning_phase(p, s.owned_portion(p, ph)), ph);
+}
+
+TEST(Rotation, NoPortionOwnedTwiceInOnePhase) {
+  // In any phase, the P owned portions are distinct (and for k > 1 not all
+  // portions are owned — the in-flight window).
+  const RotationSchedule s(96, 4, 2);
+  for (std::uint32_t ph = 0; ph < s.phases_per_sweep(); ++ph) {
+    std::set<std::uint32_t> owned;
+    for (std::uint32_t p = 0; p < 4; ++p)
+      owned.insert(s.owned_portion(p, ph));
+    EXPECT_EQ(owned.size(), 4u);
+  }
+}
+
+TEST(Rotation, EveryPortionVisitsEveryProcessorOncePerSweep) {
+  const RotationSchedule s(96, 4, 2);
+  for (std::uint32_t pid = 0; pid < s.num_portions(); ++pid) {
+    std::set<std::uint32_t> phases;
+    for (std::uint32_t p = 0; p < 4; ++p)
+      phases.insert(s.owning_phase(p, pid));
+    EXPECT_EQ(phases.size(), 4u) << "portion " << pid;
+  }
+}
+
+TEST(Rotation, ForwardingReachesNextOwnerKPhasesLater) {
+  // After proc p finishes phase ph owning pid, next_owner(p) owns pid at
+  // phase ph + k (mod kP) — the k-phase in-flight window.
+  for (const std::uint32_t k : {1u, 2u, 4u}) {
+    const RotationSchedule s(240, 6, k);
+    for (std::uint32_t p = 0; p < 6; ++p) {
+      for (std::uint32_t ph = 0; ph < s.phases_per_sweep(); ++ph) {
+        const std::uint32_t pid = s.owned_portion(p, ph);
+        const std::uint32_t q = s.next_owner(p);
+        EXPECT_EQ(s.owning_phase(q, pid),
+                  (ph + k) % s.phases_per_sweep());
+      }
+    }
+  }
+}
+
+TEST(Rotation, LastOwningPhaseIsInFinalKPhases) {
+  const RotationSchedule s(240, 6, 4);
+  const std::uint32_t kp = s.phases_per_sweep();
+  for (std::uint32_t pid = 0; pid < s.num_portions(); ++pid) {
+    const std::uint32_t last = s.last_owning_phase(pid);
+    EXPECT_GE(last, kp - 4);
+    EXPECT_LT(last, kp);
+    // No processor owns pid at any later phase.
+    for (std::uint32_t p = 0; p < 6; ++p)
+      EXPECT_LE(s.owning_phase(p, pid), last);
+    // final_owner really owns it then.
+    EXPECT_EQ(s.owned_portion(s.final_owner(pid), last), pid);
+  }
+}
+
+TEST(Rotation, PortionBoundsPartitionElements) {
+  const RotationSchedule s(103, 4, 2);  // deliberately non-divisible
+  std::uint32_t covered = 0;
+  for (std::uint32_t pid = 0; pid < s.num_portions(); ++pid) {
+    EXPECT_EQ(s.portion_begin(pid), covered);
+    covered += s.portion_size(pid);
+    EXPECT_EQ(s.portion_end(pid), covered);
+  }
+  EXPECT_EQ(covered, 103u);
+  for (std::uint32_t e = 0; e < 103; ++e) {
+    const std::uint32_t pid = s.portion_of(e);
+    EXPECT_GE(e, s.portion_begin(pid));
+    EXPECT_LT(e, s.portion_end(pid));
+  }
+  EXPECT_EQ(s.max_portion_size(), 13u);
+}
+
+TEST(Rotation, InitialPortionsAreTheFirstKOwned) {
+  const RotationSchedule s(64, 4, 2);
+  for (std::uint32_t p = 0; p < 4; ++p)
+    for (std::uint32_t j = 0; j < 2; ++j)
+      EXPECT_EQ(s.initial_portion(p, j), s.owned_portion(p, j));
+}
+
+TEST(Rotation, RejectsDegenerateShapes) {
+  EXPECT_THROW(RotationSchedule(3, 2, 2), precondition_error);  // n < kP
+  EXPECT_THROW(RotationSchedule(8, 0, 2), precondition_error);
+  EXPECT_THROW(RotationSchedule(8, 2, 0), precondition_error);
+}
+
+TEST(Rotation, SingleProcessorDegeneratesGracefully) {
+  const RotationSchedule s(10, 1, 1);
+  EXPECT_EQ(s.num_portions(), 1u);
+  EXPECT_EQ(s.owned_portion(0, 0), 0u);
+  EXPECT_EQ(s.next_owner(0), 0u);
+  EXPECT_EQ(s.last_owning_phase(0), 0u);
+}
+
+
+TEST(Distribution, BlockCyclicChunks) {
+  const auto owned = distribute_iterations(20, 2, Distribution::BlockCyclic, 4);
+  // Chunks of 4 round-robin: P0 gets 0-3, 8-11, 16-19; P1 gets 4-7, 12-15.
+  EXPECT_EQ(owned[0], (std::vector<std::uint32_t>{0, 1, 2, 3, 8, 9, 10, 11,
+                                                  16, 17, 18, 19}));
+  EXPECT_EQ(owned[1], (std::vector<std::uint32_t>{4, 5, 6, 7, 12, 13, 14,
+                                                  15}));
+}
+
+TEST(Distribution, BlockCyclicExtremesMatchBlockAndCyclic) {
+  // bc_block = 1 is exactly cyclic.
+  const auto bc1 = distribute_iterations(33, 4, Distribution::BlockCyclic, 1);
+  const auto cyc = distribute_iterations(33, 4, Distribution::Cyclic);
+  EXPECT_EQ(bc1, cyc);
+  // Every iteration owned exactly once for arbitrary block sizes.
+  for (const std::uint32_t b : {3u, 7u, 100u}) {
+    const auto owned = distribute_iterations(50, 3,
+                                             Distribution::BlockCyclic, b);
+    std::vector<int> count(50, 0);
+    for (const auto& v : owned)
+      for (const auto i : v) ++count[i];
+    for (const int c : count) EXPECT_EQ(c, 1);
+  }
+}
+
+TEST(Distribution, ParseBlockCyclic) {
+  EXPECT_EQ(parse_distribution("bc"), Distribution::BlockCyclic);
+  EXPECT_EQ(parse_distribution("block-cyclic"), Distribution::BlockCyclic);
+  EXPECT_STREQ(to_string(Distribution::BlockCyclic), "block-cyclic");
+}
+
+}  // namespace
+}  // namespace earthred::inspector

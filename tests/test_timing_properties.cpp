@@ -1,0 +1,107 @@
+// Timing-model property tests: directional invariants that must hold for
+// any sane machine model — these catch sign errors and unit confusions in
+// the cost accounting that functional tests cannot see.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/reduction_engine.hpp"
+#include "kernels/euler.hpp"
+#include "mesh/generators.hpp"
+
+namespace earthred {
+namespace {
+
+earth::Cycles run_with(const core::PhasedKernel& kernel,
+                       earth::MachineConfig machine, std::uint32_t P,
+                       std::uint32_t k) {
+  core::RotationOptions opt;
+  opt.num_procs = P;
+  opt.k = k;
+  opt.sweeps = 3;
+  opt.machine = machine;
+  opt.machine.max_events = 100'000'000;
+  opt.collect_results = false;
+  return core::run_rotation_engine(kernel, opt).total_cycles;
+}
+
+class TimingMonotonicity
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t /*P*/,
+                                                 std::uint32_t /*k*/>> {
+ protected:
+  static const kernels::EulerKernel& kernel() {
+    static const kernels::EulerKernel k(
+        mesh::make_geometric_mesh({400, 2000, 77}));
+    return k;
+  }
+};
+
+TEST_P(TimingMonotonicity, HigherLatencyNeverFaster) {
+  const auto [P, k] = GetParam();
+  earth::MachineConfig cfg;
+  cfg.net.latency = 50;
+  const auto fast = run_with(kernel(), cfg, P, k);
+  cfg.net.latency = 5000;
+  const auto slow = run_with(kernel(), cfg, P, k);
+  EXPECT_LE(fast, slow);
+}
+
+TEST_P(TimingMonotonicity, LowerBandwidthNeverFaster) {
+  const auto [P, k] = GetParam();
+  earth::MachineConfig cfg;
+  cfg.net.bytes_per_cycle = 4.0;
+  const auto fast = run_with(kernel(), cfg, P, k);
+  cfg.net.bytes_per_cycle = 0.25;
+  const auto slow = run_with(kernel(), cfg, P, k);
+  EXPECT_LE(fast, slow);
+}
+
+TEST_P(TimingMonotonicity, HigherMissCostNeverFaster) {
+  const auto [P, k] = GetParam();
+  earth::MachineConfig cfg;
+  cfg.cost.cache_miss = 2;
+  const auto fast = run_with(kernel(), cfg, P, k);
+  cfg.cost.cache_miss = 60;
+  const auto slow = run_with(kernel(), cfg, P, k);
+  EXPECT_LT(fast, slow);
+}
+
+TEST_P(TimingMonotonicity, HigherSwitchCostNeverFaster) {
+  const auto [P, k] = GetParam();
+  earth::MachineConfig cfg;
+  cfg.cost.fiber_switch = 5;
+  const auto fast = run_with(kernel(), cfg, P, k);
+  cfg.cost.fiber_switch = 500;
+  const auto slow = run_with(kernel(), cfg, P, k);
+  EXPECT_LT(fast, slow);
+}
+
+TEST_P(TimingMonotonicity, MoreSweepsCostMore) {
+  const auto [P, k] = GetParam();
+  core::RotationOptions opt;
+  opt.num_procs = P;
+  opt.k = k;
+  opt.machine.max_events = 100'000'000;
+  opt.collect_results = false;
+  opt.sweeps = 2;
+  const auto two = core::run_rotation_engine(kernel(), opt).total_cycles;
+  opt.sweeps = 6;
+  const auto six = core::run_rotation_engine(kernel(), opt).total_cycles;
+  // Sweeps pipeline, so 6 sweeps cost less than 3x two sweeps but more
+  // than two sweeps alone.
+  EXPECT_GT(six, two);
+  EXPECT_LT(six, 3 * two);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, TimingMonotonicity,
+    ::testing::Combine(::testing::Values(2u, 4u, 8u),
+                       ::testing::Values(1u, 2u)),
+    [](const ::testing::TestParamInfo<
+        std::tuple<std::uint32_t, std::uint32_t>>& info) {
+      return "P" + std::to_string(std::get<0>(info.param)) + "_k" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace earthred

@@ -1,0 +1,105 @@
+// Tests for machine execution tracing and the text Gantt renderer.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "earth/machine.hpp"
+#include "earth/trace.hpp"
+
+namespace earthred::earth {
+namespace {
+
+TEST(Trace, DisabledByDefault) {
+  MachineConfig cfg;
+  EarthMachine m(cfg);
+  FiberId f = m.add_fiber(0, 1, [](FiberContext& ctx) { ctx.charge(10); });
+  m.credit(f);
+  m.run();
+  EXPECT_EQ(m.trace().size(), 0u);
+}
+
+TEST(Trace, RecordsFiberDispatchWithTimesAndNames) {
+  MachineConfig cfg;
+  cfg.trace = true;
+  EarthMachine m(cfg);
+  FiberId f = m.add_fiber(
+      0, 1, [](FiberContext& ctx) { ctx.charge(100); }, "worker");
+  m.credit(f);
+  m.run();
+  ASSERT_GE(m.trace().size(), 1u);
+  const TraceRecord& r = m.trace().records()[0];
+  EXPECT_EQ(r.kind, TraceRecord::Kind::Fiber);
+  EXPECT_EQ(r.label, "worker");
+  EXPECT_EQ(r.node, 0u);
+  EXPECT_EQ(r.end - r.start, 100 + cfg.cost.fiber_switch);
+}
+
+TEST(Trace, RecordsSuEvents) {
+  MachineConfig cfg;
+  cfg.trace = true;
+  cfg.num_nodes = 2;
+  EarthMachine m(cfg);
+  FiberId sink = m.add_fiber(1, 1, [](FiberContext&) {});
+  FiberId src = m.add_fiber(0, 1, [&](FiberContext& ctx) {
+    ctx.sync(sink);
+  });
+  m.credit(src);
+  m.run();
+  int su = 0;
+  for (const TraceRecord& r : m.trace().records())
+    su += (r.kind == TraceRecord::Kind::SuEvent);
+  EXPECT_GE(su, 1);
+}
+
+TEST(Trace, CsvDumpWellFormed) {
+  MachineConfig cfg;
+  cfg.trace = true;
+  EarthMachine m(cfg);
+  FiberId f = m.add_fiber(
+      0, 1, [](FiberContext& ctx) { ctx.charge(5); }, "csvfiber");
+  m.credit(f);
+  m.run();
+  std::ostringstream os;
+  m.trace().dump_csv(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("start,end,node,kind,label"), std::string::npos);
+  EXPECT_NE(out.find("csvfiber"), std::string::npos);
+  EXPECT_NE(out.find("fiber"), std::string::npos);
+}
+
+TEST(Trace, GanttShowsBusyNodes) {
+  MachineConfig cfg;
+  cfg.trace = true;
+  cfg.num_nodes = 2;
+  EarthMachine m(cfg);
+  // Node 0 busy the whole horizon; node 1 idle.
+  FiberId f = m.add_fiber(0, 1, [](FiberContext& ctx) { ctx.charge(5000); });
+  m.credit(f);
+  m.run();
+  const std::string g = m.trace().render_gantt(2, 40);
+  // Two node rows plus a header.
+  EXPECT_NE(g.find("  0 |"), std::string::npos);
+  EXPECT_NE(g.find("  1 |"), std::string::npos);
+  // Node 0's row saturated, node 1's row blank.
+  const auto row0 = g.find("  0 |");
+  const auto row1 = g.find("  1 |");
+  const std::string cells0 = g.substr(row0 + 5, 40);
+  const std::string cells1 = g.substr(row1 + 5, 40);
+  EXPECT_NE(cells0.find('#'), std::string::npos);
+  EXPECT_EQ(cells1.find('#'), std::string::npos);
+}
+
+TEST(Trace, GanttOverlapVisualizesBuckets) {
+  Trace t;
+  t.record({0, 500, 0, TraceRecord::Kind::Fiber, "a"});
+  t.record({500, 1000, 0, TraceRecord::Kind::Fiber, "b"});
+  const std::string g = t.render_gantt(1, 10);
+  // Fully busy node: all buckets '#'.
+  const auto row = g.find("  0 |");
+  ASSERT_NE(row, std::string::npos);
+  const std::string cells = g.substr(row + 5, 10);
+  for (char c : cells) EXPECT_EQ(c, '#');
+}
+
+}  // namespace
+}  // namespace earthred::earth

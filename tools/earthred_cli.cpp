@@ -1,0 +1,265 @@
+// earthred — command-line front end to the library.
+//
+//   earthred gen-mesh   --preset=euler-small|euler-large|moldyn-small|
+//                        moldyn-large | --nodes=N --edges=E [--seed=S]
+//                        --out=mesh.txt
+//   earthred gen-matrix --class=s|w|a|b --out=matrix.mtx
+//   earthred info       --mesh=mesh.txt
+//   earthred run        --kernel=euler|moldyn|fig1 [--mesh=mesh.txt]
+//                        [--procs=P] [--k=K] [--dist=block|cyclic|bc]
+//                        [--sweeps=N] [--engine=rotation|classic|native]
+//                        [--gantt]
+//   earthred compile    --file=loop.dsl [--emit]
+//
+// Exit status: 0 on success, 1 on usage/data errors (message on stderr).
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+
+#include "compiler/codegen.hpp"
+#include "compiler/compiler.hpp"
+#include "core/classic_engine.hpp"
+#include "core/native_engine.hpp"
+#include "core/reduction_engine.hpp"
+#include "core/sequential.hpp"
+#include "kernels/euler.hpp"
+#include "kernels/fig1.hpp"
+#include "kernels/moldyn.hpp"
+#include "mesh/generators.hpp"
+#include "mesh/io.hpp"
+#include "mesh/mesh.hpp"
+#include "sparse/io.hpp"
+#include "sparse/nas_cg.hpp"
+#include "support/check.hpp"
+#include "support/options.hpp"
+#include "support/stats.hpp"
+#include "support/str.hpp"
+#include "support/table.hpp"
+
+namespace earthred {
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: earthred <gen-mesh|gen-matrix|info|run|compile> "
+               "[--flags]\n(see the header of tools/earthred_cli.cpp)\n");
+  return 1;
+}
+
+mesh::Mesh mesh_from_options(const Options& opt) {
+  const std::string preset = opt.get("preset");
+  if (preset == "euler-small") return mesh::euler_mesh_small();
+  if (preset == "euler-large") return mesh::euler_mesh_large();
+  if (preset == "moldyn-small") return mesh::moldyn_small();
+  if (preset == "moldyn-large") return mesh::moldyn_large();
+  if (!preset.empty())
+    throw check_error("unknown preset '" + preset + "'");
+  if (opt.has("mesh")) return mesh::load_mesh(opt.get("mesh"));
+  const auto nodes = static_cast<std::uint32_t>(opt.get_int("nodes", 1000));
+  const auto edges =
+      static_cast<std::uint64_t>(opt.get_int("edges", 5000));
+  const auto seed = static_cast<std::uint64_t>(opt.get_int("seed", 42));
+  return mesh::make_geometric_mesh({nodes, edges, seed});
+}
+
+int cmd_gen_mesh(const Options& opt) {
+  const mesh::Mesh m = mesh_from_options(opt);
+  const std::string out = opt.get("out");
+  if (out.empty()) {
+    mesh::write_mesh(std::cout, m);
+  } else {
+    mesh::save_mesh(out, m);
+    std::printf("wrote %u nodes, %llu edges to %s\n", m.num_nodes,
+                static_cast<unsigned long long>(m.num_edges()),
+                out.c_str());
+  }
+  return 0;
+}
+
+int cmd_gen_matrix(const Options& opt) {
+  const std::string cls = opt.get("class", "s");
+  sparse::NasCgParams params;
+  if (cls == "s") params = sparse::nas_class_s();
+  else if (cls == "w") params = sparse::nas_class_w();
+  else if (cls == "a") params = sparse::nas_class_a();
+  else if (cls == "b") params = sparse::nas_class_b();
+  else throw check_error("unknown class '" + cls + "' (s|w|a|b)");
+  const sparse::CsrMatrix m = sparse::make_nas_cg_matrix(params);
+  const std::string out = opt.get("out");
+  if (out.empty()) {
+    sparse::write_matrix_market(std::cout, m);
+  } else {
+    sparse::save_matrix_market(out, m);
+    std::printf("wrote %s rows, %s nonzeros to %s\n",
+                fmt_group(m.nrows()).c_str(),
+                fmt_group(static_cast<long long>(m.nnz())).c_str(),
+                out.c_str());
+  }
+  return 0;
+}
+
+int cmd_info(const Options& opt) {
+  const mesh::Mesh m = mesh_from_options(opt);
+  const auto deg = mesh::node_degrees(m);
+  std::vector<double> degd(deg.begin(), deg.end());
+  const Summary s = summarize(degd);
+  Table t("mesh info");
+  t.set_header({"property", "value"});
+  t.add_row({"nodes", fmt_group(m.num_nodes)});
+  t.add_row({"edges", fmt_group(static_cast<long long>(m.num_edges()))});
+  t.add_row({"degree mean", fmt_f(s.mean, 2)});
+  t.add_row({"degree max", fmt_f(s.max, 0)});
+  t.add_row({"bandwidth",
+             fmt_group(static_cast<long long>(mesh::mesh_bandwidth(m)))});
+  t.add_row({"has coords", m.coords.empty() ? "no" : "yes"});
+  t.print(std::cout);
+  return 0;
+}
+
+int cmd_run(const Options& opt) {
+  const std::string kname = opt.get("kernel", "euler");
+  mesh::Mesh m = mesh_from_options(opt);
+  std::unique_ptr<core::PhasedKernel> kernel;
+  if (kname == "euler") {
+    kernel = std::make_unique<kernels::EulerKernel>(std::move(m));
+  } else if (kname == "moldyn") {
+    kernel = std::make_unique<kernels::MoldynKernel>(std::move(m));
+  } else if (kname == "fig1") {
+    kernel = std::make_unique<kernels::Fig1Kernel>(
+        kernels::Fig1Kernel::with_integer_values(std::move(m)));
+  } else {
+    throw check_error("unknown kernel '" + kname +
+                      "' (euler|moldyn|fig1)");
+  }
+
+  const auto procs = static_cast<std::uint32_t>(opt.get_int("procs", 8));
+  const auto k = static_cast<std::uint32_t>(opt.get_int("k", 2));
+  const auto sweeps = static_cast<std::uint32_t>(opt.get_int("sweeps", 10));
+  const auto dist = inspector::parse_distribution(opt.get("dist", "cyclic"));
+  const std::string engine = opt.get("engine", "rotation");
+
+  core::SequentialOptions sopt;
+  sopt.sweeps = sweeps;
+  sopt.collect_results = false;
+  const core::RunResult seq = core::run_sequential_kernel(*kernel, sopt);
+
+  Table t("run: " + kname + " P=" + std::to_string(procs) +
+          " k=" + std::to_string(k) + " " + to_string(dist));
+  t.set_header({"metric", "value"});
+  if (engine == "native") {
+    core::NativeOptions nopt;
+    nopt.num_procs = procs;
+    nopt.k = k;
+    nopt.distribution = dist;
+    nopt.sweeps = sweeps;
+    const core::NativeResult r = core::run_native_engine(*kernel, nopt);
+    t.add_row({"wall seconds (host threads)", fmt_f(r.wall_seconds, 4)});
+  } else {
+    core::RunResult r;
+    if (engine == "classic") {
+      core::ClassicOptions copt;
+      copt.num_procs = procs;
+      copt.distribution = dist;
+      copt.sweeps = sweeps;
+      copt.collect_results = false;
+      r = core::run_classic_engine(*kernel, copt);
+    } else if (engine == "rotation") {
+      core::RotationOptions ropt;
+      ropt.num_procs = procs;
+      ropt.k = k;
+      ropt.distribution = dist;
+      ropt.sweeps = sweeps;
+      ropt.collect_results = false;
+      ropt.machine.trace = opt.get_bool("gantt", false);
+      r = core::run_rotation_engine(*kernel, ropt);
+    } else {
+      throw check_error("unknown engine '" + engine +
+                        "' (rotation|classic|native)");
+    }
+    t.add_row({"cycles", fmt_group(static_cast<long long>(r.total_cycles))});
+    t.add_row({"inspector cycles",
+               fmt_group(static_cast<long long>(r.inspector_cycles))});
+    t.add_row({"speedup vs sequential",
+               fmt_f(static_cast<double>(seq.total_cycles) /
+                         static_cast<double>(r.total_cycles),
+                     2)});
+    t.add_row({"messages",
+               fmt_group(static_cast<long long>(r.machine.total_msgs()))});
+    t.add_row({"bytes",
+               fmt_group(static_cast<long long>(r.machine.total_bytes()))});
+    t.add_row({"cache miss rate", fmt_f(r.machine.cache_miss_rate(), 3)});
+    t.add_row({"EU utilization", fmt_f(r.machine.eu_utilization(), 2)});
+    t.add_row({"phase imbalance (CoV)",
+               fmt_f(coefficient_of_variation(r.phase_iterations), 3)});
+    t.print(std::cout);
+    if (!r.gantt.empty()) std::printf("\n%s", r.gantt.c_str());
+    return 0;
+  }
+  t.print(std::cout);
+  return 0;
+}
+
+int cmd_compile(const Options& opt) {
+  const std::string path = opt.get("file");
+  if (path.empty()) throw check_error("compile needs --file=loop.dsl");
+  std::ifstream is(path);
+  ER_CHECK_MSG(is.good(), "cannot open '" + path + "'");
+  std::stringstream buffer;
+  buffer << is.rdbuf();
+
+  compiler::CompileOptions copt;
+  copt.optimize = opt.get_bool("optimize", false);
+  const compiler::CompileResult result =
+      compiler::compile(buffer.str(), copt);
+  if (copt.optimize)
+    std::printf("optimizer: %zu folds, %zu propagations, %zu dead scalars "
+                "removed\n",
+                result.optimize_stats.folded,
+                result.optimize_stats.propagated,
+                result.optimize_stats.dead_removed);
+  for (std::size_t li = 0; li < result.analysis.loops.size(); ++li) {
+    const auto& la = result.analysis.loops[li];
+    std::printf("loop %zu: %zu reduction section(s), %zu indirection "
+                "section(s), %zu reference group(s)%s\n",
+                li, la.reduction_sections.size(),
+                la.indirection_sections.size(), la.groups.size(),
+                la.needs_fission() ? " -> loop fission" : "");
+    for (const auto& sec : la.reduction_sections)
+      std::printf("  reduction   %s\n", sec.triplet().c_str());
+    for (const auto& sec : la.indirection_sections)
+      std::printf("  indirection %s\n", sec.triplet().c_str());
+  }
+  if (opt.get_bool("emit", false)) {
+    for (std::size_t i = 0; i < result.threaded_c.size(); ++i)
+      std::printf("\n// ---- fissioned loop %zu ----\n%s", i,
+                  result.threaded_c[i].c_str());
+  }
+  return 0;
+}
+
+int dispatch(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  const Options opt(argc - 1, argv + 1);
+  if (cmd == "gen-mesh") return cmd_gen_mesh(opt);
+  if (cmd == "gen-matrix") return cmd_gen_matrix(opt);
+  if (cmd == "info") return cmd_info(opt);
+  if (cmd == "run") return cmd_run(opt);
+  if (cmd == "compile") return cmd_compile(opt);
+  return usage();
+}
+
+}  // namespace
+}  // namespace earthred
+
+int main(int argc, char** argv) {
+  try {
+    return earthred::dispatch(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "earthred: %s\n", e.what());
+    return 1;
+  }
+}
