@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_pull.dir/bench_ablation_pull.cpp.o"
+  "CMakeFiles/bench_ablation_pull.dir/bench_ablation_pull.cpp.o.d"
+  "bench_ablation_pull"
+  "bench_ablation_pull.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_pull.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

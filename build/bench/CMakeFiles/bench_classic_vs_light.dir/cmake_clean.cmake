@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_classic_vs_light.dir/bench_classic_vs_light.cpp.o"
+  "CMakeFiles/bench_classic_vs_light.dir/bench_classic_vs_light.cpp.o.d"
+  "bench_classic_vs_light"
+  "bench_classic_vs_light.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_classic_vs_light.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

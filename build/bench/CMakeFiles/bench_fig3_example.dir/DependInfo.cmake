@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig3_example.cpp" "bench/CMakeFiles/bench_fig3_example.dir/bench_fig3_example.cpp.o" "gcc" "bench/CMakeFiles/bench_fig3_example.dir/bench_fig3_example.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/compiler/CMakeFiles/earthred_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/earthred_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/earthred_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/earthred_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/earth/CMakeFiles/earthred_earth.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/earthred_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/inspector/CMakeFiles/earthred_inspector.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/earthred_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

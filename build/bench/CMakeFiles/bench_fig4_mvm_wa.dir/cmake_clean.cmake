@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_mvm_wa.dir/bench_fig4_mvm_wa.cpp.o"
+  "CMakeFiles/bench_fig4_mvm_wa.dir/bench_fig4_mvm_wa.cpp.o.d"
+  "bench_fig4_mvm_wa"
+  "bench_fig4_mvm_wa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_mvm_wa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig4_mvm_wa.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_euler.dir/bench_fig6_euler.cpp.o"
+  "CMakeFiles/bench_fig6_euler.dir/bench_fig6_euler.cpp.o.d"
+  "bench_fig6_euler"
+  "bench_fig6_euler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_euler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

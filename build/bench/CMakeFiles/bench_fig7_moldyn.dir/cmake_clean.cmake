@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_moldyn.dir/bench_fig7_moldyn.cpp.o"
+  "CMakeFiles/bench_fig7_moldyn.dir/bench_fig7_moldyn.cpp.o.d"
+  "bench_fig7_moldyn"
+  "bench_fig7_moldyn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_moldyn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

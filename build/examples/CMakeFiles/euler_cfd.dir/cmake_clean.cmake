@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/euler_cfd.dir/euler_cfd.cpp.o"
+  "CMakeFiles/euler_cfd.dir/euler_cfd.cpp.o.d"
+  "euler_cfd"
+  "euler_cfd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/euler_cfd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

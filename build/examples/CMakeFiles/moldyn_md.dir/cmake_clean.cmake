@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moldyn_md.dir/moldyn_md.cpp.o"
+  "CMakeFiles/moldyn_md.dir/moldyn_md.cpp.o.d"
+  "moldyn_md"
+  "moldyn_md.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moldyn_md.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

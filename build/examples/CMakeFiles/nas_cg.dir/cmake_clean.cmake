@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nas_cg.dir/nas_cg.cpp.o"
+  "CMakeFiles/nas_cg.dir/nas_cg.cpp.o.d"
+  "nas_cg"
+  "nas_cg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nas_cg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

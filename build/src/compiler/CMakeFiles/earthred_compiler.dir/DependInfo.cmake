@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compiler/analysis.cpp" "src/compiler/CMakeFiles/earthred_compiler.dir/analysis.cpp.o" "gcc" "src/compiler/CMakeFiles/earthred_compiler.dir/analysis.cpp.o.d"
+  "/root/repo/src/compiler/bytecode.cpp" "src/compiler/CMakeFiles/earthred_compiler.dir/bytecode.cpp.o" "gcc" "src/compiler/CMakeFiles/earthred_compiler.dir/bytecode.cpp.o.d"
+  "/root/repo/src/compiler/codegen.cpp" "src/compiler/CMakeFiles/earthred_compiler.dir/codegen.cpp.o" "gcc" "src/compiler/CMakeFiles/earthred_compiler.dir/codegen.cpp.o.d"
+  "/root/repo/src/compiler/compiled_kernel.cpp" "src/compiler/CMakeFiles/earthred_compiler.dir/compiled_kernel.cpp.o" "gcc" "src/compiler/CMakeFiles/earthred_compiler.dir/compiled_kernel.cpp.o.d"
+  "/root/repo/src/compiler/compiler.cpp" "src/compiler/CMakeFiles/earthred_compiler.dir/compiler.cpp.o" "gcc" "src/compiler/CMakeFiles/earthred_compiler.dir/compiler.cpp.o.d"
+  "/root/repo/src/compiler/lexer.cpp" "src/compiler/CMakeFiles/earthred_compiler.dir/lexer.cpp.o" "gcc" "src/compiler/CMakeFiles/earthred_compiler.dir/lexer.cpp.o.d"
+  "/root/repo/src/compiler/optimize.cpp" "src/compiler/CMakeFiles/earthred_compiler.dir/optimize.cpp.o" "gcc" "src/compiler/CMakeFiles/earthred_compiler.dir/optimize.cpp.o.d"
+  "/root/repo/src/compiler/parser.cpp" "src/compiler/CMakeFiles/earthred_compiler.dir/parser.cpp.o" "gcc" "src/compiler/CMakeFiles/earthred_compiler.dir/parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/earthred_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/earthred_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/earth/CMakeFiles/earthred_earth.dir/DependInfo.cmake"
+  "/root/repo/build/src/inspector/CMakeFiles/earthred_inspector.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/earthred_sparse.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

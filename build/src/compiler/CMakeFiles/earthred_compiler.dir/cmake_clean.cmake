@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/earthred_compiler.dir/analysis.cpp.o"
+  "CMakeFiles/earthred_compiler.dir/analysis.cpp.o.d"
+  "CMakeFiles/earthred_compiler.dir/bytecode.cpp.o"
+  "CMakeFiles/earthred_compiler.dir/bytecode.cpp.o.d"
+  "CMakeFiles/earthred_compiler.dir/codegen.cpp.o"
+  "CMakeFiles/earthred_compiler.dir/codegen.cpp.o.d"
+  "CMakeFiles/earthred_compiler.dir/compiled_kernel.cpp.o"
+  "CMakeFiles/earthred_compiler.dir/compiled_kernel.cpp.o.d"
+  "CMakeFiles/earthred_compiler.dir/compiler.cpp.o"
+  "CMakeFiles/earthred_compiler.dir/compiler.cpp.o.d"
+  "CMakeFiles/earthred_compiler.dir/lexer.cpp.o"
+  "CMakeFiles/earthred_compiler.dir/lexer.cpp.o.d"
+  "CMakeFiles/earthred_compiler.dir/optimize.cpp.o"
+  "CMakeFiles/earthred_compiler.dir/optimize.cpp.o.d"
+  "CMakeFiles/earthred_compiler.dir/parser.cpp.o"
+  "CMakeFiles/earthred_compiler.dir/parser.cpp.o.d"
+  "libearthred_compiler.a"
+  "libearthred_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/earthred_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

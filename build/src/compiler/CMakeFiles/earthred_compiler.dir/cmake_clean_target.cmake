@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libearthred_compiler.a"
+)

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cg.cpp" "src/core/CMakeFiles/earthred_core.dir/cg.cpp.o" "gcc" "src/core/CMakeFiles/earthred_core.dir/cg.cpp.o.d"
+  "/root/repo/src/core/classic_engine.cpp" "src/core/CMakeFiles/earthred_core.dir/classic_engine.cpp.o" "gcc" "src/core/CMakeFiles/earthred_core.dir/classic_engine.cpp.o.d"
+  "/root/repo/src/core/collectives.cpp" "src/core/CMakeFiles/earthred_core.dir/collectives.cpp.o" "gcc" "src/core/CMakeFiles/earthred_core.dir/collectives.cpp.o.d"
+  "/root/repo/src/core/mvm_engine.cpp" "src/core/CMakeFiles/earthred_core.dir/mvm_engine.cpp.o" "gcc" "src/core/CMakeFiles/earthred_core.dir/mvm_engine.cpp.o.d"
+  "/root/repo/src/core/mvm_pull_engine.cpp" "src/core/CMakeFiles/earthred_core.dir/mvm_pull_engine.cpp.o" "gcc" "src/core/CMakeFiles/earthred_core.dir/mvm_pull_engine.cpp.o.d"
+  "/root/repo/src/core/native_engine.cpp" "src/core/CMakeFiles/earthred_core.dir/native_engine.cpp.o" "gcc" "src/core/CMakeFiles/earthred_core.dir/native_engine.cpp.o.d"
+  "/root/repo/src/core/reduction_engine.cpp" "src/core/CMakeFiles/earthred_core.dir/reduction_engine.cpp.o" "gcc" "src/core/CMakeFiles/earthred_core.dir/reduction_engine.cpp.o.d"
+  "/root/repo/src/core/sequential.cpp" "src/core/CMakeFiles/earthred_core.dir/sequential.cpp.o" "gcc" "src/core/CMakeFiles/earthred_core.dir/sequential.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/earthred_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/earth/CMakeFiles/earthred_earth.dir/DependInfo.cmake"
+  "/root/repo/build/src/inspector/CMakeFiles/earthred_inspector.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/earthred_sparse.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

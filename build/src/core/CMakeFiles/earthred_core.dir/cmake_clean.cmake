@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/earthred_core.dir/cg.cpp.o"
+  "CMakeFiles/earthred_core.dir/cg.cpp.o.d"
+  "CMakeFiles/earthred_core.dir/classic_engine.cpp.o"
+  "CMakeFiles/earthred_core.dir/classic_engine.cpp.o.d"
+  "CMakeFiles/earthred_core.dir/collectives.cpp.o"
+  "CMakeFiles/earthred_core.dir/collectives.cpp.o.d"
+  "CMakeFiles/earthred_core.dir/mvm_engine.cpp.o"
+  "CMakeFiles/earthred_core.dir/mvm_engine.cpp.o.d"
+  "CMakeFiles/earthred_core.dir/mvm_pull_engine.cpp.o"
+  "CMakeFiles/earthred_core.dir/mvm_pull_engine.cpp.o.d"
+  "CMakeFiles/earthred_core.dir/native_engine.cpp.o"
+  "CMakeFiles/earthred_core.dir/native_engine.cpp.o.d"
+  "CMakeFiles/earthred_core.dir/reduction_engine.cpp.o"
+  "CMakeFiles/earthred_core.dir/reduction_engine.cpp.o.d"
+  "CMakeFiles/earthred_core.dir/sequential.cpp.o"
+  "CMakeFiles/earthred_core.dir/sequential.cpp.o.d"
+  "libearthred_core.a"
+  "libearthred_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/earthred_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

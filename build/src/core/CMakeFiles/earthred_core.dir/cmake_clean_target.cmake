@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libearthred_core.a"
+)

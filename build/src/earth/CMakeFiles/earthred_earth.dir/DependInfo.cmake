@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/earth/cache.cpp" "src/earth/CMakeFiles/earthred_earth.dir/cache.cpp.o" "gcc" "src/earth/CMakeFiles/earthred_earth.dir/cache.cpp.o.d"
+  "/root/repo/src/earth/machine.cpp" "src/earth/CMakeFiles/earthred_earth.dir/machine.cpp.o" "gcc" "src/earth/CMakeFiles/earthred_earth.dir/machine.cpp.o.d"
+  "/root/repo/src/earth/trace.cpp" "src/earth/CMakeFiles/earthred_earth.dir/trace.cpp.o" "gcc" "src/earth/CMakeFiles/earthred_earth.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/earthred_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/earthred_earth.dir/cache.cpp.o"
+  "CMakeFiles/earthred_earth.dir/cache.cpp.o.d"
+  "CMakeFiles/earthred_earth.dir/machine.cpp.o"
+  "CMakeFiles/earthred_earth.dir/machine.cpp.o.d"
+  "CMakeFiles/earthred_earth.dir/trace.cpp.o"
+  "CMakeFiles/earthred_earth.dir/trace.cpp.o.d"
+  "libearthred_earth.a"
+  "libearthred_earth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/earthred_earth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

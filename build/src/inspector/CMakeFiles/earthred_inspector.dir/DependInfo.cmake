@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/inspector/classic_inspector.cpp" "src/inspector/CMakeFiles/earthred_inspector.dir/classic_inspector.cpp.o" "gcc" "src/inspector/CMakeFiles/earthred_inspector.dir/classic_inspector.cpp.o.d"
+  "/root/repo/src/inspector/distribution.cpp" "src/inspector/CMakeFiles/earthred_inspector.dir/distribution.cpp.o" "gcc" "src/inspector/CMakeFiles/earthred_inspector.dir/distribution.cpp.o.d"
+  "/root/repo/src/inspector/light_inspector.cpp" "src/inspector/CMakeFiles/earthred_inspector.dir/light_inspector.cpp.o" "gcc" "src/inspector/CMakeFiles/earthred_inspector.dir/light_inspector.cpp.o.d"
+  "/root/repo/src/inspector/rotation.cpp" "src/inspector/CMakeFiles/earthred_inspector.dir/rotation.cpp.o" "gcc" "src/inspector/CMakeFiles/earthred_inspector.dir/rotation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/earthred_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

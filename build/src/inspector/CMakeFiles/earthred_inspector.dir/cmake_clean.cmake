@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/earthred_inspector.dir/classic_inspector.cpp.o"
+  "CMakeFiles/earthred_inspector.dir/classic_inspector.cpp.o.d"
+  "CMakeFiles/earthred_inspector.dir/distribution.cpp.o"
+  "CMakeFiles/earthred_inspector.dir/distribution.cpp.o.d"
+  "CMakeFiles/earthred_inspector.dir/light_inspector.cpp.o"
+  "CMakeFiles/earthred_inspector.dir/light_inspector.cpp.o.d"
+  "CMakeFiles/earthred_inspector.dir/rotation.cpp.o"
+  "CMakeFiles/earthred_inspector.dir/rotation.cpp.o.d"
+  "libearthred_inspector.a"
+  "libearthred_inspector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/earthred_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libearthred_inspector.a"
+)

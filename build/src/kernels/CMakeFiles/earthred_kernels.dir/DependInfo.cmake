@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/adaptive_moldyn.cpp" "src/kernels/CMakeFiles/earthred_kernels.dir/adaptive_moldyn.cpp.o" "gcc" "src/kernels/CMakeFiles/earthred_kernels.dir/adaptive_moldyn.cpp.o.d"
+  "/root/repo/src/kernels/euler.cpp" "src/kernels/CMakeFiles/earthred_kernels.dir/euler.cpp.o" "gcc" "src/kernels/CMakeFiles/earthred_kernels.dir/euler.cpp.o.d"
+  "/root/repo/src/kernels/fig1.cpp" "src/kernels/CMakeFiles/earthred_kernels.dir/fig1.cpp.o" "gcc" "src/kernels/CMakeFiles/earthred_kernels.dir/fig1.cpp.o.d"
+  "/root/repo/src/kernels/moldyn.cpp" "src/kernels/CMakeFiles/earthred_kernels.dir/moldyn.cpp.o" "gcc" "src/kernels/CMakeFiles/earthred_kernels.dir/moldyn.cpp.o.d"
+  "/root/repo/src/kernels/spmv_t.cpp" "src/kernels/CMakeFiles/earthred_kernels.dir/spmv_t.cpp.o" "gcc" "src/kernels/CMakeFiles/earthred_kernels.dir/spmv_t.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/earthred_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/earthred_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/earthred_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/earth/CMakeFiles/earthred_earth.dir/DependInfo.cmake"
+  "/root/repo/build/src/inspector/CMakeFiles/earthred_inspector.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/earthred_sparse.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

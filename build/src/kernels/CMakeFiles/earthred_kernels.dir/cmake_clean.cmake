@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/earthred_kernels.dir/adaptive_moldyn.cpp.o"
+  "CMakeFiles/earthred_kernels.dir/adaptive_moldyn.cpp.o.d"
+  "CMakeFiles/earthred_kernels.dir/euler.cpp.o"
+  "CMakeFiles/earthred_kernels.dir/euler.cpp.o.d"
+  "CMakeFiles/earthred_kernels.dir/fig1.cpp.o"
+  "CMakeFiles/earthred_kernels.dir/fig1.cpp.o.d"
+  "CMakeFiles/earthred_kernels.dir/moldyn.cpp.o"
+  "CMakeFiles/earthred_kernels.dir/moldyn.cpp.o.d"
+  "CMakeFiles/earthred_kernels.dir/spmv_t.cpp.o"
+  "CMakeFiles/earthred_kernels.dir/spmv_t.cpp.o.d"
+  "libearthred_kernels.a"
+  "libearthred_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/earthred_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/earthred_mesh.dir/generators.cpp.o"
+  "CMakeFiles/earthred_mesh.dir/generators.cpp.o.d"
+  "CMakeFiles/earthred_mesh.dir/io.cpp.o"
+  "CMakeFiles/earthred_mesh.dir/io.cpp.o.d"
+  "CMakeFiles/earthred_mesh.dir/mesh.cpp.o"
+  "CMakeFiles/earthred_mesh.dir/mesh.cpp.o.d"
+  "CMakeFiles/earthred_mesh.dir/partition.cpp.o"
+  "CMakeFiles/earthred_mesh.dir/partition.cpp.o.d"
+  "libearthred_mesh.a"
+  "libearthred_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/earthred_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libearthred_mesh.a"
+)

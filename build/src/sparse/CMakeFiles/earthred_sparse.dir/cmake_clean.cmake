@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/earthred_sparse.dir/csr.cpp.o"
+  "CMakeFiles/earthred_sparse.dir/csr.cpp.o.d"
+  "CMakeFiles/earthred_sparse.dir/io.cpp.o"
+  "CMakeFiles/earthred_sparse.dir/io.cpp.o.d"
+  "CMakeFiles/earthred_sparse.dir/nas_cg.cpp.o"
+  "CMakeFiles/earthred_sparse.dir/nas_cg.cpp.o.d"
+  "libearthred_sparse.a"
+  "libearthred_sparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/earthred_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libearthred_sparse.a"
+)

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/earthred_support.dir/check.cpp.o"
+  "CMakeFiles/earthred_support.dir/check.cpp.o.d"
+  "CMakeFiles/earthred_support.dir/log.cpp.o"
+  "CMakeFiles/earthred_support.dir/log.cpp.o.d"
+  "CMakeFiles/earthred_support.dir/options.cpp.o"
+  "CMakeFiles/earthred_support.dir/options.cpp.o.d"
+  "CMakeFiles/earthred_support.dir/prng.cpp.o"
+  "CMakeFiles/earthred_support.dir/prng.cpp.o.d"
+  "CMakeFiles/earthred_support.dir/stats.cpp.o"
+  "CMakeFiles/earthred_support.dir/stats.cpp.o.d"
+  "CMakeFiles/earthred_support.dir/str.cpp.o"
+  "CMakeFiles/earthred_support.dir/str.cpp.o.d"
+  "CMakeFiles/earthred_support.dir/table.cpp.o"
+  "CMakeFiles/earthred_support.dir/table.cpp.o.d"
+  "libearthred_support.a"
+  "libearthred_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/earthred_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_classic_inspector.dir/test_classic_inspector.cpp.o"
+  "CMakeFiles/test_classic_inspector.dir/test_classic_inspector.cpp.o.d"
+  "test_classic_inspector"
+  "test_classic_inspector.pdb"
+  "test_classic_inspector[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_classic_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

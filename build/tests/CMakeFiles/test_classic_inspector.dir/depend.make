@@ -1,0 +1,2 @@
+# Empty dependencies file for test_classic_inspector.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_earth_dynamic.dir/test_earth_dynamic.cpp.o"
+  "CMakeFiles/test_earth_dynamic.dir/test_earth_dynamic.cpp.o.d"
+  "test_earth_dynamic"
+  "test_earth_dynamic.pdb"
+  "test_earth_dynamic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_earth_dynamic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_earth_machine.dir/test_earth_machine.cpp.o"
+  "CMakeFiles/test_earth_machine.dir/test_earth_machine.cpp.o.d"
+  "test_earth_machine"
+  "test_earth_machine.pdb"
+  "test_earth_machine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_earth_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

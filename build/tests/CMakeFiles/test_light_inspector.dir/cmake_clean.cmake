@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_light_inspector.dir/test_light_inspector.cpp.o"
+  "CMakeFiles/test_light_inspector.dir/test_light_inspector.cpp.o.d"
+  "test_light_inspector"
+  "test_light_inspector.pdb"
+  "test_light_inspector[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_light_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_native_engine.dir/test_native_engine.cpp.o"
+  "CMakeFiles/test_native_engine.dir/test_native_engine.cpp.o.d"
+  "test_native_engine"
+  "test_native_engine.pdb"
+  "test_native_engine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_native_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

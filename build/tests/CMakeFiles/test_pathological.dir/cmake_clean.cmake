@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pathological.dir/test_pathological.cpp.o"
+  "CMakeFiles/test_pathological.dir/test_pathological.cpp.o.d"
+  "test_pathological"
+  "test_pathological.pdb"
+  "test_pathological[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pathological.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

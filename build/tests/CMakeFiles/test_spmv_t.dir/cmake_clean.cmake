@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spmv_t.dir/test_spmv_t.cpp.o"
+  "CMakeFiles/test_spmv_t.dir/test_spmv_t.cpp.o.d"
+  "test_spmv_t"
+  "test_spmv_t.pdb"
+  "test_spmv_t[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spmv_t.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_support[1]_include.cmake")
+include("/root/repo/build/tests/test_earth_machine[1]_include.cmake")
+include("/root/repo/build/tests/test_sparse[1]_include.cmake")
+include("/root/repo/build/tests/test_mesh[1]_include.cmake")
+include("/root/repo/build/tests/test_rotation[1]_include.cmake")
+include("/root/repo/build/tests/test_light_inspector[1]_include.cmake")
+include("/root/repo/build/tests/test_classic_inspector[1]_include.cmake")
+include("/root/repo/build/tests/test_engines[1]_include.cmake")
+include("/root/repo/build/tests/test_compiler[1]_include.cmake")
+include("/root/repo/build/tests/test_adaptive[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_io[1]_include.cmake")
+include("/root/repo/build/tests/test_native_engine[1]_include.cmake")
+include("/root/repo/build/tests/test_param_sweeps[1]_include.cmake")
+include("/root/repo/build/tests/test_earth_dynamic[1]_include.cmake")
+include("/root/repo/build/tests/test_cg[1]_include.cmake")
+include("/root/repo/build/tests/test_partition[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_collectives[1]_include.cmake")
+include("/root/repo/build/tests/test_spmv_t[1]_include.cmake")
+include("/root/repo/build/tests/test_pathological[1]_include.cmake")
+include("/root/repo/build/tests/test_timing_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_kernels[1]_include.cmake")
+include("/root/repo/build/tests/test_optimize[1]_include.cmake")
+include("/root/repo/build/tests/test_misc[1]_include.cmake")
+include("/root/repo/build/tests/test_machine_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/test_codegen[1]_include.cmake")

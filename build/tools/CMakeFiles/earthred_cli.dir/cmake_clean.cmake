@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/earthred_cli.dir/earthred_cli.cpp.o"
+  "CMakeFiles/earthred_cli.dir/earthred_cli.cpp.o.d"
+  "earthred"
+  "earthred.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/earthred_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
