@@ -1,0 +1,106 @@
+// Ablation: fault injection and the reliability protocol.
+//
+// Two questions a robustness layer must answer before it is allowed near
+// the figure benchmarks: (1) what does the acked, checksummed portion
+// rotation cost when the network is healthy (the common case), and
+// (2) how does execution time degrade — with results staying bit-exact —
+// as message drop/corrupt/duplicate/delay rates climb.
+//
+// Table 1 sweeps k at zero fault rate and reports the protocol overhead
+// against the unprotected engine. Table 2 sweeps a uniform fault rate at
+// fixed k and reports cycles, injected faults, retransmits, and whether
+// the reduction arrays are bit-identical to the fault-free reliable run
+// (same schedule, same summation order — any difference is a protocol
+// bug, not floating-point noise).
+//
+// Flags: --sweeps=N (default 10), --procs=P (default 8), --k=K (default 2),
+//        --rates-x1000=0,5,20,50,100, --seed=S (default 0x5eed).
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/reduction_engine.hpp"
+#include "kernels/euler.hpp"
+#include "mesh/generators.hpp"
+#include "support/options.hpp"
+
+int main(int argc, char** argv) {
+  using namespace earthred;
+  const Options opt(argc, argv);
+  const auto sweeps = static_cast<std::uint32_t>(opt.get_int("sweeps", 10));
+  const auto P = static_cast<std::uint32_t>(opt.get_int("procs", 8));
+  const auto K = static_cast<std::uint32_t>(opt.get_int("k", 2));
+  const auto rates = opt.get_int_list("rates-x1000", {0, 5, 20, 50, 100});
+  const auto seed =
+      static_cast<std::uint64_t>(opt.get_int("seed", 0x5eed));
+
+  const kernels::EulerKernel kernel(mesh::euler_mesh_small());
+
+  auto run = [&](std::uint32_t k, bool reliable, double rate,
+                 bool collect) {
+    core::RotationOptions ropt;
+    ropt.num_procs = P;
+    ropt.k = k;
+    ropt.sweeps = sweeps;
+    ropt.machine = bench::manna_machine();
+    ropt.collect_results = collect;
+    ropt.reliable = reliable;
+    // Retry headroom for the high end of the sweep: drops and corruption
+    // hit acks too, so the per-round success probability is the product
+    // of both directions (see tests/test_faults.cpp).
+    ropt.reliable_opt.max_retries = 40;
+    if (rate > 0.0) {
+      ropt.machine.fault.enabled = true;
+      ropt.machine.fault.seed = seed;
+      ropt.machine.fault.drop = rate;
+      ropt.machine.fault.corrupt = rate;
+      ropt.machine.fault.duplicate = rate;
+      ropt.machine.fault.delay = rate;
+    }
+    return core::run_rotation_engine(kernel, ropt);
+  };
+
+  Table over("Ablation — reliability overhead at zero faults (euler 2K, P=" +
+             std::to_string(P) + ")");
+  over.set_header({"k", "unprotected", "reliable", "overhead",
+                   "retransmits"});
+  for (const std::uint32_t k : {1u, 2u, 4u}) {
+    const auto base = run(k, false, 0.0, false);
+    const auto rel = run(k, true, 0.0, false);
+    const double tb = bench::to_seconds(base.total_cycles);
+    const double tr = bench::to_seconds(rel.total_cycles);
+    over.add_row({std::to_string(k), fmt_f(tb, 3), fmt_f(tr, 3),
+                  fmt_f(100.0 * (tr - tb) / tb, 1) + "%",
+                  std::to_string(rel.reliable.retransmits)});
+  }
+  over.print(std::cout);
+
+  const auto clean = run(K, true, 0.0, true);
+  Table deg("Ablation — fault-rate sweep (euler 2K, P=" +
+            std::to_string(P) + ", k=" + std::to_string(K) +
+            ", reliable, drop=corrupt=dup=delay=rate)");
+  deg.set_header({"rate", "seconds", "slowdown", "faults", "retransmits",
+                  "acks", "bit-exact"});
+  for (const auto r1000 : rates) {
+    const double rate = static_cast<double>(r1000) / 1000.0;
+    const auto r = run(K, true, rate, true);
+    bool exact = true;
+    for (std::size_t a = 0; a < clean.reduction.size() && exact; ++a)
+      for (std::size_t i = 0; i < clean.reduction[a].size(); ++i)
+        if (r.reduction[a][i] != clean.reduction[a][i]) {
+          exact = false;
+          break;
+        }
+    deg.add_row({fmt_f(rate, 3), fmt_f(bench::to_seconds(r.total_cycles), 3),
+                 fmt_f(static_cast<double>(r.total_cycles) /
+                           static_cast<double>(clean.total_cycles),
+                       2) +
+                     "x",
+                 std::to_string(r.machine.faults.injected()),
+                 std::to_string(r.reliable.retransmits),
+                 std::to_string(r.reliable.acks_sent),
+                 exact ? "yes" : "NO"});
+  }
+  deg.print(std::cout);
+  return 0;
+}

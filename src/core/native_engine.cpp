@@ -1,8 +1,11 @@
 #include "core/native_engine.hpp"
 
+#include <atomic>
 #include <chrono>
 #include <memory>
+#include <mutex>
 #include <semaphore>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -108,6 +111,37 @@ NativeResult run_native_engine(const PhasedKernel& kernel,
   const std::uint32_t sweeps = opt.sweeps;
   const auto t0 = std::chrono::steady_clock::now();
 
+  // Stall watchdog: every semaphore wait is bounded by opt.stall_timeout
+  // (0 = unbounded). The first wait to time out records a description and
+  // raises `stalled`; every other wait polls the flag and bails, so all
+  // threads unwind, join() returns, and the failure surfaces as a
+  // check_error instead of a hang.
+  std::atomic<bool> stalled{false};
+  std::mutex stall_mutex;
+  std::string stall_what;
+  const auto wait_or_stall = [&](std::binary_semaphore& sem,
+                                 const std::string& what) -> bool {
+    if (opt.stall_timeout <= 0.0) {
+      sem.acquire();
+      return true;
+    }
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(opt.stall_timeout));
+    while (!sem.try_acquire_for(std::chrono::milliseconds(10))) {
+      if (stalled.load(std::memory_order_relaxed)) return false;
+      if (std::chrono::steady_clock::now() >= deadline) {
+        if (!stalled.exchange(true)) {
+          const std::lock_guard<std::mutex> lock(stall_mutex);
+          stall_what = what;
+        }
+        return false;
+      }
+    }
+    return true;
+  };
+
   std::vector<std::thread> threads;
   threads.reserve(P);
   for (std::uint32_t p = 0; p < P; ++p) {
@@ -129,7 +163,14 @@ NativeResult run_native_engine(const PhasedKernel& kernel,
                  ++opid) {
               StagedSlot* slot = bcast[p][opid].get();
               if (!slot) continue;  // finalized locally
-              slot->full.acquire();
+              if (!wait_or_stall(
+                      slot->full,
+                      "proc " + std::to_string(p) +
+                          " stuck waiting for the node-read broadcast of "
+                          "portion " +
+                          std::to_string(opid) + " at sweep " +
+                          std::to_string(sweep)))
+                return;
               const std::uint32_t ob = sched.portion_begin(opid);
               const std::uint32_t osz = sched.portion_size(opid);
               for (std::uint32_t a = 0; a < NA; ++a)
@@ -143,7 +184,14 @@ NativeResult run_native_engine(const PhasedKernel& kernel,
           // Portion arrival (the first k phases of sweep 0 start local).
           if (!(sweep == 0 && ph < opt.k)) {
             StagedSlot* slot = rotation[p][ph].get();
-            slot->full.acquire();
+            if (!wait_or_stall(
+                    slot->full,
+                    "proc " + std::to_string(p) +
+                        " stuck waiting for portion " +
+                        std::to_string(pid) + " to arrive for phase " +
+                        std::to_string(ph) + " at sweep " +
+                        std::to_string(sweep) + " (lost forward?)"))
+              return;
             for (std::uint32_t a = 0; a < RA; ++a)
               std::copy(slot->data.begin() + a * psize,
                         slot->data.begin() + (a + 1) * psize,
@@ -189,7 +237,14 @@ NativeResult run_native_engine(const PhasedKernel& kernel,
               for (std::uint32_t q = 0; q < P; ++q) {
                 if (q == p) continue;
                 StagedSlot* slot = bcast[q][pid].get();
-                slot->free.acquire();
+                if (!wait_or_stall(
+                        slot->free,
+                        "proc " + std::to_string(p) +
+                            " stuck broadcasting portion " +
+                            std::to_string(pid) + " to proc " +
+                            std::to_string(q) + " at sweep " +
+                            std::to_string(sweep)))
+                  return;
                 for (std::uint32_t a = 0; a < NA; ++a)
                   std::copy(ps.arrays.node_read[a].begin() + begin,
                             ps.arrays.node_read[a].begin() + end,
@@ -204,9 +259,20 @@ NativeResult run_native_engine(const PhasedKernel& kernel,
           std::uint32_t tsweep = sweep + (tph >= kp ? 1 : 0);
           tph %= kp;
           if (tsweep < sweeps) {
+            if (opt.lose_forward.enabled && opt.lose_forward.proc == p &&
+                opt.lose_forward.phase == ph &&
+                opt.lose_forward.sweep == sweep)
+              continue;  // fault hook: this forward silently vanishes
             const std::uint32_t q = sched.next_owner(p);
             StagedSlot* slot = rotation[q][tph].get();
-            slot->free.acquire();
+            if (!wait_or_stall(
+                    slot->free,
+                    "proc " + std::to_string(p) +
+                        " stuck forwarding portion " + std::to_string(pid) +
+                        " to proc " + std::to_string(q) + " phase " +
+                        std::to_string(tph) + " at sweep " +
+                        std::to_string(sweep)))
+              return;
             for (std::uint32_t a = 0; a < RA; ++a)
               std::copy(ps.arrays.reduction[a].begin() + begin,
                         ps.arrays.reduction[a].begin() + end,
@@ -218,6 +284,12 @@ NativeResult run_native_engine(const PhasedKernel& kernel,
     });
   }
   for (std::thread& t : threads) t.join();
+  if (stalled.load()) {
+    const std::lock_guard<std::mutex> lock(stall_mutex);
+    throw check_error("native engine stalled after " +
+                      std::to_string(opt.stall_timeout) + "s: " +
+                      stall_what);
+  }
 
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)

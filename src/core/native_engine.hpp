@@ -33,6 +33,20 @@ struct NativeOptions {
   std::uint32_t block_cyclic_size = 16;
   std::uint32_t sweeps = 1;
   inspector::LightInspectorOptions inspector{};
+  /// Wall-clock seconds any single staging-buffer wait may block before
+  /// the whole run is declared stalled and aborted with a check_error
+  /// naming the waiting processor and protocol step — a deadlocked
+  /// protocol surfaces as a diagnostic instead of a hung process. 0 waits
+  /// forever (the pre-watchdog behavior).
+  double stall_timeout = 30.0;
+  /// Test hook: silently skip one ring forward, simulating a lost
+  /// message, so the stall watchdog can be exercised deterministically.
+  struct LostForward {
+    bool enabled = false;
+    std::uint32_t proc = 0;
+    std::uint32_t phase = 0;
+    std::uint32_t sweep = 0;
+  } lose_forward;
 };
 
 struct NativeResult {
@@ -44,9 +58,11 @@ struct NativeResult {
   std::vector<std::vector<double>> node_read;
 };
 
-/// Runs `kernel` with real threads. Throws on invalid shapes; any
-/// internal protocol violation would surface as a wrong result, which the
-/// caller should check against run_sequential_kernel.
+/// Runs `kernel` with real threads. Throws on invalid shapes and raises
+/// check_error when a staging-buffer wait exceeds stall_timeout (lost
+/// message / protocol deadlock); a protocol violation that still
+/// completes surfaces as a wrong result, which the caller should check
+/// against run_sequential_kernel.
 NativeResult run_native_engine(const PhasedKernel& kernel,
                                const NativeOptions& opt);
 

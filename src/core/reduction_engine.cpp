@@ -120,6 +120,17 @@ RunResult run_rotation_engine(const PhasedKernel& kernel,
   const std::uint32_t sweeps = opt.sweeps;
   const bool collect = opt.collect_results;
 
+  // Reliable transport (opt.reliable): one channel per ring edge and
+  // target phase (ring_ch[q][tph], fed by ring_sender(q)) and one per
+  // (receiver, portion) replication pair (bc_ch[q][pid], fed by the
+  // portion's final owner). Each channel carries a fixed [begin, end)
+  // region, so its accept callback knows where to scatter; the channels
+  // are built after the gates below, once every notify fiber exists —
+  // the compute bodies capture the (empty) vectors by reference.
+  std::vector<std::vector<std::unique_ptr<earth::ReliableChannel>>> ring_ch(
+      P);
+  std::vector<std::vector<std::unique_ptr<earth::ReliableChannel>>> bc_ch(P);
+
   RunResult result;
   if (collect) {
     result.reduction.assign(shape.num_reduction_arrays,
@@ -199,21 +210,36 @@ RunResult run_rotation_engine(const PhasedKernel& kernel,
               }
 
               // Broadcast the refreshed node-read portion.
-              const std::uint64_t bbytes =
-                  static_cast<std::uint64_t>(end - begin) * 8 *
-                  std::max<std::uint32_t>(shape.num_node_read_arrays, 1);
-              for (std::uint32_t q = 0; q < P; ++q) {
-                if (q == p) continue;
-                ctx.send(channel_gate[q][p], bbytes,
-                         [&procs, p, q, begin, end, &shape] {
-                           for (std::uint32_t a = 0;
-                                a < shape.num_node_read_arrays; ++a)
-                             std::copy(
-                                 procs[p].arrays.node_read[a].begin() + begin,
-                                 procs[p].arrays.node_read[a].begin() + end,
-                                 procs[q].arrays.node_read[a].begin() +
-                                     begin);
-                         });
+              if (opt.reliable) {
+                const std::size_t len = end - begin;
+                std::vector<double> buf(len * shape.num_node_read_arrays);
+                for (std::uint32_t a = 0; a < shape.num_node_read_arrays;
+                     ++a)
+                  std::copy(ps.arrays.node_read[a].begin() + begin,
+                            ps.arrays.node_read[a].begin() + end,
+                            buf.begin() + a * len);
+                for (std::uint32_t q = 0; q < P; ++q) {
+                  if (q == p) continue;
+                  bc_ch[q][pid]->send(ctx, buf.data(), buf.size());
+                }
+              } else {
+                const std::uint64_t bbytes =
+                    static_cast<std::uint64_t>(end - begin) * 8 *
+                    std::max<std::uint32_t>(shape.num_node_read_arrays, 1);
+                for (std::uint32_t q = 0; q < P; ++q) {
+                  if (q == p) continue;
+                  ctx.send(channel_gate[q][p], bbytes,
+                           [&procs, p, q, begin, end, &shape] {
+                             for (std::uint32_t a = 0;
+                                  a < shape.num_node_read_arrays; ++a)
+                               std::copy(
+                                   procs[p].arrays.node_read[a].begin() +
+                                       begin,
+                                   procs[p].arrays.node_read[a].begin() + end,
+                                   procs[q].arrays.node_read[a].begin() +
+                                       begin);
+                           });
+                }
               }
             }
 
@@ -223,18 +249,30 @@ RunResult run_rotation_engine(const PhasedKernel& kernel,
             tph %= kp;
             if (tsweep < sweeps) {
               const std::uint32_t q = sched.next_owner(p);
-              const std::uint64_t pbytes =
-                  static_cast<std::uint64_t>(end - begin) * 8 *
-                  shape.num_reduction_arrays;
-              ctx.send(compute[q][tph], pbytes,
-                       [&procs, p, q, begin, end, &shape] {
-                         for (std::uint32_t a = 0;
-                              a < shape.num_reduction_arrays; ++a)
-                           std::copy(
-                               procs[p].arrays.reduction[a].begin() + begin,
-                               procs[p].arrays.reduction[a].begin() + end,
-                               procs[q].arrays.reduction[a].begin() + begin);
-                       });
+              if (opt.reliable) {
+                const std::size_t len = end - begin;
+                std::vector<double> buf(len * shape.num_reduction_arrays);
+                for (std::uint32_t a = 0; a < shape.num_reduction_arrays;
+                     ++a)
+                  std::copy(ps.arrays.reduction[a].begin() + begin,
+                            ps.arrays.reduction[a].begin() + end,
+                            buf.begin() + a * len);
+                ring_ch[q][tph]->send(ctx, buf.data(), buf.size());
+              } else {
+                const std::uint64_t pbytes =
+                    static_cast<std::uint64_t>(end - begin) * 8 *
+                    shape.num_reduction_arrays;
+                ctx.send(compute[q][tph], pbytes,
+                         [&procs, p, q, begin, end, &shape] {
+                           for (std::uint32_t a = 0;
+                                a < shape.num_reduction_arrays; ++a)
+                             std::copy(
+                                 procs[p].arrays.reduction[a].begin() + begin,
+                                 procs[p].arrays.reduction[a].begin() + end,
+                                 procs[q].arrays.reduction[a].begin() +
+                                     begin);
+                         });
+              }
             }
 
             // -- chain to the next local phase ---------------------------
@@ -259,6 +297,57 @@ RunResult run_rotation_engine(const PhasedKernel& kernel,
     }
   }
 
+  if (opt.reliable) {
+    for (std::uint32_t q = 0; q < P; ++q) {
+      ring_ch[q].resize(kp);
+      bc_ch[q].resize(kp);
+      const std::uint32_t sender = sched.ring_sender(q);
+      for (std::uint32_t tph = 0; tph < kp; ++tph) {
+        // A (q, tph) slot whose transfer count is zero (tph < k with a
+        // single sweep) never receives — no channel needed.
+        if (sched.phase_transfers(tph, sweeps) == 0) continue;
+        const std::uint32_t pid = sched.owned_portion(q, tph);
+        const std::uint32_t begin = sched.portion_begin(pid);
+        const std::uint32_t end = sched.portion_end(pid);
+        ring_ch[q][tph] = std::make_unique<earth::ReliableChannel>(
+            m, sender, q, compute[q][tph],
+            [&procs, q, begin, end, &shape](const std::vector<double>& pl) {
+              const std::size_t len = end - begin;
+              ER_ENSURES(pl.size() == len * shape.num_reduction_arrays);
+              for (std::uint32_t a = 0; a < shape.num_reduction_arrays; ++a)
+                std::copy(pl.begin() + a * len, pl.begin() + (a + 1) * len,
+                          procs[q].arrays.reduction[a].begin() + begin);
+            },
+            "ring[" + std::to_string(sender) + "->" + std::to_string(q) +
+                "][" + std::to_string(tph) + "]",
+            opt.reliable_opt);
+      }
+      if (P > 1) {
+        for (std::uint32_t pid = 0; pid < kp; ++pid) {
+          const std::uint32_t owner = sched.final_owner(pid);
+          if (owner == q) continue;
+          const std::uint32_t begin = sched.portion_begin(pid);
+          const std::uint32_t end = sched.portion_end(pid);
+          bc_ch[q][pid] = std::make_unique<earth::ReliableChannel>(
+              m, owner, q, channel_gate[q][owner],
+              [&procs, q, begin, end,
+               &shape](const std::vector<double>& pl) {
+                const std::size_t len = end - begin;
+                ER_ENSURES(pl.size() == len * shape.num_node_read_arrays);
+                for (std::uint32_t a = 0; a < shape.num_node_read_arrays;
+                     ++a)
+                  std::copy(pl.begin() + a * len,
+                            pl.begin() + (a + 1) * len,
+                            procs[q].arrays.node_read[a].begin() + begin);
+              },
+              "bcast[" + std::to_string(owner) + "->" + std::to_string(q) +
+                  "][" + std::to_string(pid) + "]",
+              opt.reliable_opt);
+        }
+      }
+    }
+  }
+
   // Initial conditions: phase 0 has its predecessor, its portion, and (for
   // sweep 0) all replication signals satisfied by construction; phases
   // 1..k-1 start with their portions already local.
@@ -268,12 +357,33 @@ RunResult run_rotation_engine(const PhasedKernel& kernel,
       m.credit(compute[p][ph], 1);
   }
 
+  // Quiescence watchdog: if any message is lost (a fault without the
+  // reliable transport, or a protocol bug), the machine drains early and
+  // names the starved fibers instead of silently reporting a bogus
+  // makespan alongside wrong results.
+  for (std::uint32_t p = 0; p < P; ++p) {
+    for (std::uint32_t ph = 0; ph < kp; ++ph)
+      m.expect_activations(compute[p][ph], sweeps);
+    if (P > 1) {
+      for (std::uint32_t q = 0; q < P; ++q)
+        if (q != p) m.expect_activations(channel_gate[p][q], sweeps);
+    }
+  }
+
   const Cycles t_total = m.run();
 
   // ---- results ---------------------------------------------------------
   result.total_cycles = t_total;
   result.inspector_cycles = t_inspector;
   result.machine = m.stats();
+  if (opt.reliable) {
+    for (const auto& row : ring_ch)
+      for (const auto& ch : row)
+        if (ch) result.reliable.add(ch->stats());
+    for (const auto& row : bc_ch)
+      for (const auto& ch : row)
+        if (ch) result.reliable.add(ch->stats());
+  }
   if (mcfg.trace) result.gantt = m.trace().render_gantt(P);
   result.phases_per_proc = kp;
   result.phase_iterations.reserve(static_cast<std::size_t>(P) * kp);

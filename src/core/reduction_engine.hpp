@@ -29,6 +29,7 @@
 
 #include "core/kernel.hpp"
 #include "core/result.hpp"
+#include "earth/reliable.hpp"
 #include "earth/types.hpp"
 #include "inspector/distribution.hpp"
 #include "inspector/light_inspector.hpp"
@@ -53,6 +54,14 @@ struct RotationOptions {
   std::vector<std::uint64_t> inspector_work_items;
   /// Assemble final arrays into RunResult (costs host time only).
   bool collect_results = true;
+  /// Route ring forwards and replication broadcasts through
+  /// ReliableChannels (sequence numbers, payload checksums, cumulative
+  /// acks, timeout retransmit) instead of raw sends. Required for correct
+  /// results when machine.fault is active; adds protocol fibers, header
+  /// and ack traffic otherwise quantified by bench_ablation_faults.
+  bool reliable = false;
+  /// Tuning for the reliable channels when `reliable` is set.
+  earth::ReliableOptions reliable_opt{};
 };
 
 /// Runs `kernel` under the rotation strategy and returns timing, machine

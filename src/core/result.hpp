@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "earth/reliable.hpp"
 #include "earth/stats.hpp"
 #include "earth/types.hpp"
 
@@ -17,6 +18,9 @@ struct RunResult {
   earth::Cycles inspector_cycles = 0;
   /// Machine counters at drain.
   earth::MachineStats machine;
+  /// Reliable-protocol counters summed over all channels (all zero unless
+  /// the engine ran with RotationOptions::reliable).
+  earth::ReliableStats reliable;
 
   /// Final reduction arrays assembled to global indexing
   /// ([array][element]); filled when the engine runs with validation

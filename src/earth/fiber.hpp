@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 
 #include "earth/cost.hpp"
@@ -101,6 +102,16 @@ class FiberContext {
   /// response arrives back here, after which `target`'s slot is signaled.
   void get(NodeId from, std::uint64_t bytes,
            std::function<std::function<void()>()> fetch, FiberId target);
+
+  /// Arms a local timer: `target`'s slot (which must live on this node) is
+  /// signaled `delay` cycles from now. Timers never touch the network and
+  /// are immune to faults. If `gen` is provided, the timer is cancelled
+  /// when the pointed-to generation counter changes before expiry; a
+  /// cancelled timer is skipped entirely and does not advance simulated
+  /// time — the mechanism retransmit watchdogs use so that an ack arriving
+  /// on time leaves no trace of the armed timeout.
+  void timer(FiberId target, Cycles delay,
+             std::shared_ptr<const std::uint64_t> gen = {});
 
  private:
   friend class EarthMachine;

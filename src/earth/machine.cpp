@@ -8,6 +8,17 @@
 
 namespace earthred::earth {
 
+const char* to_string(MsgKind k) noexcept {
+  switch (k) {
+    case MsgKind::Send: return "send";
+    case MsgKind::Token: return "token";
+    case MsgKind::GetRequest: return "get-req";
+    case MsgKind::GetReply: return "get-reply";
+    case MsgKind::Any: return "any";
+  }
+  return "?";
+}
+
 void FiberContext::charge_flops(std::uint64_t n) noexcept {
   charged_ += n * (machine_ ? machine_->config().cost.flop : 1);
 }
@@ -63,7 +74,15 @@ void FiberContext::send(FiberId target, std::uint64_t bytes,
   machine_->op_send(*this, target, bytes, std::move(deliver));
 }
 
-EarthMachine::EarthMachine(MachineConfig cfg) : cfg_(cfg) {
+void FiberContext::timer(FiberId target, Cycles delay,
+                         std::shared_ptr<const std::uint64_t> gen) {
+  ER_EXPECTS_MSG(machine_ != nullptr,
+                 "EARTH operations require an attached context");
+  machine_->op_timer(*this, target, delay, std::move(gen));
+}
+
+EarthMachine::EarthMachine(MachineConfig cfg)
+    : cfg_(cfg), fault_rng_(cfg.fault.seed) {
   ER_EXPECTS(cfg_.num_nodes >= 1);
   nodes_.reserve(cfg_.num_nodes);
   for (std::uint32_t i = 0; i < cfg_.num_nodes; ++i)
@@ -104,6 +123,18 @@ void EarthMachine::credit(FiberId fiber, std::uint32_t n) {
   }
 }
 
+void EarthMachine::expect_activations(FiberId fiber, std::uint64_t total) {
+  ER_EXPECTS(!running_);
+  ER_EXPECTS(fiber.value < fibers_.size());
+  for (auto& [f, t] : expectations_) {
+    if (f == fiber) {
+      t = total;
+      return;
+    }
+  }
+  expectations_.emplace_back(fiber, total);
+}
+
 const std::string& EarthMachine::fiber_name(FiberId f) const {
   ER_EXPECTS(f.value < fibers_.size());
   return fibers_[f.value].name;
@@ -142,9 +173,14 @@ Cycles EarthMachine::run() {
     ++stats_.events;
     if (cfg_.max_events != 0 && stats_.events > cfg_.max_events)
       throw check_error("EarthMachine: max_events exceeded (live-lock?)");
+    // A cancelled timer is skipped before it can advance simulated time.
+    if (ev.kind == Event::Kind::Timer && ev.timer_gen &&
+        *ev.timer_gen != ev.timer_gen_snapshot)
+      continue;
     stats_.makespan = std::max(stats_.makespan, ev.time);
     switch (ev.kind) {
       case Event::Kind::Deliver:
+      case Event::Kind::Timer:
         process_deliver(ev);
         break;
       case Event::Kind::TryDispatch:
@@ -164,7 +200,86 @@ Cycles EarthMachine::run() {
     stats_.node[i].cache_misses = nodes_[i].cache.misses();
   }
   running_ = false;
+  check_expectations();
   return stats_.makespan;
+}
+
+void EarthMachine::check_expectations() {
+  std::string stuck;
+  for (const auto& [fid, total] : expectations_) {
+    const Fiber& f = fibers_[fid.value];
+    if (f.activations >= total) continue;
+    if (!stuck.empty()) stuck += "; ";
+    const std::string name =
+        f.name.empty() ? "fiber#" + std::to_string(fid.value) : f.name;
+    stuck += name + " on node " + std::to_string(f.node) + ": " +
+             std::to_string(f.activations) + "/" + std::to_string(total) +
+             " activations, slot waiting on " + std::to_string(f.remaining) +
+             "/" + std::to_string(f.sync_count) + " signals";
+  }
+  if (!stuck.empty())
+    throw check_error(
+        "EarthMachine: event queue drained with unsatisfied sync "
+        "dependencies (lost message or schedule bug?): " +
+        stuck);
+}
+
+void EarthMachine::record_fault(Cycles at, NodeId src, NodeId dst,
+                                MsgKind kind, const char* what) {
+  if (!cfg_.trace) return;
+  trace_.record(TraceRecord{
+      at, at, src, TraceRecord::Kind::Fault,
+      std::string(what) + " " + std::to_string(src) + "->" +
+          std::to_string(dst) + " " + to_string(kind)});
+}
+
+void EarthMachine::post_remote(NodeId src, NodeId dst, MsgKind kind,
+                               Event ev) {
+  const FaultConfig& fc = cfg_.fault;
+  if (!fc.active()) {
+    push_event(std::move(ev));
+    return;
+  }
+  // A dead link swallows everything on it, unconditionally.
+  for (const auto& [a, b] : fc.dead_links) {
+    if (a == src && b == dst) {
+      ++stats_.faults.dropped;
+      record_fault(ev.time, src, dst, kind, "drop(dead-link)");
+      return;
+    }
+  }
+  if (fc.filter.matches(src, dst, kind)) {
+    // Independent Bernoulli draws per fault class, in a fixed order, from
+    // the machine's dedicated fault PRNG: the schedule of injected faults
+    // is a pure function of the seed and the (deterministic) event order.
+    if (fc.drop > 0.0 && fault_rng_.chance(fc.drop)) {
+      ++stats_.faults.dropped;
+      record_fault(ev.time, src, dst, kind, "drop");
+      return;
+    }
+    if (fc.corrupt > 0.0 && fault_rng_.chance(fc.corrupt)) {
+      ++stats_.faults.corrupted;
+      record_fault(ev.time, src, dst, kind, "corrupt");
+      // A damaged control frame is discarded by the hardware CRC; a
+      // damaged data payload still arrives and signals its target, with
+      // delivery_corrupted() raised for receivers that stage payloads.
+      if (kind == MsgKind::Token || kind == MsgKind::GetRequest) return;
+      ev.corrupted = true;
+    }
+    if (fc.duplicate > 0.0 && fault_rng_.chance(fc.duplicate)) {
+      ++stats_.faults.duplicated;
+      record_fault(ev.time, src, dst, kind, "duplicate");
+      Event dup = ev;
+      dup.time += fc.duplicate_lag;
+      push_event(std::move(dup));
+    }
+    if (fc.delay > 0.0 && fault_rng_.chance(fc.delay)) {
+      ++stats_.faults.delayed;
+      record_fault(ev.time, src, dst, kind, "delay");
+      ev.time += fc.delay_cycles;
+    }
+  }
+  push_event(std::move(ev));
 }
 
 void EarthMachine::signal(FiberId target, Cycles at) {
@@ -190,7 +305,11 @@ void EarthMachine::process_deliver(const Event& ev) {
   if (cfg_.trace)
     trace_.record(TraceRecord{start, node.su_free, dst,
                               TraceRecord::Kind::SuEvent, {}});
-  if (ev.deliver) ev.deliver();
+  if (ev.deliver) {
+    delivering_corrupted_ = ev.corrupted;
+    ev.deliver();
+    delivering_corrupted_ = false;
+  }
   signal(ev.target, node.su_free);
 }
 
@@ -279,14 +398,16 @@ FiberId EarthMachine::op_spawn(FiberContext& ctx, NodeId node,
 
   ctx.charge(cfg_.cost.op_issue);
   const Cycles issue = ctx.now();
-  const Cycles arrival =
-      dst == ctx.node() ? issue
-                        : route(ctx.node(), issue, cfg_.spawn_token_bytes);
   Event ev;
-  ev.time = arrival;
   ev.kind = Event::Kind::Token;
   ev.target = fid;
-  push_event(std::move(ev));
+  if (dst == ctx.node()) {
+    ev.time = issue;
+    push_event(std::move(ev));
+  } else {
+    ev.time = route(ctx.node(), issue, cfg_.spawn_token_bytes);
+    post_remote(ctx.node(), dst, MsgKind::Token, std::move(ev));
+  }
   return fid;
 }
 
@@ -301,16 +422,36 @@ void EarthMachine::op_get(FiberContext& ctx, NodeId from,
   const Cycles issue = ctx.now();
   // Request message (small) to the remote node; the response is scheduled
   // by process_get_request when the request is handled there.
-  const Cycles arrival =
-      from == ctx.node() ? issue : route(ctx.node(), issue, 16);
   Event ev;
-  ev.time = arrival;
   ev.kind = Event::Kind::GetRequest;
   ev.target = target;
   ev.fetch = std::move(fetch);
   ev.reply_to = ctx.node();
   ev.node = from;
   ev.bytes = bytes;
+  if (from == ctx.node()) {
+    ev.time = issue;
+    push_event(std::move(ev));
+  } else {
+    ev.time = route(ctx.node(), issue, 16);
+    post_remote(ctx.node(), from, MsgKind::GetRequest, std::move(ev));
+  }
+}
+
+void EarthMachine::op_timer(FiberContext& ctx, FiberId target, Cycles delay,
+                            std::shared_ptr<const std::uint64_t> gen) {
+  ER_EXPECTS(target.value < fibers_.size());
+  ER_EXPECTS_MSG(fibers_[target.value].node == ctx.node(),
+                 "timers are local: target must live on the arming node");
+  ctx.charge(cfg_.cost.op_issue);
+  Event ev;
+  ev.time = ctx.now() + delay;
+  ev.kind = Event::Kind::Timer;
+  ev.target = target;
+  if (gen) {
+    ev.timer_gen_snapshot = *gen;
+    ev.timer_gen = std::move(gen);
+  }
   push_event(std::move(ev));
 }
 
@@ -339,16 +480,18 @@ void EarthMachine::process_get_request(const Event& ev) {
   stats_.makespan = std::max(stats_.makespan, rnode.su_free);
 
   std::function<void()> applier = ev.fetch();
-  const Cycles arrival = ev.node == ev.reply_to
-                             ? rnode.su_free
-                             : route(ev.node, rnode.su_free, ev.bytes);
   Event resp;
-  resp.time = arrival;
   resp.kind = Event::Kind::Deliver;
   resp.target = ev.target;
   resp.deliver = std::move(applier);
   resp.bytes = ev.bytes;
-  push_event(std::move(resp));
+  if (ev.node == ev.reply_to) {
+    resp.time = rnode.su_free;
+    push_event(std::move(resp));
+  } else {
+    resp.time = route(ev.node, rnode.su_free, ev.bytes);
+    post_remote(ev.node, ev.reply_to, MsgKind::GetReply, std::move(resp));
+  }
 }
 
 void EarthMachine::op_send(FiberContext& ctx, FiberId target,
@@ -367,14 +510,18 @@ void EarthMachine::op_send(FiberContext& ctx, FiberId target,
   // separate event: events are processed in global time order and issue
   // times within a node are nondecreasing, so eager accounting follows
   // simulated time order per node.
-  const Cycles arrival = src == dst ? issue : route(src, issue, bytes);
   Event ev;
-  ev.time = arrival;
   ev.kind = Event::Kind::Deliver;
   ev.target = target;
   ev.deliver = std::move(deliver);
   ev.bytes = bytes;
-  push_event(std::move(ev));
+  if (src == dst) {
+    ev.time = issue;
+    push_event(std::move(ev));
+  } else {
+    ev.time = route(src, issue, bytes);
+    post_remote(src, dst, MsgKind::Send, std::move(ev));
+  }
 }
 
 void EarthMachine::mem_access(FiberContext& ctx, ArrayTag tag,

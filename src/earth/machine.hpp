@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <queue>
 #include <string>
 #include <vector>
@@ -34,6 +35,7 @@
 #include "earth/stats.hpp"
 #include "earth/trace.hpp"
 #include "earth/types.hpp"
+#include "support/prng.hpp"
 
 namespace earthred::earth {
 
@@ -57,6 +59,20 @@ class EarthMachine {
   /// e.g. "the first k portions are already local"). If the slot reaches
   /// zero the fiber is made ready at time 0.
   void credit(FiberId fiber, std::uint32_t n = 1);
+
+  /// Declares that `fiber` must have completed `total` activations by the
+  /// time the event queue next drains. When run() ends with any declared
+  /// fiber short of its total, a check_error names every stuck fiber and
+  /// the state of its sync slot — the quiescence watchdog that turns a
+  /// lost message into a diagnostic instead of a silently bogus makespan.
+  /// Re-declaring a fiber replaces its expectation.
+  void expect_activations(FiberId fiber, std::uint64_t total);
+
+  /// True while the currently-executing deliver closure belongs to a
+  /// message that a corrupt fault damaged in flight. Receivers that stage
+  /// payloads (e.g. ReliableChannel) consult this to model the damage;
+  /// closures that ignore it receive the payload intact.
+  bool delivery_corrupted() const noexcept { return delivering_corrupted_; }
 
   /// Runs until no events remain; returns the makespan in cycles.
   /// May be called again after adding more credits/fibers; simulated time
@@ -95,13 +111,21 @@ class EarthMachine {
       TryDispatch,  // poke a node's EU
       Token,        // spawn token arrival (activate if sync_count == 0)
       GetRequest,   // remote-read request arriving at the remote node
+      Timer,        // local timer expiry signalling a fiber's slot
     } kind = Kind::Deliver;
     NodeId node = 0;                   // TryDispatch: node to poke
-    FiberId target{};                  // Deliver/Token/GetRequest
+    FiberId target{};                  // Deliver/Token/GetRequest/Timer
     std::function<void()> deliver;     // Deliver: optional data copy
     std::function<std::function<void()>()> fetch;  // GetRequest
     NodeId reply_to = 0;               // GetRequest: requesting node
     std::uint64_t bytes = 0;           // stats / response sizing
+    bool corrupted = false;            // payload damaged by a fault
+    // Timer cancellation: the event is dead if *timer_gen has moved past
+    // the snapshot taken when the timer was armed. Cancelled timers are
+    // skipped without advancing simulated time, so a watchdog armed "just
+    // in case" never inflates the makespan.
+    std::shared_ptr<const std::uint64_t> timer_gen;
+    std::uint64_t timer_gen_snapshot = 0;
   };
 
   struct EventOrder {
@@ -126,6 +150,12 @@ class EarthMachine {
 
   static Event make_try_dispatch(Cycles at, NodeId node);
   void push_event(Event ev);
+  /// Applies the fault model to a remote message and enqueues the
+  /// survivors (possibly duplicated, delayed or marked corrupted).
+  void post_remote(NodeId src, NodeId dst, MsgKind kind, Event ev);
+  void record_fault(Cycles at, NodeId src, NodeId dst, MsgKind kind,
+                    const char* what);
+  void check_expectations();
   void signal(FiberId target, Cycles at);          // slot decrement at SU
   void process_deliver(const Event& ev);
   void process_try_dispatch(const Event& ev);
@@ -144,6 +174,8 @@ class EarthMachine {
                    FiberFn fn, std::string name);
   void op_get(FiberContext& ctx, NodeId from, std::uint64_t bytes,
               std::function<std::function<void()>()> fetch, FiberId target);
+  void op_timer(FiberContext& ctx, FiberId target, Cycles delay,
+                std::shared_ptr<const std::uint64_t> gen);
   void mem_access(FiberContext& ctx, ArrayTag tag, std::uint64_t index,
                   std::uint32_t elem_bytes);
 
@@ -157,6 +189,10 @@ class EarthMachine {
   MachineStats stats_;
   Trace trace_;
   bool running_ = false;
+  bool delivering_corrupted_ = false;
+  Xoshiro256 fault_rng_;
+  /// expected total activations per declared fiber (expect_activations).
+  std::vector<std::pair<FiberId, std::uint64_t>> expectations_;
 };
 
 }  // namespace earthred::earth

@@ -1,0 +1,212 @@
+#include "earth/reliable.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <utility>
+
+#include "earth/machine.hpp"
+#include "support/check.hpp"
+
+namespace earthred::earth {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+}  // namespace
+
+ReliableChannel::ReliableChannel(EarthMachine& machine, NodeId src,
+                                 NodeId dst, FiberId notify,
+                                 AcceptFn on_accept, std::string name,
+                                 ReliableOptions opt)
+    : m_(machine),
+      src_(src),
+      dst_(dst),
+      notify_(notify),
+      on_accept_(std::move(on_accept)),
+      name_(std::move(name)),
+      opt_(opt),
+      timer_gen_(std::make_shared<std::uint64_t>(0)) {
+  ER_EXPECTS(src_ < m_.num_nodes());
+  ER_EXPECTS(dst_ < m_.num_nodes());
+  ER_EXPECTS_MSG(static_cast<bool>(on_accept_),
+                 "ReliableChannel needs an accept callback");
+  ER_EXPECTS_MSG(!notify_.valid() || m_.fiber_node(notify_) == dst_,
+                 "notify fiber must live on the channel's destination node");
+  ER_EXPECTS(opt_.backoff >= 1.0);
+  rx_fiber_ = m_.add_fiber(
+      dst_, 1, [this](FiberContext& ctx) { on_rx(ctx); }, name_ + ".rx");
+  ack_fiber_ = m_.add_fiber(
+      src_, 1, [this](FiberContext& ctx) { on_ack(ctx); }, name_ + ".ack");
+  retx_fiber_ = m_.add_fiber(
+      src_, 1, [this](FiberContext& ctx) { on_retx_timer(ctx); },
+      name_ + ".retx");
+}
+
+std::uint64_t ReliableChannel::checksum_of(
+    const std::vector<double>& payload) {
+  // FNV-1a over the bit patterns: sensitive to any single-bit flip, and
+  // well-defined for every double including NaNs and signed zeros.
+  std::uint64_t h = kFnvOffset;
+  for (double d : payload) {
+    const auto bits = std::bit_cast<std::uint64_t>(d);
+    for (int i = 0; i < 8; ++i) {
+      h ^= (bits >> (8 * i)) & 0xffu;
+      h *= kFnvPrime;
+    }
+  }
+  return h;
+}
+
+Cycles ReliableChannel::initial_timeout(std::uint64_t payload_bytes) const {
+  if (opt_.ack_timeout != 0) return opt_.ack_timeout;
+  // One uncontended round trip: data frame out, SU handling + rx fiber at
+  // the receiver, ack frame back, SU handling at the sender. Doubled, plus
+  // slack, so that ordinary port contention does not trigger retransmits.
+  const auto& c = m_.config();
+  const auto xfer = [&c](std::uint64_t b) {
+    return c.net.inject_overhead +
+           static_cast<Cycles>(std::llround(std::ceil(
+               static_cast<double>(b) / c.net.bytes_per_cycle))) +
+           c.net.latency;
+  };
+  const Cycles rtt = xfer(opt_.header_bytes + payload_bytes) +
+                     xfer(opt_.ack_bytes) + 4 * c.cost.su_event +
+                     2 * c.cost.fiber_switch + 2 * c.cost.op_issue;
+  return 2 * rtt + 256;
+}
+
+void ReliableChannel::send(FiberContext& ctx, const double* data,
+                           std::size_t count) {
+  ER_EXPECTS_MSG(ctx.node() == src_,
+                 "ReliableChannel::send must run on the source node");
+  ER_EXPECTS(count == 0 || data != nullptr);
+  const std::uint64_t seq = next_seq_++;
+  ++stats_.sent;
+
+  TxSlot slot;
+  // Snapshot the payload: message semantics. The sender's array region may
+  // be overwritten by the next sweep long before the last retransmission.
+  slot.payload =
+      std::make_shared<const std::vector<double>>(data, data + count);
+  slot.checksum = checksum_of(*slot.payload);
+  slot.timeout = initial_timeout(count * sizeof(double));
+
+  const bool first_outstanding = outstanding_.empty();
+  transmit(ctx, seq, slot);
+  slot.deadline = ctx.now() + slot.timeout;
+  // One live timer chain per channel: armed when the window opens,
+  // re-armed by each expiry, generation-cancelled when the window empties.
+  if (first_outstanding) ctx.timer(retx_fiber_, slot.timeout, timer_gen_);
+  outstanding_.emplace(seq, std::move(slot));
+}
+
+void ReliableChannel::transmit(FiberContext& ctx, std::uint64_t seq,
+                               const TxSlot& slot) {
+  const std::uint64_t bytes =
+      opt_.header_bytes + slot.payload->size() * sizeof(double);
+  // The deliver closure stages a *copy* at the receiver (appended, never
+  // overwritten, so reordered and duplicate arrivals coexist). A corrupt
+  // fault damages that staged copy — one bit flip, position derived from
+  // the sequence number — which the checksum catches on acceptance.
+  ctx.send(rx_fiber_, bytes,
+           [this, seq, payload = slot.payload, ck = slot.checksum] {
+             RxFrame frame;
+             frame.seq = seq;
+             frame.checksum = ck;
+             frame.payload = *payload;
+             if (m_.delivery_corrupted()) {
+               if (frame.payload.empty()) {
+                 frame.checksum ^= 1;
+               } else {
+                 double& victim = frame.payload[seq % frame.payload.size()];
+                 victim = std::bit_cast<double>(
+                     std::bit_cast<std::uint64_t>(victim) ^
+                     (1ull << (seq % 64)));
+               }
+             }
+             rx_queue_.push_back(std::move(frame));
+           });
+}
+
+void ReliableChannel::on_rx(FiberContext& ctx) {
+  // One signal arrives per staged frame, but a single activation drains
+  // everything staged so far; later activations may find the queue empty.
+  while (!rx_queue_.empty()) {
+    RxFrame frame = std::move(rx_queue_.front());
+    rx_queue_.pop_front();
+    ctx.charge_intops(8);
+    if (frame.seq != expected_) {
+      // Duplicate or reordered-past-acceptance frame. For an already
+      // accepted seq the ack may have been lost — re-ack so the sender can
+      // retire it. A future seq is dropped: in-order acceptance means it
+      // could not be applied yet, and the sender will retransmit it.
+      ++stats_.rejected_stale;
+      if (frame.seq < expected_) send_ack(ctx, expected_ - 1);
+      continue;
+    }
+    if (checksum_of(frame.payload) != frame.checksum) {
+      // Damaged in flight. No ack: the retransmit timer recovers it.
+      ++stats_.rejected_corrupt;
+      continue;
+    }
+    ctx.charge_intops(frame.payload.size());
+    on_accept_(frame.payload);
+    ++expected_;
+    send_ack(ctx, expected_ - 1);
+    if (notify_.valid()) ctx.sync(notify_);
+  }
+}
+
+void ReliableChannel::send_ack(FiberContext& ctx, std::uint64_t upto) {
+  ++stats_.acks_sent;
+  // Acks cross the same faulty network; a corrupted ack fails its CRC and
+  // is discarded (the data-frame re-ack path recovers the loss).
+  ctx.send(ack_fiber_, opt_.ack_bytes, [this, upto] {
+    if (m_.delivery_corrupted()) return;
+    ack_queue_.push_back(upto);
+  });
+}
+
+void ReliableChannel::on_ack(FiberContext& ctx) {
+  while (!ack_queue_.empty()) {
+    const std::uint64_t upto = ack_queue_.front();
+    ack_queue_.pop_front();
+    ctx.charge_intops(4);
+    // Cumulative: everything through `upto` is acknowledged.
+    outstanding_.erase(outstanding_.begin(),
+                       outstanding_.upper_bound(upto));
+    if (outstanding_.empty()) ++*timer_gen_;  // cancel the timer chain
+  }
+}
+
+void ReliableChannel::on_retx_timer(FiberContext& ctx) {
+  if (outstanding_.empty()) return;  // all acked since the timer was armed
+  const Cycles now = ctx.now();
+  for (auto& [seq, slot] : outstanding_) {
+    if (slot.deadline > now) continue;
+    if (slot.retries >= opt_.max_retries)
+      throw check_error(
+          "ReliableChannel '" + name_ + "': seq " + std::to_string(seq) +
+          " still unacknowledged after " + std::to_string(slot.retries) +
+          " retransmits (dead link " + std::to_string(src_) + "->" +
+          std::to_string(dst_) + "?)");
+    ++slot.retries;
+    ++stats_.retransmits;
+    transmit(ctx, seq, slot);
+    slot.timeout = std::min<Cycles>(
+        opt_.max_timeout,
+        static_cast<Cycles>(static_cast<double>(slot.timeout) *
+                            opt_.backoff));
+    slot.deadline = ctx.now() + slot.timeout;
+  }
+  Cycles earliest = outstanding_.begin()->second.deadline;
+  for (const auto& [seq, slot] : outstanding_)
+    earliest = std::min(earliest, slot.deadline);
+  const Cycles at = ctx.now();
+  ctx.timer(retx_fiber_, earliest > at ? earliest - at : 1, timer_gen_);
+}
+
+}  // namespace earthred::earth

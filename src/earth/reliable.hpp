@@ -1,0 +1,160 @@
+// Reliable message channel over the (possibly faulty) EARTH network.
+//
+// A ReliableChannel turns the machine's fire-and-forget `send` into a
+// lossless, in-order, corruption-checked stream between one (src, dst)
+// node pair — the protocol the rotation runtime layers under portion
+// forwards and replication broadcasts so that reductions stay bit-exact
+// under injected drops, duplicates, corruption and delays.
+//
+// Wire protocol (all state mutation rides in deliver closures, so it
+// follows the simulated partial order):
+//   * every payload carries a sequence number and a 64-bit checksum in a
+//     `header_bytes` header charged to the message size;
+//   * the receiver accepts strictly in sequence order: a matching
+//     (seq, checksum) pair is applied via `on_accept`, acknowledged, and
+//     `notify`'s sync slot is signaled; stale sequence numbers are
+//     re-acknowledged (the previous ack may have been lost); future
+//     sequence numbers and checksum mismatches are discarded without an
+//     ack, leaving recovery to the sender;
+//   * acks are cumulative ("everything through seq s arrived") and travel
+//     the same faulty network in the reverse direction;
+//   * the sender retains every unacknowledged payload and arms a local
+//     timer per transmission: on expiry, unacked payloads are
+//     retransmitted with per-payload exponential backoff (doubling up to
+//     `max_timeout`); after `max_retries` retransmissions the channel
+//     declares the link dead with a `check_error` naming itself — a
+//     permanently dead link becomes a diagnostic, never a hang;
+//   * timers are generation-cancelled when the window empties, so an
+//     idle channel leaves no trailing events and no makespan inflation.
+//
+// Three protocol fibers are registered per channel: `rx` on dst (one
+// activation per arriving data frame), `ack` on src (ack arrival target),
+// and `retx` on src (timer target). Their cycle costs — plus the header
+// and ack bytes on the wire — are the price of reliability, quantified by
+// bench_ablation_faults.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "earth/fiber.hpp"
+#include "earth/types.hpp"
+
+namespace earthred::earth {
+
+class EarthMachine;
+
+/// Tuning knobs for a ReliableChannel.
+struct ReliableOptions {
+  /// Initial retransmit timeout in cycles; 0 = derive from the machine's
+  /// network/cost config and the message size (≈ 2 round trips + slack).
+  Cycles ack_timeout = 0;
+  /// Backoff multiplier applied to a payload's timeout per retransmission.
+  double backoff = 2.0;
+  /// Ceiling on the per-payload timeout.
+  Cycles max_timeout = 1u << 20;
+  /// Retransmissions of one payload before the link is declared dead.
+  std::uint32_t max_retries = 12;
+  /// On-the-wire size of the seq + checksum header.
+  std::uint64_t header_bytes = 16;
+  /// On-the-wire size of an ack frame.
+  std::uint64_t ack_bytes = 16;
+};
+
+/// Protocol counters, aggregated per channel (and summed by the engines).
+struct ReliableStats {
+  std::uint64_t sent = 0;              ///< distinct payloads handed to send()
+  std::uint64_t retransmits = 0;       ///< extra transmissions of a payload
+  std::uint64_t acks_sent = 0;         ///< acks emitted (incl. re-acks)
+  std::uint64_t rejected_stale = 0;    ///< duplicate / out-of-order frames
+  std::uint64_t rejected_corrupt = 0;  ///< checksum mismatches
+
+  void add(const ReliableStats& o) noexcept {
+    sent += o.sent;
+    retransmits += o.retransmits;
+    acks_sent += o.acks_sent;
+    rejected_stale += o.rejected_stale;
+    rejected_corrupt += o.rejected_corrupt;
+  }
+};
+
+class ReliableChannel {
+ public:
+  /// Runs at the receiver when a payload is accepted (in sequence order,
+  /// exactly once per payload), before `notify` is signaled.
+  using AcceptFn = std::function<void(const std::vector<double>&)>;
+
+  /// Registers the three protocol fibers on `machine`. `notify` (if
+  /// valid) receives one sync signal per accepted payload. The channel
+  /// must outlive the machine's run() calls that use it.
+  ReliableChannel(EarthMachine& machine, NodeId src, NodeId dst,
+                  FiberId notify, AcceptFn on_accept, std::string name,
+                  ReliableOptions opt = {});
+
+  ReliableChannel(const ReliableChannel&) = delete;
+  ReliableChannel& operator=(const ReliableChannel&) = delete;
+
+  /// Sends `count` doubles starting at `data` reliably. Must be called
+  /// from a fiber executing on the src node; the payload is snapshotted
+  /// immediately (message semantics — later mutation of the source array
+  /// does not affect retransmissions).
+  void send(FiberContext& ctx, const double* data, std::size_t count);
+
+  const ReliableStats& stats() const noexcept { return stats_; }
+  const std::string& name() const noexcept { return name_; }
+  NodeId src() const noexcept { return src_; }
+  NodeId dst() const noexcept { return dst_; }
+
+ private:
+  struct TxSlot {
+    std::shared_ptr<const std::vector<double>> payload;
+    std::uint64_t checksum = 0;
+    Cycles deadline = 0;  ///< retransmit when now reaches this
+    Cycles timeout = 0;   ///< current backoff interval
+    std::uint32_t retries = 0;
+  };
+  struct RxFrame {
+    std::uint64_t seq = 0;
+    std::uint64_t checksum = 0;
+    std::vector<double> payload;
+  };
+
+  void transmit(FiberContext& ctx, std::uint64_t seq, const TxSlot& slot);
+  void on_rx(FiberContext& ctx);
+  void on_ack(FiberContext& ctx);
+  void on_retx_timer(FiberContext& ctx);
+  void send_ack(FiberContext& ctx, std::uint64_t upto);
+  Cycles initial_timeout(std::uint64_t payload_bytes) const;
+  static std::uint64_t checksum_of(const std::vector<double>& payload);
+
+  EarthMachine& m_;
+  NodeId src_;
+  NodeId dst_;
+  FiberId notify_;
+  AcceptFn on_accept_;
+  std::string name_;
+  ReliableOptions opt_;
+
+  FiberId rx_fiber_;
+  FiberId ack_fiber_;
+  FiberId retx_fiber_;
+
+  // Sender state.
+  std::uint64_t next_seq_ = 0;
+  std::map<std::uint64_t, TxSlot> outstanding_;
+  std::shared_ptr<std::uint64_t> timer_gen_;
+  std::deque<std::uint64_t> ack_queue_;
+
+  // Receiver state.
+  std::uint64_t expected_ = 0;
+  std::deque<RxFrame> rx_queue_;
+
+  ReliableStats stats_;
+};
+
+}  // namespace earthred::earth

@@ -20,10 +20,23 @@ struct NodeStats {
   std::uint64_t cache_misses = 0;
 };
 
+/// Counts of injected network faults (see FaultConfig).
+struct FaultStats {
+  std::uint64_t dropped = 0;     ///< messages that vanished (incl. dead links)
+  std::uint64_t corrupted = 0;   ///< payloads damaged in flight
+  std::uint64_t duplicated = 0;  ///< extra copies injected
+  std::uint64_t delayed = 0;     ///< messages arriving late
+
+  std::uint64_t injected() const noexcept {
+    return dropped + corrupted + duplicated + delayed;
+  }
+};
+
 /// Whole-machine counters.
 struct MachineStats {
   Cycles makespan = 0;         ///< time of the last processed event
   std::uint64_t events = 0;    ///< total simulator events processed
+  FaultStats faults;           ///< injected network faults
   std::vector<NodeStats> node; ///< indexed by NodeId
 
   std::uint64_t total_msgs() const noexcept {

@@ -12,8 +12,10 @@ namespace earthred::earth {
 void Trace::dump_csv(std::ostream& os) const {
   os << "start,end,node,kind,label\n";
   for (const TraceRecord& r : records_) {
-    os << r.start << ',' << r.end << ',' << r.node << ','
-       << (r.kind == TraceRecord::Kind::Fiber ? "fiber" : "su") << ','
+    const char* kind = r.kind == TraceRecord::Kind::Fiber ? "fiber"
+                       : r.kind == TraceRecord::Kind::SuEvent ? "su"
+                                                              : "fault";
+    os << r.start << ',' << r.end << ',' << r.node << ',' << kind << ','
        << r.label << '\n';
   }
 }

@@ -20,8 +20,8 @@ struct TraceRecord {
   Cycles start = 0;
   Cycles end = 0;
   NodeId node = 0;
-  enum class Kind : std::uint8_t { Fiber, SuEvent } kind = Kind::Fiber;
-  std::string label;  ///< fiber name (empty for unnamed)
+  enum class Kind : std::uint8_t { Fiber, SuEvent, Fault } kind = Kind::Fiber;
+  std::string label;  ///< fiber name (empty for unnamed) / fault description
 };
 
 class Trace {

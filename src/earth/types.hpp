@@ -8,6 +8,8 @@
 
 #include <cstdint>
 #include <limits>
+#include <utility>
+#include <vector>
 
 namespace earthred::earth {
 
@@ -76,6 +78,70 @@ struct CacheConfig {
   bool enabled = true;
 };
 
+/// Classes of network messages a fault filter can select. `Send` covers
+/// data sends and sync signals (op_send), `Token` spawn tokens, and the
+/// two `Get*` kinds the halves of a split-phase remote read. `Any`
+/// matches every class.
+enum class MsgKind : std::uint8_t { Send, Token, GetRequest, GetReply, Any };
+
+/// Human-readable name for a message kind ("send", "token", ...).
+const char* to_string(MsgKind k) noexcept;
+
+/// Selects which network messages are eligible for probabilistic faults.
+/// `kAnyNode` in src/dst acts as a wildcard.
+struct FaultFilter {
+  NodeId src = kAnyNode;
+  NodeId dst = kAnyNode;
+  MsgKind kind = MsgKind::Any;
+
+  bool matches(NodeId s, NodeId d, MsgKind k) const noexcept {
+    return (src == kAnyNode || src == s) && (dst == kAnyNode || dst == d) &&
+           (kind == MsgKind::Any || kind == k);
+  }
+};
+
+/// Deterministic, seeded fault injection on the simulated network.
+///
+/// Faults apply only to *remote* messages (local operations never touch
+/// the network). Each eligible message draws from a dedicated PRNG in
+/// event order, so a given seed reproduces the exact same fault schedule.
+/// Semantics per fault kind:
+///   * drop      — the message vanishes: no delivery, no sync signal;
+///   * corrupt   — the message arrives and signals its target, but the
+///                 payload is damaged in flight: the deliver closure runs
+///                 with EarthMachine::delivery_corrupted() == true, and
+///                 control messages (Token/GetRequest) are discarded like
+///                 drops (a damaged control frame fails its CRC);
+///   * duplicate — a second identical copy arrives `duplicate_lag` cycles
+///                 after the first;
+///   * delay     — the message arrives `delay_cycles` late (which can
+///                 reorder it past later traffic).
+/// Every injected fault is counted in MachineStats::faults and, when
+/// tracing is on, recorded as a TraceRecord::Kind::Fault.
+struct FaultConfig {
+  bool enabled = false;
+  std::uint64_t seed = 0x5eedULL;
+  double drop = 0.0;
+  double corrupt = 0.0;
+  double duplicate = 0.0;
+  double delay = 0.0;
+  /// Extra latency added when a delay fault fires.
+  Cycles delay_cycles = 400;
+  /// How far behind the original the duplicate copy arrives.
+  Cycles duplicate_lag = 64;
+  /// Which messages the probabilistic faults may hit.
+  FaultFilter filter{};
+  /// (src, dst) pairs whose messages are *always* dropped — a permanently
+  /// dead link, independent of `filter` and the probabilities.
+  std::vector<std::pair<NodeId, NodeId>> dead_links;
+
+  /// True when any fault can actually fire.
+  bool active() const noexcept {
+    return enabled && (drop > 0.0 || corrupt > 0.0 || duplicate > 0.0 ||
+                       delay > 0.0 || !dead_links.empty());
+  }
+};
+
 /// Top-level machine configuration.
 struct MachineConfig {
   std::uint32_t num_nodes = 1;
@@ -92,6 +158,8 @@ struct MachineConfig {
   /// Upper bound on processed events; guards against accidental live-lock
   /// in tests (0 = unlimited).
   std::uint64_t max_events = 0;
+  /// Fault injection on the network (see FaultConfig).
+  FaultConfig fault{};
 };
 
 }  // namespace earthred::earth

@@ -62,6 +62,17 @@ std::uint32_t RotationSchedule::next_owner(std::uint32_t proc) const {
   return (proc + procs_ - 1) % procs_;
 }
 
+std::uint32_t RotationSchedule::ring_sender(std::uint32_t proc) const {
+  ER_EXPECTS(proc < procs_);
+  return (proc + 1) % procs_;
+}
+
+std::uint64_t RotationSchedule::phase_transfers(std::uint32_t phase,
+                                                std::uint64_t sweeps) const {
+  ER_EXPECTS(phase < kp_);
+  return phase < k_ ? (sweeps == 0 ? 0 : sweeps - 1) : sweeps;
+}
+
 std::uint32_t RotationSchedule::last_owning_phase(
     std::uint32_t portion) const {
   ER_EXPECTS(portion < kp_);

@@ -55,6 +55,18 @@ class RotationSchedule {
   /// Processor a finished portion is forwarded to ((p + P - 1) mod P).
   std::uint32_t next_owner(std::uint32_t proc) const;
 
+  /// Processor whose finished portions arrive at `proc` — the inverse of
+  /// next_owner ((p + 1) mod P). Each processor receives from exactly one
+  /// neighbor, which is what lets the runtime maintain one reliable
+  /// channel per ring edge.
+  std::uint32_t ring_sender(std::uint32_t proc) const;
+
+  /// Number of ring transfers that arrive for a (proc, phase) slot across
+  /// `sweeps` sweeps: phases < k are pre-seeded with initial data on the
+  /// first sweep and receive one fewer transfer.
+  std::uint64_t phase_transfers(std::uint32_t phase,
+                                std::uint64_t sweeps) const;
+
   /// Last phase of a sweep in which `portion` is owned by anyone — the
   /// phase at which its reduction is complete.
   std::uint32_t last_owning_phase(std::uint32_t portion) const;

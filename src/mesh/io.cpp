@@ -1,5 +1,8 @@
 #include "mesh/io.hpp"
 
+#include <algorithm>
+#include <array>
+#include <cstdint>
 #include <fstream>
 #include <sstream>
 
@@ -27,27 +30,47 @@ void save_mesh(const std::string& path, const Mesh& m) {
 }
 
 Mesh read_mesh(std::istream& is) {
+  // Counts and indices are parsed as signed 64-bit and range-checked
+  // before any cast: stream extraction into an unsigned type silently
+  // wraps a negative literal ("-5" becomes ~2^64), which would otherwise
+  // turn a malformed header into a multi-terabyte reserve or an
+  // out-of-range endpoint into a valid-looking one.
   std::string tag;
   Mesh m;
-  std::uint64_t num_edges = 0;
-  int has_coords = 0;
-  is >> tag >> m.num_nodes >> num_edges >> has_coords;
-  ER_CHECK_MSG(is.good() && tag == "mesh",
+  std::int64_t num_nodes = -1, num_edges = -1, has_coords = -1;
+  is >> tag >> num_nodes >> num_edges >> has_coords;
+  ER_CHECK_MSG(!is.fail() && tag == "mesh",
                "not an earthred mesh file (missing 'mesh' header)");
+  ER_CHECK_MSG(num_nodes >= 0 && num_nodes <= 0xFFFFFFFFll,
+               "mesh header: node count out of range");
+  ER_CHECK_MSG(num_edges >= 0, "mesh header: negative edge count");
   ER_CHECK_MSG(has_coords == 0 || has_coords == 1,
                "malformed has_coords flag");
-  m.edges.reserve(num_edges);
-  for (std::uint64_t i = 0; i < num_edges; ++i) {
-    Edge e;
-    is >> tag >> e.a >> e.b;
-    ER_CHECK_MSG(is.good() && tag == "e", "malformed edge line");
-    m.edges.push_back(e);
+  m.num_nodes = static_cast<std::uint32_t>(num_nodes);
+  // Cap the up-front reservation: the header's edge count is untrusted
+  // until that many well-formed edge lines actually materialize.
+  constexpr std::uint64_t kMaxReserve = 1u << 20;
+  m.edges.reserve(
+      std::min(static_cast<std::uint64_t>(num_edges), kMaxReserve));
+  for (std::int64_t i = 0; i < num_edges; ++i) {
+    std::int64_t a = -1, b = -1;
+    is >> tag >> a >> b;
+    ER_CHECK_MSG(!is.fail() && tag == "e",
+                 "malformed or truncated edge line " + std::to_string(i));
+    ER_CHECK_MSG(a >= 0 && a < num_nodes && b >= 0 && b < num_nodes,
+                 "edge " + std::to_string(i) + " endpoint out of range");
+    m.edges.push_back(Edge{static_cast<std::uint32_t>(a),
+                           static_cast<std::uint32_t>(b)});
   }
   if (has_coords) {
-    m.coords.resize(m.num_nodes);
+    m.coords.reserve(std::min<std::uint64_t>(m.num_nodes, kMaxReserve));
     for (std::uint32_t v = 0; v < m.num_nodes; ++v) {
-      is >> tag >> m.coords[v][0] >> m.coords[v][1] >> m.coords[v][2];
-      ER_CHECK_MSG(!is.fail() && tag == "c", "malformed coordinate line");
+      std::array<double, 3> c{};
+      is >> tag >> c[0] >> c[1] >> c[2];
+      ER_CHECK_MSG(!is.fail() && tag == "c",
+                   "malformed or truncated coordinate line " +
+                       std::to_string(v));
+      m.coords.push_back(c);
     }
   }
   m.validate();

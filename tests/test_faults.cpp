@@ -1,0 +1,482 @@
+// Fault-injection and reliability tests: the seeded fault layer of the
+// EARTH machine, the ReliableChannel ack/retransmit protocol, the
+// quiescence watchdog, and end-to-end bit-exactness of the rotation
+// engine under drops, corruption, duplication and delays.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/reduction_engine.hpp"
+#include "core/sequential.hpp"
+#include "earth/machine.hpp"
+#include "earth/reliable.hpp"
+#include "kernels/fig1.hpp"
+#include "mesh/generators.hpp"
+#include "support/check.hpp"
+
+namespace earthred {
+namespace {
+
+using earth::Cycles;
+using earth::EarthMachine;
+using earth::FiberContext;
+using earth::FiberId;
+using earth::MachineConfig;
+using earth::MsgKind;
+
+MachineConfig two_nodes() {
+  MachineConfig cfg;
+  cfg.num_nodes = 2;
+  cfg.max_events = 10'000'000;
+  return cfg;
+}
+
+// ------------------------------------------------------ fault primitives
+
+TEST(FaultInjection, DropLosesRemoteSend) {
+  MachineConfig cfg = two_nodes();
+  cfg.fault.enabled = true;
+  cfg.fault.drop = 1.0;
+  EarthMachine m(cfg);
+  const FiberId target = m.add_fiber(1, 1, [](FiberContext&) {}, "t");
+  const FiberId sender = m.add_fiber(
+      0, 0, [&](FiberContext& ctx) { ctx.send(target, 64); }, "s");
+  m.credit(sender);
+  m.run();
+  EXPECT_EQ(m.fiber_activations(target), 0u);
+  EXPECT_EQ(m.stats().faults.dropped, 1u);
+}
+
+TEST(FaultInjection, LocalMessagesAreNeverFaulted) {
+  MachineConfig cfg = two_nodes();
+  cfg.fault.enabled = true;
+  cfg.fault.drop = 1.0;
+  cfg.fault.corrupt = 1.0;
+  EarthMachine m(cfg);
+  const FiberId target = m.add_fiber(0, 1, [](FiberContext&) {}, "t");
+  const FiberId sender = m.add_fiber(
+      0, 0, [&](FiberContext& ctx) { ctx.send(target, 64); }, "s");
+  m.credit(sender);
+  m.run();
+  EXPECT_EQ(m.fiber_activations(target), 1u);
+  EXPECT_EQ(m.stats().faults.injected(), 0u);
+}
+
+TEST(FaultInjection, FilterRestrictsBySource) {
+  MachineConfig cfg = two_nodes();
+  cfg.fault.enabled = true;
+  cfg.fault.drop = 1.0;
+  cfg.fault.filter.src = 1;  // only messages leaving node 1 are eligible
+  EarthMachine m(cfg);
+  const FiberId target = m.add_fiber(1, 1, [](FiberContext&) {}, "t");
+  const FiberId sender = m.add_fiber(
+      0, 0, [&](FiberContext& ctx) { ctx.send(target, 64); }, "s");
+  m.credit(sender);
+  m.run();
+  EXPECT_EQ(m.fiber_activations(target), 1u);
+  EXPECT_EQ(m.stats().faults.injected(), 0u);
+}
+
+TEST(FaultInjection, DuplicateDeliversTwice) {
+  MachineConfig cfg = two_nodes();
+  cfg.fault.enabled = true;
+  cfg.fault.duplicate = 1.0;
+  EarthMachine m(cfg);
+  int delivers = 0;
+  const FiberId target = m.add_fiber(1, 1, [](FiberContext&) {}, "t");
+  const FiberId sender = m.add_fiber(
+      0, 0,
+      [&](FiberContext& ctx) {
+        ctx.send(target, 64, [&] { ++delivers; });
+      },
+      "s");
+  m.credit(sender);
+  m.run();
+  EXPECT_EQ(delivers, 2);
+  EXPECT_EQ(m.fiber_activations(target), 2u);
+  EXPECT_EQ(m.stats().faults.duplicated, 1u);
+}
+
+TEST(FaultInjection, DelayAddsConfiguredLatency) {
+  MachineConfig cfg = two_nodes();
+  EarthMachine clean(cfg);
+  cfg.fault.enabled = true;
+  cfg.fault.delay = 1.0;
+  cfg.fault.delay_cycles = 50'000;
+  EarthMachine m(cfg);
+  for (EarthMachine* mm : {&clean, &m}) {
+    const FiberId target = mm->add_fiber(1, 1, [](FiberContext&) {}, "t");
+    const FiberId sender = mm->add_fiber(
+        0, 0, [&, target](FiberContext& ctx) { ctx.send(target, 64); },
+        "s");
+    mm->credit(sender);
+  }
+  const Cycles base = clean.run();
+  const Cycles delayed = m.run();
+  EXPECT_GE(delayed, base + 50'000);
+  EXPECT_EQ(m.stats().faults.delayed, 1u);
+}
+
+TEST(FaultInjection, CorruptionFlagVisibleDuringDelivery) {
+  MachineConfig cfg = two_nodes();
+  cfg.fault.enabled = true;
+  cfg.fault.corrupt = 1.0;
+  EarthMachine m(cfg);
+  bool saw_corrupt = false;
+  const FiberId target = m.add_fiber(1, 1, [](FiberContext&) {}, "t");
+  const FiberId sender = m.add_fiber(
+      0, 0,
+      [&](FiberContext& ctx) {
+        ctx.send(target, 64, [&] { saw_corrupt = m.delivery_corrupted(); });
+      },
+      "s");
+  m.credit(sender);
+  m.run();
+  EXPECT_TRUE(saw_corrupt);
+  EXPECT_FALSE(m.delivery_corrupted());  // cleared outside deliveries
+  EXPECT_EQ(m.fiber_activations(target), 1u);  // data still signals
+  EXPECT_EQ(m.stats().faults.corrupted, 1u);
+}
+
+TEST(FaultInjection, DeadLinkSwallowsEverything) {
+  MachineConfig cfg = two_nodes();
+  cfg.fault.enabled = true;
+  cfg.fault.dead_links.push_back({0, 1});
+  EarthMachine m(cfg);
+  const FiberId fwd = m.add_fiber(1, 1, [](FiberContext&) {}, "fwd");
+  const FiberId rev = m.add_fiber(0, 1, [](FiberContext&) {}, "rev");
+  const FiberId s0 = m.add_fiber(
+      0, 0, [&](FiberContext& ctx) { ctx.send(fwd, 64); }, "s0");
+  const FiberId s1 = m.add_fiber(
+      1, 0, [&](FiberContext& ctx) { ctx.send(rev, 64); }, "s1");
+  m.credit(s0);
+  m.credit(s1);
+  m.run();
+  EXPECT_EQ(m.fiber_activations(fwd), 0u);  // 0->1 is dead
+  EXPECT_EQ(m.fiber_activations(rev), 1u);  // 1->0 is fine
+}
+
+TEST(FaultInjection, SameSeedSameSchedule) {
+  auto run_one = [](std::uint64_t seed) {
+    MachineConfig cfg = two_nodes();
+    cfg.fault.enabled = true;
+    cfg.fault.seed = seed;
+    cfg.fault.drop = 0.3;
+    cfg.fault.duplicate = 0.3;
+    cfg.fault.delay = 0.3;
+    EarthMachine m(cfg);
+    const FiberId target = m.add_fiber(1, 1, [](FiberContext&) {}, "t");
+    const FiberId sender = m.add_fiber(
+        0, 0,
+        [&](FiberContext& ctx) {
+          for (int i = 0; i < 50; ++i) ctx.send(target, 64);
+        },
+        "s");
+    m.credit(sender);
+    const Cycles mk = m.run();
+    return std::tuple{mk, m.stats().faults.dropped,
+                      m.stats().faults.duplicated,
+                      m.stats().faults.delayed,
+                      m.fiber_activations(target)};
+  };
+  EXPECT_EQ(run_one(7), run_one(7));
+  EXPECT_NE(run_one(7), run_one(8));  // schedule is a function of the seed
+}
+
+// ------------------------------------------------------------- watchdog
+
+TEST(Watchdog, LostMessageNamesTheStarvedFiber) {
+  MachineConfig cfg = two_nodes();
+  cfg.fault.enabled = true;
+  cfg.fault.drop = 1.0;
+  EarthMachine m(cfg);
+  const FiberId target = m.add_fiber(1, 1, [](FiberContext&) {}, "starved");
+  const FiberId sender = m.add_fiber(
+      0, 0, [&](FiberContext& ctx) { ctx.send(target, 64); }, "s");
+  m.credit(sender);
+  m.expect_activations(target, 1);
+  try {
+    m.run();
+    FAIL() << "expected check_error";
+  } catch (const check_error& e) {
+    EXPECT_NE(std::string(e.what()).find("starved"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("unsatisfied sync"),
+              std::string::npos);
+  }
+}
+
+TEST(Watchdog, SatisfiedExpectationsStaySilent) {
+  MachineConfig cfg = two_nodes();
+  EarthMachine m(cfg);
+  const FiberId target = m.add_fiber(1, 1, [](FiberContext&) {}, "t");
+  const FiberId sender = m.add_fiber(
+      0, 0, [&](FiberContext& ctx) { ctx.send(target, 64); }, "s");
+  m.credit(sender);
+  m.expect_activations(target, 1);
+  m.expect_activations(sender, 1);
+  EXPECT_NO_THROW(m.run());
+}
+
+// ---------------------------------------------------------------- timers
+
+TEST(Timer, FiresAfterDelay) {
+  MachineConfig cfg;
+  cfg.num_nodes = 1;
+  EarthMachine m(cfg);
+  const FiberId target = m.add_fiber(0, 1, [](FiberContext&) {}, "t");
+  const FiberId starter = m.add_fiber(
+      0, 0, [&](FiberContext& ctx) { ctx.timer(target, 100'000); }, "s");
+  m.credit(starter);
+  const Cycles mk = m.run();
+  EXPECT_EQ(m.fiber_activations(target), 1u);
+  EXPECT_GE(mk, 100'000u);
+}
+
+TEST(Timer, CancelledTimerLeavesNoTrace) {
+  MachineConfig cfg;
+  cfg.num_nodes = 1;
+  EarthMachine m(cfg);
+  auto gen = std::make_shared<std::uint64_t>(0);
+  const FiberId target = m.add_fiber(0, 1, [](FiberContext&) {}, "t");
+  const FiberId starter = m.add_fiber(
+      0, 0,
+      [&](FiberContext& ctx) {
+        ctx.timer(target, 1'000'000, gen);
+        ++*gen;  // cancel before it can fire
+      },
+      "s");
+  m.credit(starter);
+  const Cycles mk = m.run();
+  EXPECT_EQ(m.fiber_activations(target), 0u);
+  // The cancelled expiry must not drag the makespan out to the deadline.
+  EXPECT_LT(mk, 1'000'000u);
+}
+
+TEST(Timer, RemoteTargetIsRejected) {
+  MachineConfig cfg = two_nodes();
+  EarthMachine m(cfg);
+  const FiberId remote = m.add_fiber(1, 1, [](FiberContext&) {}, "r");
+  const FiberId starter = m.add_fiber(
+      0, 0, [&](FiberContext& ctx) { ctx.timer(remote, 10); }, "s");
+  m.credit(starter);
+  EXPECT_THROW(m.run(), precondition_error);
+}
+
+// ------------------------------------------------------ reliable channel
+
+TEST(ReliableChannel, LossyLinkDeliversEverythingInOrder) {
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    MachineConfig cfg = two_nodes();
+    cfg.fault.enabled = true;
+    cfg.fault.seed = seed;
+    cfg.fault.drop = 0.25;
+    cfg.fault.corrupt = 0.15;
+    cfg.fault.duplicate = 0.2;
+    cfg.fault.delay = 0.3;
+    EarthMachine m(cfg);
+    std::vector<double> received;
+    const FiberId sink =
+        m.add_fiber(1, 1, [](FiberContext&) {}, "sink");
+    // At these rates a full round trip succeeds well under half the time,
+    // so the default 12-retry dead-link budget can legitimately exhaust;
+    // a persistent-noise stress test needs a deeper budget.
+    earth::ReliableOptions ropt;
+    ropt.max_retries = 40;
+    earth::ReliableChannel ch(
+        m, 0, 1, sink,
+        [&](const std::vector<double>& pl) {
+          ASSERT_EQ(pl.size(), 3u);
+          received.push_back(pl[0]);
+        },
+        "test-ch", ropt);
+    constexpr int kMsgs = 25;
+    const FiberId sender = m.add_fiber(
+        0, 0,
+        [&](FiberContext& ctx) {
+          for (int i = 0; i < kMsgs; ++i) {
+            const std::vector<double> payload{double(i), -double(i), 0.5};
+            ch.send(ctx, payload.data(), payload.size());
+          }
+        },
+        "sender");
+    m.credit(sender);
+    m.expect_activations(sink, kMsgs);
+    m.run();
+    ASSERT_EQ(received.size(), static_cast<std::size_t>(kMsgs));
+    for (int i = 0; i < kMsgs; ++i) EXPECT_EQ(received[i], double(i));
+    EXPECT_EQ(ch.stats().sent, static_cast<std::uint64_t>(kMsgs));
+    // With these rates some recovery machinery must have engaged.
+    EXPECT_GT(m.stats().faults.injected(), 0u);
+  }
+}
+
+TEST(ReliableChannel, CorruptionIsDetectedNotAccepted) {
+  MachineConfig cfg = two_nodes();
+  cfg.fault.enabled = true;
+  cfg.fault.corrupt = 0.5;
+  EarthMachine m(cfg);
+  std::vector<double> received;
+  const FiberId sink = m.add_fiber(1, 1, [](FiberContext&) {}, "sink");
+  // Corruption hits acks too; at 50% noise a round trip succeeds only a
+  // quarter of the time, so give recovery a deep retry budget.
+  earth::ReliableOptions ropt;
+  ropt.max_retries = 40;
+  earth::ReliableChannel ch(
+      m, 0, 1, sink,
+      [&](const std::vector<double>& pl) {
+        received.insert(received.end(), pl.begin(), pl.end());
+      },
+      "cor-ch", ropt);
+  const FiberId sender = m.add_fiber(
+      0, 0,
+      [&](FiberContext& ctx) {
+        for (int i = 0; i < 20; ++i) {
+          const double v = 1.0 + i;
+          ch.send(ctx, &v, 1);
+        }
+      },
+      "sender");
+  m.credit(sender);
+  m.expect_activations(sink, 20);
+  m.run();
+  ASSERT_EQ(received.size(), 20u);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(received[i], 1.0 + i);
+  EXPECT_GT(ch.stats().rejected_corrupt, 0u);  // damage was caught, never
+                                               // silently applied
+}
+
+TEST(ReliableChannel, DeadLinkRaisesCheckErrorNamingTheChannel) {
+  MachineConfig cfg = two_nodes();
+  cfg.fault.enabled = true;
+  cfg.fault.dead_links.push_back({0, 1});
+  EarthMachine m(cfg);
+  const FiberId sink = m.add_fiber(1, 1, [](FiberContext&) {}, "sink");
+  earth::ReliableOptions ropt;
+  ropt.ack_timeout = 1'000;  // tight, so the test finishes in microseconds
+  ropt.max_retries = 3;
+  earth::ReliableChannel tight(
+      m, 0, 1, sink, [](const std::vector<double>&) {}, "doomed-tight",
+      ropt);
+  const FiberId sender = m.add_fiber(
+      0, 0,
+      [&](FiberContext& ctx) {
+        const double v = 42.0;
+        tight.send(ctx, &v, 1);
+      },
+      "sender");
+  m.credit(sender);
+  try {
+    m.run();
+    FAIL() << "expected check_error";
+  } catch (const check_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("doomed-tight"), std::string::npos) << what;
+    EXPECT_NE(what.find("dead link"), std::string::npos) << what;
+  }
+}
+
+// ----------------------------------------------- engine under injection
+
+core::RotationOptions faulty_rotation(std::uint32_t procs, std::uint32_t k,
+                                      std::uint64_t seed) {
+  core::RotationOptions opt;
+  opt.num_procs = procs;
+  opt.k = k;
+  opt.sweeps = 4;
+  opt.machine.max_events = 50'000'000;
+  opt.machine.fault.enabled = true;
+  opt.machine.fault.seed = seed;
+  opt.machine.fault.drop = 0.05;
+  opt.machine.fault.corrupt = 0.03;
+  opt.machine.fault.duplicate = 0.05;
+  opt.machine.fault.delay = 0.1;
+  opt.reliable = true;
+  return opt;
+}
+
+TEST(RotationUnderFaults, BitExactAcrossSeedsAndShapes) {
+  // Integer-valued Y keeps the reduction order-independent in floating
+  // point, so recovery must reproduce the sequential result *bitwise*
+  // whatever the fault schedule reorders or retransmits.
+  const auto kernel = kernels::Fig1Kernel::with_integer_values(
+      mesh::make_geometric_mesh({96, 400, 5}));
+  core::SequentialOptions sopt;
+  sopt.sweeps = 4;
+  const core::RunResult seq = core::run_sequential_kernel(kernel, sopt);
+
+  for (const std::uint32_t procs : {2u, 4u}) {
+    for (const std::uint32_t k : {1u, 2u}) {
+      for (const std::uint64_t seed : {11ull, 12ull, 13ull}) {
+        const core::RunResult par = core::run_rotation_engine(
+            kernel, faulty_rotation(procs, k, seed));
+        EXPECT_GT(par.machine.faults.injected(), 0u)
+            << "P=" << procs << " k=" << k << " seed=" << seed;
+        ASSERT_EQ(par.reduction.size(), seq.reduction.size());
+        for (std::size_t i = 0; i < seq.reduction[0].size(); ++i)
+          ASSERT_EQ(par.reduction[0][i], seq.reduction[0][i])
+              << "P=" << procs << " k=" << k << " seed=" << seed
+              << " element " << i;
+      }
+    }
+  }
+}
+
+TEST(RotationUnderFaults, SameSeedIsFullyDeterministic) {
+  const auto kernel = kernels::Fig1Kernel::with_integer_values(
+      mesh::make_geometric_mesh({64, 256, 9}));
+  auto opt = faulty_rotation(3, 2, 77);
+  opt.machine.trace = true;
+  const core::RunResult a = core::run_rotation_engine(kernel, opt);
+  const core::RunResult b = core::run_rotation_engine(kernel, opt);
+  EXPECT_EQ(a.total_cycles, b.total_cycles);
+  EXPECT_EQ(a.machine.faults.dropped, b.machine.faults.dropped);
+  EXPECT_EQ(a.machine.faults.corrupted, b.machine.faults.corrupted);
+  EXPECT_EQ(a.machine.faults.duplicated, b.machine.faults.duplicated);
+  EXPECT_EQ(a.machine.faults.delayed, b.machine.faults.delayed);
+  EXPECT_EQ(a.reliable.retransmits, b.reliable.retransmits);
+  EXPECT_EQ(a.reliable.acks_sent, b.reliable.acks_sent);
+  EXPECT_EQ(a.gantt, b.gantt);  // identical schedule, event for event
+  EXPECT_EQ(a.reduction, b.reduction);
+}
+
+TEST(RotationUnderFaults, UnprotectedDropTripsTheWatchdog) {
+  const auto kernel = kernels::Fig1Kernel::with_integer_values(
+      mesh::make_geometric_mesh({64, 256, 9}));
+  auto opt = faulty_rotation(4, 2, 5);
+  opt.machine.fault.drop = 0.3;
+  opt.reliable = false;  // raw sends: losses must be *diagnosed*
+  try {
+    core::run_rotation_engine(kernel, opt);
+    FAIL() << "expected check_error from the quiescence watchdog";
+  } catch (const check_error& e) {
+    EXPECT_NE(std::string(e.what()).find("compute["), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(RotationUnderFaults, ReliableAtZeroFaultRateStaysCorrect) {
+  // The protocol must be a pure overlay: no faults, same bits.
+  const auto kernel = kernels::Fig1Kernel::with_integer_values(
+      mesh::make_geometric_mesh({96, 400, 5}));
+  core::SequentialOptions sopt;
+  sopt.sweeps = 3;
+  const core::RunResult seq = core::run_sequential_kernel(kernel, sopt);
+  core::RotationOptions opt;
+  opt.num_procs = 4;
+  opt.k = 2;
+  opt.sweeps = 3;
+  opt.machine.max_events = 50'000'000;
+  opt.reliable = true;
+  const core::RunResult par = core::run_rotation_engine(kernel, opt);
+  EXPECT_EQ(par.reliable.retransmits, 0u);
+  EXPECT_GT(par.reliable.sent, 0u);
+  for (std::size_t i = 0; i < seq.reduction[0].size(); ++i)
+    ASSERT_EQ(par.reduction[0][i], seq.reduction[0][i]);
+}
+
+}  // namespace
+}  // namespace earthred

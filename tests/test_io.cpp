@@ -47,6 +47,33 @@ TEST(MeshIo, RejectsGarbage) {
   EXPECT_THROW(mesh::read_mesh(ss3), check_error);
 }
 
+TEST(MeshIo, RejectsNegativeCountsAndIndices) {
+  // A negative count read into an unsigned would wrap to ~2^64 and turn
+  // the header into a gigantic allocation; it must be a parse error.
+  std::stringstream neg_edges("mesh 4 -5 0\n");
+  EXPECT_THROW(mesh::read_mesh(neg_edges), check_error);
+  std::stringstream neg_nodes("mesh -4 1 0\ne 0 1\n");
+  EXPECT_THROW(mesh::read_mesh(neg_nodes), check_error);
+  std::stringstream neg_endpoint("mesh 4 1 0\ne -1 2\n");
+  EXPECT_THROW(mesh::read_mesh(neg_endpoint), check_error);
+  std::stringstream bad_flag("mesh 4 0 7\n");
+  EXPECT_THROW(mesh::read_mesh(bad_flag), check_error);
+}
+
+TEST(MeshIo, RejectsOverflowingCounts) {
+  // Node count beyond 32 bits and an absurd edge count with no edges
+  // behind it must both fail cleanly (no OOM, no wrap).
+  std::stringstream huge_nodes("mesh 99999999999 0 0\n");
+  EXPECT_THROW(mesh::read_mesh(huge_nodes), check_error);
+  std::stringstream lying_edges("mesh 4 99999999999 0\ne 0 1\n");
+  EXPECT_THROW(mesh::read_mesh(lying_edges), check_error);
+}
+
+TEST(MeshIo, RejectsTruncatedCoordinates) {
+  std::stringstream ss("mesh 2 1 1\ne 0 1\nc 0.0 0.0 0.0\n");  // 1 of 2
+  EXPECT_THROW(mesh::read_mesh(ss), check_error);
+}
+
 TEST(MeshIo, FileRoundTrip) {
   const mesh::Mesh m = mesh::make_geometric_mesh({50, 180, 4});
   const std::string path = "/tmp/earthred_test_mesh.txt";
@@ -94,6 +121,33 @@ TEST(SparseIo, RejectsUnsupportedVariants) {
   std::stringstream ss4(
       "%%MatrixMarket matrix coordinate real general\n3 3 1\n4 1 2.0\n");
   EXPECT_THROW(sparse::read_matrix_market(ss4), check_error);  // range
+}
+
+TEST(SparseIo, RejectsNegativeAndOverflowingSizeLine) {
+  const std::string hdr = "%%MatrixMarket matrix coordinate real general\n";
+  std::stringstream neg_rows(hdr + "-3 3 1\n1 1 2.0\n");
+  EXPECT_THROW(sparse::read_matrix_market(neg_rows), check_error);
+  std::stringstream neg_nnz(hdr + "3 3 -1\n");
+  EXPECT_THROW(sparse::read_matrix_market(neg_nnz), check_error);
+  std::stringstream huge_dims(hdr + "99999999999 3 1\n1 1 2.0\n");
+  EXPECT_THROW(sparse::read_matrix_market(huge_dims), check_error);
+  // Huge declared nnz with only one real entry: must fail as truncated,
+  // not attempt a matching allocation first.
+  std::stringstream lying_nnz(hdr + "3 3 99999999999\n1 1 2.0\n");
+  EXPECT_THROW(sparse::read_matrix_market(lying_nnz), check_error);
+}
+
+TEST(SparseIo, RejectsNegativeIndices) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "3 3 1\n"
+      "-1 2 4.5\n");
+  EXPECT_THROW(sparse::read_matrix_market(ss), check_error);
+  std::stringstream zero_based(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "3 3 1\n"
+      "0 1 4.5\n");  // MatrixMarket is 1-based
+  EXPECT_THROW(sparse::read_matrix_market(zero_based), check_error);
 }
 
 TEST(SparseIo, CommentsSkipped) {

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <string>
 
 #include "core/native_engine.hpp"
 #include "core/sequential.hpp"
@@ -122,6 +123,46 @@ TEST(NativeEngine, RejectsDegenerateShapes) {
   opt.num_procs = 8;
   opt.k = 2;
   EXPECT_THROW(run_native_engine(kernel, opt), precondition_error);
+}
+
+TEST(NativeEngine, LostForwardTripsStallWatchdog) {
+  // Swallow the very first ring forward (proc 0, phase 0, sweep 0): the
+  // next owner then waits forever for that portion, and the watchdog must
+  // convert the hang into a check_error naming the starved step.
+  const auto kernel = kernels::Fig1Kernel::with_integer_values(
+      mesh::make_geometric_mesh({96, 500, 21}));
+  NativeOptions opt;
+  opt.num_procs = 4;
+  opt.k = 2;
+  opt.sweeps = 3;
+  opt.stall_timeout = 0.5;
+  opt.lose_forward = {true, 0, 0, 0};
+  try {
+    run_native_engine(kernel, opt);
+    FAIL() << "expected the stall watchdog to fire";
+  } catch (const check_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("stalled"), std::string::npos) << what;
+    EXPECT_NE(what.find("stuck"), std::string::npos) << what;
+  }
+}
+
+TEST(NativeEngine, ZeroStallTimeoutStillRunsCleanSchedules) {
+  // stall_timeout = 0 restores the unbounded-wait behavior; a healthy
+  // run must complete and stay correct.
+  const auto kernel = kernels::Fig1Kernel::with_integer_values(
+      mesh::make_geometric_mesh({96, 500, 21}));
+  SequentialOptions sopt;
+  sopt.sweeps = 3;
+  const RunResult seq = run_sequential_kernel(kernel, sopt);
+  NativeOptions opt;
+  opt.num_procs = 4;
+  opt.k = 2;
+  opt.sweeps = 3;
+  opt.stall_timeout = 0.0;
+  const NativeResult r = run_native_engine(kernel, opt);
+  for (std::size_t i = 0; i < seq.reduction[0].size(); ++i)
+    ASSERT_EQ(r.reduction[0][i], seq.reduction[0][i]);
 }
 
 }  // namespace

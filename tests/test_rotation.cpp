@@ -170,6 +170,74 @@ TEST(Rotation, SingleProcessorDegeneratesGracefully) {
   EXPECT_EQ(s.last_owning_phase(0), 0u);
 }
 
+TEST(Rotation, BoundaryOneElementPortions) {
+  // n == kP: every portion is exactly one element, remainder zero.
+  const RotationSchedule s(12, 3, 4);
+  EXPECT_EQ(s.num_portions(), 12u);
+  EXPECT_EQ(s.max_portion_size(), 1u);
+  for (std::uint32_t pid = 0; pid < 12; ++pid) {
+    EXPECT_EQ(s.portion_size(pid), 1u);
+    EXPECT_EQ(s.portion_begin(pid), pid);
+    EXPECT_EQ(s.portion_end(pid), pid + 1);
+    EXPECT_EQ(s.portion_of(pid), pid);
+  }
+  // One element below the boundary is rejected, not silently truncated.
+  EXPECT_THROW(RotationSchedule(11, 3, 4), precondition_error);
+}
+
+TEST(Rotation, SingleProcessorWithOverlapKeepsAllPortionsLocal) {
+  // P == 1 with k > 1: the ring degenerates to self-forwarding, but the
+  // phase algebra must still cycle through all k portions.
+  const RotationSchedule s(10, 1, 4);
+  EXPECT_EQ(s.num_portions(), 4u);
+  EXPECT_EQ(s.next_owner(0), 0u);
+  EXPECT_EQ(s.ring_sender(0), 0u);
+  std::set<std::uint32_t> seen;
+  for (std::uint32_t ph = 0; ph < 4; ++ph)
+    seen.insert(s.owned_portion(0, ph));
+  EXPECT_EQ(seen.size(), 4u);
+  for (std::uint32_t pid = 0; pid < 4; ++pid) {
+    EXPECT_EQ(s.final_owner(pid), 0u);
+    EXPECT_EQ(s.last_owning_phase(pid), pid);
+  }
+}
+
+TEST(Rotation, RingSenderInvertsNextOwner) {
+  for (const std::uint32_t P : {1u, 2u, 3u, 5u, 8u}) {
+    const RotationSchedule s(64, P, 2);
+    for (std::uint32_t p = 0; p < P; ++p) {
+      EXPECT_EQ(s.ring_sender(s.next_owner(p)), p);
+      EXPECT_EQ(s.next_owner(s.ring_sender(p)), p);
+    }
+  }
+}
+
+TEST(Rotation, PhaseTransfersMatchesForwardGuard) {
+  // Count forwards the engine actually issues (guarded by tsweep <
+  // sweeps) and compare with the closed form.
+  for (const std::uint32_t P : {1u, 2u, 4u}) {
+    for (const std::uint32_t k : {1u, 2u, 3u}) {
+      for (const std::uint64_t sweeps : {1ull, 2ull, 5ull}) {
+        const RotationSchedule s(60, P, k);
+        const std::uint32_t kp = s.num_portions();
+        std::vector<std::uint64_t> arrivals(kp, 0);
+        for (std::uint64_t sweep = 0; sweep < sweeps; ++sweep) {
+          for (std::uint32_t ph = 0; ph < kp; ++ph) {
+            std::uint32_t tph = ph + k;
+            const std::uint64_t tsweep = sweep + (tph >= kp ? 1 : 0);
+            tph %= kp;
+            if (tsweep < sweeps) ++arrivals[tph];
+          }
+        }
+        for (std::uint32_t ph = 0; ph < kp; ++ph)
+          EXPECT_EQ(arrivals[ph], s.phase_transfers(ph, sweeps))
+              << "P=" << P << " k=" << k << " sweeps=" << sweeps
+              << " ph=" << ph;
+      }
+    }
+  }
+}
+
 
 TEST(Distribution, BlockCyclicChunks) {
   const auto owned = distribute_iterations(20, 2, Distribution::BlockCyclic, 4);

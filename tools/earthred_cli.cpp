@@ -9,6 +9,11 @@
 //                        [--procs=P] [--k=K] [--dist=block|cyclic|bc]
 //                        [--sweeps=N] [--engine=rotation|classic|native]
 //                        [--gantt]
+//                        fault injection (engine=rotation only):
+//                        [--fault-drop=p] [--fault-corrupt=p]
+//                        [--fault-dup=p] [--fault-delay=p]
+//                        [--fault-delay-cycles=C] [--fault-seed=S]
+//                        [--fault-dead-link=src:dst] [--reliable]
 //   earthred compile    --file=loop.dsl [--emit]
 //
 // Exit status: 0 on success, 1 on usage/data errors (message on stderr).
@@ -119,6 +124,36 @@ int cmd_info(const Options& opt) {
   return 0;
 }
 
+earth::FaultConfig fault_from_options(const Options& opt) {
+  earth::FaultConfig fc;
+  fc.drop = opt.get_double("fault-drop", 0.0);
+  fc.corrupt = opt.get_double("fault-corrupt", 0.0);
+  fc.duplicate = opt.get_double("fault-dup", 0.0);
+  fc.delay = opt.get_double("fault-delay", 0.0);
+  fc.delay_cycles =
+      static_cast<earth::Cycles>(opt.get_int("fault-delay-cycles", 400));
+  fc.seed = static_cast<std::uint64_t>(opt.get_int("fault-seed", 0x5eed));
+  const std::string link = opt.get("fault-dead-link");
+  if (!link.empty()) {
+    const auto colon = link.find(':');
+    const auto numeric = [](const std::string& s) {
+      return !s.empty() && s.find_first_not_of("0123456789") ==
+                               std::string::npos;
+    };
+    ER_CHECK_MSG(colon != std::string::npos &&
+                     numeric(link.substr(0, colon)) &&
+                     numeric(link.substr(colon + 1)),
+                 "--fault-dead-link expects src:dst (numeric node ids), "
+                 "got '" + link + "'");
+    fc.dead_links.emplace_back(
+        static_cast<earth::NodeId>(std::stoul(link.substr(0, colon))),
+        static_cast<earth::NodeId>(std::stoul(link.substr(colon + 1))));
+  }
+  fc.enabled = fc.drop > 0.0 || fc.corrupt > 0.0 || fc.duplicate > 0.0 ||
+               fc.delay > 0.0 || !fc.dead_links.empty();
+  return fc;
+}
+
 int cmd_run(const Options& opt) {
   const std::string kname = opt.get("kernel", "euler");
   mesh::Mesh m = mesh_from_options(opt);
@@ -174,6 +209,11 @@ int cmd_run(const Options& opt) {
       ropt.sweeps = sweeps;
       ropt.collect_results = false;
       ropt.machine.trace = opt.get_bool("gantt", false);
+      // Faults without --reliable are allowed: a lost message then
+      // surfaces as the machine's quiescence check_error, which is the
+      // watchdog demonstration, not a usage error.
+      ropt.machine.fault = fault_from_options(opt);
+      ropt.reliable = opt.get_bool("reliable", false);
       r = core::run_rotation_engine(*kernel, ropt);
     } else {
       throw check_error("unknown engine '" + engine +
@@ -194,6 +234,27 @@ int cmd_run(const Options& opt) {
     t.add_row({"EU utilization", fmt_f(r.machine.eu_utilization(), 2)});
     t.add_row({"phase imbalance (CoV)",
                fmt_f(coefficient_of_variation(r.phase_iterations), 3)});
+    if (r.machine.faults.injected() != 0 || r.reliable.sent != 0) {
+      t.add_row({"faults injected",
+                 fmt_group(static_cast<long long>(
+                     r.machine.faults.injected())) +
+                     " (drop " + std::to_string(r.machine.faults.dropped) +
+                     ", corrupt " +
+                     std::to_string(r.machine.faults.corrupted) + ", dup " +
+                     std::to_string(r.machine.faults.duplicated) +
+                     ", delay " +
+                     std::to_string(r.machine.faults.delayed) + ")"});
+      t.add_row({"reliable payloads",
+                 fmt_group(static_cast<long long>(r.reliable.sent))});
+      t.add_row({"retransmits",
+                 fmt_group(static_cast<long long>(r.reliable.retransmits))});
+      t.add_row({"acks sent",
+                 fmt_group(static_cast<long long>(r.reliable.acks_sent))});
+      t.add_row(
+          {"frames rejected",
+           std::to_string(r.reliable.rejected_stale) + " stale, " +
+               std::to_string(r.reliable.rejected_corrupt) + " corrupt"});
+    }
     t.print(std::cout);
     if (!r.gantt.empty()) std::printf("\n%s", r.gantt.c_str());
     return 0;
