@@ -16,6 +16,7 @@
 
 #include "core/result.hpp"
 #include "earth/types.hpp"
+#include "support/json.hpp"
 #include "support/options.hpp"
 #include "support/stats.hpp"
 #include "support/str.hpp"
@@ -140,6 +141,50 @@ inline void print_relative(const std::string& title, std::uint32_t from,
 /// paper's load-balance diagnostic (Sec. 5.4.3).
 inline double phase_imbalance(const core::RunResult& r) {
   return coefficient_of_variation(r.phase_iterations);
+}
+
+/// One figure as a compact JSON object: title, sequential baseline, and
+/// every series' (procs, seconds, speedup) points.
+inline std::string figure_json(const std::string& title, double seq_seconds,
+                               const std::vector<std::uint32_t>& procs,
+                               const std::vector<Series>& series) {
+  std::vector<std::string> procs_json;
+  for (const auto p : procs) procs_json.push_back(std::to_string(p));
+  std::vector<std::string> series_json;
+  for (const Series& s : series) {
+    std::vector<std::string> pts;
+    for (const Point& pt : s.points) {
+      JsonWriter pw;
+      pw.field("procs", pt.procs)
+          .field("seconds", pt.seconds)
+          .field("speedup", pt.speedup);
+      pts.push_back(pw.str());
+    }
+    JsonWriter sw;
+    sw.field("name", s.name).raw_field("points", json_array(pts));
+    series_json.push_back(sw.str());
+  }
+  JsonWriter w;
+  w.field("figure", title)
+      .field("seq_seconds", seq_seconds)
+      .raw_field("procs", json_array(procs_json))
+      .raw_field("series", json_array(series_json));
+  return w.str();
+}
+
+/// Honors the shared --json=<path> flag: appends one JSONL record per
+/// figure so every bench can emit machine-readable results alongside its
+/// tables (the BENCH_*.json perf trajectory).
+inline void maybe_write_figure_json(const Options& opt,
+                                    const std::string& title,
+                                    double seq_seconds,
+                                    const std::vector<std::uint32_t>& procs,
+                                    const std::vector<Series>& series) {
+  if (!opt.has("json")) return;
+  append_json_line(opt.get("json"),
+                   figure_json(title, seq_seconds, procs, series));
+  std::printf("appended JSON record for '%s' to %s\n", title.c_str(),
+              opt.get("json").c_str());
 }
 
 }  // namespace earthred::bench

@@ -73,6 +73,7 @@ void run_dataset(const char* label, const sparse::NasCgParams& params,
 
   const std::string title = std::string("Figure 4 (mvm class ") + label + ")";
   bench::print_figure(title, seq_s, procs_u32, series);
+  bench::maybe_write_figure_json(opt, title, seq_s, procs_u32, series);
 
   // The paper's headline deltas at the largest configuration.
   const std::uint32_t top = procs_u32.back();

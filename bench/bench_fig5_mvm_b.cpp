@@ -89,5 +89,7 @@ int main(int argc, char** argv) {
     rel.add_row(row);
   }
   rel.print(std::cout);
+  bench::maybe_write_figure_json(opt, "Figure 5 (mvm class B)", 0.0,
+                                 procs_u32, series);
   return 0;
 }

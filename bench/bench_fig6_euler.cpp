@@ -90,6 +90,7 @@ void run_dataset(const char* label, const mesh::Mesh& m,
 
   const std::string title = std::string("Figure 6 (euler ") + label + ")";
   bench::print_figure(title, seq_s, procs_u32, series);
+  bench::maybe_write_figure_json(opt, title, seq_s, procs_u32, series);
   if (procs_u32.size() >= 2)
     bench::print_relative(title, 2, procs_u32.back(), series);
 

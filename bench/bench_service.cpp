@@ -1,0 +1,211 @@
+// bench_service: throughput and setup-cost profile of the reduction
+// service (src/service/) — the compile-once/run-many payoff of the
+// paper's LightInspector made measurable.
+//
+// Part 1 (setup cost): for each (mesh, P, k) configuration, time the cold
+// PlanCache path (distribution + per-processor inspector build) against
+// the warm path (cache hit with a precomputed mesh fingerprint). The
+// headline number is the cold/warm ratio — warm submissions skip the
+// rebuild entirely, so the ratio is expected to be >= 10x.
+//
+// Part 2 (throughput): drive a JobScheduler worker pool with a stream of
+// jobs cycling over the configurations, once with the cache disabled
+// (byte budget 0: every job rebuilds its plan) and once enabled. Reports
+// jobs/second and the ServiceStats snapshot for each mode.
+//
+// Flags: --jobs=N (default 48), --workers=W (default 4), --sweeps=S
+//        (default 4), --reps=R warm-lookup repetitions (default 32),
+//        --json=<path> (JSONL record with the measured numbers).
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "kernels/euler.hpp"
+#include "kernels/fig1.hpp"
+#include "kernels/moldyn.hpp"
+#include "mesh/generators.hpp"
+#include "service/job_scheduler.hpp"
+#include "support/options.hpp"
+
+namespace earthred {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+struct Config {
+  std::string name;
+  std::shared_ptr<const core::PhasedKernel> kernel;
+  std::uint64_t fingerprint = 0;
+  core::PlanOptions plan{};
+};
+
+std::vector<Config> make_configs() {
+  std::vector<Config> configs;
+  const auto add = [&](std::string name,
+                       std::shared_ptr<const core::PhasedKernel> kernel,
+                       std::uint32_t P, std::uint32_t k) {
+    Config c;
+    c.name = std::move(name) + "/P" + std::to_string(P) + "k" +
+             std::to_string(k);
+    c.fingerprint = service::kernel_fingerprint(*kernel);
+    c.kernel = std::move(kernel);
+    c.plan.num_procs = P;
+    c.plan.k = k;
+    configs.push_back(std::move(c));
+  };
+  const auto euler = std::make_shared<kernels::EulerKernel>(
+      mesh::make_geometric_mesh({2000, 12000, 7}));
+  const auto moldyn = std::make_shared<kernels::MoldynKernel>(
+      mesh::make_moldyn_lattice({4, 2000, 0.03, 9}));
+  const auto fig1 = std::make_shared<kernels::Fig1Kernel>(
+      kernels::Fig1Kernel::with_integer_values(
+          mesh::make_geometric_mesh({1500, 9000, 11})));
+  add("euler2k", euler, 4, 2);
+  add("euler2k", euler, 8, 2);
+  add("moldyn2k", moldyn, 4, 2);
+  add("moldyn2k", moldyn, 4, 4);
+  add("fig1", fig1, 4, 2);
+  add("fig1", fig1, 8, 1);
+  return configs;
+}
+
+struct ThroughputResult {
+  double wall_seconds = 0.0;
+  double jobs_per_second = 0.0;
+  std::uint64_t done = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t rejected = 0;
+  service::ServiceStats stats;
+};
+
+ThroughputResult run_throughput(const std::vector<Config>& configs,
+                                std::uint32_t jobs, std::uint32_t workers,
+                                std::uint32_t sweeps, bool cache_on) {
+  service::JobScheduler::Config cfg;
+  cfg.workers = workers;
+  cfg.queue_capacity = jobs;  // admission sized to the run: nothing rejected
+  cfg.cache.byte_budget = cache_on ? (256ull << 20) : 0;
+  service::JobScheduler sched(cfg);
+
+  std::vector<service::JobRequest> reqs;
+  reqs.reserve(jobs);
+  for (std::uint32_t j = 0; j < jobs; ++j) {
+    const Config& c = configs[j % configs.size()];
+    service::JobRequest r;
+    r.kernel = c.kernel;
+    r.name = c.name;
+    r.plan = c.plan;
+    r.sweeps = sweeps;
+    r.fingerprint = c.fingerprint;
+    reqs.push_back(std::move(r));
+  }
+
+  const auto t0 = Clock::now();
+  const std::vector<service::JobHandle> handles =
+      sched.submit_batch(std::move(reqs));
+  ThroughputResult out;
+  for (const service::JobHandle& h : handles) {
+    const service::JobOutcome& o = h.wait();
+    if (o.state == service::JobState::Done) ++out.done;
+    else if (o.state == service::JobState::Failed) ++out.failed;
+    else ++out.rejected;
+  }
+  out.wall_seconds = seconds_since(t0);
+  out.jobs_per_second =
+      out.wall_seconds > 0 ? static_cast<double>(jobs) / out.wall_seconds
+                           : 0.0;
+  out.stats = sched.stats();
+  return out;
+}
+
+int run(const Options& opt) {
+  const auto jobs = static_cast<std::uint32_t>(opt.get_int("jobs", 48));
+  const auto workers = static_cast<std::uint32_t>(opt.get_int("workers", 4));
+  const auto sweeps = static_cast<std::uint32_t>(opt.get_int("sweeps", 4));
+  const auto reps = static_cast<std::uint32_t>(opt.get_int("reps", 32));
+
+  const std::vector<Config> configs = make_configs();
+
+  // ---- Part 1: cold vs warm plan acquisition --------------------------
+  service::PlanCache cache;
+  Table t("service plan setup: cold (build) vs warm (cache hit)");
+  t.set_header({"config", "cold ms", "warm ms", "ratio"});
+  double cold_sum = 0.0, warm_sum = 0.0;
+  for (const Config& c : configs) {
+    const auto t0 = Clock::now();
+    (void)cache.lookup_or_build(*c.kernel, c.plan, c.fingerprint);
+    const double cold = seconds_since(t0);
+
+    const auto t1 = Clock::now();
+    for (std::uint32_t i = 0; i < reps; ++i)
+      (void)cache.lookup_or_build(*c.kernel, c.plan, c.fingerprint);
+    const double warm = seconds_since(t1) / reps;
+
+    cold_sum += cold;
+    warm_sum += warm;
+    t.add_row({c.name, fmt_f(cold * 1e3, 3), fmt_f(warm * 1e3, 4),
+               warm > 0 ? fmt_f(cold / warm, 1) + "x" : "-"});
+  }
+  t.print(std::cout);
+  const double ratio = warm_sum > 0 ? cold_sum / warm_sum : 0.0;
+  std::printf(
+      "warm (cache-hit) setup skips distribution + inspector rebuild: "
+      "%.1fx cheaper than cold overall %s\n",
+      ratio, ratio >= 10.0 ? "(>= 10x: PASS)" : "(< 10x: FAIL)");
+
+  // ---- Part 2: throughput with cache off/on ---------------------------
+  const ThroughputResult off =
+      run_throughput(configs, jobs, workers, sweeps, false);
+  const ThroughputResult on =
+      run_throughput(configs, jobs, workers, sweeps, true);
+
+  Table tp("service throughput (" + std::to_string(jobs) + " jobs, " +
+           std::to_string(workers) + " workers, " +
+           std::to_string(sweeps) + " sweeps/job)");
+  tp.set_header({"mode", "wall s", "jobs/s", "done", "failed", "rejected",
+                 "cache hit rate"});
+  const auto row = [&](const char* name, const ThroughputResult& r) {
+    tp.add_row({name, fmt_f(r.wall_seconds, 3), fmt_f(r.jobs_per_second, 1),
+                std::to_string(r.done), std::to_string(r.failed),
+                std::to_string(r.rejected),
+                fmt_f(r.stats.cache.hit_rate(), 3)});
+  };
+  row("cache off (cold start every job)", off);
+  row("cache on", on);
+  tp.print(std::cout);
+  on.stats.print(std::cout, "service stats (cache on)");
+
+  if (opt.has("json")) {
+    JsonWriter w;
+    w.field("bench", "service")
+        .field("jobs", static_cast<std::uint64_t>(jobs))
+        .field("workers", static_cast<std::uint64_t>(workers))
+        .field("sweeps", static_cast<std::uint64_t>(sweeps))
+        .field("cold_setup_ms_total", cold_sum * 1e3)
+        .field("warm_setup_ms_total", warm_sum * 1e3)
+        .field("cold_over_warm_ratio", ratio)
+        .field("throughput_cache_off_jobs_per_s", off.jobs_per_second)
+        .field("throughput_cache_on_jobs_per_s", on.jobs_per_second)
+        .field("cache_hit_rate", on.stats.cache.hit_rate());
+    append_json_line(opt.get("json"), w.str());
+    std::printf("appended JSON record to %s\n", opt.get("json").c_str());
+  }
+  return ratio >= 10.0 && off.failed == 0 && on.failed == 0 &&
+                 off.rejected == 0 && on.rejected == 0
+             ? 0
+             : 1;
+}
+
+}  // namespace
+}  // namespace earthred
+
+int main(int argc, char** argv) {
+  const earthred::Options opt(argc, argv);
+  return earthred::run(opt);
+}

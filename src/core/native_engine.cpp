@@ -27,30 +27,41 @@ struct StagedSlot {
   std::binary_semaphore free{1};
 };
 
-struct ProcState {
-  ProcArrays arrays;
-  InspectorResult insp;
-};
+std::uint64_t vec_bytes(const std::vector<std::uint32_t>& v) {
+  return v.capacity() * sizeof(std::uint32_t);
+}
 
 }  // namespace
 
-NativeResult run_native_engine(const PhasedKernel& kernel,
-                               const NativeOptions& opt) {
+std::uint64_t ExecutionPlan::byte_size() const {
+  std::uint64_t bytes = sizeof(ExecutionPlan);
+  for (const InspectorResult& r : insp) {
+    bytes += vec_bytes(r.assigned_phase) + vec_bytes(r.slot_elem) +
+             vec_bytes(r.free_slots);
+    for (const inspector::PhaseSchedule& ph : r.phases) {
+      bytes += vec_bytes(ph.iter_global) + vec_bytes(ph.iter_local) +
+               vec_bytes(ph.copy_dst) + vec_bytes(ph.copy_src);
+      for (const auto& row : ph.indir) bytes += vec_bytes(row);
+    }
+  }
+  return bytes;
+}
+
+ExecutionPlan build_execution_plan(const PhasedKernel& kernel,
+                                   const PlanOptions& opt) {
   const KernelShape shape = kernel.shape();
   ER_EXPECTS(opt.num_procs >= 1);
   ER_EXPECTS(opt.k >= 1);
-  ER_EXPECTS(opt.sweeps >= 1);
 
+  const auto t0 = std::chrono::steady_clock::now();
   const std::uint32_t P = opt.num_procs;
-  const std::uint32_t kp = P * opt.k;
-  const std::uint32_t RA = shape.num_reduction_arrays;
-  const std::uint32_t NA = shape.num_node_read_arrays;
-  const RotationSchedule sched(shape.num_nodes, P, opt.k);
+  ExecutionPlan plan{shape, opt,
+                     RotationSchedule(shape.num_nodes, P, opt.k),
+                     {}, 0.0};
 
-  // ---- preprocessing (host side, single-threaded) -----------------------
   const auto owned_iters = inspector::distribute_iterations(
       shape.num_edges, P, opt.distribution, opt.block_cyclic_size);
-  std::vector<ProcState> procs(P);
+  plan.insp.reserve(P);
   for (std::uint32_t p = 0; p < P; ++p) {
     inspector::IterationRefs refs;
     refs.global_iter = owned_iters[p];
@@ -58,13 +69,44 @@ NativeResult run_native_engine(const PhasedKernel& kernel,
     for (std::uint32_t r = 0; r < shape.num_refs; ++r)
       for (std::uint32_t e : refs.global_iter)
         refs.refs[r].push_back(kernel.ref(r, e));
-    procs[p].insp =
-        inspector::run_light_inspector(sched, p, refs, opt.inspector);
-    procs[p].arrays.reduction.assign(
-        RA, std::vector<double>(procs[p].insp.local_array_size, 0.0));
-    procs[p].arrays.node_read.assign(
-        NA, std::vector<double>(shape.num_nodes, 0.0));
-    kernel.init_node_arrays(procs[p].arrays.node_read);
+    plan.insp.push_back(
+        inspector::run_light_inspector(plan.sched, p, refs, opt.inspector));
+  }
+  plan.build_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return plan;
+}
+
+NativeResult run_native_plan(const PhasedKernel& kernel,
+                             const ExecutionPlan& plan,
+                             const SweepOptions& opt) {
+  const KernelShape shape = kernel.shape();
+  ER_EXPECTS(opt.sweeps >= 1);
+  ER_CHECK_MSG(shape.num_nodes == plan.shape.num_nodes &&
+                   shape.num_edges == plan.shape.num_edges &&
+                   shape.num_refs == plan.shape.num_refs &&
+                   shape.num_reduction_arrays ==
+                       plan.shape.num_reduction_arrays &&
+                   shape.num_node_read_arrays ==
+                       plan.shape.num_node_read_arrays,
+               "execution plan was built for a differently-shaped kernel");
+
+  const RotationSchedule& sched = plan.sched;
+  const std::uint32_t P = plan.options.num_procs;
+  const std::uint32_t k = plan.options.k;
+  const std::uint32_t kp = P * k;
+  const std::uint32_t RA = shape.num_reduction_arrays;
+  const std::uint32_t NA = shape.num_node_read_arrays;
+
+  // ---- per-run mutable state (the plan itself stays untouched) ----------
+  std::vector<ProcArrays> arrays(P);
+  for (std::uint32_t p = 0; p < P; ++p) {
+    arrays[p].reduction.assign(
+        RA, std::vector<double>(plan.insp[p].local_array_size, 0.0));
+    arrays[p].node_read.assign(NA,
+                               std::vector<double>(shape.num_nodes, 0.0));
+    kernel.init_node_arrays(arrays[p].node_read);
   }
 
   // ---- staging buffers ---------------------------------------------------
@@ -147,7 +189,8 @@ NativeResult run_native_engine(const PhasedKernel& kernel,
   for (std::uint32_t p = 0; p < P; ++p) {
     threads.emplace_back([&, p] {
       earth::FiberContext ctx = earth::FiberContext::detached(p);
-      ProcState& ps = procs[p];
+      const InspectorResult& insp = plan.insp[p];
+      ProcArrays& ps = arrays[p];
       std::vector<std::uint32_t> redirected(shape.num_refs);
 
       for (std::uint32_t sweep = 0; sweep < sweeps; ++sweep) {
@@ -176,13 +219,13 @@ NativeResult run_native_engine(const PhasedKernel& kernel,
               for (std::uint32_t a = 0; a < NA; ++a)
                 std::copy(slot->data.begin() + a * osz,
                           slot->data.begin() + (a + 1) * osz,
-                          ps.arrays.node_read[a].begin() + ob);
+                          ps.node_read[a].begin() + ob);
               slot->free.release();
             }
           }
 
           // Portion arrival (the first k phases of sweep 0 start local).
-          if (!(sweep == 0 && ph < opt.k)) {
+          if (!(sweep == 0 && ph < k)) {
             StagedSlot* slot = rotation[p][ph].get();
             if (!wait_or_stall(
                     slot->full,
@@ -195,44 +238,43 @@ NativeResult run_native_engine(const PhasedKernel& kernel,
             for (std::uint32_t a = 0; a < RA; ++a)
               std::copy(slot->data.begin() + a * psize,
                         slot->data.begin() + (a + 1) * psize,
-                        ps.arrays.reduction[a].begin() + begin);
+                        ps.reduction[a].begin() + begin);
             slot->free.release();
           }
 
           // Main loop.
-          const inspector::PhaseSchedule& phase = ps.insp.phases[ph];
+          const inspector::PhaseSchedule& phase = insp.phases[ph];
           for (std::size_t j = 0; j < phase.iter_global.size(); ++j) {
             for (std::uint32_t r = 0; r < shape.num_refs; ++r)
               redirected[r] = phase.indir[r][j];
             kernel.compute_edge(ctx, tags, phase.iter_global[j],
-                                phase.iter_local[j], redirected, ps.arrays);
+                                phase.iter_local[j], redirected, ps);
           }
           // Second loop.
           for (std::size_t j = 0; j < phase.copy_dst.size(); ++j) {
             for (std::uint32_t a = 0; a < RA; ++a) {
-              ps.arrays.reduction[a][phase.copy_dst[j]] +=
-                  ps.arrays.reduction[a][phase.copy_src[j]];
-              ps.arrays.reduction[a][phase.copy_src[j]] = 0.0;
+              ps.reduction[a][phase.copy_dst[j]] +=
+                  ps.reduction[a][phase.copy_src[j]];
+              ps.reduction[a][phase.copy_src[j]] = 0.0;
             }
           }
 
           // Portion complete: node update, result capture, zero, bcast.
           if (sched.last_owning_phase(pid) == ph) {
-            kernel.update_nodes(ctx, tags, begin, end, begin,
-                                ps.arrays);
+            kernel.update_nodes(ctx, tags, begin, end, begin, ps);
             if (sweep + 1 == sweeps) {
               for (std::uint32_t a = 0; a < RA; ++a)
-                std::copy(ps.arrays.reduction[a].begin() + begin,
-                          ps.arrays.reduction[a].begin() + end,
+                std::copy(ps.reduction[a].begin() + begin,
+                          ps.reduction[a].begin() + end,
                           result.reduction[a].begin() + begin);
               for (std::uint32_t a = 0; a < NA; ++a)
-                std::copy(ps.arrays.node_read[a].begin() + begin,
-                          ps.arrays.node_read[a].begin() + end,
+                std::copy(ps.node_read[a].begin() + begin,
+                          ps.node_read[a].begin() + end,
                           result.node_read[a].begin() + begin);
             }
             for (std::uint32_t a = 0; a < RA; ++a)
-              std::fill(ps.arrays.reduction[a].begin() + begin,
-                        ps.arrays.reduction[a].begin() + end, 0.0);
+              std::fill(ps.reduction[a].begin() + begin,
+                        ps.reduction[a].begin() + end, 0.0);
             if (NA > 0 && sweep + 1 < sweeps) {
               for (std::uint32_t q = 0; q < P; ++q) {
                 if (q == p) continue;
@@ -246,8 +288,8 @@ NativeResult run_native_engine(const PhasedKernel& kernel,
                             std::to_string(sweep)))
                   return;
                 for (std::uint32_t a = 0; a < NA; ++a)
-                  std::copy(ps.arrays.node_read[a].begin() + begin,
-                            ps.arrays.node_read[a].begin() + end,
+                  std::copy(ps.node_read[a].begin() + begin,
+                            ps.node_read[a].begin() + end,
                             slot->data.begin() + a * psize);
                 slot->full.release();
               }
@@ -255,7 +297,7 @@ NativeResult run_native_engine(const PhasedKernel& kernel,
           }
 
           // Forward the portion around the ring.
-          std::uint32_t tph = ph + opt.k;
+          std::uint32_t tph = ph + k;
           std::uint32_t tsweep = sweep + (tph >= kp ? 1 : 0);
           tph %= kp;
           if (tsweep < sweeps) {
@@ -274,8 +316,8 @@ NativeResult run_native_engine(const PhasedKernel& kernel,
                         std::to_string(sweep)))
               return;
             for (std::uint32_t a = 0; a < RA; ++a)
-              std::copy(ps.arrays.reduction[a].begin() + begin,
-                        ps.arrays.reduction[a].begin() + end,
+              std::copy(ps.reduction[a].begin() + begin,
+                        ps.reduction[a].begin() + end,
                         slot->data.begin() + a * psize);
             slot->full.release();
           }
@@ -295,6 +337,12 @@ NativeResult run_native_engine(const PhasedKernel& kernel,
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
   return result;
+}
+
+NativeResult run_native_engine(const PhasedKernel& kernel,
+                               const NativeOptions& opt) {
+  const ExecutionPlan plan = build_execution_plan(kernel, opt.plan());
+  return run_native_plan(kernel, plan, opt.sweep());
 }
 
 }  // namespace earthred::core

@@ -8,6 +8,14 @@
 // parallel algorithm under genuine asynchrony, as the reproduction plan
 // prescribes ("emulate fine-grained threads with tasks").
 //
+// The expensive preprocessing products — iteration distribution, rotation
+// schedule, and LightInspector output — are factored into an immutable
+// `ExecutionPlan` that executors take by `const&`. A plan depends only on
+// the kernel's indirection arrays and the `PlanOptions`, never on sweep
+// count or timeouts, so one plan can be built once and shared by any
+// number of concurrent or repeated runs (the compile-once/run-many shape
+// the service layer's PlanCache exploits; see src/service/).
+//
 // Synchronization structure (mirrors the fiber graph):
 //   * portion rotation: a staging buffer per (receiver, phase) guarded by
 //     full/free semaphores — the sender copies the portion in and posts
@@ -22,17 +30,49 @@
 #include "core/kernel.hpp"
 #include "inspector/distribution.hpp"
 #include "inspector/light_inspector.hpp"
+#include "inspector/rotation.hpp"
 
 namespace earthred::core {
 
-struct NativeOptions {
+/// The parameters preprocessing depends on — everything that goes into an
+/// ExecutionPlan (and therefore into the PlanCache key). Per-run knobs
+/// (sweeps, timeouts) live in SweepOptions instead.
+struct PlanOptions {
   std::uint32_t num_procs = 2;
   std::uint32_t k = 2;
   inspector::Distribution distribution = inspector::Distribution::Cyclic;
   /// Chunk size when distribution == BlockCyclic.
   std::uint32_t block_cyclic_size = 16;
-  std::uint32_t sweeps = 1;
   inspector::LightInspectorOptions inspector{};
+};
+
+/// The reusable preprocessing product: rotation schedule plus one
+/// LightInspector result per processor. Immutable after build —
+/// `run_native_plan` only reads it, so a single instance may back many
+/// concurrent executions.
+struct ExecutionPlan {
+  KernelShape shape;
+  PlanOptions options;
+  inspector::RotationSchedule sched;
+  /// Per-processor inspector output (phases, redirected indirection,
+  /// second-loop copy lists).
+  std::vector<inspector::InspectorResult> insp;
+  /// Host seconds spent building this plan (distribution + inspector).
+  double build_seconds = 0.0;
+
+  /// Approximate heap footprint in bytes (drives PlanCache LRU budgets).
+  std::uint64_t byte_size() const;
+};
+
+/// Runs distribution + LightInspector for every processor and returns the
+/// immutable plan. Throws on invalid shapes (e.g. more portions than
+/// elements).
+ExecutionPlan build_execution_plan(const PhasedKernel& kernel,
+                                   const PlanOptions& opt);
+
+/// Per-run execution knobs — do not affect the plan.
+struct SweepOptions {
+  std::uint32_t sweeps = 1;
   /// Wall-clock seconds any single staging-buffer wait may block before
   /// the whole run is declared stalled and aborted with a check_error
   /// naming the waiting processor and protocol step — a deadlocked
@@ -49,6 +89,25 @@ struct NativeOptions {
   } lose_forward;
 };
 
+/// One-shot options: plan parameters plus run parameters (the original
+/// pre-service interface, kept for callers that don't reuse plans).
+struct NativeOptions {
+  std::uint32_t num_procs = 2;
+  std::uint32_t k = 2;
+  inspector::Distribution distribution = inspector::Distribution::Cyclic;
+  /// Chunk size when distribution == BlockCyclic.
+  std::uint32_t block_cyclic_size = 16;
+  std::uint32_t sweeps = 1;
+  inspector::LightInspectorOptions inspector{};
+  double stall_timeout = 30.0;
+  SweepOptions::LostForward lose_forward{};
+
+  PlanOptions plan() const {
+    return {num_procs, k, distribution, block_cyclic_size, inspector};
+  }
+  SweepOptions sweep() const { return {sweeps, stall_timeout, lose_forward}; }
+};
+
 struct NativeResult {
   /// Wall-clock seconds of the threaded execution (excludes inspector).
   double wall_seconds = 0.0;
@@ -58,11 +117,18 @@ struct NativeResult {
   std::vector<std::vector<double>> node_read;
 };
 
-/// Runs `kernel` with real threads. Throws on invalid shapes and raises
-/// check_error when a staging-buffer wait exceeds stall_timeout (lost
-/// message / protocol deadlock); a protocol violation that still
-/// completes surfaces as a wrong result, which the caller should check
-/// against run_sequential_kernel.
+/// Executes `sweeps` time steps of `kernel` under a prebuilt plan. The
+/// plan is read-only and may be shared by concurrent callers; `kernel`
+/// must be the kernel (or an identically-shaped twin) the plan was built
+/// from. Raises check_error when a staging-buffer wait exceeds
+/// stall_timeout (lost message / protocol deadlock).
+NativeResult run_native_plan(const PhasedKernel& kernel,
+                             const ExecutionPlan& plan,
+                             const SweepOptions& opt);
+
+/// Builds a plan and runs it once (convenience; see run_native_plan). A
+/// protocol violation that still completes surfaces as a wrong result,
+/// which the caller should check against run_sequential_kernel.
 NativeResult run_native_engine(const PhasedKernel& kernel,
                                const NativeOptions& opt);
 

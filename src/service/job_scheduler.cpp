@@ -1,0 +1,209 @@
+#include "service/job_scheduler.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <utility>
+
+#include "support/check.hpp"
+#include "support/stats.hpp"
+
+namespace earthred::service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+}  // namespace
+
+JobScheduler::JobScheduler(Config cfg)
+    : cfg_(cfg), cache_(cfg.cache) {
+  ER_EXPECTS(cfg_.workers >= 1);
+  ER_EXPECTS(cfg_.queue_capacity >= 1);
+  workers_.reserve(cfg_.workers);
+  for (std::uint32_t w = 0; w < cfg_.workers; ++w)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+JobScheduler::~JobScheduler() { shutdown(); }
+
+JobHandle JobScheduler::submit(JobRequest req) {
+  std::promise<JobOutcome> promise;
+  JobHandle handle(promise.get_future().share());
+
+  const auto reject = [&](const std::string& reason) {
+    JobOutcome out;
+    out.state = JobState::Rejected;
+    out.name = req.name;
+    out.error = reason;
+    promise.set_value(std::move(out));
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++submitted_;
+    ++rejected_;
+  };
+
+  if (!req.kernel) {
+    reject("malformed request: null kernel");
+    return handle;
+  }
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (stopping_) {
+      lock.unlock();
+      reject("scheduler is shut down");
+      return handle;
+    }
+    if (queue_.size() >= cfg_.queue_capacity) {
+      lock.unlock();
+      reject("queue full (capacity " +
+             std::to_string(cfg_.queue_capacity) + ")");
+      return handle;
+    }
+    ++submitted_;
+    Queued job;
+    job.req = std::move(req);
+    job.promise = std::move(promise);
+    job.submitted = Clock::now();
+    queue_.push_back(std::move(job));
+  }
+  cv_.notify_one();
+  return handle;
+}
+
+std::vector<JobHandle> JobScheduler::submit_batch(
+    std::vector<JobRequest> reqs) {
+  std::vector<JobHandle> handles;
+  handles.reserve(reqs.size());
+  for (JobRequest& r : reqs) handles.push_back(submit(std::move(r)));
+  return handles;
+}
+
+void JobScheduler::shutdown() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_ && workers_.empty()) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_)
+    if (t.joinable()) t.join();
+  workers_.clear();
+}
+
+void JobScheduler::worker_loop() {
+  for (;;) {
+    Queued job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+
+    JobOutcome out = execute(job);
+    out.total_seconds = seconds_since(job.submitted);
+
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      --in_flight_;
+      if (out.state == JobState::Done)
+        ++completed_;
+      else
+        ++failed_;
+      latencies_.push_back(out.total_seconds);
+      if (!job.req.simulated) {
+        if (out.cache_hit) {
+          warm_setup_sum_ += out.setup_seconds;
+          ++warm_setups_;
+        } else {
+          cold_setup_sum_ += out.setup_seconds;
+          ++cold_setups_;
+        }
+      }
+    }
+    job.promise.set_value(std::move(out));
+  }
+}
+
+JobOutcome JobScheduler::execute(Queued& job) {
+  const JobRequest& req = job.req;
+  JobOutcome out;
+  out.name = req.name;
+  out.simulated = req.simulated;
+  out.queue_seconds = seconds_since(job.submitted);
+
+  try {
+    if (req.simulated) {
+      core::RotationOptions ropt;
+      ropt.num_procs = req.plan.num_procs;
+      ropt.k = req.plan.k;
+      ropt.distribution = req.plan.distribution;
+      ropt.block_cyclic_size = req.plan.block_cyclic_size;
+      ropt.inspector = req.plan.inspector;
+      ropt.sweeps = req.sweeps;
+      ropt.machine = req.machine;
+      const auto t0 = Clock::now();
+      out.simulated_run = core::run_rotation_engine(*req.kernel, ropt);
+      out.exec_seconds = seconds_since(t0);
+    } else {
+      const auto t0 = Clock::now();
+      PlanCache::Outcome cache_outcome = PlanCache::Outcome::Built;
+      const PlanPtr plan = cache_.lookup_or_build(
+          *req.kernel, req.plan, req.fingerprint, &cache_outcome);
+      out.setup_seconds = seconds_since(t0);
+      out.cache_hit = cache_outcome != PlanCache::Outcome::Built;
+
+      core::SweepOptions sopt;
+      sopt.sweeps = req.sweeps;
+      sopt.stall_timeout = req.deadline_seconds > 0.0
+                               ? req.deadline_seconds
+                               : cfg_.default_deadline;
+      sopt.lose_forward = req.lose_forward;
+      const auto t1 = Clock::now();
+      out.native = core::run_native_plan(*req.kernel, *plan, sopt);
+      out.exec_seconds = seconds_since(t1);
+    }
+    out.state = JobState::Done;
+  } catch (const std::exception& e) {
+    out.state = JobState::Failed;
+    out.error = e.what();
+  }
+  return out;
+}
+
+ServiceStats JobScheduler::stats() const {
+  ServiceStats s;
+  std::vector<double> latencies;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    s.submitted = submitted_;
+    s.rejected = rejected_;
+    s.completed = completed_;
+    s.failed = failed_;
+    s.queue_depth = queue_.size();
+    s.in_flight = in_flight_;
+    s.cold_setups = cold_setups_;
+    s.warm_setups = warm_setups_;
+    s.mean_cold_setup =
+        cold_setups_ ? cold_setup_sum_ / static_cast<double>(cold_setups_)
+                     : 0.0;
+    s.mean_warm_setup =
+        warm_setups_ ? warm_setup_sum_ / static_cast<double>(warm_setups_)
+                     : 0.0;
+    latencies = latencies_;
+  }
+  if (!latencies.empty()) {
+    std::sort(latencies.begin(), latencies.end());
+    s.p50_latency = quantile_sorted(latencies, 0.50);
+    s.p95_latency = quantile_sorted(latencies, 0.95);
+  }
+  s.cache = cache_.counters();
+  return s;
+}
+
+}  // namespace earthred::service

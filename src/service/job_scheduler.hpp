@@ -1,0 +1,177 @@
+// JobScheduler: a bounded-queue worker pool executing reduction sweeps.
+//
+// This is the serving half of the reduction service: callers submit jobs
+// (kernel + plan parameters + sweep count) and get a futures-style handle
+// back immediately. A fixed pool of workers drains the queue; native jobs
+// acquire their ExecutionPlan through the shared PlanCache (so repeated
+// or concurrent jobs on the same mesh skip distribution + inspection
+// entirely) and run on `run_native_plan`; simulated jobs run the
+// discrete-event rotation engine on the EARTH machine model instead.
+//
+// Admission control is reject-with-reason: when the submission queue is
+// at capacity (or the scheduler is shutting down) the returned handle
+// resolves *immediately* with JobState::Rejected and a reason string —
+// submission never blocks and no job is silently dropped; every handle
+// eventually resolves to exactly one of Done / Failed / Rejected.
+//
+// Per-job deadlines reuse the stall-timeout watchdog of the native engine
+// (PR 1): `deadline_seconds` bounds every protocol wait of the job, and a
+// stalled job surfaces as Failed with the watchdog's diagnostic instead of
+// wedging a worker forever.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/native_engine.hpp"
+#include "core/reduction_engine.hpp"
+#include "service/plan_cache.hpp"
+#include "service/service_stats.hpp"
+
+namespace earthred::service {
+
+/// One unit of work: run `sweeps` time steps of `kernel` under the given
+/// plan parameters.
+struct JobRequest {
+  std::shared_ptr<const core::PhasedKernel> kernel;
+  /// Free-form label echoed in reports ("euler-small/P8k2", ...).
+  std::string name;
+  core::PlanOptions plan{};
+  std::uint32_t sweeps = 1;
+  /// Bound (seconds) on any single protocol wait of this job; 0 uses the
+  /// scheduler's default_deadline.
+  double deadline_seconds = 0.0;
+  /// Run on the simulated EARTH machine (cycle cost model) instead of
+  /// host threads. Simulated jobs bypass the PlanCache — the simulator
+  /// charges inspector cycles as part of the experiment.
+  bool simulated = false;
+  /// Machine model for simulated jobs.
+  earth::MachineConfig machine{};
+  /// Precomputed kernel_fingerprint() — avoids rehashing the indirection
+  /// arrays on every submission of an already-known mesh.
+  std::optional<std::uint64_t> fingerprint;
+  /// Test hook forwarded to SweepOptions (exercises the deadline path).
+  core::SweepOptions::LostForward lose_forward{};
+};
+
+enum class JobState {
+  Pending,   ///< not yet resolved (only observable through stats)
+  Rejected,  ///< refused at admission; `error` holds the reason
+  Done,      ///< completed; `native` or `simulated` holds the results
+  Failed     ///< raised during setup/execution; `error` holds the reason
+};
+
+/// Final disposition of one job.
+struct JobOutcome {
+  JobState state = JobState::Pending;
+  std::string name;
+  std::string error;
+  /// Plan came out of the cache without a build (Hit or Coalesced).
+  bool cache_hit = false;
+  /// Ran on the simulated EARTH machine (simulated_run holds results).
+  bool simulated = false;
+  double queue_seconds = 0.0;  ///< admission to worker pickup
+  double setup_seconds = 0.0;  ///< plan acquisition (0 for simulated)
+  double exec_seconds = 0.0;   ///< sweep execution wall time
+  double total_seconds = 0.0;  ///< admission to resolution
+  core::NativeResult native;       ///< filled for native jobs
+  core::RunResult simulated_run;   ///< filled for simulated jobs
+};
+
+/// Futures-style handle: copyable, resolves exactly once.
+class JobHandle {
+ public:
+  JobHandle() = default;
+
+  /// Blocks until the job resolves; the outcome reference stays valid for
+  /// the life of the handle. Deleted on rvalues: `submit(...).wait()`
+  /// would return a reference into the dying temporary.
+  const JobOutcome& wait() const& { return future_.get(); }
+  const JobOutcome& wait() && = delete;
+
+  bool valid() const { return future_.valid(); }
+
+ private:
+  friend class JobScheduler;
+  explicit JobHandle(std::shared_future<JobOutcome> f)
+      : future_(std::move(f)) {}
+  std::shared_future<JobOutcome> future_;
+};
+
+class JobScheduler {
+ public:
+  struct Config {
+    std::uint32_t workers = 4;
+    /// Maximum queued (not yet running) jobs before submissions are
+    /// rejected.
+    std::size_t queue_capacity = 64;
+    /// Default per-wait stall bound for jobs that don't set their own.
+    double default_deadline = 30.0;
+    PlanCache::Config cache{};
+  };
+
+  JobScheduler() : JobScheduler(Config{}) {}
+  explicit JobScheduler(Config cfg);
+  /// Drains queued jobs, waits for in-flight ones, joins the workers.
+  ~JobScheduler();
+  JobScheduler(const JobScheduler&) = delete;
+  JobScheduler& operator=(const JobScheduler&) = delete;
+
+  /// Never blocks. The handle resolves to Rejected (with reason) when the
+  /// queue is full, the request is malformed, or the scheduler is shut
+  /// down; otherwise to Done/Failed once a worker finishes it.
+  JobHandle submit(JobRequest req);
+
+  /// Submits each request in order; per-request admission (a full queue
+  /// rejects the tail of the batch, each with its own reasoned handle).
+  std::vector<JobHandle> submit_batch(std::vector<JobRequest> reqs);
+
+  /// Stops admission, drains the queue, and joins the workers. Idempotent;
+  /// also run by the destructor.
+  void shutdown();
+
+  ServiceStats stats() const;
+  PlanCache& cache() { return cache_; }
+
+ private:
+  struct Queued {
+    JobRequest req;
+    std::promise<JobOutcome> promise;
+    std::chrono::steady_clock::time_point submitted;
+  };
+
+  void worker_loop();
+  JobOutcome execute(Queued& job);
+
+  Config cfg_;
+  PlanCache cache_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Queued> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+
+  // Stats (guarded by mutex_).
+  std::uint64_t submitted_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t failed_ = 0;
+  std::uint64_t in_flight_ = 0;
+  std::vector<double> latencies_;  ///< total_seconds of resolved jobs
+  double cold_setup_sum_ = 0.0;
+  double warm_setup_sum_ = 0.0;
+  std::uint64_t cold_setups_ = 0;
+  std::uint64_t warm_setups_ = 0;
+};
+
+}  // namespace earthred::service

@@ -1,0 +1,148 @@
+#include "service/plan_cache.hpp"
+
+#include <utility>
+
+#include "support/check.hpp"
+
+namespace earthred::service {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+void fnv_mix(std::uint64_t& h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= kFnvPrime;
+  }
+}
+
+}  // namespace
+
+std::uint64_t kernel_fingerprint(const core::PhasedKernel& kernel) {
+  const core::KernelShape s = kernel.shape();
+  std::uint64_t h = kFnvOffset;
+  fnv_mix(h, s.num_nodes);
+  fnv_mix(h, s.num_edges);
+  fnv_mix(h, s.num_refs);
+  fnv_mix(h, s.num_reduction_arrays);
+  fnv_mix(h, s.num_node_read_arrays);
+  for (std::uint32_t r = 0; r < s.num_refs; ++r)
+    for (std::uint64_t e = 0; e < s.num_edges; ++e)
+      fnv_mix(h, kernel.ref(r, e));
+  return h;
+}
+
+PlanKey make_plan_key(const core::PhasedKernel& kernel,
+                      const core::PlanOptions& opt,
+                      std::optional<std::uint64_t> fingerprint) {
+  PlanKey key;
+  key.content_hash =
+      fingerprint ? *fingerprint : kernel_fingerprint(kernel);
+  key.num_procs = opt.num_procs;
+  key.k = opt.k;
+  key.distribution = opt.distribution;
+  key.block_cyclic_size = opt.block_cyclic_size;
+  key.dedup_buffers = opt.inspector.dedup_buffers;
+  return key;
+}
+
+PlanPtr PlanCache::lookup_or_build(const core::PhasedKernel& kernel,
+                                   const core::PlanOptions& opt,
+                                   std::optional<std::uint64_t> fingerprint,
+                                   Outcome* outcome) {
+  const PlanKey key = make_plan_key(kernel, opt, fingerprint);
+  const auto report = [&](Outcome o) {
+    if (outcome) *outcome = o;
+  };
+
+  std::promise<PlanPtr> promise;
+  std::shared_future<PlanPtr> inflight;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      if (it->second.ready) {
+        ++counters_.hits;
+        lru_.splice(lru_.begin(), lru_, it->second.lru);
+        report(Outcome::Hit);
+        return it->second.future.get();  // ready: get() cannot block
+      }
+      // Single-flight join: another thread is building this key.
+      ++counters_.coalesced;
+      inflight = it->second.future;
+    } else {
+      // Miss: install an in-flight entry and build outside the lock.
+      ++counters_.misses;
+      Entry entry;
+      entry.future = promise.get_future().share();
+      entries_.emplace(key, std::move(entry));
+    }
+  }
+  if (inflight.valid()) {
+    report(Outcome::Coalesced);
+    return inflight.get();  // blocks; rethrows the builder's exception
+  }
+
+  // Build without holding the lock (other keys proceed concurrently).
+  PlanPtr plan;
+  try {
+    plan = std::make_shared<const core::ExecutionPlan>(
+        core::build_execution_plan(kernel, opt));
+  } catch (...) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      ++counters_.build_failures;
+      entries_.erase(key);  // let a later request retry
+    }
+    promise.set_exception(std::current_exception());
+    throw;
+  }
+
+  // Fulfill the promise *before* flipping the entry to ready: a thread
+  // that sees ready=true under the lock calls future.get() while still
+  // holding the mutex, so the value must already be there.
+  promise.set_value(plan);
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      it->second.ready = true;
+      it->second.bytes = plan->byte_size();
+      lru_.push_front(key);
+      it->second.lru = lru_.begin();
+      counters_.bytes += it->second.bytes;
+      ++counters_.entries;
+      evict_to_budget();
+    }
+  }
+  report(Outcome::Built);
+  return plan;
+}
+
+bool PlanCache::contains(const PlanKey& key) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(key);
+  return it != entries_.end() && it->second.ready;
+}
+
+PlanCache::Counters PlanCache::counters() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return counters_;
+}
+
+void PlanCache::evict_to_budget() {
+  while (counters_.bytes > cfg_.byte_budget && !lru_.empty()) {
+    const PlanKey victim = lru_.back();
+    const auto it = entries_.find(victim);
+    lru_.pop_back();
+    if (it == entries_.end()) continue;
+    counters_.bytes -= it->second.bytes;
+    --counters_.entries;
+    ++counters_.evictions;
+    entries_.erase(it);
+  }
+}
+
+}  // namespace earthred::service

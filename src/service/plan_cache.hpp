@@ -1,0 +1,136 @@
+// PlanCache: memoization of ExecutionPlans for the reduction service.
+//
+// The paper's LightInspector output is cheap to build but *reusable*
+// forever: it depends only on the indirection arrays, the processor
+// count, k, the iteration distribution, and the buffer policy — never on
+// sweep count or input values (Sec. 3). The cache exploits that
+// compile-once/run-many shape: the first request for a (mesh, config)
+// pair pays the distribution + inspector cost; every later sweep request
+// for the same pair starts executing immediately from the shared
+// immutable plan.
+//
+// Keying: a 64-bit FNV-1a content hash of the kernel's indirection arrays
+// (IA(*,r) for every reference slot) and shape, combined with the exact
+// PlanOptions. Two kernels with identical indirection structure share a
+// plan even if their edge *values* differ — precisely the reuse the paper
+// allows, since redirection never looks at values.
+//
+// Concurrency: lookup_or_build is thread-safe with per-key single-flight
+// deduplication — when N workers request the same missing key at once,
+// exactly one builds while the rest wait on a shared future, so a burst
+// of identical jobs costs one inspector run. Eviction is LRU by
+// approximate byte footprint; entries being waited on are never evicted
+// mid-build, and eviction only drops the cache's reference — callers
+// holding the shared_ptr keep their plan alive.
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+
+#include "core/native_engine.hpp"
+
+namespace earthred::service {
+
+/// Cache key: content hash of the indirection arrays + the plan options.
+/// Ordered (for std::map) and fully compared — a hash collision between
+/// different option sets cannot alias.
+struct PlanKey {
+  std::uint64_t content_hash = 0;
+  std::uint32_t num_procs = 0;
+  std::uint32_t k = 0;
+  inspector::Distribution distribution = inspector::Distribution::Cyclic;
+  std::uint32_t block_cyclic_size = 0;
+  bool dedup_buffers = false;
+
+  friend auto operator<=>(const PlanKey&, const PlanKey&) = default;
+};
+
+/// Builds the key for a kernel/options pair. `fingerprint` short-circuits
+/// the content hash when the caller has already computed it (e.g. once
+/// per loaded mesh) — passing it makes a warm lookup O(1) instead of
+/// O(edges).
+PlanKey make_plan_key(const core::PhasedKernel& kernel,
+                      const core::PlanOptions& opt,
+                      std::optional<std::uint64_t> fingerprint = {});
+
+/// 64-bit FNV-1a over the kernel's shape and indirection arrays.
+std::uint64_t kernel_fingerprint(const core::PhasedKernel& kernel);
+
+using PlanPtr = std::shared_ptr<const core::ExecutionPlan>;
+
+class PlanCache {
+ public:
+  struct Config {
+    /// LRU byte budget for *ready* entries. 0 disables retention: every
+    /// lookup builds (single-flight still coalesces concurrent twins),
+    /// which is how benches measure the cold path with unchanged code.
+    std::uint64_t byte_budget = 256ull << 20;
+  };
+
+  struct Counters {
+    std::uint64_t hits = 0;        ///< served from a ready entry
+    std::uint64_t coalesced = 0;   ///< joined an in-flight build
+    std::uint64_t misses = 0;      ///< initiated a build
+    std::uint64_t evictions = 0;   ///< ready entries dropped by LRU
+    std::uint64_t build_failures = 0;
+    std::uint64_t bytes = 0;       ///< current retained footprint
+    std::uint64_t entries = 0;     ///< current retained entry count
+    double hit_rate() const {
+      const std::uint64_t total = hits + coalesced + misses;
+      return total ? static_cast<double>(hits + coalesced) /
+                         static_cast<double>(total)
+                   : 0.0;
+    }
+  };
+
+  PlanCache() : PlanCache(Config{}) {}
+  explicit PlanCache(Config cfg) : cfg_(cfg) {}
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
+
+  /// How a lookup_or_build call was satisfied.
+  enum class Outcome {
+    Hit,        ///< served from a ready entry
+    Coalesced,  ///< waited on another thread's in-flight build
+    Built       ///< this call ran the build
+  };
+
+  /// Returns the cached plan for (kernel, opt), building it at most once
+  /// per key across all threads. Propagates the builder's exception to
+  /// every waiter and forgets the key so a later request can retry.
+  /// `outcome`, when non-null, reports how the call was satisfied.
+  PlanPtr lookup_or_build(const core::PhasedKernel& kernel,
+                          const core::PlanOptions& opt,
+                          std::optional<std::uint64_t> fingerprint = {},
+                          Outcome* outcome = nullptr);
+
+  /// True if `key` is resident and ready (does not touch LRU order).
+  bool contains(const PlanKey& key) const;
+
+  Counters counters() const;
+
+ private:
+  struct Entry {
+    std::shared_future<PlanPtr> future;
+    bool ready = false;
+    std::uint64_t bytes = 0;
+    std::list<PlanKey>::iterator lru;  ///< valid only when ready
+  };
+
+  /// Drops least-recently-used ready entries until within budget.
+  /// Requires mutex_ held.
+  void evict_to_budget();
+
+  Config cfg_;
+  mutable std::mutex mutex_;
+  std::map<PlanKey, Entry> entries_;
+  std::list<PlanKey> lru_;  ///< front = most recent
+  Counters counters_;
+};
+
+}  // namespace earthred::service

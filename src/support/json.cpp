@@ -1,0 +1,102 @@
+#include "support/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "support/check.hpp"
+
+namespace earthred {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+JsonWriter& JsonWriter::emit(const std::string& name,
+                             const std::string& raw) {
+  if (!body_.empty()) body_ += ',';
+  body_ += '"' + json_escape(name) + "\":" + raw;
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(const std::string& name,
+                              const std::string& value) {
+  return emit(name, '"' + json_escape(value) + '"');
+}
+
+JsonWriter& JsonWriter::field(const std::string& name, const char* value) {
+  return field(name, std::string(value));
+}
+
+JsonWriter& JsonWriter::field(const std::string& name, double value) {
+  return emit(name, json_number(value));
+}
+
+JsonWriter& JsonWriter::field(const std::string& name,
+                              std::uint64_t value) {
+  return emit(name, std::to_string(value));
+}
+
+JsonWriter& JsonWriter::field(const std::string& name, std::int64_t value) {
+  return emit(name, std::to_string(value));
+}
+
+JsonWriter& JsonWriter::field(const std::string& name,
+                              std::uint32_t value) {
+  return emit(name, std::to_string(value));
+}
+
+JsonWriter& JsonWriter::field(const std::string& name, bool value) {
+  return emit(name, value ? "true" : "false");
+}
+
+JsonWriter& JsonWriter::raw_field(const std::string& name,
+                                  const std::string& raw) {
+  return emit(name, raw);
+}
+
+std::string JsonWriter::str() const { return "{" + body_ + "}"; }
+
+std::string json_array(const std::vector<std::string>& raw_elements) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < raw_elements.size(); ++i) {
+    if (i) out += ',';
+    out += raw_elements[i];
+  }
+  return out + "]";
+}
+
+void append_json_line(const std::string& path, const std::string& json) {
+  std::ofstream os(path, std::ios::app);
+  ER_CHECK_MSG(os.good(), "cannot open '" + path + "' for writing");
+  os << json << '\n';
+  ER_CHECK_MSG(os.good(), "write to '" + path + "' failed");
+}
+
+}  // namespace earthred

@@ -1,0 +1,49 @@
+// Minimal JSON *emission* (no parsing): enough for benches and the
+// service CLI to write machine-readable results next to their human
+// tables. Output is compact single-line JSON; files are written in JSON
+// Lines form (one object per line, append mode) so repeated runs and
+// multi-figure benches accumulate records instead of clobbering them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace earthred {
+
+/// Escapes `s` for use inside a JSON string literal (quotes not included).
+std::string json_escape(const std::string& s);
+
+/// Formats a double as JSON (finite: shortest round-trip; NaN/inf: null).
+std::string json_number(double v);
+
+/// Builds one JSON object incrementally. Values are emitted in insertion
+/// order. Field names must be unique (not checked).
+class JsonWriter {
+ public:
+  JsonWriter& field(const std::string& name, const std::string& value);
+  JsonWriter& field(const std::string& name, const char* value);
+  JsonWriter& field(const std::string& name, double value);
+  JsonWriter& field(const std::string& name, std::uint64_t value);
+  JsonWriter& field(const std::string& name, std::int64_t value);
+  JsonWriter& field(const std::string& name, std::uint32_t value);
+  JsonWriter& field(const std::string& name, bool value);
+  /// Inserts `raw` verbatim — for nested objects/arrays.
+  JsonWriter& raw_field(const std::string& name, const std::string& raw);
+
+  /// The object so far, e.g. {"a":1,"b":"x"}.
+  std::string str() const;
+
+ private:
+  JsonWriter& emit(const std::string& name, const std::string& raw);
+  std::string body_;
+};
+
+/// Joins raw JSON values into an array: ["..", ..].
+std::string json_array(const std::vector<std::string>& raw_elements);
+
+/// Appends `json` plus a newline to `path` (creating it if needed);
+/// throws check_error when the file cannot be written.
+void append_json_line(const std::string& path, const std::string& json);
+
+}  // namespace earthred

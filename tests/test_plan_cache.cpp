@@ -1,0 +1,198 @@
+// PlanCache: keying, single-flight build deduplication under concurrent
+// hammering, LRU eviction order, byte budgets, and failure retry.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "kernels/fig1.hpp"
+#include "mesh/generators.hpp"
+#include "service/plan_cache.hpp"
+#include "support/check.hpp"
+
+namespace earthred::service {
+namespace {
+
+using kernels::Fig1Kernel;
+
+Fig1Kernel make_kernel(std::uint64_t seed) {
+  return Fig1Kernel::with_integer_values(
+      mesh::make_geometric_mesh({200, 1200, seed}));
+}
+
+core::PlanOptions plan_opts(std::uint32_t P = 4, std::uint32_t k = 2) {
+  core::PlanOptions opt;
+  opt.num_procs = P;
+  opt.k = k;
+  return opt;
+}
+
+TEST(PlanCache, KeyDistinguishesEveryPlanParameter) {
+  const Fig1Kernel a = make_kernel(1);
+  const Fig1Kernel b = make_kernel(2);
+  const PlanKey base = make_plan_key(a, plan_opts());
+
+  EXPECT_EQ(base, make_plan_key(a, plan_opts()));
+  EXPECT_NE(base, make_plan_key(b, plan_opts()));  // different mesh content
+  EXPECT_NE(base, make_plan_key(a, plan_opts(8, 2)));
+  EXPECT_NE(base, make_plan_key(a, plan_opts(4, 1)));
+
+  core::PlanOptions block = plan_opts();
+  block.distribution = inspector::Distribution::Block;
+  EXPECT_NE(base, make_plan_key(a, block));
+
+  core::PlanOptions dedup = plan_opts();
+  dedup.inspector.dedup_buffers = true;
+  EXPECT_NE(base, make_plan_key(a, dedup));
+
+  // A precomputed fingerprint short-circuits hashing but yields the key.
+  EXPECT_EQ(base, make_plan_key(a, plan_opts(), kernel_fingerprint(a)));
+}
+
+TEST(PlanCache, HitReturnsSamePlanAndCounts) {
+  const Fig1Kernel kernel = make_kernel(3);
+  PlanCache cache;
+  PlanCache::Outcome o1{}, o2{};
+  const PlanPtr p1 = cache.lookup_or_build(kernel, plan_opts(), {}, &o1);
+  const PlanPtr p2 = cache.lookup_or_build(kernel, plan_opts(), {}, &o2);
+  EXPECT_EQ(p1.get(), p2.get());
+  EXPECT_EQ(o1, PlanCache::Outcome::Built);
+  EXPECT_EQ(o2, PlanCache::Outcome::Hit);
+  const PlanCache::Counters c = cache.counters();
+  EXPECT_EQ(c.misses, 1u);
+  EXPECT_EQ(c.hits, 1u);
+  EXPECT_EQ(c.entries, 1u);
+  EXPECT_EQ(c.bytes, p1->byte_size());
+}
+
+TEST(PlanCache, SingleFlightBuildsOncePerKeyUnderConcurrency) {
+  const Fig1Kernel kernel = make_kernel(4);
+  PlanCache cache;
+  constexpr int kThreads = 16;
+
+  std::atomic<int> ready{0};
+  std::vector<PlanPtr> plans(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      ready.fetch_add(1);
+      while (ready.load() < kThreads) std::this_thread::yield();
+      plans[t] = cache.lookup_or_build(kernel, plan_opts());
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  const PlanCache::Counters c = cache.counters();
+  EXPECT_EQ(c.misses, 1u) << "key must be built exactly once";
+  EXPECT_EQ(c.hits + c.coalesced, static_cast<std::uint64_t>(kThreads - 1));
+  for (int t = 1; t < kThreads; ++t)
+    EXPECT_EQ(plans[t].get(), plans[0].get());
+}
+
+TEST(PlanCache, HammeringOverlappingKeysBuildsEachExactlyOnce) {
+  // The satellite scenario: N threads x many iterations over overlapping
+  // keys. Every key must be built exactly once (single-flight); all other
+  // requests are hits or coalesced joins.
+  std::vector<std::unique_ptr<Fig1Kernel>> kernels;
+  for (std::uint64_t s = 0; s < 4; ++s)
+    kernels.push_back(std::make_unique<Fig1Kernel>(make_kernel(10 + s)));
+  PlanCache cache;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 25;
+
+  std::atomic<int> ready{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      ready.fetch_add(1);
+      while (ready.load() < kThreads) std::this_thread::yield();
+      for (int i = 0; i < kIters; ++i) {
+        // Different threads walk the key set in different orders.
+        const auto& kernel = *kernels[(t + i) % kernels.size()];
+        const PlanPtr p = cache.lookup_or_build(kernel, plan_opts());
+        ASSERT_NE(p, nullptr);
+        ASSERT_EQ(p->options.num_procs, 4u);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  const PlanCache::Counters c = cache.counters();
+  EXPECT_EQ(c.misses, kernels.size());
+  EXPECT_EQ(c.hits + c.coalesced + c.misses,
+            static_cast<std::uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(c.evictions, 0u);
+  EXPECT_EQ(c.entries, kernels.size());
+}
+
+TEST(PlanCache, LruEvictionDropsLeastRecentlyUsedFirst) {
+  const Fig1Kernel a = make_kernel(21), b = make_kernel(22),
+                   c = make_kernel(23), d = make_kernel(24);
+  // Budget for ~3 plans of this size (all four meshes are shaped alike).
+  const std::uint64_t one =
+      core::build_execution_plan(a, plan_opts()).byte_size();
+  PlanCache::Config cfg;
+  cfg.byte_budget = one * 7 / 2;
+  PlanCache cache(cfg);
+
+  (void)cache.lookup_or_build(a, plan_opts());
+  (void)cache.lookup_or_build(b, plan_opts());
+  (void)cache.lookup_or_build(c, plan_opts());
+  EXPECT_EQ(cache.counters().entries, 3u);
+
+  // Touch a: LRU order is now b < c < a.
+  (void)cache.lookup_or_build(a, plan_opts());
+  // Insert d: b (least recently used) must go, not a.
+  (void)cache.lookup_or_build(d, plan_opts());
+
+  EXPECT_EQ(cache.counters().evictions, 1u);
+  EXPECT_TRUE(cache.contains(make_plan_key(a, plan_opts())));
+  EXPECT_FALSE(cache.contains(make_plan_key(b, plan_opts())));
+  EXPECT_TRUE(cache.contains(make_plan_key(c, plan_opts())));
+  EXPECT_TRUE(cache.contains(make_plan_key(d, plan_opts())));
+
+  // Next victim is c.
+  (void)cache.lookup_or_build(b, plan_opts());
+  EXPECT_FALSE(cache.contains(make_plan_key(c, plan_opts())));
+  EXPECT_TRUE(cache.contains(make_plan_key(a, plan_opts())));
+}
+
+TEST(PlanCache, ZeroBudgetDisablesRetentionButStillBuilds) {
+  const Fig1Kernel kernel = make_kernel(30);
+  PlanCache::Config cfg;
+  cfg.byte_budget = 0;
+  PlanCache cache(cfg);
+  const PlanPtr p1 = cache.lookup_or_build(kernel, plan_opts());
+  const PlanPtr p2 = cache.lookup_or_build(kernel, plan_opts());
+  ASSERT_NE(p1, nullptr);
+  ASSERT_NE(p2, nullptr);  // caller-held plans survive eviction
+  const PlanCache::Counters c = cache.counters();
+  EXPECT_EQ(c.misses, 2u);
+  EXPECT_EQ(c.evictions, 2u);
+  EXPECT_EQ(c.entries, 0u);
+  EXPECT_EQ(c.bytes, 0u);
+}
+
+TEST(PlanCache, BuildFailurePropagatesAndForgetsTheKey) {
+  const Fig1Kernel kernel = make_kernel(31);
+  PlanCache cache;
+  // 200 nodes cannot be split into 64*8 portions: the build throws.
+  EXPECT_THROW(
+      (void)cache.lookup_or_build(kernel, plan_opts(64, 8)),
+      precondition_error);
+  EXPECT_EQ(cache.counters().build_failures, 1u);
+  EXPECT_EQ(cache.counters().entries, 0u);
+  // The failed key was forgotten; a valid request still works.
+  EXPECT_NE(cache.lookup_or_build(kernel, plan_opts()), nullptr);
+  // And retrying the bad key fails again rather than wedging.
+  EXPECT_THROW(
+      (void)cache.lookup_or_build(kernel, plan_opts(64, 8)),
+      precondition_error);
+}
+
+}  // namespace
+}  // namespace earthred::service

@@ -1,0 +1,383 @@
+// The reduction service: shared-plan execution correctness, the job
+// scheduler's worker pool, admission control, deadlines, batch
+// submission, and the stats snapshot.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/native_engine.hpp"
+#include "core/sequential.hpp"
+#include "kernels/euler.hpp"
+#include "kernels/fig1.hpp"
+#include "kernels/moldyn.hpp"
+#include "mesh/generators.hpp"
+#include "service/job_scheduler.hpp"
+#include "support/check.hpp"
+
+namespace earthred::service {
+namespace {
+
+core::PlanOptions plan_opts(std::uint32_t P, std::uint32_t k) {
+  core::PlanOptions opt;
+  opt.num_procs = P;
+  opt.k = k;
+  return opt;
+}
+
+// --- satellite: cached schedules are genuinely shareable ----------------
+
+TEST(SharedPlan, ReusedScheduleIsBitIdenticalToColdRuns) {
+  // Two sweeps reusing one cached schedule must produce bit-identical
+  // results to two cold runs (build + run each time).
+  const auto kernel = kernels::Fig1Kernel::with_integer_values(
+      mesh::make_geometric_mesh({150, 900, 5}));
+
+  core::NativeOptions cold;
+  cold.num_procs = 4;
+  cold.k = 2;
+  cold.sweeps = 3;
+  const core::NativeResult cold1 = run_native_engine(kernel, cold);
+  const core::NativeResult cold2 = run_native_engine(kernel, cold);
+
+  const core::ExecutionPlan plan =
+      core::build_execution_plan(kernel, cold.plan());
+  const core::NativeResult warm1 =
+      core::run_native_plan(kernel, plan, cold.sweep());
+  const core::NativeResult warm2 =
+      core::run_native_plan(kernel, plan, cold.sweep());
+
+  ASSERT_EQ(warm1.reduction.size(), cold1.reduction.size());
+  for (std::size_t a = 0; a < cold1.reduction.size(); ++a)
+    for (std::size_t i = 0; i < cold1.reduction[a].size(); ++i) {
+      ASSERT_EQ(warm1.reduction[a][i], cold1.reduction[a][i]);
+      ASSERT_EQ(warm2.reduction[a][i], cold2.reduction[a][i]);
+      ASSERT_EQ(warm1.reduction[a][i], warm2.reduction[a][i]);
+    }
+}
+
+TEST(SharedPlan, EulerFloatingPointAlsoBitIdentical) {
+  // The schedule fixes the summation order, so even non-exact arithmetic
+  // reproduces bitwise across plan reuse.
+  const kernels::EulerKernel kernel(
+      mesh::make_geometric_mesh({120, 600, 6}));
+  core::NativeOptions opt;
+  opt.num_procs = 3;
+  opt.k = 2;
+  opt.sweeps = 4;
+  const core::NativeResult cold = run_native_engine(kernel, opt);
+  const core::ExecutionPlan plan =
+      core::build_execution_plan(kernel, opt.plan());
+  const core::NativeResult warm =
+      core::run_native_plan(kernel, plan, opt.sweep());
+  for (std::size_t a = 0; a < cold.node_read.size(); ++a)
+    for (std::size_t i = 0; i < cold.node_read[a].size(); ++i)
+      ASSERT_EQ(warm.node_read[a][i], cold.node_read[a][i]);
+}
+
+TEST(SharedPlan, OnePlanServesConcurrentExecutors) {
+  const auto kernel = kernels::Fig1Kernel::with_integer_values(
+      mesh::make_geometric_mesh({150, 900, 7}));
+  const core::ExecutionPlan plan =
+      core::build_execution_plan(kernel, plan_opts(4, 2));
+  core::SweepOptions sopt;
+  sopt.sweeps = 2;
+
+  core::SequentialOptions seq_opt;
+  seq_opt.sweeps = 2;
+  const core::RunResult seq = run_sequential_kernel(kernel, seq_opt);
+
+  constexpr int kRunners = 6;
+  std::vector<core::NativeResult> results(kRunners);
+  std::vector<std::thread> threads;
+  threads.reserve(kRunners);
+  for (int t = 0; t < kRunners; ++t)
+    threads.emplace_back([&, t] {
+      results[t] = core::run_native_plan(kernel, plan, sopt);
+    });
+  for (std::thread& t : threads) t.join();
+
+  for (const core::NativeResult& r : results)
+    for (std::size_t i = 0; i < seq.reduction[0].size(); ++i)
+      ASSERT_EQ(r.reduction[0][i], seq.reduction[0][i]);
+}
+
+TEST(SharedPlan, RejectsMismatchedKernelShape) {
+  const auto small = kernels::Fig1Kernel::with_integer_values(
+      mesh::make_geometric_mesh({100, 500, 8}));
+  const auto big = kernels::Fig1Kernel::with_integer_values(
+      mesh::make_geometric_mesh({200, 900, 8}));
+  const core::ExecutionPlan plan =
+      core::build_execution_plan(small, plan_opts(2, 2));
+  EXPECT_THROW((void)core::run_native_plan(big, plan, {}), check_error);
+}
+
+// --- the scheduler ------------------------------------------------------
+
+TEST(JobScheduler, ConcurrentSubmissionMixedMeshesCorrectResults) {
+  // Acceptance scenario: >= 8 submitting threads, mixed meshes, every
+  // handle resolves, accepted jobs produce per-kernel-correct results,
+  // rejected jobs carry a reason (none silently dropped).
+  struct Workload {
+    std::shared_ptr<const core::PhasedKernel> kernel;
+    std::vector<double> expected;  // sequential reduction[0]
+    core::PlanOptions plan;
+    std::uint32_t sweeps;
+  };
+  std::vector<Workload> workloads;
+  const auto add = [&](std::uint64_t seed, std::uint32_t P, std::uint32_t k,
+                       std::uint32_t sweeps) {
+    Workload w;
+    w.kernel = std::make_shared<kernels::Fig1Kernel>(
+        kernels::Fig1Kernel::with_integer_values(
+            mesh::make_geometric_mesh(
+                {static_cast<std::uint32_t>(120 + 10 * (seed % 3)), 700,
+                 seed})));
+    w.plan = plan_opts(P, k);
+    w.sweeps = sweeps;
+    core::SequentialOptions sopt;
+    sopt.sweeps = sweeps;
+    w.expected = run_sequential_kernel(*w.kernel, sopt).reduction[0];
+    workloads.push_back(std::move(w));
+  };
+  add(40, 4, 2, 2);
+  add(41, 3, 1, 3);
+  add(42, 2, 2, 1);
+  add(43, 5, 2, 2);
+
+  JobScheduler::Config cfg;
+  cfg.workers = 4;
+  cfg.queue_capacity = 16;
+  JobScheduler sched(cfg);
+
+  constexpr int kSubmitters = 8;
+  constexpr int kJobsPerThread = 6;
+  std::vector<std::vector<JobHandle>> handles(kSubmitters);
+  std::atomic<int> ready{0};
+  std::vector<std::thread> submitters;
+  submitters.reserve(kSubmitters);
+  for (int t = 0; t < kSubmitters; ++t) {
+    submitters.emplace_back([&, t] {
+      ready.fetch_add(1);
+      while (ready.load() < kSubmitters) std::this_thread::yield();
+      for (int j = 0; j < kJobsPerThread; ++j) {
+        const Workload& w = workloads[(t + j) % workloads.size()];
+        JobRequest req;
+        req.kernel = w.kernel;
+        req.name = "t" + std::to_string(t) + "j" + std::to_string(j);
+        req.plan = w.plan;
+        req.sweeps = w.sweeps;
+        handles[t].push_back(sched.submit(std::move(req)));
+      }
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+
+  std::uint64_t done = 0, rejected = 0;
+  for (int t = 0; t < kSubmitters; ++t) {
+    for (int j = 0; j < kJobsPerThread; ++j) {
+      const JobOutcome& o = handles[t][j].wait();
+      const Workload& w = workloads[(t + j) % workloads.size()];
+      if (o.state == JobState::Done) {
+        ++done;
+        ASSERT_EQ(o.native.reduction[0].size(), w.expected.size());
+        for (std::size_t i = 0; i < w.expected.size(); ++i)
+          ASSERT_EQ(o.native.reduction[0][i], w.expected[i]) << o.name;
+      } else {
+        ASSERT_EQ(o.state, JobState::Rejected) << o.error;
+        ASSERT_FALSE(o.error.empty()) << "rejection must carry a reason";
+        ++rejected;
+      }
+    }
+  }
+  EXPECT_EQ(done + rejected,
+            static_cast<std::uint64_t>(kSubmitters) * kJobsPerThread);
+  EXPECT_GT(done, 0u);
+
+  const ServiceStats s = sched.stats();
+  EXPECT_EQ(s.submitted, done + rejected);
+  EXPECT_EQ(s.completed, done);
+  EXPECT_EQ(s.rejected, rejected);
+  EXPECT_EQ(s.failed, 0u);
+  EXPECT_EQ(s.pending(), 0u);
+  // Single-flight: each of the 4 plan keys was built at most... exactly once.
+  EXPECT_EQ(s.cache.misses, workloads.size());
+}
+
+TEST(JobScheduler, QueueFullRejectsWithReason) {
+  JobScheduler::Config cfg;
+  cfg.workers = 1;
+  cfg.queue_capacity = 1;
+  JobScheduler sched(cfg);
+
+  const auto kernel = std::make_shared<kernels::EulerKernel>(
+      mesh::make_geometric_mesh({400, 2400, 9}));
+  std::vector<JobHandle> handles;
+  for (int j = 0; j < 5; ++j) {
+    JobRequest req;
+    req.kernel = kernel;
+    req.name = "job" + std::to_string(j);
+    req.plan = plan_opts(4, 2);
+    req.sweeps = 40;
+    handles.push_back(sched.submit(std::move(req)));
+  }
+  std::uint64_t done = 0, rejected = 0;
+  for (const JobHandle& h : handles) {
+    const JobOutcome& o = h.wait();
+    if (o.state == JobState::Done) {
+      ++done;
+    } else {
+      ASSERT_EQ(o.state, JobState::Rejected);
+      EXPECT_NE(o.error.find("queue full"), std::string::npos) << o.error;
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(done + rejected, 5u);
+  EXPECT_GE(done, 1u);  // at least the first job ran
+  EXPECT_GE(rejected, 2u);
+  EXPECT_EQ(sched.stats().rejected, rejected);
+}
+
+TEST(JobScheduler, NullKernelRejectedNotCrashed) {
+  JobScheduler sched;
+  const JobHandle handle = sched.submit(JobRequest{});
+  const JobOutcome& o = handle.wait();
+  EXPECT_EQ(o.state, JobState::Rejected);
+  EXPECT_NE(o.error.find("null kernel"), std::string::npos) << o.error;
+}
+
+TEST(JobScheduler, ShutdownRejectsLateSubmissions) {
+  JobScheduler sched;
+  sched.shutdown();
+  JobRequest req;
+  req.kernel = std::make_shared<kernels::Fig1Kernel>(
+      kernels::Fig1Kernel::with_integer_values(
+          mesh::make_geometric_mesh({50, 200, 10})));
+  const JobHandle handle = sched.submit(std::move(req));
+  const JobOutcome& o = handle.wait();
+  EXPECT_EQ(o.state, JobState::Rejected);
+  EXPECT_NE(o.error.find("shut down"), std::string::npos) << o.error;
+}
+
+TEST(JobScheduler, DeadlineStallSurfacesAsFailedJob) {
+  // A lost ring forward (PR 1's fault hook) must trip the per-job
+  // deadline and resolve the handle as Failed with the watchdog's
+  // diagnostic — not wedge the worker.
+  JobScheduler::Config cfg;
+  cfg.workers = 1;
+  JobScheduler sched(cfg);
+
+  JobRequest req;
+  req.kernel = std::make_shared<kernels::Fig1Kernel>(
+      kernels::Fig1Kernel::with_integer_values(
+          mesh::make_geometric_mesh({100, 600, 11})));
+  req.name = "stalling";
+  req.plan = plan_opts(4, 2);
+  req.sweeps = 3;
+  req.deadline_seconds = 0.3;
+  req.lose_forward = {true, 0, 0, 0};
+  const JobHandle handle = sched.submit(std::move(req));
+  const JobOutcome& o = handle.wait();
+  EXPECT_EQ(o.state, JobState::Failed);
+  EXPECT_NE(o.error.find("stalled"), std::string::npos) << o.error;
+  EXPECT_EQ(sched.stats().failed, 1u);
+
+  // The worker survived: a healthy job still completes.
+  JobRequest ok;
+  ok.kernel = std::make_shared<kernels::Fig1Kernel>(
+      kernels::Fig1Kernel::with_integer_values(
+          mesh::make_geometric_mesh({100, 600, 11})));
+  ok.plan = plan_opts(2, 1);
+  ok.sweeps = 1;
+  const JobHandle ok_handle = sched.submit(std::move(ok));
+  EXPECT_EQ(ok_handle.wait().state, JobState::Done);
+}
+
+TEST(JobScheduler, BatchSharesOnePlanAcrossJobs) {
+  JobScheduler::Config cfg;
+  cfg.workers = 4;
+  cfg.queue_capacity = 32;
+  JobScheduler sched(cfg);
+
+  const auto kernel = std::make_shared<kernels::Fig1Kernel>(
+      kernels::Fig1Kernel::with_integer_values(
+          mesh::make_geometric_mesh({150, 900, 12})));
+  const std::uint64_t fp = kernel_fingerprint(*kernel);
+  std::vector<JobRequest> reqs;
+  for (int j = 0; j < 10; ++j) {
+    JobRequest req;
+    req.kernel = kernel;
+    req.name = "batch" + std::to_string(j);
+    req.plan = plan_opts(4, 2);
+    req.sweeps = 2;
+    req.fingerprint = fp;
+    reqs.push_back(std::move(req));
+  }
+  const std::vector<JobHandle> handles = sched.submit_batch(std::move(reqs));
+  ASSERT_EQ(handles.size(), 10u);
+  for (const JobHandle& h : handles)
+    EXPECT_EQ(h.wait().state, JobState::Done) << h.wait().error;
+
+  const ServiceStats s = sched.stats();
+  EXPECT_EQ(s.completed, 10u);
+  EXPECT_EQ(s.cache.misses, 1u) << "ten jobs, one plan build";
+  EXPECT_EQ(s.cold_setups, 1u);
+  EXPECT_EQ(s.warm_setups, 9u);
+  EXPECT_LE(s.p50_latency, s.p95_latency);
+}
+
+TEST(JobScheduler, SimulatedJobRunsOnEarthMachine) {
+  JobScheduler sched;
+  const auto kernel = std::make_shared<kernels::Fig1Kernel>(
+      kernels::Fig1Kernel::with_integer_values(
+          mesh::make_geometric_mesh({100, 500, 13})));
+  core::SequentialOptions sopt;
+  sopt.sweeps = 2;
+  const core::RunResult seq = run_sequential_kernel(*kernel, sopt);
+
+  JobRequest req;
+  req.kernel = kernel;
+  req.name = "sim";
+  req.plan = plan_opts(4, 2);
+  req.sweeps = 2;
+  req.simulated = true;
+  const JobHandle handle = sched.submit(std::move(req));
+  const JobOutcome& o = handle.wait();
+  ASSERT_EQ(o.state, JobState::Done) << o.error;
+  EXPECT_TRUE(o.simulated);
+  EXPECT_GT(o.simulated_run.total_cycles, 0u);
+  ASSERT_EQ(o.simulated_run.reduction[0].size(), seq.reduction[0].size());
+  for (std::size_t i = 0; i < seq.reduction[0].size(); ++i)
+    ASSERT_EQ(o.simulated_run.reduction[0][i], seq.reduction[0][i]);
+  // Simulated jobs bypass the plan cache.
+  EXPECT_EQ(sched.stats().cache.misses, 0u);
+}
+
+TEST(JobScheduler, DestructorDrainsQueuedJobs) {
+  std::vector<JobHandle> handles;
+  {
+    JobScheduler::Config cfg;
+    cfg.workers = 2;
+    cfg.queue_capacity = 16;
+    JobScheduler sched(cfg);
+    const auto kernel = std::make_shared<kernels::Fig1Kernel>(
+        kernels::Fig1Kernel::with_integer_values(
+            mesh::make_geometric_mesh({100, 500, 14})));
+    for (int j = 0; j < 8; ++j) {
+      JobRequest req;
+      req.kernel = kernel;
+      req.name = "drain" + std::to_string(j);
+      req.plan = plan_opts(2, 2);
+      req.sweeps = 1;
+      handles.push_back(sched.submit(std::move(req)));
+    }
+  }  // ~JobScheduler drains
+  for (const JobHandle& h : handles)
+    EXPECT_EQ(h.wait().state, JobState::Done) << h.wait().error;
+}
+
+}  // namespace
+}  // namespace earthred::service

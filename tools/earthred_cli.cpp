@@ -15,8 +15,21 @@
 //                        [--fault-delay-cycles=C] [--fault-seed=S]
 //                        [--fault-dead-link=src:dst] [--reliable]
 //   earthred compile    --file=loop.dsl [--emit]
+//   earthred batch      --jobs=jobs.txt [--workers=W] [--queue=N]
+//                        [--cache-mb=M] [--no-cache] [--deadline=S]
+//                        [--json=out.jsonl] [--quiet]
+//   earthred serve      (batch mode reading the job list from stdin)
 //
-// Exit status: 0 on success, 1 on usage/data errors (message on stderr).
+// Job list format (batch/serve): one job per line, `key=value` tokens
+// separated by whitespace; blank lines and lines starting with '#' are
+// skipped. Keys: kernel=euler|moldyn|fig1, mesh=<file> or
+// preset=<name> or nodes=N edges=E [seed=S], procs=P, k=K,
+// dist=block|cyclic|bc [bc=CHUNK], sweeps=N, [dedup], [deadline=S],
+// [engine=native|sim], [name=LABEL]. Jobs on the same mesh share one
+// cached execution plan (see src/service/plan_cache.hpp).
+//
+// Exit status: 0 on success, 1 on usage/data errors (message on stderr);
+// batch/serve exit 1 if any job failed or was rejected.
 #include <cstdio>
 #include <exception>
 #include <fstream>
@@ -36,9 +49,11 @@
 #include "mesh/generators.hpp"
 #include "mesh/io.hpp"
 #include "mesh/mesh.hpp"
+#include "service/job_scheduler.hpp"
 #include "sparse/io.hpp"
 #include "sparse/nas_cg.hpp"
 #include "support/check.hpp"
+#include "support/json.hpp"
 #include "support/options.hpp"
 #include "support/stats.hpp"
 #include "support/str.hpp"
@@ -48,10 +63,23 @@ namespace earthred {
 namespace {
 
 int usage() {
-  std::fprintf(stderr,
-               "usage: earthred <gen-mesh|gen-matrix|info|run|compile> "
-               "[--flags]\n(see the header of tools/earthred_cli.cpp)\n");
+  std::fprintf(
+      stderr,
+      "usage: earthred <gen-mesh|gen-matrix|info|run|compile|batch|serve> "
+      "[--flags]\n(see the header of tools/earthred_cli.cpp)\n");
   return 1;
+}
+
+std::unique_ptr<core::PhasedKernel> make_kernel(const std::string& kname,
+                                                mesh::Mesh m) {
+  if (kname == "euler")
+    return std::make_unique<kernels::EulerKernel>(std::move(m));
+  if (kname == "moldyn")
+    return std::make_unique<kernels::MoldynKernel>(std::move(m));
+  if (kname == "fig1")
+    return std::make_unique<kernels::Fig1Kernel>(
+        kernels::Fig1Kernel::with_integer_values(std::move(m)));
+  throw check_error("unknown kernel '" + kname + "' (euler|moldyn|fig1)");
 }
 
 mesh::Mesh mesh_from_options(const Options& opt) {
@@ -156,19 +184,8 @@ earth::FaultConfig fault_from_options(const Options& opt) {
 
 int cmd_run(const Options& opt) {
   const std::string kname = opt.get("kernel", "euler");
-  mesh::Mesh m = mesh_from_options(opt);
-  std::unique_ptr<core::PhasedKernel> kernel;
-  if (kname == "euler") {
-    kernel = std::make_unique<kernels::EulerKernel>(std::move(m));
-  } else if (kname == "moldyn") {
-    kernel = std::make_unique<kernels::MoldynKernel>(std::move(m));
-  } else if (kname == "fig1") {
-    kernel = std::make_unique<kernels::Fig1Kernel>(
-        kernels::Fig1Kernel::with_integer_values(std::move(m)));
-  } else {
-    throw check_error("unknown kernel '" + kname +
-                      "' (euler|moldyn|fig1)");
-  }
+  const std::unique_ptr<core::PhasedKernel> kernel =
+      make_kernel(kname, mesh_from_options(opt));
 
   const auto procs = static_cast<std::uint32_t>(opt.get_int("procs", 8));
   const auto k = static_cast<std::uint32_t>(opt.get_int("k", 2));
@@ -301,6 +318,150 @@ int cmd_compile(const Options& opt) {
   return 0;
 }
 
+// ---- batch/serve: drive the reduction service from a job list ----------
+
+/// Parses one job line ("kernel=euler preset=euler-small procs=8 ...")
+/// into Options by prefixing each token with "--".
+Options parse_job_line(const std::string& line) {
+  std::vector<std::string> store{"job"};
+  for (const std::string& tok : split(line, ' ')) {
+    const std::string_view t = trim(tok);
+    if (!t.empty()) store.push_back("--" + std::string(t));
+  }
+  std::vector<const char*> argv;
+  argv.reserve(store.size());
+  for (const std::string& s : store) argv.push_back(s.c_str());
+  return Options(static_cast<int>(argv.size()), argv.data());
+}
+
+const char* to_string(service::JobState s) {
+  switch (s) {
+    case service::JobState::Pending: return "pending";
+    case service::JobState::Rejected: return "rejected";
+    case service::JobState::Done: return "done";
+    case service::JobState::Failed: return "failed";
+  }
+  return "?";
+}
+
+int run_service(std::istream& jobs_in, const Options& opt) {
+  service::JobScheduler::Config cfg;
+  cfg.workers = static_cast<std::uint32_t>(opt.get_int("workers", 4));
+  cfg.queue_capacity =
+      static_cast<std::size_t>(opt.get_int("queue", 256));
+  cfg.default_deadline = opt.get_double("deadline", 30.0);
+  cfg.cache.byte_budget =
+      opt.get_bool("no-cache", false)
+          ? 0
+          : static_cast<std::uint64_t>(opt.get_int("cache-mb", 256)) << 20;
+  service::JobScheduler sched(cfg);
+
+  // Kernels (and their content fingerprints) are shared across jobs that
+  // name the same mesh, so repeat jobs hit the plan cache with an O(1)
+  // key.
+  struct KernelEntry {
+    std::shared_ptr<const core::PhasedKernel> kernel;
+    std::uint64_t fingerprint = 0;
+  };
+  std::map<std::string, KernelEntry> kernels;
+
+  std::vector<service::JobHandle> handles;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(jobs_in, line)) {
+    ++lineno;
+    const std::string_view stripped = trim(line);
+    if (stripped.empty() || stripped.front() == '#') continue;
+    const Options jopt = parse_job_line(line);
+
+    const std::string kname = jopt.get("kernel", "euler");
+    const std::string key = kname + "|" + jopt.get("preset") + "|" +
+                            jopt.get("mesh") + "|" +
+                            jopt.get("nodes", "1000") + "|" +
+                            jopt.get("edges", "5000") + "|" +
+                            jopt.get("seed", "42");
+    auto it = kernels.find(key);
+    if (it == kernels.end()) {
+      KernelEntry entry;
+      entry.kernel = std::shared_ptr<const core::PhasedKernel>(
+          make_kernel(kname, mesh_from_options(jopt)));
+      entry.fingerprint = service::kernel_fingerprint(*entry.kernel);
+      it = kernels.emplace(key, std::move(entry)).first;
+    }
+
+    service::JobRequest req;
+    req.kernel = it->second.kernel;
+    req.name = jopt.get("name", kname + "#" + std::to_string(lineno));
+    req.plan.num_procs =
+        static_cast<std::uint32_t>(jopt.get_int("procs", 4));
+    req.plan.k = static_cast<std::uint32_t>(jopt.get_int("k", 2));
+    req.plan.distribution =
+        inspector::parse_distribution(jopt.get("dist", "cyclic"));
+    req.plan.block_cyclic_size =
+        static_cast<std::uint32_t>(jopt.get_int("bc", 16));
+    req.plan.inspector.dedup_buffers = jopt.get_bool("dedup", false);
+    req.sweeps = static_cast<std::uint32_t>(jopt.get_int("sweeps", 1));
+    req.deadline_seconds = jopt.get_double("deadline", 0.0);
+    const std::string engine = jopt.get("engine", "native");
+    if (engine == "sim" || engine == "rotation") req.simulated = true;
+    else ER_CHECK_MSG(engine == "native",
+                      "job line " + std::to_string(lineno) +
+                          ": unknown engine '" + engine + "'");
+    req.fingerprint = it->second.fingerprint;
+    handles.push_back(sched.submit(std::move(req)));
+  }
+
+  // Every handle resolves — rejected jobs report their reason here rather
+  // than disappearing.
+  Table t("service jobs");
+  t.set_header({"job", "state", "plan", "queue ms", "setup ms", "exec s",
+                "detail"});
+  std::uint64_t bad = 0;
+  for (const service::JobHandle& h : handles) {
+    const service::JobOutcome& o = h.wait();
+    if (o.state != service::JobState::Done) ++bad;
+    std::string detail = o.error;
+    if (o.state == service::JobState::Done && o.simulated_run.total_cycles)
+      detail = fmt_group(static_cast<long long>(
+                   o.simulated_run.total_cycles)) + " cycles";
+    t.add_row({o.name, to_string(o.state),
+               o.state == service::JobState::Rejected
+                   ? "-"
+                   : (o.simulated ? "sim"
+                                  : (o.cache_hit ? "cached" : "built")),
+               fmt_f(o.queue_seconds * 1e3, 2),
+               fmt_f(o.setup_seconds * 1e3, 3), fmt_f(o.exec_seconds, 4),
+               detail});
+    if (opt.has("json")) {
+      JsonWriter w;
+      w.field("job", o.name)
+          .field("state", to_string(o.state))
+          .field("cache_hit", o.cache_hit)
+          .field("queue_seconds", o.queue_seconds)
+          .field("setup_seconds", o.setup_seconds)
+          .field("exec_seconds", o.exec_seconds)
+          .field("total_seconds", o.total_seconds);
+      if (!o.error.empty()) w.field("error", o.error);
+      append_json_line(opt.get("json"), w.str());
+    }
+  }
+  if (!opt.get_bool("quiet", false)) {
+    t.print(std::cout);
+    sched.stats().print(std::cout);
+  }
+  return bad == 0 ? 0 : 1;
+}
+
+int cmd_batch(const Options& opt) {
+  const std::string path = opt.get("jobs");
+  if (path.empty()) throw check_error("batch needs --jobs=<file>");
+  std::ifstream is(path);
+  ER_CHECK_MSG(is.good(), "cannot open '" + path + "'");
+  return run_service(is, opt);
+}
+
+int cmd_serve(const Options& opt) { return run_service(std::cin, opt); }
+
 int dispatch(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
@@ -310,6 +471,8 @@ int dispatch(int argc, char** argv) {
   if (cmd == "info") return cmd_info(opt);
   if (cmd == "run") return cmd_run(opt);
   if (cmd == "compile") return cmd_compile(opt);
+  if (cmd == "batch") return cmd_batch(opt);
+  if (cmd == "serve") return cmd_serve(opt);
   return usage();
 }
 
