@@ -51,6 +51,28 @@ struct CostTags {
   earth::ArrayTag indir{};      ///< redirected indirection arrays
 };
 
+/// Read-only view of one executor phase in the flattened
+/// structure-of-arrays layout the LightInspector emits: the redirected
+/// indirection of all reference slots lives in a single contiguous block,
+/// ref-major, so batch executors stream it without touching `num_refs`
+/// separate heap vectors.
+struct PhaseView {
+  /// Global iteration ids in execution order.
+  std::span<const std::uint32_t> iter_global;
+  /// Local iteration indices (contiguous post-inspection slots).
+  std::span<const std::uint32_t> iter_local;
+  /// Flattened redirected indirection: reference slot r of iteration j is
+  /// `indir[r * num_iters + j]`.
+  std::span<const std::uint32_t> indir;
+  std::size_t num_iters = 0;
+  std::uint32_t num_refs = 0;
+
+  /// Contiguous redirected indices for reference slot `r`.
+  const std::uint32_t* indir_row(std::uint32_t r) const noexcept {
+    return indir.data() + static_cast<std::size_t>(r) * num_iters;
+  }
+};
+
 /// Interface implemented by euler, moldyn, and the synthetic test kernels.
 ///
 /// Thread-compatibility: kernels are immutable after construction and
@@ -92,6 +114,28 @@ class PhasedKernel {
   virtual void update_nodes(earth::FiberContext& ctx, const CostTags& tags,
                             std::uint32_t begin, std::uint32_t end,
                             std::uint32_t base, ProcArrays& arrays) const = 0;
+
+  /// Batch entry point: executes every iteration of `phase` in order,
+  /// producing results bit-identical to the equivalent sequence of
+  /// compute_edge calls (same floating-point operations, same order).
+  /// Concrete kernels override this with a tight loop over the flattened
+  /// indirection block — no per-edge virtual dispatch, no per-access cost
+  /// charging — which is the native engine's hot path. The default
+  /// implementation falls back to per-edge compute_edge, so kernels that
+  /// don't override it (e.g. compiler-produced ones) stay correct, and
+  /// simulated-machine engines keep calling compute_edge directly for
+  /// cycle-accurate charging.
+  virtual void compute_phase(earth::FiberContext& ctx, const CostTags& tags,
+                             const PhaseView& phase,
+                             ProcArrays& arrays) const {
+    std::vector<std::uint32_t> redirected(phase.num_refs);
+    for (std::size_t j = 0; j < phase.num_iters; ++j) {
+      for (std::uint32_t r = 0; r < phase.num_refs; ++r)
+        redirected[r] = phase.indir_row(r)[j];
+      compute_edge(ctx, tags, phase.iter_global[j], phase.iter_local[j],
+                   redirected, arrays);
+    }
+  }
 };
 
 }  // namespace earthred::core

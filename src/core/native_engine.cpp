@@ -1,16 +1,27 @@
 #include "core/native_engine.hpp"
 
 #include <atomic>
+#include <barrier>
 #include <chrono>
+#include <exception>
 #include <memory>
 #include <mutex>
 #include <semaphore>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "inspector/rotation.hpp"
 #include "support/check.hpp"
+
+#if defined(__linux__) && defined(_GNU_SOURCE)
+#include <pthread.h>
+#include <sched.h>
+#define EARTHRED_HAS_CPU_AFFINITY 1
+#else
+#define EARTHRED_HAS_CPU_AFFINITY 0
+#endif
 
 namespace earthred::core {
 
@@ -27,20 +38,44 @@ struct StagedSlot {
   std::binary_semaphore free{1};
 };
 
-std::uint64_t vec_bytes(const std::vector<std::uint32_t>& v) {
-  return v.capacity() * sizeof(std::uint32_t);
+template <typename T>
+std::uint64_t vec_bytes(const std::vector<T>& v) {
+  return v.capacity() * sizeof(T);
+}
+
+/// Best-effort pin of the calling thread to one CPU (no-op where pthread
+/// CPU affinity is unavailable; failure is ignored — pinning is a
+/// performance hint, never a correctness requirement).
+void pin_current_thread(std::uint32_t worker) {
+#if EARTHRED_HAS_CPU_AFFINITY
+  const std::uint32_t ncpu =
+      std::max(1u, std::thread::hardware_concurrency());
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(worker % ncpu, &set);
+  (void)pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+#else
+  (void)worker;
+#endif
 }
 
 }  // namespace
 
 std::uint64_t ExecutionPlan::byte_size() const {
+  // Every plan-owned buffer, including container-of-container headers:
+  // the LRU budget of the PlanCache is only honest if growth anywhere in
+  // the phase data is visible here (test_batch_equivalence asserts it).
   std::uint64_t bytes = sizeof(ExecutionPlan);
+  bytes += insp.capacity() * sizeof(InspectorResult);
   for (const InspectorResult& r : insp) {
     bytes += vec_bytes(r.assigned_phase) + vec_bytes(r.slot_elem) +
              vec_bytes(r.free_slots);
+    bytes += r.phases.capacity() * sizeof(inspector::PhaseSchedule);
     for (const inspector::PhaseSchedule& ph : r.phases) {
       bytes += vec_bytes(ph.iter_global) + vec_bytes(ph.iter_local) +
-               vec_bytes(ph.copy_dst) + vec_bytes(ph.copy_src);
+               vec_bytes(ph.indir_flat) + vec_bytes(ph.copy_dst) +
+               vec_bytes(ph.copy_src);
+      bytes += ph.indir.capacity() * sizeof(std::vector<std::uint32_t>);
       for (const auto& row : ph.indir) bytes += vec_bytes(row);
     }
   }
@@ -59,19 +94,58 @@ ExecutionPlan build_execution_plan(const PhasedKernel& kernel,
                      RotationSchedule(shape.num_nodes, P, opt.k),
                      {}, 0.0};
 
-  const auto owned_iters = inspector::distribute_iterations(
+  auto owned_iters = inspector::distribute_iterations(
       shape.num_edges, P, opt.distribution, opt.block_cyclic_size);
-  plan.insp.reserve(P);
-  for (std::uint32_t p = 0; p < P; ++p) {
+  plan.insp.resize(P);
+
+  // Each processor's reference gather + inspector run is independent and
+  // deterministic, so any worker may build any p and the plan comes out
+  // byte-identical to a serial build (test_batch_equivalence asserts it).
+  const auto build_one = [&](std::uint32_t p) {
     inspector::IterationRefs refs;
-    refs.global_iter = owned_iters[p];
+    refs.global_iter = std::move(owned_iters[p]);
     refs.refs.resize(shape.num_refs);
-    for (std::uint32_t r = 0; r < shape.num_refs; ++r)
+    for (std::uint32_t r = 0; r < shape.num_refs; ++r) {
+      refs.refs[r].reserve(refs.global_iter.size());
       for (std::uint32_t e : refs.global_iter)
         refs.refs[r].push_back(kernel.ref(r, e));
-    plan.insp.push_back(
-        inspector::run_light_inspector(plan.sched, p, refs, opt.inspector));
+    }
+    plan.insp[p] =
+        inspector::run_light_inspector(plan.sched, p, refs, opt.inspector);
+  };
+
+  std::uint32_t workers =
+      opt.build_threads == 0
+          ? std::max(1u, std::thread::hardware_concurrency())
+          : opt.build_threads;
+  workers = std::min(workers, P);
+  if (workers <= 1) {
+    for (std::uint32_t p = 0; p < P; ++p) build_one(p);
+  } else {
+    std::atomic<std::uint32_t> next{0};
+    std::mutex error_mutex;
+    std::exception_ptr first_error;
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::uint32_t w = 0; w < workers; ++w) {
+      pool.emplace_back([&] {
+        for (;;) {
+          const std::uint32_t p =
+              next.fetch_add(1, std::memory_order_relaxed);
+          if (p >= P) return;
+          try {
+            build_one(p);
+          } catch (...) {
+            const std::lock_guard<std::mutex> lock(error_mutex);
+            if (!first_error) first_error = std::current_exception();
+          }
+        }
+      });
+    }
+    for (std::thread& t : pool) t.join();
+    if (first_error) std::rethrow_exception(first_error);
   }
+
   plan.build_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
@@ -98,40 +172,52 @@ NativeResult run_native_plan(const PhasedKernel& kernel,
   const std::uint32_t kp = P * k;
   const std::uint32_t RA = shape.num_reduction_arrays;
   const std::uint32_t NA = shape.num_node_read_arrays;
+  const bool first_touch = opt.affinity.first_touch;
 
   // ---- per-run mutable state (the plan itself stays untouched) ----------
+  // The StagedSlot objects (semaphores) are always created here so the
+  // staging topology exists before any worker starts; the *data* vectors
+  // are sized either here or — under first-touch — on the worker that owns
+  // them, so their pages land on that worker's NUMA node.
   std::vector<ProcArrays> arrays(P);
-  for (std::uint32_t p = 0; p < P; ++p) {
-    arrays[p].reduction.assign(
-        RA, std::vector<double>(plan.insp[p].local_array_size, 0.0));
-    arrays[p].node_read.assign(NA,
-                               std::vector<double>(shape.num_nodes, 0.0));
-    kernel.init_node_arrays(arrays[p].node_read);
-  }
-
-  // ---- staging buffers ---------------------------------------------------
   // rotation[q][ph]: the portion arriving for q's phase ph.
   std::vector<std::vector<std::unique_ptr<StagedSlot>>> rotation(P);
   // bcast[q][pid]: the refreshed node-read portion pid for receiver q.
   std::vector<std::vector<std::unique_ptr<StagedSlot>>> bcast(P);
   for (std::uint32_t q = 0; q < P; ++q) {
     rotation[q].resize(kp);
-    for (std::uint32_t ph = 0; ph < kp; ++ph) {
+    for (std::uint32_t ph = 0; ph < kp; ++ph)
       rotation[q][ph] = std::make_unique<StagedSlot>();
-      const std::uint32_t pid = sched.owned_portion(q, ph);
-      rotation[q][ph]->data.assign(
-          static_cast<std::size_t>(sched.portion_size(pid)) * RA, 0.0);
-    }
     bcast[q].resize(sched.num_portions());
     for (std::uint32_t pid = 0; pid < sched.num_portions(); ++pid) {
       if (sched.final_owner(pid) == q) continue;  // local, no staging
       bcast[q][pid] = std::make_unique<StagedSlot>();
-      bcast[q][pid]->data.assign(
+    }
+  }
+
+  /// Sizes processor p's arrays and *receiving* staging buffers. Run on
+  /// the main thread normally, or on worker p itself under first-touch.
+  const auto init_proc_state = [&](std::uint32_t p) {
+    arrays[p].reduction.assign(
+        RA, std::vector<double>(plan.insp[p].local_array_size, 0.0));
+    arrays[p].node_read.assign(NA,
+                               std::vector<double>(shape.num_nodes, 0.0));
+    kernel.init_node_arrays(arrays[p].node_read);
+    for (std::uint32_t ph = 0; ph < kp; ++ph) {
+      const std::uint32_t pid = sched.owned_portion(p, ph);
+      rotation[p][ph]->data.assign(
+          static_cast<std::size_t>(sched.portion_size(pid)) * RA, 0.0);
+    }
+    for (std::uint32_t pid = 0; pid < sched.num_portions(); ++pid) {
+      if (!bcast[p][pid]) continue;
+      bcast[p][pid]->data.assign(
           static_cast<std::size_t>(sched.portion_size(pid)) *
               std::max<std::uint32_t>(NA, 1),
           0.0);
     }
-  }
+  };
+  if (!first_touch)
+    for (std::uint32_t p = 0; p < P; ++p) init_proc_state(p);
 
   // Kernels index into the tag vectors even though detached contexts
   // ignore the charges, so size them properly.
@@ -157,16 +243,19 @@ NativeResult run_native_plan(const PhasedKernel& kernel,
   // (0 = unbounded). The first wait to time out records a description and
   // raises `stalled`; every other wait polls the flag and bails, so all
   // threads unwind, join() returns, and the failure surfaces as a
-  // check_error instead of a hang.
+  // check_error instead of a hang. `describe` is a callable producing the
+  // diagnostic: the fast path (semaphore available, or no timeout) never
+  // materializes the string, so waiting costs zero allocations.
   std::atomic<bool> stalled{false};
   std::mutex stall_mutex;
   std::string stall_what;
   const auto wait_or_stall = [&](std::binary_semaphore& sem,
-                                 const std::string& what) -> bool {
+                                 auto&& describe) -> bool {
     if (opt.stall_timeout <= 0.0) {
       sem.acquire();
       return true;
     }
+    if (sem.try_acquire()) return true;
     const auto deadline =
         std::chrono::steady_clock::now() +
         std::chrono::duration_cast<std::chrono::steady_clock::duration>(
@@ -176,7 +265,7 @@ NativeResult run_native_plan(const PhasedKernel& kernel,
       if (std::chrono::steady_clock::now() >= deadline) {
         if (!stalled.exchange(true)) {
           const std::lock_guard<std::mutex> lock(stall_mutex);
-          stall_what = what;
+          stall_what = describe();
         }
         return false;
       }
@@ -184,10 +273,19 @@ NativeResult run_native_plan(const PhasedKernel& kernel,
     return true;
   };
 
+  // Under first-touch, every worker sizes its own state before any worker
+  // may start touching a neighbor's staging buffers.
+  std::barrier init_barrier(static_cast<std::ptrdiff_t>(P));
+
   std::vector<std::thread> threads;
   threads.reserve(P);
   for (std::uint32_t p = 0; p < P; ++p) {
     threads.emplace_back([&, p] {
+      if (opt.affinity.pin_threads) pin_current_thread(p);
+      if (first_touch) {
+        init_proc_state(p);
+        init_barrier.arrive_and_wait();
+      }
       earth::FiberContext ctx = earth::FiberContext::detached(p);
       const InspectorResult& insp = plan.insp[p];
       ProcArrays& ps = arrays[p];
@@ -206,13 +304,13 @@ NativeResult run_native_plan(const PhasedKernel& kernel,
                  ++opid) {
               StagedSlot* slot = bcast[p][opid].get();
               if (!slot) continue;  // finalized locally
-              if (!wait_or_stall(
-                      slot->full,
-                      "proc " + std::to_string(p) +
-                          " stuck waiting for the node-read broadcast of "
-                          "portion " +
-                          std::to_string(opid) + " at sweep " +
-                          std::to_string(sweep)))
+              if (!wait_or_stall(slot->full, [&] {
+                    return "proc " + std::to_string(p) +
+                           " stuck waiting for the node-read broadcast "
+                           "of portion " +
+                           std::to_string(opid) + " at sweep " +
+                           std::to_string(sweep);
+                  }))
                 return;
               const std::uint32_t ob = sched.portion_begin(opid);
               const std::uint32_t osz = sched.portion_size(opid);
@@ -227,13 +325,13 @@ NativeResult run_native_plan(const PhasedKernel& kernel,
           // Portion arrival (the first k phases of sweep 0 start local).
           if (!(sweep == 0 && ph < k)) {
             StagedSlot* slot = rotation[p][ph].get();
-            if (!wait_or_stall(
-                    slot->full,
-                    "proc " + std::to_string(p) +
-                        " stuck waiting for portion " +
-                        std::to_string(pid) + " to arrive for phase " +
-                        std::to_string(ph) + " at sweep " +
-                        std::to_string(sweep) + " (lost forward?)"))
+            if (!wait_or_stall(slot->full, [&] {
+                  return "proc " + std::to_string(p) +
+                         " stuck waiting for portion " +
+                         std::to_string(pid) + " to arrive for phase " +
+                         std::to_string(ph) + " at sweep " +
+                         std::to_string(sweep) + " (lost forward?)";
+                }))
               return;
             for (std::uint32_t a = 0; a < RA; ++a)
               std::copy(slot->data.begin() + a * psize,
@@ -242,13 +340,27 @@ NativeResult run_native_plan(const PhasedKernel& kernel,
             slot->free.release();
           }
 
-          // Main loop.
+          // Main loop: one batched compute_phase call streaming the
+          // flattened indirection block, or the per-edge fallback (a
+          // virtual call plus a `redirected` scatter copy per edge).
           const inspector::PhaseSchedule& phase = insp.phases[ph];
-          for (std::size_t j = 0; j < phase.iter_global.size(); ++j) {
-            for (std::uint32_t r = 0; r < shape.num_refs; ++r)
-              redirected[r] = phase.indir[r][j];
-            kernel.compute_edge(ctx, tags, phase.iter_global[j],
-                                phase.iter_local[j], redirected, ps);
+          const std::size_t iters = phase.iter_global.size();
+          if (opt.batch &&
+              phase.indir_flat.size() == iters * shape.num_refs) {
+            PhaseView view;
+            view.iter_global = phase.iter_global;
+            view.iter_local = phase.iter_local;
+            view.indir = phase.indir_flat;
+            view.num_iters = iters;
+            view.num_refs = shape.num_refs;
+            kernel.compute_phase(ctx, tags, view, ps);
+          } else {
+            for (std::size_t j = 0; j < iters; ++j) {
+              for (std::uint32_t r = 0; r < shape.num_refs; ++r)
+                redirected[r] = phase.indir[r][j];
+              kernel.compute_edge(ctx, tags, phase.iter_global[j],
+                                  phase.iter_local[j], redirected, ps);
+            }
           }
           // Second loop.
           for (std::size_t j = 0; j < phase.copy_dst.size(); ++j) {
@@ -279,13 +391,13 @@ NativeResult run_native_plan(const PhasedKernel& kernel,
               for (std::uint32_t q = 0; q < P; ++q) {
                 if (q == p) continue;
                 StagedSlot* slot = bcast[q][pid].get();
-                if (!wait_or_stall(
-                        slot->free,
-                        "proc " + std::to_string(p) +
-                            " stuck broadcasting portion " +
-                            std::to_string(pid) + " to proc " +
-                            std::to_string(q) + " at sweep " +
-                            std::to_string(sweep)))
+                if (!wait_or_stall(slot->free, [&] {
+                      return "proc " + std::to_string(p) +
+                             " stuck broadcasting portion " +
+                             std::to_string(pid) + " to proc " +
+                             std::to_string(q) + " at sweep " +
+                             std::to_string(sweep);
+                    }))
                   return;
                 for (std::uint32_t a = 0; a < NA; ++a)
                   std::copy(ps.node_read[a].begin() + begin,
@@ -307,13 +419,14 @@ NativeResult run_native_plan(const PhasedKernel& kernel,
               continue;  // fault hook: this forward silently vanishes
             const std::uint32_t q = sched.next_owner(p);
             StagedSlot* slot = rotation[q][tph].get();
-            if (!wait_or_stall(
-                    slot->free,
-                    "proc " + std::to_string(p) +
-                        " stuck forwarding portion " + std::to_string(pid) +
-                        " to proc " + std::to_string(q) + " phase " +
-                        std::to_string(tph) + " at sweep " +
-                        std::to_string(sweep)))
+            if (!wait_or_stall(slot->free, [&] {
+                  return "proc " + std::to_string(p) +
+                         " stuck forwarding portion " +
+                         std::to_string(pid) + " to proc " +
+                         std::to_string(q) + " phase " +
+                         std::to_string(tph) + " at sweep " +
+                         std::to_string(sweep);
+                }))
               return;
             for (std::uint32_t a = 0; a < RA; ++a)
               std::copy(ps.reduction[a].begin() + begin,

@@ -44,6 +44,13 @@ struct PlanOptions {
   /// Chunk size when distribution == BlockCyclic.
   std::uint32_t block_cyclic_size = 16;
   inspector::LightInspectorOptions inspector{};
+  /// Host threads used by build_execution_plan to run the per-processor
+  /// reference gather + LightInspector: 1 = serial (the pre-batching
+  /// behavior), 0 = one per hardware core, N = exactly N. The plan
+  /// produced is byte-identical regardless — each processor's inspector
+  /// run is independent and deterministic — so this knob deliberately
+  /// does NOT enter the PlanCache key.
+  std::uint32_t build_threads = 1;
 };
 
 /// The reusable preprocessing product: rotation schedule plus one
@@ -70,6 +77,20 @@ struct ExecutionPlan {
 ExecutionPlan build_execution_plan(const PhasedKernel& kernel,
                                    const PlanOptions& opt);
 
+/// NUMA/affinity knobs for the native engine's worker threads (the
+/// ROADMAP's pin + first-touch open item). Both default off; pinning is a
+/// best-effort no-op on platforms without pthread CPU affinity.
+struct AffinityOptions {
+  /// Pin worker thread p to CPU (p mod hardware_concurrency) via
+  /// pthread_setaffinity_np where available.
+  bool pin_threads = false;
+  /// Allocate and zero each processor's reduction/node-read arrays and
+  /// its *receiving* staging buffers on the worker thread that will use
+  /// them (first-touch page placement on NUMA hosts) instead of on the
+  /// caller's thread. Results are unaffected — only page placement moves.
+  bool first_touch = false;
+};
+
 /// Per-run execution knobs — do not affect the plan.
 struct SweepOptions {
   std::uint32_t sweeps = 1;
@@ -87,6 +108,15 @@ struct SweepOptions {
     std::uint32_t phase = 0;
     std::uint32_t sweep = 0;
   } lose_forward;
+  /// Execute each phase through PhasedKernel::compute_phase — one batched
+  /// call streaming the flattened indirection block — instead of a
+  /// per-edge virtual compute_edge call with a heap-backed `redirected`
+  /// scatter copy. Results are bit-identical either way (the batch loops
+  /// perform the same floating-point operations in the same order;
+  /// tests/test_batch_equivalence.cpp proves it); off reproduces the
+  /// per-edge executor.
+  bool batch = true;
+  AffinityOptions affinity{};
 };
 
 /// One-shot options: plan parameters plus run parameters (the original
@@ -101,11 +131,17 @@ struct NativeOptions {
   inspector::LightInspectorOptions inspector{};
   double stall_timeout = 30.0;
   SweepOptions::LostForward lose_forward{};
+  std::uint32_t build_threads = 1;
+  bool batch = true;
+  AffinityOptions affinity{};
 
   PlanOptions plan() const {
-    return {num_procs, k, distribution, block_cyclic_size, inspector};
+    return {num_procs,        k,         distribution,
+            block_cyclic_size, inspector, build_threads};
   }
-  SweepOptions sweep() const { return {sweeps, stall_timeout, lose_forward}; }
+  SweepOptions sweep() const {
+    return {sweeps, stall_timeout, lose_forward, batch, affinity};
+  }
 };
 
 struct NativeResult {

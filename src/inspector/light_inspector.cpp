@@ -8,6 +8,13 @@
 
 namespace earthred::inspector {
 
+void PhaseSchedule::flatten_indir() {
+  indir_flat.clear();
+  indir_flat.reserve(indir.size() * iter_global.size());
+  for (const std::vector<std::uint32_t>& row : indir)
+    indir_flat.insert(indir_flat.end(), row.begin(), row.end());
+}
+
 std::vector<std::uint64_t> InspectorResult::phase_sizes() const {
   std::vector<std::uint64_t> sizes;
   sizes.reserve(phases.size());
@@ -119,6 +126,7 @@ InspectorResult run_light_inspector(const RotationSchedule& sched,
   for (std::uint32_t i = 0; i < iters.num_iterations(); ++i)
     place_iteration(sched, proc, iters, i, result, slots);
 
+  for (PhaseSchedule& p : result.phases) p.flatten_indir();
   result.local_array_size =
       static_cast<std::uint64_t>(sched.num_elements()) +
       result.num_buffer_slots;
@@ -207,6 +215,11 @@ InspectorResult update_light_inspector(
   for (std::uint32_t c : changed_local)
     place_iteration(sched, proc, iters, c, result, slots);
 
+  // Re-derive the flattened executor layout. Every phase is refreshed
+  // (not just the touched ones): the host-side cost is one linear copy,
+  // while the simulated incremental-inspector cycle charge stays
+  // proportional to the changed iterations as before.
+  for (PhaseSchedule& p : result.phases) p.flatten_indir();
   result.local_array_size =
       static_cast<std::uint64_t>(sched.num_elements()) +
       result.num_buffer_slots;

@@ -67,10 +67,19 @@ struct PhaseSchedule {
   /// reference that determined the assignment); values >= num_elements
   /// address buffer slots.
   std::vector<std::vector<std::uint32_t>> indir;
+  /// Flattened structure-of-arrays copy of `indir`: one contiguous block,
+  /// ref-major (`indir_flat[r * n + j] == indir[r][j]` where n is the
+  /// phase's iteration count). Built by the inspector once the phase
+  /// contents are final; batch executors (core::PhaseView) stream this
+  /// block instead of chasing `num_refs` separate heap vectors.
+  std::vector<std::uint32_t> indir_flat;
   /// Second loop: element copy_dst[j] (owned this phase) accumulates
   /// buffer slot copy_src[j] (>= num_elements).
   std::vector<std::uint32_t> copy_dst;
   std::vector<std::uint32_t> copy_src;
+
+  /// Rebuilds `indir_flat` from the `indir` rows.
+  void flatten_indir();
 };
 
 /// Full LightInspector output for one processor.

@@ -104,6 +104,41 @@ void EulerKernel::compute_edge(earth::FiberContext& ctx,
   ctx.charge_flops(4);
 }
 
+void EulerKernel::compute_phase(earth::FiberContext& ctx,
+                                const core::CostTags&,
+                                const core::PhaseView& phase,
+                                core::ProcArrays& arrays) const {
+  // Same flux arithmetic as compute_edge, expression for expression, so
+  // results are bit-identical — just devirtualized and free of per-access
+  // cost charging.
+  const std::uint32_t* ia1 = phase.indir_row(0);
+  const std::uint32_t* ia2 = phase.indir_row(1);
+  const std::uint32_t* eg = phase.iter_global.data();
+  const mesh::Edge* edges = mesh_.edges.data();
+  const double* coef = coef_.data();
+  const double* vel = arrays.node_read[kVel].data();
+  const double* pre = arrays.node_read[kPre].data();
+  double* dvel = arrays.reduction[kVel].data();
+  double* dpre = arrays.reduction[kPre].data();
+  for (std::size_t j = 0; j < phase.num_iters; ++j) {
+    const std::uint32_t e = eg[j];
+    const std::uint32_t n1 = edges[e].a;
+    const std::uint32_t n2 = edges[e].b;
+    const double c = coef[e];
+    const double v1 = vel[n1];
+    const double v2 = vel[n2];
+    const double p1 = pre[n1];
+    const double p2 = pre[n2];
+    const double vflux = c * (p1 - p2);
+    const double pflux = c * 0.5 * (v1 + v2) + 0.25 * c * (p1 - p2);
+    dvel[ia1[j]] += vflux;
+    dvel[ia2[j]] -= vflux;
+    dpre[ia1[j]] += pflux;
+    dpre[ia2[j]] -= pflux;
+  }
+  ctx.charge_flops(52 * phase.num_iters);
+}
+
 void EulerKernel::update_nodes(earth::FiberContext& ctx,
                                const core::CostTags& tags,
                                std::uint32_t begin, std::uint32_t end,

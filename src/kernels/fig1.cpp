@@ -53,6 +53,25 @@ void Fig1Kernel::compute_edge(earth::FiberContext& ctx,
   }
 }
 
+void Fig1Kernel::compute_phase(earth::FiberContext& ctx,
+                               const core::CostTags&,
+                               const core::PhaseView& phase,
+                               core::ProcArrays& arrays) const {
+  // Same floating-point operations in the same order as compute_edge, in
+  // one devirtualized loop over the flattened indirection rows.
+  const std::uint32_t* ia1 = phase.indir_row(0);
+  const std::uint32_t* ia2 = phase.indir_row(1);
+  const std::uint32_t* eg = phase.iter_global.data();
+  const double* y = y_.data();
+  double* x = arrays.reduction[0].data();
+  for (std::size_t j = 0; j < phase.num_iters; ++j) {
+    const double contribution = y[eg[j]] * c_;
+    x[ia1[j]] += contribution;
+    x[ia2[j]] += contribution;
+  }
+  ctx.charge_flops(3 * phase.num_iters);
+}
+
 void Fig1Kernel::update_nodes(earth::FiberContext&, const core::CostTags&,
                               std::uint32_t, std::uint32_t, std::uint32_t,
                               core::ProcArrays&) const {}

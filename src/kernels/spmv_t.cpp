@@ -59,6 +59,25 @@ void SpmvTKernel::compute_edge(earth::FiberContext& ctx,
       val_[edge_global] * x_[row_[edge_global]];
 }
 
+void SpmvTKernel::compute_phase(earth::FiberContext& ctx,
+                                const core::CostTags&,
+                                const core::PhaseView& phase,
+                                core::ProcArrays& arrays) const {
+  // Single-reference case: the batched loop is a pure gather-multiply-
+  // scatter stream over the flattened indirection block.
+  const std::uint32_t* ia = phase.indir_row(0);
+  const std::uint32_t* eg = phase.iter_global.data();
+  const std::uint32_t* row = row_.data();
+  const double* val = val_.data();
+  const double* x = x_.data();
+  double* y = arrays.reduction[0].data();
+  for (std::size_t j = 0; j < phase.num_iters; ++j) {
+    const std::uint32_t e = eg[j];
+    y[ia[j]] += val[e] * x[row[e]];
+  }
+  ctx.charge_flops(2 * phase.num_iters);
+}
+
 void SpmvTKernel::update_nodes(earth::FiberContext&, const core::CostTags&,
                                std::uint32_t, std::uint32_t, std::uint32_t,
                                core::ProcArrays&) const {}

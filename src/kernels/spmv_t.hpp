@@ -32,6 +32,9 @@ class SpmvTKernel final : public core::PhasedKernel {
                     std::uint64_t edge_global, std::uint64_t edge_slot,
                     std::span<const std::uint32_t> redirected,
                     core::ProcArrays& arrays) const override;
+  void compute_phase(earth::FiberContext& ctx, const core::CostTags& tags,
+                     const core::PhaseView& phase,
+                     core::ProcArrays& arrays) const override;
   void update_nodes(earth::FiberContext& ctx, const core::CostTags& tags,
                     std::uint32_t begin, std::uint32_t end,
                     std::uint32_t base,

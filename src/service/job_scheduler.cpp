@@ -157,6 +157,7 @@ JobOutcome JobScheduler::execute(Queued& job) {
           *req.kernel, req.plan, req.fingerprint, &cache_outcome);
       out.setup_seconds = seconds_since(t0);
       out.cache_hit = cache_outcome != PlanCache::Outcome::Built;
+      out.plan_build_seconds = plan->build_seconds;
 
       core::SweepOptions sopt;
       sopt.sweeps = req.sweeps;
@@ -164,6 +165,8 @@ JobOutcome JobScheduler::execute(Queued& job) {
                                ? req.deadline_seconds
                                : cfg_.default_deadline;
       sopt.lose_forward = req.lose_forward;
+      sopt.batch = req.batch;
+      sopt.affinity = req.affinity;
       const auto t1 = Clock::now();
       out.native = core::run_native_plan(*req.kernel, *plan, sopt);
       out.exec_seconds = seconds_since(t1);

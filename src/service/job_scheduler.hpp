@@ -61,6 +61,11 @@ struct JobRequest {
   std::optional<std::uint64_t> fingerprint;
   /// Test hook forwarded to SweepOptions (exercises the deadline path).
   core::SweepOptions::LostForward lose_forward{};
+  /// Execute phases through the batched compute_phase hot path (see
+  /// core::SweepOptions::batch); off runs the per-edge fallback.
+  bool batch = true;
+  /// Worker pinning + first-touch placement for this job's sweep threads.
+  core::AffinityOptions affinity{};
 };
 
 enum class JobState {
@@ -81,6 +86,10 @@ struct JobOutcome {
   bool simulated = false;
   double queue_seconds = 0.0;  ///< admission to worker pickup
   double setup_seconds = 0.0;  ///< plan acquisition (0 for simulated)
+  /// Host seconds the plan's build itself took (ExecutionPlan::
+  /// build_seconds; repeated for cache hits since the plan is shared) —
+  /// lets clients separate build cost from cache-lookup cost.
+  double plan_build_seconds = 0.0;
   double exec_seconds = 0.0;   ///< sweep execution wall time
   double total_seconds = 0.0;  ///< admission to resolution
   core::NativeResult native;       ///< filled for native jobs

@@ -9,6 +9,11 @@
 //                        [--procs=P] [--k=K] [--dist=block|cyclic|bc]
 //                        [--sweeps=N] [--engine=rotation|classic|native]
 //                        [--gantt]
+//                        native engine only:
+//                        [--batch|--no-batch] (batched compute_phase hot
+//                        path, default on) [--pin] (worker pinning +
+//                        first-touch) [--parallel-build[=T]] (plan build
+//                        task pool; T omitted = all cores)
 //                        fault injection (engine=rotation only):
 //                        [--fault-drop=p] [--fault-corrupt=p]
 //                        [--fault-dup=p] [--fault-delay=p]
@@ -25,8 +30,9 @@
 // skipped. Keys: kernel=euler|moldyn|fig1, mesh=<file> or
 // preset=<name> or nodes=N edges=E [seed=S], procs=P, k=K,
 // dist=block|cyclic|bc [bc=CHUNK], sweeps=N, [dedup], [deadline=S],
-// [engine=native|sim], [name=LABEL]. Jobs on the same mesh share one
-// cached execution plan (see src/service/plan_cache.hpp).
+// [engine=native|sim], [name=LABEL], [no-batch], [pin],
+// [parallel-build[=T]]. Jobs on the same mesh share one cached
+// execution plan (see src/service/plan_cache.hpp).
 //
 // Exit status: 0 on success, 1 on usage/data errors (message on stderr);
 // batch/serve exit 1 if any job failed or was rejected.
@@ -152,6 +158,22 @@ int cmd_info(const Options& opt) {
   return 0;
 }
 
+/// Shared parsing of the native-engine hot-path knobs (`run` flags and
+/// batch/serve job-line keys): --batch/--no-batch, --pin,
+/// --parallel-build[=T] (T omitted = one build thread per core).
+void hotpath_from_options(const Options& opt, bool& batch,
+                          core::AffinityOptions& affinity,
+                          std::uint32_t& build_threads) {
+  batch = opt.has("no-batch") ? false : opt.get_bool("batch", true);
+  if (opt.get_bool("pin", false)) {
+    affinity.pin_threads = true;
+    affinity.first_touch = true;
+  }
+  if (opt.has("parallel-build"))
+    build_threads =
+        static_cast<std::uint32_t>(opt.get_int("parallel-build", 0));
+}
+
 earth::FaultConfig fault_from_options(const Options& opt) {
   earth::FaultConfig fc;
   fc.drop = opt.get_double("fault-drop", 0.0);
@@ -207,8 +229,15 @@ int cmd_run(const Options& opt) {
     nopt.k = k;
     nopt.distribution = dist;
     nopt.sweeps = sweeps;
-    const core::NativeResult r = core::run_native_engine(*kernel, nopt);
+    hotpath_from_options(opt, nopt.batch, nopt.affinity,
+                         nopt.build_threads);
+    const core::ExecutionPlan plan =
+        core::build_execution_plan(*kernel, nopt.plan());
+    const core::NativeResult r =
+        core::run_native_plan(*kernel, plan, nopt.sweep());
+    t.add_row({"plan build seconds", fmt_f(plan.build_seconds, 4)});
     t.add_row({"wall seconds (host threads)", fmt_f(r.wall_seconds, 4)});
+    t.add_row({"executor", nopt.batch ? "batched" : "per-edge"});
   } else {
     core::RunResult r;
     if (engine == "classic") {
@@ -402,6 +431,8 @@ int run_service(std::istream& jobs_in, const Options& opt) {
     req.plan.inspector.dedup_buffers = jopt.get_bool("dedup", false);
     req.sweeps = static_cast<std::uint32_t>(jopt.get_int("sweeps", 1));
     req.deadline_seconds = jopt.get_double("deadline", 0.0);
+    hotpath_from_options(jopt, req.batch, req.affinity,
+                         req.plan.build_threads);
     const std::string engine = jopt.get("engine", "native");
     if (engine == "sim" || engine == "rotation") req.simulated = true;
     else ER_CHECK_MSG(engine == "native",
@@ -439,6 +470,7 @@ int run_service(std::istream& jobs_in, const Options& opt) {
           .field("cache_hit", o.cache_hit)
           .field("queue_seconds", o.queue_seconds)
           .field("setup_seconds", o.setup_seconds)
+          .field("plan_build_seconds", o.plan_build_seconds)
           .field("exec_seconds", o.exec_seconds)
           .field("total_seconds", o.total_seconds);
       if (!o.error.empty()) w.field("error", o.error);
