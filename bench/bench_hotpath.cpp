@@ -17,11 +17,17 @@
 // run is independent, so the build should scale near-linearly in P on a
 // multi-core host (on a single-core container both modes tie).
 //
+// Part 3 (plan verifier): times the unverified cold build, then the
+// budget-mode structural invariant pass (inspector/plan_verifier.hpp)
+// that PlanOptions::verify appends to it. The pass is budgeted at <5%
+// of cold plan-build time — that is what lets CI leave it on for every
+// Debug build. The pass must also come back clean on the built plan.
+//
 // Exit code: 0 when every kernel's executors agree bit-identically AND
 // (full mode only) the best batched speedup reaches 2x on euler or
-// moldyn; nonzero otherwise. --small shrinks meshes/reps for CI smoke
-// runs and drops the speedup gate (shared runners are too noisy to gate
-// on throughput).
+// moldyn AND (full mode only) the verifier overhead stays under 5%;
+// nonzero otherwise. --small shrinks meshes/reps for CI smoke runs and
+// drops both gates (shared runners are too noisy to gate on throughput).
 //
 // Flags: --small, --procs=P (default 4), --k=K (default 2),
 //        --sweeps=S, --reps=R, --json=<path> (JSONL records).
@@ -35,6 +41,7 @@
 
 #include "bench_common.hpp"
 #include "core/native_engine.hpp"
+#include "inspector/plan_verifier.hpp"
 #include "kernels/euler.hpp"
 #include "kernels/fig1.hpp"
 #include "kernels/moldyn.hpp"
@@ -200,6 +207,57 @@ int run(const Options& opt) {
               fmt_f(build_speedup, 2) + "x"});
   bt.print(std::cout);
 
+  // ---- Part 3: plan-verifier overhead on a cold build -----------------
+  // Serial build (build_threads=1) so the verifier pass is measured
+  // against a deterministic baseline rather than a thread-pool race.
+  // PlanOptions::verify adds exactly one budget-mode verify_plan call to
+  // the build, so the overhead is that call's cost over the unverified
+  // build — timing the pass directly instead of differencing two noisy
+  // multi-millisecond builds keeps the gate stable on shared runners.
+  popt.build_threads = 1;
+  popt.verify = false;
+  double unverified_s = 0.0;
+  for (std::uint32_t r = 0; r < reps; ++r) {
+    const auto t0 = Clock::now();
+    const core::ExecutionPlan plan =
+        core::build_execution_plan(*build_wl.kernel, popt);
+    const double s = seconds_since(t0);
+    (void)plan;
+    if (r == 0 || s < unverified_s) unverified_s = s;
+  }
+  const core::ExecutionPlan vplan =
+      core::build_execution_plan(*build_wl.kernel, popt);
+  inspector::PlanVerifyOptions vopt;
+  vopt.exhaustive = false;  // what PlanOptions::verify runs in the build
+  double verify_s = 0.0;
+  bool verify_clean = true;
+  for (std::uint32_t r = 0; r < std::max(reps, 3u); ++r) {
+    const auto t0 = Clock::now();
+    const inspector::PlanVerifyReport vrep = inspector::verify_plan(
+        vplan.sched, vplan.insp, vplan.shape.num_edges, vplan.shape.num_refs,
+        vopt);
+    const double s = seconds_since(t0);
+    verify_clean = verify_clean && vrep.ok();
+    if (r == 0 || s < verify_s) verify_s = s;
+  }
+  const double verify_overhead =
+      unverified_s > 0 ? verify_s / unverified_s : 0.0;
+
+  Table vt("plan verifier: cold-build overhead (" + build_wl.name +
+           ", P=" + std::to_string(procs) + ", k=" + std::to_string(k) +
+           ", best of " + std::to_string(reps) + ")");
+  vt.set_header({"pass", "ms", "overhead"});
+  vt.add_row({"cold build (verify=off)", fmt_f(unverified_s * 1e3, 3), "-"});
+  vt.add_row({"verify pass (budget mode)", fmt_f(verify_s * 1e3, 3),
+              fmt_f(verify_overhead * 100.0, 2) + "%"});
+  vt.print(std::cout);
+
+  const bool verify_ok = verify_clean && (small || verify_overhead < 0.05);
+  std::printf("plan verifier overhead %.2f%% of cold build, report %s %s\n",
+              verify_overhead * 100.0, verify_clean ? "clean" : "NOT CLEAN",
+              small ? "(smoke mode: overhead not gated)"
+                    : (verify_ok ? "(< 5%: PASS)" : "(>= 5%: FAIL)"));
+
   const bool speedup_ok = small || best_speedup >= 2.0;
   std::printf(
       "batched executor bit-identical to per-edge: %s; best euler/moldyn "
@@ -222,12 +280,15 @@ int run(const Options& opt) {
         .field("plan_build_serial_seconds", serial_s)
         .field("plan_build_parallel_seconds", parallel_s)
         .field("plan_build_speedup", build_speedup)
+        .field("verify_off_build_seconds", unverified_s)
+        .field("verify_pass_seconds", verify_s)
+        .field("verify_overhead_fraction", verify_overhead)
         .field("bit_identical", all_identical)
         .field("best_batched_speedup", best_speedup);
     append_json_line(opt.get("json"), w.str());
     std::printf("appended JSON record to %s\n", opt.get("json").c_str());
   }
-  return all_identical && speedup_ok ? 0 : 1;
+  return all_identical && speedup_ok && verify_ok ? 0 : 1;
 }
 
 }  // namespace

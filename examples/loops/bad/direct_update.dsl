@@ -1,0 +1,9 @@
+// Illegal here: a direct iteration-aligned update (no indirection) is a
+// regular reduction, outside this compiler's irregular model.
+param num_nodes, num_edges;
+array real X[num_edges];
+array real Y[num_edges];
+
+forall (e : 0 .. num_edges) {
+  X[e] += Y[e] * 0.5;
+}

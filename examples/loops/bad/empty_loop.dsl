@@ -1,0 +1,8 @@
+// Legal but empty: no reduction statement, so the loop compiles to
+// nothing.
+param num_nodes, num_edges;
+array real Y[num_edges];
+
+forall (e : 0 .. num_edges) {
+  t = Y[e] * 2.0;
+}

@@ -1,0 +1,10 @@
+// Illegal: the indirection array is sized by num_nodes but indexed by a
+// loop running to num_edges.
+param num_nodes, num_edges;
+array real X[num_nodes];
+array int  IA[num_nodes];
+array real Y[num_edges];
+
+forall (e : 0 .. num_edges) {
+  X[IA[e]] += Y[e];
+}

@@ -1,0 +1,13 @@
+// Illegal: IA steers the reduction in the first statement but is itself
+// accumulated into by the second — the inspector's precomputed schedule
+// would go stale mid-loop.
+param num_nodes, num_edges;
+array real X[num_nodes];
+array int  IA[num_edges];
+array int  JA[num_edges];
+array real Y[num_edges];
+
+forall (e : 0 .. num_edges) {
+  X[IA[e]]  += Y[e];
+  IA[JA[e]] += 1.0;
+}

@@ -1,0 +1,9 @@
+// Ill-formed: missing semicolon after the accumulate statement.
+param num_nodes, num_edges;
+array real X[num_nodes];
+array int  IA[num_edges];
+array real Y[num_edges];
+
+forall (e : 0 .. num_edges) {
+  X[IA[e]] += Y[e]
+}

@@ -1,0 +1,10 @@
+// Illegal: the reduction array X is also *read* in the loop that updates
+// it, so iterations are no longer order-independent.
+param num_nodes, num_edges;
+array real X[num_nodes];
+array int  IA[num_edges];
+array real Y[num_edges];
+
+forall (e : 0 .. num_edges) {
+  X[IA[e]] += Y[e] + X[IA[e]];
+}

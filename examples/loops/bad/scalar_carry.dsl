@@ -1,0 +1,11 @@
+// Illegal: `t` is read before its definition in the same iteration — a
+// loop-carried scalar dependence, outside the irregular-reduction model.
+param num_nodes, num_edges;
+array real X[num_nodes];
+array int  IA[num_edges];
+array real Y[num_edges];
+
+forall (e : 0 .. num_edges) {
+  X[IA[e]] += t * Y[e];
+  t = Y[e] * 2.0;
+}

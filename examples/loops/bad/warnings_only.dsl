@@ -1,0 +1,13 @@
+// Legal but smelly: `unused` is never read and `f` is defined twice per
+// iteration. Warnings, not errors — the loop still compiles.
+param num_nodes, num_edges;
+array real X[num_nodes];
+array int  IA[num_edges];
+array real Y[num_edges];
+
+forall (e : 0 .. num_edges) {
+  f = Y[e] * 2.0;
+  f = f + 1.0;
+  unused = Y[e];
+  X[IA[e]] += f;
+}

@@ -45,23 +45,24 @@ class Analyzer {
   }
 
  private:
-  void error(std::uint32_t line, std::uint32_t col, std::string msg) {
-    sink_.error(line, col, std::move(msg));
+  void error(std::uint32_t line, std::uint32_t col, const char* code,
+             std::string msg) {
+    sink_.error(line, col, code, std::move(msg));
   }
 
   void build_symbols() {
     for (const std::string& p : prog_.params) {
       if (!syms_.params.insert(p).second)
-        error(0, 0, "duplicate parameter '" + p + "'");
+        error(0, 0, "E-DUP-PARAM", "duplicate parameter '" + p + "'");
     }
     for (const ArrayDecl& a : prog_.arrays) {
       if (syms_.params.count(a.name))
-        error(a.line, a.column,
+        error(a.line, a.column, "E-DUP-DECL",
               "'" + a.name + "' already declared as a parameter");
       if (!syms_.arrays.emplace(a.name, &a).second)
-        error(a.line, a.column, "duplicate array '" + a.name + "'");
+        error(a.line, a.column, "E-DUP-DECL", "duplicate array '" + a.name + "'");
       if (!syms_.params.count(a.size_param))
-        error(a.line, a.column,
+        error(a.line, a.column, "E-UNDECL-PARAM",
               "array '" + a.name + "' sized by undeclared parameter '" +
                   a.size_param + "'");
     }
@@ -71,7 +72,7 @@ class Analyzer {
                                 std::uint32_t col) {
     const auto it = syms_.arrays.find(name);
     if (it == syms_.arrays.end()) {
-      error(line, col, "undeclared array '" + name + "'");
+      error(line, col, "E-UNDECL-ARRAY", "undeclared array '" + name + "'");
       return nullptr;
     }
     return it->second;
@@ -82,14 +83,14 @@ class Analyzer {
   /// extent for section bookkeeping.
   const ArrayDecl* check_index(const Loop& loop, const IndexExpr& idx) {
     if (idx.inner_var != loop.var) {
-      error(idx.line, idx.column,
+      error(idx.line, idx.column, "E-NONLOOP-INDEX",
             "index variable '" + idx.inner_var +
                 "' is not the loop variable '" + loop.var + "'");
     }
     if (idx.is_direct()) return nullptr;
     const ArrayDecl* ia = lookup_array(idx.indirection, idx.line, idx.column);
     if (ia && ia->type != ElemType::Int)
-      error(idx.line, idx.column,
+      error(idx.line, idx.column, "E-INDIR-TYPE",
             "indirection array '" + ia->name + "' must be 'int'");
     return ia;
   }
@@ -103,7 +104,7 @@ class Analyzer {
 
     // Loop-variable sanity.
     if (syms_.params.count(loop.var) || syms_.arrays.count(loop.var))
-      error(loop.line, loop.column,
+      error(loop.line, loop.column, "E-SHADOW",
             "loop variable '" + loop.var + "' shadows a declaration");
 
     // Reduction targets (arrays written via +=/-=) in this loop.
@@ -121,7 +122,7 @@ class Analyzer {
       if (s.value) collect_scalar_reads(*s.value, reads);
       for (const std::string& r : reads) {
         if (!defined_scalars.count(r))
-          error(s.line, s.column,
+          error(s.line, s.column, "E-UNDEF-SCALAR",
                 "scalar '" + r + "' used before definition");
       }
       std::vector<const Expr*> refs;
@@ -132,13 +133,13 @@ class Analyzer {
         const ArrayDecl* ia = check_index(loop, ref->index);
         if (!arr) continue;
         if (arr->type == ElemType::Int)
-          error(ref->line, ref->column,
+          error(ref->line, ref->column, "E-INT-READ",
                 "int array '" + arr->name +
                     "' may only be used as an indirection index");
         if (reduction_targets.count(ref->name)) {
           // Reading a reduction array in the loop that updates it is a
           // loop-carried dependency beyond reduction semantics.
-          error(ref->line, ref->column,
+          error(ref->line, ref->column, "E-RED-READ",
                 "reduction array '" + ref->name +
                     "' is read in the same loop (loop-carried dependence; "
                     "not an irregular reduction)");
@@ -146,13 +147,13 @@ class Analyzer {
         if (ref->index.is_direct()) {
           // Iteration-aligned read: extent must match the loop extent.
           if (!loop.hi_param.empty() && arr->size_param != loop.hi_param)
-            error(ref->line, ref->column,
+            error(ref->line, ref->column, "E-EXTENT",
                   "iteration-aligned array '" + arr->name + "' has extent '" +
                       arr->size_param + "' but the loop iterates over '" +
                       loop.hi_param + "'");
         } else if (ia) {
           if (!loop.hi_param.empty() && ia->size_param != loop.hi_param)
-            error(ref->index.line, ref->index.column,
+            error(ref->index.line, ref->index.column, "E-EXTENT",
                   "indirection array '" + ia->name + "' has extent '" +
                       ia->size_param + "' but the loop iterates over '" +
                       loop.hi_param + "'");
@@ -161,7 +162,7 @@ class Analyzer {
 
       if (s.kind == StmtKind::ScalarAssign) {
         if (syms_.arrays.count(s.target) || syms_.params.count(s.target))
-          error(s.line, s.column,
+          error(s.line, s.column, "E-SHADOW",
                 "scalar '" + s.target + "' shadows a declaration");
         defined_scalars.insert(s.target);
         continue;
@@ -171,10 +172,10 @@ class Analyzer {
       const ArrayDecl* target = lookup_array(s.target, s.line, s.column);
       const ArrayDecl* ia = check_index(loop, s.index);
       if (target && target->type != ElemType::Real)
-        error(s.line, s.column,
+        error(s.line, s.column, "E-RED-TYPE",
               "reduction array '" + s.target + "' must be 'real'");
       if (s.index.is_direct()) {
-        error(s.line, s.column,
+        error(s.line, s.column, "E-DIRECT-UPDATE",
               "accumulation into '" + s.target +
                   "' is not through an indirection array; direct "
                   "iteration-aligned updates are outside the irregular-"
@@ -182,7 +183,7 @@ class Analyzer {
         continue;
       }
       if (ia && !loop.hi_param.empty() && ia->size_param != loop.hi_param)
-        error(s.index.line, s.index.column,
+        error(s.index.line, s.index.column, "E-EXTENT",
               "indirection array '" + ia->name + "' has extent '" +
                   ia->size_param + "' but the loop iterates over '" +
                   loop.hi_param + "'");

@@ -1,0 +1,220 @@
+#include "compiler/check.hpp"
+
+#include <map>
+#include <set>
+
+#include "compiler/parser.hpp"
+
+namespace earthred::compiler {
+
+namespace {
+
+/// Collects scalar reads of an expression in evaluation order.
+void scalar_reads(const Expr& e, std::vector<const Expr*>& out) {
+  if (e.kind == ExprKind::ScalarRef) out.push_back(&e);
+  if (e.lhs) scalar_reads(*e.lhs, out);
+  if (e.rhs) scalar_reads(*e.rhs, out);
+}
+
+class LegalityWalk {
+ public:
+  LegalityWalk(const Program& program, const AnalysisResult& analysis,
+               DiagnosticSink& sink)
+      : prog_(program), analysis_(analysis), sink_(sink) {
+    for (const ArrayDecl& a : prog_.arrays) arrays_.insert(a.name);
+  }
+
+  std::vector<LoopLegality> run() {
+    std::vector<LoopLegality> verdicts;
+    verdicts.reserve(prog_.loops.size());
+    for (std::size_t li = 0; li < prog_.loops.size(); ++li)
+      verdicts.push_back(check_loop(
+          prog_.loops[li],
+          li < analysis_.loops.size() ? &analysis_.loops[li] : nullptr));
+    return verdicts;
+  }
+
+ private:
+  LoopLegality check_loop(const Loop& loop, const LoopAnalysis* la) {
+    LoopLegality verdict;
+    const std::size_t before = sink_.error_count();
+
+    // Pass 1: classify the names this loop writes and indexes through.
+    std::set<std::string> written;       // all write targets (any form)
+    std::set<std::string> indirections;  // arrays used as an index map
+    const auto note_index = [&](const IndexExpr& idx) {
+      if (!idx.is_direct()) indirections.insert(idx.indirection);
+    };
+    for (const Stmt& s : loop.body) {
+      written.insert(s.target);
+      if (s.kind == StmtKind::Accumulate) {
+        ++verdict.reduction_writes;
+        note_index(s.index);
+      } else {
+        ++verdict.scalar_assigns;
+      }
+      if (s.value) collect(*s.value, note_index);
+    }
+
+    // E-NONRED-WRITE: a ScalarAssign whose target is a declared array is
+    // an array write outside the +=-class accumulate form — the grammar
+    // cannot spell it, but programmatically built ASTs (and future
+    // transformations) can, and it would miscompile silently.
+    for (const Stmt& s : loop.body) {
+      if (s.kind == StmtKind::ScalarAssign && arrays_.count(s.target))
+        sink_.error(s.line, s.column, "E-NONRED-WRITE",
+                    "array '" + s.target +
+                        "' is written with '=' inside the loop; only "
+                        "associative/commutative '+='/'-=' accumulations "
+                        "through an indirection are reduction-legal");
+    }
+
+    // E-INDIR-WRITE: the LightInspector precomputes the phase schedule
+    // from the indirection arrays, so they must be loop-invariant.
+    for (const Stmt& s : loop.body) {
+      if (indirections.count(s.target))
+        sink_.error(s.line, s.column, "E-INDIR-WRITE",
+                    "indirection array '" + s.target +
+                        "' is written inside the loop; indirection must be "
+                        "loop-invariant for the inspector's schedule to "
+                        "stay valid");
+    }
+
+    // Scalar dataflow: reads-before-writes with a later definition are
+    // loop-carried dependences; definitions never read are dead.
+    std::map<std::string, const Stmt*> first_def;
+    std::map<std::string, std::size_t> def_count;
+    for (const Stmt& s : loop.body) {
+      if (s.kind != StmtKind::ScalarAssign || arrays_.count(s.target))
+        continue;
+      if (!first_def.count(s.target)) first_def[s.target] = &s;
+      ++def_count[s.target];
+    }
+    std::set<std::string> defined, read;
+    for (const Stmt& s : loop.body) {
+      std::vector<const Expr*> reads;
+      if (s.value) scalar_reads(*s.value, reads);
+      for (const Expr* r : reads) {
+        read.insert(r->name);
+        if (!defined.count(r->name) && first_def.count(r->name)) {
+          sink_.error(r->line, r->column, "E-SCALAR-CARRY",
+                      "scalar '" + r->name +
+                          "' is read before its definition in the same "
+                          "iteration — a loop-carried scalar dependence, "
+                          "which is outside the irregular-reduction model");
+          const Stmt* def = first_def[r->name];
+          sink_.note(def->line, def->column, "E-SCALAR-CARRY",
+                     "'" + r->name + "' is defined here");
+        }
+      }
+      if (s.kind == StmtKind::ScalarAssign && !arrays_.count(s.target))
+        defined.insert(s.target);
+    }
+    for (const auto& [name, def] : first_def) {
+      if (!read.count(name))
+        sink_.warning(def->line, def->column, "W-UNUSED-SCALAR",
+                      "scalar '" + name +
+                          "' is assigned but never read in this loop");
+      if (def_count[name] > 1)
+        sink_.warning(def->line, def->column, "W-SCALAR-REDEF",
+                      "scalar '" + name + "' is assigned " +
+                          std::to_string(def_count[name]) +
+                          " times per iteration; loop fission replicates "
+                          "the last definition reaching each use");
+    }
+
+    if (verdict.reduction_writes == 0)
+      sink_.warning(loop.line, loop.column, "W-EMPTY-LOOP",
+                    "loop performs no reduction; it compiles to nothing");
+
+    // Reference groups (Definition 1) must be a legal fission partition:
+    // pairwise-disjoint reduction arrays, every accumulate statement in
+    // exactly one group. A violation means fission would either duplicate
+    // or drop updates.
+    if (la) check_groups(loop, *la);
+
+    verdict.legal = sink_.error_count() == before;
+    return verdict;
+  }
+
+  void check_groups(const Loop& loop, const LoopAnalysis& la) {
+    std::map<std::string, std::size_t> owner;  // reduction array -> group
+    std::map<std::size_t, std::size_t> stmt_cover;
+    for (std::size_t gi = 0; gi < la.groups.size(); ++gi) {
+      for (const std::string& arr : la.groups[gi].reduction_arrays) {
+        const auto [it, fresh] = owner.emplace(arr, gi);
+        if (!fresh)
+          sink_.error(loop.line, loop.column, "E-FISSION-GROUP",
+                      "reduction array '" + arr + "' belongs to groups " +
+                          std::to_string(it->second) + " and " +
+                          std::to_string(gi) +
+                          "; fission would duplicate its updates");
+      }
+      for (const std::size_t si : la.groups[gi].statement_indices)
+        ++stmt_cover[si];
+    }
+    for (std::size_t si = 0; si < loop.body.size(); ++si) {
+      const Stmt& s = loop.body[si];
+      if (s.kind != StmtKind::Accumulate || s.index.is_direct()) continue;
+      const std::size_t n = stmt_cover.count(si) ? stmt_cover[si] : 0;
+      if (n != 1)
+        sink_.error(s.line, s.column, "E-FISSION-GROUP",
+                    "accumulate statement is covered by " +
+                        std::to_string(n) +
+                        " reference group(s); fission requires exactly one");
+    }
+  }
+
+  /// Walks an expression, invoking `f` on every array index.
+  template <typename F>
+  void collect(const Expr& e, F&& f) {
+    if (e.kind == ExprKind::ArrayRef) f(e.index);
+    if (e.lhs) collect(*e.lhs, f);
+    if (e.rhs) collect(*e.rhs, f);
+  }
+
+  const Program& prog_;
+  const AnalysisResult& analysis_;
+  DiagnosticSink& sink_;
+  std::set<std::string> arrays_;
+};
+
+}  // namespace
+
+std::string CheckReport::render() const {
+  std::string out;
+  for (const Diagnostic& d : diagnostics) {
+    out += d.to_string();
+    out += '\n';
+  }
+  return out;
+}
+
+std::string CheckReport::first_error() const {
+  for (const Diagnostic& d : diagnostics)
+    if (d.severity == Severity::Error) return d.header();
+  return {};
+}
+
+std::vector<LoopLegality> check_reduction_legality(
+    const Program& program, const AnalysisResult& analysis,
+    DiagnosticSink& sink) {
+  LegalityWalk walk(program, analysis, sink);
+  return walk.run();
+}
+
+CheckReport check_source(std::string_view source) {
+  DiagnosticSink sink;
+  sink.attach_source(source);
+  CheckReport report;
+  report.program = parse(source, sink);
+  if (!sink.has_errors()) {
+    report.analysis = analyze(report.program, sink);
+    report.loops =
+        check_reduction_legality(report.program, report.analysis, sink);
+  }
+  report.diagnostics = sink.diagnostics();
+  return report;
+}
+
+}  // namespace earthred::compiler

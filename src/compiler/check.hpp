@@ -1,0 +1,91 @@
+// Reduction-legality analysis (`earthred check`).
+//
+// The paper's execution strategy is only sound when the loop really is an
+// irregular reduction: every array write is a commutative/associative
+// accumulation (`+=` / `-=`), the indirection arrays are loop-invariant,
+// and no scalar dependence is carried between iterations other than
+// through the reduction accumulators themselves. compile() used to assume
+// these properties; this pass *proves* them with a dataflow walk over the
+// AST and emits structured diagnostics (severity + stable code) instead of
+// silently miscompiling. It also verifies that the reference groups the
+// Sec. 4 analysis produced form a legal fission partition — pairwise
+// disjoint reduction arrays covering every accumulate statement — which is
+// what lets the later transformations (fission, phasing, plan caching) be
+// trusted, in the spirit of Polly's reduction-aware legality modelling.
+//
+// Codes emitted here (catalogued with examples in docs/dsl.md):
+//   E-NONRED-WRITE   array written outside the +=-class accumulate form
+//   E-INDIR-WRITE    indirection array written inside the loop
+//   E-SCALAR-CARRY   scalar read before its (later) definition: a
+//                    loop-carried scalar dependence
+//   E-FISSION-GROUP  reference-group partition is not fission-legal
+//   W-UNUSED-SCALAR  scalar assigned but never read
+//   W-SCALAR-REDEF   scalar assigned more than once per iteration
+//   W-EMPTY-LOOP     loop contains no reduction statements
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "compiler/analysis.hpp"
+#include "compiler/ast.hpp"
+#include "compiler/diagnostics.hpp"
+
+namespace earthred::compiler {
+
+/// Per-loop verdict of the legality walk.
+struct LoopLegality {
+  bool legal = true;             ///< no errors attributed to this loop
+  std::size_t reduction_writes = 0;
+  std::size_t scalar_assigns = 0;
+};
+
+/// Output of check_source(): the parsed program and analysis (possibly
+/// partial when the source is ill-formed) plus every diagnostic produced
+/// by any stage, in emission order.
+struct CheckReport {
+  Program program;
+  AnalysisResult analysis;
+  std::vector<Diagnostic> diagnostics;
+  std::vector<LoopLegality> loops;  ///< parallel to program.loops
+
+  bool has_errors() const {
+    for (const Diagnostic& d : diagnostics)
+      if (d.severity == Severity::Error) return true;
+    return false;
+  }
+  std::size_t error_count() const {
+    std::size_t n = 0;
+    for (const Diagnostic& d : diagnostics)
+      if (d.severity == Severity::Error) ++n;
+    return n;
+  }
+  std::size_t warning_count() const {
+    std::size_t n = 0;
+    for (const Diagnostic& d : diagnostics)
+      if (d.severity == Severity::Warning) ++n;
+    return n;
+  }
+  /// Full multi-line rendering (with source snippets) of all diagnostics.
+  std::string render() const;
+  /// First error's one-line header — the reject reason the service uses.
+  std::string first_error() const;
+};
+
+/// The legality dataflow walk over an already-parsed program. `analysis`
+/// is consulted for the reference-group fission check; errors and
+/// warnings go to `sink`. Safe to run on ASTs built programmatically (it
+/// does not assume parser invariants, which is why E-NONRED-WRITE and
+/// E-INDIR-WRITE exist even though the grammar cannot spell them).
+std::vector<LoopLegality> check_reduction_legality(
+    const Program& program, const AnalysisResult& analysis,
+    DiagnosticSink& sink);
+
+/// Full no-throw pipeline: lex + parse + semantic analysis + the legality
+/// walk, collecting every diagnostic instead of throwing. This is the
+/// engine behind the `earthred check` CLI verb and the service's DSL
+/// admission control.
+CheckReport check_source(std::string_view source);
+
+}  // namespace earthred::compiler

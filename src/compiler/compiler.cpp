@@ -1,5 +1,6 @@
 #include "compiler/compiler.hpp"
 
+#include "compiler/check.hpp"
 #include "compiler/codegen.hpp"
 #include "compiler/parser.hpp"
 #include "support/check.hpp"
@@ -9,6 +10,7 @@ namespace earthred::compiler {
 CompileResult compile(std::string_view source,
                       const CompileOptions& options) {
   DiagnosticSink sink;
+  sink.attach_source(source);
   CompileResult result;
   result.program = parse(source, sink);
   if (!sink.has_errors() && options.optimize)
@@ -16,6 +18,11 @@ CompileResult compile(std::string_view source,
   if (!sink.has_errors()) {
     result.analysis = analyze(result.program, sink);
   }
+  // The reduction-legality walk (check.cpp) runs once sema is clean; its
+  // errors fail the compile like any other, while warnings flow through
+  // in CompileResult::diagnostics without throwing.
+  if (!sink.has_errors())
+    check_reduction_legality(result.program, result.analysis, sink);
   result.diagnostics = sink.diagnostics();
   if (sink.has_errors()) throw compile_error(sink.summary());
 

@@ -1,47 +1,23 @@
-// Diagnostics for the DSL compiler: errors carry source position and are
-// collected rather than thrown, so callers can report several problems per
-// compile. compile() throws compile_error only after reporting.
+// Diagnostics for the DSL compiler: errors carry source position, an
+// optional stable code, and a severity, and are collected rather than
+// thrown, so callers can report several problems per compile. compile()
+// throws compile_error only after reporting, and only for errors —
+// warnings and notes flow through in CompileResult::diagnostics.
+//
+// The underlying types live in support/diagnostics.hpp so the inspector's
+// plan verifier shares the same diagnostic currency; docs/dsl.md lists
+// every code the compiler layers emit.
 #pragma once
 
-#include <cstdint>
 #include <stdexcept>
-#include <string>
-#include <vector>
+
+#include "support/diagnostics.hpp"
 
 namespace earthred::compiler {
 
-struct Diagnostic {
-  std::uint32_t line = 0;
-  std::uint32_t column = 0;
-  std::string message;
-
-  std::string to_string() const {
-    return std::to_string(line) + ":" + std::to_string(column) + ": " +
-           message;
-  }
-};
-
-class DiagnosticSink {
- public:
-  void error(std::uint32_t line, std::uint32_t column, std::string msg) {
-    diags_.push_back({line, column, std::move(msg)});
-  }
-  bool has_errors() const noexcept { return !diags_.empty(); }
-  const std::vector<Diagnostic>& diagnostics() const noexcept {
-    return diags_;
-  }
-  std::string summary() const {
-    std::string out;
-    for (const Diagnostic& d : diags_) {
-      out += d.to_string();
-      out += '\n';
-    }
-    return out;
-  }
-
- private:
-  std::vector<Diagnostic> diags_;
-};
+using earthred::Diagnostic;
+using earthred::DiagnosticSink;
+using earthred::Severity;
 
 /// Thrown by compile() when the source has errors; what() holds the
 /// collected diagnostics.

@@ -90,7 +90,7 @@ std::vector<Token> lex(std::string_view src, DiagnosticSink& sink) {
       advance(2);
       while (i < src.size() && !(peek() == '*' && peek(1) == '/')) advance();
       if (i >= src.size()) {
-        sink.error(sl, sc, "unterminated block comment");
+        sink.error(sl, sc, "E-LEX", "unterminated block comment");
         break;
       }
       advance(2);
@@ -164,7 +164,7 @@ std::vector<Token> lex(std::string_view src, DiagnosticSink& sink) {
           push_at(TokenKind::DotDot, "..");
           advance(2);
         } else {
-          sink.error(sl, sc, "stray '.'");
+          sink.error(sl, sc, "E-LEX", "stray '.'");
           advance();
         }
         break;
@@ -191,7 +191,7 @@ std::vector<Token> lex(std::string_view src, DiagnosticSink& sink) {
         advance();
         break;
       default:
-        sink.error(sl, sc,
+        sink.error(sl, sc, "E-LEX",
                    std::string("unexpected character '") + c + "'");
         advance();
         break;

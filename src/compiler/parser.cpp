@@ -63,7 +63,7 @@ class Parser {
     if (pos_ + 1 < tokens_.size()) ++pos_;
   }
   void error(const std::string& msg) {
-    sink_.error(cur().line, cur().column,
+    sink_.error(cur().line, cur().column, "E-PARSE",
                 msg + " (found " + token_kind_name(cur().kind) + ")");
   }
   bool expect(TokenKind k) {

@@ -12,6 +12,7 @@
 #include <utility>
 #include <vector>
 
+#include "inspector/plan_walk.hpp"
 #include "inspector/rotation.hpp"
 #include "support/check.hpp"
 
@@ -38,11 +39,6 @@ struct StagedSlot {
   std::binary_semaphore free{1};
 };
 
-template <typename T>
-std::uint64_t vec_bytes(const std::vector<T>& v) {
-  return v.capacity() * sizeof(T);
-}
-
 /// Best-effort pin of the calling thread to one CPU (no-op where pthread
 /// CPU affinity is unavailable; failure is ignored — pinning is a
 /// performance hint, never a correctness requirement).
@@ -65,20 +61,12 @@ std::uint64_t ExecutionPlan::byte_size() const {
   // Every plan-owned buffer, including container-of-container headers:
   // the LRU budget of the PlanCache is only honest if growth anywhere in
   // the phase data is visible here (test_batch_equivalence asserts it).
+  // The per-processor traversal is the shared plan walk, so this stays in
+  // lockstep with the verifier's and the benches' accounting.
   std::uint64_t bytes = sizeof(ExecutionPlan);
   bytes += insp.capacity() * sizeof(InspectorResult);
-  for (const InspectorResult& r : insp) {
-    bytes += vec_bytes(r.assigned_phase) + vec_bytes(r.slot_elem) +
-             vec_bytes(r.free_slots);
-    bytes += r.phases.capacity() * sizeof(inspector::PhaseSchedule);
-    for (const inspector::PhaseSchedule& ph : r.phases) {
-      bytes += vec_bytes(ph.iter_global) + vec_bytes(ph.iter_local) +
-               vec_bytes(ph.indir_flat) + vec_bytes(ph.copy_dst) +
-               vec_bytes(ph.copy_src);
-      bytes += ph.indir.capacity() * sizeof(std::vector<std::uint32_t>);
-      for (const auto& row : ph.indir) bytes += vec_bytes(row);
-    }
-  }
+  for (const InspectorResult& r : insp)
+    bytes += inspector::inspector_byte_size(r);
   return bytes;
 }
 
@@ -149,7 +137,81 @@ ExecutionPlan build_execution_plan(const PhasedKernel& kernel,
   plan.build_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
+
+  if (opt.verify) {
+    // Budget mode: structural invariants via the verifier's aggregate
+    // pass — no kernel.ref() cross-check and no per-entry coverage walk
+    // unless a defect is detected — so the cost stays a small fraction
+    // of the inspector run itself (bench_hotpath reports the overhead;
+    // the budget is <5%). Admission and `earthred check` run the
+    // exhaustive pass.
+    inspector::PlanVerifyOptions vopt;
+    vopt.exhaustive = false;
+    const inspector::PlanVerifyReport report = inspector::verify_plan(
+        plan.sched, plan.insp, shape.num_edges, shape.num_refs, vopt);
+    if (!report.ok())
+      throw verify_error(
+          "execution plan failed verification (" +
+          std::to_string(report.violations) + " violation(s)): " +
+          report.first_error());
+  }
   return plan;
+}
+
+inspector::PlanVerifyReport verify_execution_plan(
+    const ExecutionPlan& plan, const PhasedKernel* kernel,
+    const inspector::PlanVerifyOptions& vopt) {
+  inspector::PlanVerifyReport report = inspector::verify_plan(
+      plan.sched, plan.insp, plan.shape.num_edges, plan.shape.num_refs,
+      vopt);
+  if (kernel == nullptr) return report;
+
+  const auto fail = [&](std::string msg) {
+    ++report.violations;
+    if (report.diagnostics.size() >= vopt.max_diagnostics) return;
+    Diagnostic d;
+    d.severity = Severity::Error;
+    d.code = "E-PLAN-REF-MISMATCH";
+    d.message = std::move(msg);
+    report.diagnostics.push_back(std::move(d));
+  };
+
+  // Cross-check: every scheduled reference must resolve — directly or
+  // through its buffer slot — to the element the kernel's indirection
+  // names for that (ref, iteration). This catches plans that satisfy
+  // every rotation invariant but belong to a *different* kernel (stale
+  // or aliased cache entries).
+  const std::uint32_t n_elems = plan.sched.num_elements();
+  for (std::uint32_t p = 0; p < plan.insp.size(); ++p) {
+    const InspectorResult& insp = plan.insp[p];
+    for (const inspector::PhaseSchedule& phase : insp.phases) {
+      const std::size_t n = phase.iter_global.size();
+      for (std::size_t r = 0; r < phase.indir.size(); ++r) {
+        if (phase.indir[r].size() != n) continue;  // already E-PLAN-SHAPE
+        for (std::size_t j = 0; j < n; ++j) {
+          const std::uint64_t g = phase.iter_global[j];
+          if (g >= plan.shape.num_edges) continue;  // already E-PLAN-OOB
+          const std::uint32_t expected =
+              kernel->ref(static_cast<std::uint32_t>(r), g);
+          const std::uint32_t v = phase.indir[r][j];
+          std::uint32_t actual = v;
+          if (v >= n_elems) {
+            const std::uint64_t slot =
+                static_cast<std::uint64_t>(v) - n_elems;
+            if (slot >= insp.slot_elem.size()) continue;  // E-PLAN-SLOT-RANGE
+            actual = insp.slot_elem[slot];
+          }
+          if (actual != expected)
+            fail("proc " + std::to_string(p) + " ref " + std::to_string(r) +
+                 " iteration " + std::to_string(g) +
+                 ": plan resolves to element " + std::to_string(actual) +
+                 " but the kernel's indirection names " +
+                 std::to_string(expected));
+        }
+      }
+    }
+  }
+  return report;
 }
 
 NativeResult run_native_plan(const PhasedKernel& kernel,

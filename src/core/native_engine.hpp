@@ -30,6 +30,7 @@
 #include "core/kernel.hpp"
 #include "inspector/distribution.hpp"
 #include "inspector/light_inspector.hpp"
+#include "inspector/plan_verifier.hpp"
 #include "inspector/rotation.hpp"
 
 namespace earthred::core {
@@ -51,6 +52,17 @@ struct PlanOptions {
   /// run is independent and deterministic — so this knob deliberately
   /// does NOT enter the PlanCache key.
   std::uint32_t build_threads = 1;
+  /// Run the structural plan verifier (inspector/plan_verifier.hpp) on
+  /// the freshly built plan and throw verify_error if any rotation
+  /// invariant fails. Defaults on in Debug builds (and CI, which builds
+  /// Debug); off in Release, where the inspector is trusted and the
+  /// <5%-of-cold-build budget matters. Like build_threads, this does not
+  /// change the plan produced, so it is NOT part of the PlanCache key.
+#ifdef NDEBUG
+  bool verify = false;
+#else
+  bool verify = true;
+#endif
 };
 
 /// The reusable preprocessing product: rotation schedule plus one
@@ -73,9 +85,24 @@ struct ExecutionPlan {
 
 /// Runs distribution + LightInspector for every processor and returns the
 /// immutable plan. Throws on invalid shapes (e.g. more portions than
-/// elements).
+/// elements), and — when opt.verify is set — verify_error if the built
+/// plan violates a rotation invariant (structural verification only; the
+/// kernel cross-check below is reserved for admission paths).
 ExecutionPlan build_execution_plan(const PhasedKernel& kernel,
                                    const PlanOptions& opt);
+
+/// Full plan verification: the structural invariant pass of
+/// inspector::verify_plan plus — when `kernel` is non-null — a cross-check
+/// that every scheduled reference resolves to the element the kernel's
+/// indirection actually names (direct entries must equal ref(r, iter);
+/// redirected entries must buffer that element), reported as
+/// E-PLAN-REF-MISMATCH. The cross-check costs one virtual ref() call per
+/// scheduled reference, which is why build_execution_plan doesn't do it;
+/// the service's admission control, the CLI's --check, and the seeded-
+/// defect tests do. Never throws on plan defects.
+inspector::PlanVerifyReport verify_execution_plan(
+    const ExecutionPlan& plan, const PhasedKernel* kernel = nullptr,
+    const inspector::PlanVerifyOptions& vopt = {});
 
 /// NUMA/affinity knobs for the native engine's worker threads (the
 /// ROADMAP's pin + first-touch open item). Both default off; pinning is a

@@ -1,0 +1,51 @@
+#include "inspector/plan_walk.hpp"
+
+namespace earthred::inspector {
+
+namespace {
+
+/// Heap bytes held by one vector (capacity, not size — the allocation is
+/// what the cache budget pays for). Container headers are accounted by the
+/// enclosing struct's sizeof, never here.
+template <typename T>
+std::uint64_t vec_bytes(const std::vector<T>& v) {
+  return v.capacity() * sizeof(T);
+}
+
+}  // namespace
+
+PlanWalkStats walk_inspector(const InspectorResult& insp,
+                             std::uint32_t num_elements) {
+  PlanWalkStats stats;
+  for_each_phase(insp, [&](std::uint32_t, const PhaseSchedule& phase) {
+    stats.iterations += phase.iter_global.size();
+    for (const std::vector<std::uint32_t>& row : phase.indir) {
+      for (const std::uint32_t v : row) {
+        if (v < num_elements)
+          ++stats.direct_refs;
+        else
+          ++stats.deferred_refs;
+      }
+    }
+    stats.fold_entries += phase.copy_dst.size();
+  });
+  stats.bytes = inspector_byte_size(insp);
+  return stats;
+}
+
+std::uint64_t inspector_byte_size(const InspectorResult& insp) {
+  std::uint64_t bytes = vec_bytes(insp.assigned_phase) +
+                        vec_bytes(insp.slot_elem) +
+                        vec_bytes(insp.free_slots);
+  bytes += insp.phases.capacity() * sizeof(PhaseSchedule);
+  for_each_phase(insp, [&](std::uint32_t, const PhaseSchedule& ph) {
+    bytes += vec_bytes(ph.iter_global) + vec_bytes(ph.iter_local) +
+             vec_bytes(ph.indir_flat) + vec_bytes(ph.copy_dst) +
+             vec_bytes(ph.copy_src);
+    bytes += ph.indir.capacity() * sizeof(std::vector<std::uint32_t>);
+    for (const auto& row : ph.indir) bytes += vec_bytes(row);
+  });
+  return bytes;
+}
+
+}  // namespace earthred::inspector

@@ -1,0 +1,44 @@
+// Shared traversal over LightInspector output.
+//
+// Three consumers walk the same phase structure — ExecutionPlan::byte_size
+// (the PlanCache's LRU accounting), the plan verifier, and the benches'
+// plan-footprint reporting — and used to each hand-roll the loop. This
+// header is the single traversal they share: for_each_phase() visits every
+// phase of an InspectorResult, and the two concrete walks (byte size,
+// summary stats) are built on it.
+#pragma once
+
+#include <cstdint>
+
+#include "inspector/light_inspector.hpp"
+
+namespace earthred::inspector {
+
+/// Visits every phase of `insp` in phase order: f(phase_index, phase).
+template <typename F>
+void for_each_phase(const InspectorResult& insp, F&& f) {
+  for (std::uint32_t ph = 0; ph < insp.phases.size(); ++ph)
+    f(ph, insp.phases[ph]);
+}
+
+/// One-pass summary of an InspectorResult's schedule.
+struct PlanWalkStats {
+  std::uint64_t iterations = 0;     ///< entries across all phases
+  std::uint64_t direct_refs = 0;    ///< references resolved in-phase
+  std::uint64_t deferred_refs = 0;  ///< references redirected to a buffer
+  std::uint64_t fold_entries = 0;   ///< second-loop copy entries
+  std::uint64_t bytes = 0;          ///< heap footprint (see byte_size)
+};
+
+/// Walks `insp` once, counting iterations, direct vs deferred references
+/// (split at `num_elements`), fold entries, and the heap footprint.
+PlanWalkStats walk_inspector(const InspectorResult& insp,
+                             std::uint32_t num_elements);
+
+/// Heap footprint of one InspectorResult in bytes (allocations only; the
+/// struct headers are the caller's sizeof). ExecutionPlan::byte_size sums
+/// this per processor; the PlanCache LRU budget is only honest if growth
+/// anywhere in the phase data is visible here.
+std::uint64_t inspector_byte_size(const InspectorResult& insp);
+
+}  // namespace earthred::inspector

@@ -4,6 +4,7 @@
 #include <exception>
 #include <utility>
 
+#include "compiler/check.hpp"
 #include "support/check.hpp"
 #include "support/stats.hpp"
 
@@ -34,7 +35,8 @@ JobHandle JobScheduler::submit(JobRequest req) {
   std::promise<JobOutcome> promise;
   JobHandle handle(promise.get_future().share());
 
-  const auto reject = [&](const std::string& reason) {
+  const auto reject = [&](const std::string& reason,
+                          std::uint64_t* bucket = nullptr) {
     JobOutcome out;
     out.state = JobState::Rejected;
     out.name = req.name;
@@ -43,8 +45,21 @@ JobHandle JobScheduler::submit(JobRequest req) {
     const std::lock_guard<std::mutex> lock(mutex_);
     ++submitted_;
     ++rejected_;
+    if (bucket) ++*bucket;
   };
 
+  if (!req.dsl_source.empty()) {
+    // Admission-time legality check (runs before the kernel check so an
+    // illegal loop is diagnosed as such even when no kernel could be
+    // bound from it): refused before it can occupy a worker, with the
+    // checker's first diagnostic as the reason.
+    const compiler::CheckReport report =
+        compiler::check_source(req.dsl_source);
+    if (report.has_errors()) {
+      reject("DSL rejected: " + report.first_error(), &rejected_dsl_);
+      return handle;
+    }
+  }
   if (!req.kernel) {
     reject("malformed request: null kernel");
     return handle;
@@ -111,10 +126,16 @@ void JobScheduler::worker_loop() {
     {
       const std::lock_guard<std::mutex> lock(mutex_);
       --in_flight_;
-      if (out.state == JobState::Done)
+      if (out.state == JobState::Done) {
         ++completed_;
-      else
+      } else if (out.state == JobState::Rejected) {
+        // Worker-resolved rejects (plan verification) land in the same
+        // lifetime tally as admission rejects, plus their own bucket.
+        ++rejected_;
+        ++rejected_plan_;
+      } else {
         ++failed_;
+      }
       latencies_.push_back(out.total_seconds);
       if (!job.req.simulated) {
         if (out.cache_hit) {
@@ -159,6 +180,24 @@ JobOutcome JobScheduler::execute(Queued& job) {
       out.cache_hit = cache_outcome != PlanCache::Outcome::Built;
       out.plan_build_seconds = plan->build_seconds;
 
+      if (req.plan.verify) {
+        // Full verification — rotation invariants plus the kernel
+        // cross-check — on every acquisition, warm hits included: the
+        // cache key ignores `verify`, and a cached plan keyed by content
+        // hash could in principle be served to a kernel it doesn't
+        // describe. A defective plan is a *rejected* job, not a failed
+        // one — the request was fine for some kernel, just not provable
+        // for this one.
+        const inspector::PlanVerifyReport vr =
+            core::verify_execution_plan(*plan, req.kernel.get());
+        if (!vr.ok()) {
+          out.state = JobState::Rejected;
+          out.error = "plan rejected (" + std::to_string(vr.violations) +
+                      " violation(s)): " + vr.first_error();
+          return out;
+        }
+      }
+
       core::SweepOptions sopt;
       sopt.sweeps = req.sweeps;
       sopt.stall_timeout = req.deadline_seconds > 0.0
@@ -172,6 +211,12 @@ JobOutcome JobScheduler::execute(Queued& job) {
       out.exec_seconds = seconds_since(t1);
     }
     out.state = JobState::Done;
+  } catch (const verify_error& e) {
+    // A cold build with plan.verify set runs the structural verifier
+    // inside build_execution_plan; its throw means the plan itself is
+    // unsound — same disposition as the explicit check above.
+    out.state = JobState::Rejected;
+    out.error = e.what();
   } catch (const std::exception& e) {
     out.state = JobState::Failed;
     out.error = e.what();
@@ -186,6 +231,8 @@ ServiceStats JobScheduler::stats() const {
     const std::lock_guard<std::mutex> lock(mutex_);
     s.submitted = submitted_;
     s.rejected = rejected_;
+    s.rejected_dsl = rejected_dsl_;
+    s.rejected_plan = rejected_plan_;
     s.completed = completed_;
     s.failed = failed_;
     s.queue_depth = queue_.size();

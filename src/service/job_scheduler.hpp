@@ -13,6 +13,13 @@
 // resolves *immediately* with JobState::Rejected and a reason string —
 // submission never blocks and no job is silently dropped; every handle
 // eventually resolves to exactly one of Done / Failed / Rejected.
+// Static verification extends the same contract to job *content*: a
+// request carrying DSL source is checked for reduction legality at
+// admission, and a native job whose PlanOptions::verify is set has its
+// (possibly cached) plan re-proved against the rotation invariants and
+// cross-checked against its kernel's indirection before any sweep runs —
+// both reject with the first diagnostic as the reason and are tallied in
+// ServiceStats (rejected_dsl / rejected_plan).
 //
 // Per-job deadlines reuse the stall-timeout watchdog of the native engine
 // (PR 1): `deadline_seconds` bounds every protocol wait of the job, and a
@@ -66,11 +73,19 @@ struct JobRequest {
   bool batch = true;
   /// Worker pinning + first-touch placement for this job's sweep threads.
   core::AffinityOptions affinity{};
+  /// DSL source this job claims to implement (the CLI's `dsl=` job key).
+  /// When non-empty, submit() runs the reduction-legality checker on it
+  /// and rejects the job at admission — first diagnostic as the reason,
+  /// counted in ServiceStats::rejected_dsl — before it can occupy a
+  /// worker. The kernel is still what executes; the source is the
+  /// admission contract.
+  std::string dsl_source;
 };
 
 enum class JobState {
   Pending,   ///< not yet resolved (only observable through stats)
-  Rejected,  ///< refused at admission; `error` holds the reason
+  Rejected,  ///< refused — at admission (queue full, shutdown, illegal
+             ///< DSL) or by the plan verifier; `error` holds the reason
   Done,      ///< completed; `native` or `simulated` holds the results
   Failed     ///< raised during setup/execution; `error` holds the reason
 };
@@ -173,6 +188,8 @@ class JobScheduler {
   // Stats (guarded by mutex_).
   std::uint64_t submitted_ = 0;
   std::uint64_t rejected_ = 0;
+  std::uint64_t rejected_dsl_ = 0;   ///< DSL legality errors at admission
+  std::uint64_t rejected_plan_ = 0;  ///< plan-verifier rejects
   std::uint64_t completed_ = 0;
   std::uint64_t failed_ = 0;
   std::uint64_t in_flight_ = 0;

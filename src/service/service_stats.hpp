@@ -12,7 +12,11 @@ namespace earthred::service {
 struct ServiceStats {
   // Lifetime job counts.
   std::uint64_t submitted = 0;
-  std::uint64_t rejected = 0;   ///< refused at admission (queue full / shutdown)
+  std::uint64_t rejected = 0;   ///< refused: queue full / shutdown / static checks
+  /// Breakdown of `rejected` by static analysis (the remainder is
+  /// admission pressure: full queue, shutdown, malformed request).
+  std::uint64_t rejected_dsl = 0;   ///< DSL failed the legality checker
+  std::uint64_t rejected_plan = 0;  ///< plan failed the invariant verifier
   std::uint64_t completed = 0;  ///< finished successfully
   std::uint64_t failed = 0;     ///< raised (deadline stall, bad shapes, ...)
 

@@ -35,6 +35,15 @@ class check_error : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// Thrown when static verification (the plan verifier, DSL legality
+/// checks run in throwing contexts) rejects an artifact. A check_error
+/// subclass so existing catch sites keep working, but distinguishable —
+/// the service maps it to JobState::Rejected rather than Failed.
+class verify_error : public check_error {
+ public:
+  using check_error::check_error;
+};
+
 namespace detail {
 [[noreturn]] void fail_expects(const char* cond, const char* file, int line,
                                const std::string& msg);

@@ -1,0 +1,151 @@
+// Structured diagnostics shared by the static-analysis layers: the DSL
+// compiler's legality checks (src/compiler/check.cpp) and the
+// ExecutionPlan/rotation invariant verifier (src/inspector/plan_verifier.cpp).
+//
+// A Diagnostic carries a severity (error/warning/note), an optional stable
+// code ("E-RED-READ", "E-PLAN-PHASE-OWNER", ...) that tools and golden
+// tests can key on, a source position, and — when the sink has been given
+// the source text — the offending line rendered as a snippet with a caret.
+// Sinks collect rather than throw so callers can report several problems
+// per run; only errors make has_errors() true, warnings and notes flow
+// through to the caller.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace earthred {
+
+enum class Severity : std::uint8_t { Error, Warning, Note };
+
+inline const char* to_string(Severity s) {
+  switch (s) {
+    case Severity::Error: return "error";
+    case Severity::Warning: return "warning";
+    case Severity::Note: return "note";
+  }
+  return "?";
+}
+
+struct Diagnostic {
+  Severity severity = Severity::Error;
+  /// Stable machine-readable code ("E-RED-READ"); empty for legacy
+  /// uncoded reports.
+  std::string code;
+  std::uint32_t line = 0;
+  std::uint32_t column = 0;
+  std::string message;
+  /// The source line the diagnostic points at (filled by the sink when it
+  /// has the source text; empty otherwise, e.g. for plan diagnostics).
+  std::string snippet;
+
+  /// "error[E-RED-READ]" / "warning" — severity plus the code if any.
+  std::string label() const {
+    std::string out = earthred::to_string(severity);
+    if (!code.empty()) {
+      out += '[';
+      out += code;
+      out += ']';
+    }
+    return out;
+  }
+
+  /// One-line form: "3:5: error[E-RED-READ]: message". The golden tests
+  /// compare this rendering, so it must stay deterministic.
+  std::string header() const {
+    return std::to_string(line) + ":" + std::to_string(column) + ": " +
+           label() + ": " + message;
+  }
+
+  /// Full rendering; appends the source snippet and a caret when present.
+  std::string to_string() const {
+    std::string out = header();
+    if (!snippet.empty()) {
+      out += "\n    | ";
+      out += snippet;
+      out += "\n    | ";
+      if (column > 0) out += std::string(column - 1, ' ');
+      out += '^';
+    }
+    return out;
+  }
+};
+
+class DiagnosticSink {
+ public:
+  /// Gives the sink the source text so subsequent diagnostics carry line
+  /// snippets. Lines are copied; the caller's buffer may go away.
+  void attach_source(std::string_view source) {
+    source_lines_.clear();
+    std::size_t start = 0;
+    while (start <= source.size()) {
+      const std::size_t nl = source.find('\n', start);
+      const std::size_t end = nl == std::string_view::npos ? source.size() : nl;
+      source_lines_.emplace_back(source.substr(start, end - start));
+      if (nl == std::string_view::npos) break;
+      start = nl + 1;
+    }
+  }
+
+  void report(Severity severity, std::uint32_t line, std::uint32_t column,
+              std::string code, std::string msg) {
+    Diagnostic d;
+    d.severity = severity;
+    d.code = std::move(code);
+    d.line = line;
+    d.column = column;
+    d.message = std::move(msg);
+    if (line >= 1 && line <= source_lines_.size())
+      d.snippet = source_lines_[line - 1];
+    if (severity == Severity::Error) ++errors_;
+    diags_.push_back(std::move(d));
+  }
+
+  /// Legacy uncoded form (parser/lexer call sites predating codes).
+  void error(std::uint32_t line, std::uint32_t column, std::string msg) {
+    report(Severity::Error, line, column, {}, std::move(msg));
+  }
+  void error(std::uint32_t line, std::uint32_t column, std::string code,
+             std::string msg) {
+    report(Severity::Error, line, column, std::move(code), std::move(msg));
+  }
+  void warning(std::uint32_t line, std::uint32_t column, std::string code,
+               std::string msg) {
+    report(Severity::Warning, line, column, std::move(code), std::move(msg));
+  }
+  void note(std::uint32_t line, std::uint32_t column, std::string code,
+            std::string msg) {
+    report(Severity::Note, line, column, std::move(code), std::move(msg));
+  }
+
+  /// True when at least one *error* was reported; warnings and notes do
+  /// not fail a compile.
+  bool has_errors() const noexcept { return errors_ > 0; }
+  std::size_t error_count() const noexcept { return errors_; }
+  std::size_t warning_count() const noexcept {
+    std::size_t n = 0;
+    for (const Diagnostic& d : diags_)
+      if (d.severity == Severity::Warning) ++n;
+    return n;
+  }
+  const std::vector<Diagnostic>& diagnostics() const noexcept {
+    return diags_;
+  }
+  std::string summary() const {
+    std::string out;
+    for (const Diagnostic& d : diags_) {
+      out += d.to_string();
+      out += '\n';
+    }
+    return out;
+  }
+
+ private:
+  std::vector<Diagnostic> diags_;
+  std::vector<std::string> source_lines_;
+  std::size_t errors_ = 0;
+};
+
+}  // namespace earthred

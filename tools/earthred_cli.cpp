@@ -20,10 +20,19 @@
 //                        [--fault-delay-cycles=C] [--fault-seed=S]
 //                        [--fault-dead-link=src:dst] [--reliable]
 //   earthred compile    --file=loop.dsl [--emit]
+//   earthred check      <loop.dsl> | --file=loop.dsl
+//                        (reduction-legality analysis: prints every
+//                        diagnostic with source snippets; exit 1 on
+//                        errors, 0 on clean/warnings-only)
 //   earthred batch      --jobs=jobs.txt [--workers=W] [--queue=N]
 //                        [--cache-mb=M] [--no-cache] [--deadline=S]
 //                        [--json=out.jsonl] [--quiet]
 //   earthred serve      (batch mode reading the job list from stdin)
+//
+// `run` additionally accepts --check: build the execution plan, prove the
+// rotation invariants AND cross-check every scheduled reference against
+// the kernel's indirection (core::verify_execution_plan) before any sweep
+// runs; violations print to stderr and exit 1.
 //
 // Job list format (batch/serve): one job per line, `key=value` tokens
 // separated by whitespace; blank lines and lines starting with '#' are
@@ -31,8 +40,16 @@
 // preset=<name> or nodes=N edges=E [seed=S], procs=P, k=K,
 // dist=block|cyclic|bc [bc=CHUNK], sweeps=N, [dedup], [deadline=S],
 // [engine=native|sim], [name=LABEL], [no-batch], [pin],
-// [parallel-build[=T]]. Jobs on the same mesh share one cached
-// execution plan (see src/service/plan_cache.hpp).
+// [parallel-build[=T]], [verify=on|off] (plan verification before the
+// sweeps; defaults to the build type's PlanOptions::verify). Jobs on the
+// same mesh share one cached execution plan (see
+// src/service/plan_cache.hpp).
+//
+// DSL jobs: dsl=<loop.dsl> replaces kernel=/mesh= — the program is
+// admission-checked by the service (illegal loops are Rejected with the
+// first diagnostic and counted in the stats), and a legal program is
+// compiled, bound to a synthesized environment (nodes=N edges=E seed=S
+// keys size it), and submitted as one job per fissioned loop.
 //
 // Exit status: 0 on success, 1 on usage/data errors (message on stderr);
 // batch/serve exit 1 if any job failed or was rejected.
@@ -41,8 +58,10 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <set>
 #include <sstream>
 
+#include "compiler/check.hpp"
 #include "compiler/codegen.hpp"
 #include "compiler/compiler.hpp"
 #include "core/classic_engine.hpp"
@@ -61,6 +80,7 @@
 #include "support/check.hpp"
 #include "support/json.hpp"
 #include "support/options.hpp"
+#include "support/prng.hpp"
 #include "support/stats.hpp"
 #include "support/str.hpp"
 #include "support/table.hpp"
@@ -71,7 +91,8 @@ namespace {
 int usage() {
   std::fprintf(
       stderr,
-      "usage: earthred <gen-mesh|gen-matrix|info|run|compile|batch|serve> "
+      "usage: earthred "
+      "<gen-mesh|gen-matrix|info|run|compile|check|batch|serve> "
       "[--flags]\n(see the header of tools/earthred_cli.cpp)\n");
   return 1;
 }
@@ -204,6 +225,16 @@ earth::FaultConfig fault_from_options(const Options& opt) {
   return fc;
 }
 
+/// Reads a whole text file (DSL sources for check/compile and `dsl=` job
+/// keys).
+std::string read_file(const std::string& path) {
+  std::ifstream is(path);
+  ER_CHECK_MSG(is.good(), "cannot open '" + path + "'");
+  std::stringstream buffer;
+  buffer << is.rdbuf();
+  return buffer.str();
+}
+
 int cmd_run(const Options& opt) {
   const std::string kname = opt.get("kernel", "euler");
   const std::unique_ptr<core::PhasedKernel> kernel =
@@ -214,6 +245,33 @@ int cmd_run(const Options& opt) {
   const auto sweeps = static_cast<std::uint32_t>(opt.get_int("sweeps", 10));
   const auto dist = inspector::parse_distribution(opt.get("dist", "cyclic"));
   const std::string engine = opt.get("engine", "rotation");
+
+  if (opt.get_bool("check", false)) {
+    // Prove the plan before running anything: full structural invariants
+    // plus the kernel indirection cross-check. Engine-independent — the
+    // same rotation schedule underlies native and simulated execution.
+    core::PlanOptions popt;
+    popt.num_procs = procs;
+    popt.k = k;
+    popt.distribution = dist;
+    popt.verify = false;  // the explicit full check below supersedes it
+    const core::ExecutionPlan plan =
+        core::build_execution_plan(*kernel, popt);
+    const inspector::PlanVerifyReport vr =
+        core::verify_execution_plan(plan, kernel.get());
+    if (!vr.ok()) {
+      std::fprintf(stderr, "%splan verification failed: %llu violation(s)\n",
+                   vr.render().c_str(),
+                   static_cast<unsigned long long>(vr.violations));
+      return 1;
+    }
+    std::printf("plan verified: %s iterations, %s references, %s fold-backs "
+                "— all rotation invariants hold\n",
+                fmt_group(static_cast<long long>(vr.checked_iterations))
+                    .c_str(),
+                fmt_group(static_cast<long long>(vr.checked_refs)).c_str(),
+                fmt_group(static_cast<long long>(vr.checked_folds)).c_str());
+  }
 
   core::SequentialOptions sopt;
   sopt.sweeps = sweeps;
@@ -312,15 +370,11 @@ int cmd_run(const Options& opt) {
 int cmd_compile(const Options& opt) {
   const std::string path = opt.get("file");
   if (path.empty()) throw check_error("compile needs --file=loop.dsl");
-  std::ifstream is(path);
-  ER_CHECK_MSG(is.good(), "cannot open '" + path + "'");
-  std::stringstream buffer;
-  buffer << is.rdbuf();
 
   compiler::CompileOptions copt;
   copt.optimize = opt.get_bool("optimize", false);
   const compiler::CompileResult result =
-      compiler::compile(buffer.str(), copt);
+      compiler::compile(read_file(path), copt);
   if (copt.optimize)
     std::printf("optimizer: %zu folds, %zu propagations, %zu dead scalars "
                 "removed\n",
@@ -347,6 +401,32 @@ int cmd_compile(const Options& opt) {
   return 0;
 }
 
+int cmd_check(const Options& opt) {
+  std::string path = opt.get("file");
+  if (path.empty() && !opt.positional().empty())
+    path = opt.positional().front();
+  if (path.empty())
+    throw check_error("check needs a DSL file: earthred check loop.dsl");
+  const std::string source = read_file(path);
+  const compiler::CheckReport report = compiler::check_source(source);
+  for (const Diagnostic& d : report.diagnostics)
+    std::printf("%s:%s\n", path.c_str(), d.to_string().c_str());
+  if (report.has_errors()) {
+    std::printf("%s: %zu error(s), %zu warning(s) — not a legal irregular "
+                "reduction\n",
+                path.c_str(), report.error_count(), report.warning_count());
+    return 1;
+  }
+  std::size_t reductions = 0;
+  for (const compiler::LoopLegality& l : report.loops)
+    reductions += l.reduction_writes;
+  std::printf("%s: ok — %zu loop(s), %zu reduction statement(s), %zu "
+              "warning(s)\n",
+              path.c_str(), report.loops.size(), reductions,
+              report.warning_count());
+  return 0;
+}
+
 // ---- batch/serve: drive the reduction service from a job list ----------
 
 /// Parses one job line ("kernel=euler preset=euler-small procs=8 ...")
@@ -361,6 +441,69 @@ Options parse_job_line(const std::string& line) {
   argv.reserve(store.size());
   for (const std::string& s : store) argv.push_back(s.c_str());
   return Options(static_cast<int>(argv.size()), argv.data());
+}
+
+/// Fills the plan/sweep fields of a JobRequest from one job line's keys
+/// (shared by kernel jobs and `dsl=` jobs).
+void request_from_job_line(const Options& jopt, std::size_t lineno,
+                           service::JobRequest& req) {
+  req.plan.num_procs =
+      static_cast<std::uint32_t>(jopt.get_int("procs", 4));
+  req.plan.k = static_cast<std::uint32_t>(jopt.get_int("k", 2));
+  req.plan.distribution =
+      inspector::parse_distribution(jopt.get("dist", "cyclic"));
+  req.plan.block_cyclic_size =
+      static_cast<std::uint32_t>(jopt.get_int("bc", 16));
+  req.plan.inspector.dedup_buffers = jopt.get_bool("dedup", false);
+  req.sweeps = static_cast<std::uint32_t>(jopt.get_int("sweeps", 1));
+  req.deadline_seconds = jopt.get_double("deadline", 0.0);
+  hotpath_from_options(jopt, req.batch, req.affinity,
+                       req.plan.build_threads);
+  const std::string verify = jopt.get("verify");
+  if (!verify.empty()) {
+    ER_CHECK_MSG(verify == "on" || verify == "off",
+                 "job line " + std::to_string(lineno) +
+                     ": verify expects on|off, got '" + verify + "'");
+    req.plan.verify = verify == "on";
+  }
+  const std::string engine = jopt.get("engine", "native");
+  if (engine == "sim" || engine == "rotation") req.simulated = true;
+  else ER_CHECK_MSG(engine == "native",
+                    "job line " + std::to_string(lineno) +
+                        ": unknown engine '" + engine + "'");
+}
+
+/// Synthesizes a DataEnv for a legality-checked DSL program: loop-extent
+/// parameters take the `edges` value, every other parameter `nodes`; int
+/// arrays are filled with uniform element indices below `nodes` (they are
+/// indirections into node-sized arrays), real arrays with uniform values.
+/// Deterministic in `seed`.
+compiler::DataEnv synthesize_env(const compiler::Program& program,
+                                 std::uint32_t nodes, std::uint64_t edges,
+                                 std::uint64_t seed) {
+  compiler::DataEnv env;
+  std::set<std::string> extents;
+  for (const compiler::Loop& l : program.loops)
+    if (!l.hi_param.empty()) extents.insert(l.hi_param);
+  for (const std::string& p : program.params)
+    env.params[p] = extents.count(p) ? edges : nodes;
+  Xoshiro256 rng(seed);
+  for (const compiler::ArrayDecl& a : program.arrays) {
+    const auto it = env.params.find(a.size_param);
+    const std::uint64_t size = it == env.params.end() ? nodes : it->second;
+    if (a.type == compiler::ElemType::Int) {
+      std::vector<std::uint32_t>& v = env.int_arrays[a.name];
+      v.reserve(size);
+      for (std::uint64_t i = 0; i < size; ++i)
+        v.push_back(static_cast<std::uint32_t>(rng.below(nodes)));
+    } else {
+      std::vector<double>& v = env.real_arrays[a.name];
+      v.reserve(size);
+      for (std::uint64_t i = 0; i < size; ++i)
+        v.push_back(rng.uniform(0.1, 1.0));
+    }
+  }
+  return env;
 }
 
 const char* to_string(service::JobState s) {
@@ -403,6 +546,44 @@ int run_service(std::istream& jobs_in, const Options& opt) {
     if (stripped.empty() || stripped.front() == '#') continue;
     const Options jopt = parse_job_line(line);
 
+    if (jopt.has("dsl")) {
+      // DSL job: the source is the admission contract. An illegal program
+      // is still submitted (source only) so the scheduler's admission
+      // check rejects and counts it with the checker's diagnostic; a
+      // legal one is compiled, bound to a synthesized environment, and
+      // submitted as one job per fissioned loop.
+      const std::string source = read_file(jopt.get("dsl"));
+      const std::string base =
+          jopt.get("name", "dsl#" + std::to_string(lineno));
+      const compiler::CheckReport report = compiler::check_source(source);
+      if (report.has_errors()) {
+        service::JobRequest req;
+        request_from_job_line(jopt, lineno, req);
+        req.name = base;
+        req.dsl_source = source;
+        handles.push_back(sched.submit(std::move(req)));
+        continue;
+      }
+      const compiler::CompileResult compiled = compiler::compile(source);
+      const compiler::DataEnv env = synthesize_env(
+          compiled.program,
+          static_cast<std::uint32_t>(jopt.get_int("nodes", 1000)),
+          static_cast<std::uint64_t>(jopt.get_int("edges", 5000)),
+          static_cast<std::uint64_t>(jopt.get_int("seed", 42)));
+      for (std::size_t i = 0; i < compiled.analysis.fissioned.size(); ++i) {
+        service::JobRequest req;
+        request_from_job_line(jopt, lineno, req);
+        req.name = compiled.analysis.fissioned.size() > 1
+                       ? base + "/loop" + std::to_string(i)
+                       : base;
+        req.dsl_source = source;
+        req.kernel = std::shared_ptr<const core::PhasedKernel>(
+            compiler::bind(compiled, i, env));
+        handles.push_back(sched.submit(std::move(req)));
+      }
+      continue;
+    }
+
     const std::string kname = jopt.get("kernel", "euler");
     const std::string key = kname + "|" + jopt.get("preset") + "|" +
                             jopt.get("mesh") + "|" +
@@ -421,23 +602,7 @@ int run_service(std::istream& jobs_in, const Options& opt) {
     service::JobRequest req;
     req.kernel = it->second.kernel;
     req.name = jopt.get("name", kname + "#" + std::to_string(lineno));
-    req.plan.num_procs =
-        static_cast<std::uint32_t>(jopt.get_int("procs", 4));
-    req.plan.k = static_cast<std::uint32_t>(jopt.get_int("k", 2));
-    req.plan.distribution =
-        inspector::parse_distribution(jopt.get("dist", "cyclic"));
-    req.plan.block_cyclic_size =
-        static_cast<std::uint32_t>(jopt.get_int("bc", 16));
-    req.plan.inspector.dedup_buffers = jopt.get_bool("dedup", false);
-    req.sweeps = static_cast<std::uint32_t>(jopt.get_int("sweeps", 1));
-    req.deadline_seconds = jopt.get_double("deadline", 0.0);
-    hotpath_from_options(jopt, req.batch, req.affinity,
-                         req.plan.build_threads);
-    const std::string engine = jopt.get("engine", "native");
-    if (engine == "sim" || engine == "rotation") req.simulated = true;
-    else ER_CHECK_MSG(engine == "native",
-                      "job line " + std::to_string(lineno) +
-                          ": unknown engine '" + engine + "'");
+    request_from_job_line(jopt, lineno, req);
     req.fingerprint = it->second.fingerprint;
     handles.push_back(sched.submit(std::move(req)));
   }
@@ -503,6 +668,7 @@ int dispatch(int argc, char** argv) {
   if (cmd == "info") return cmd_info(opt);
   if (cmd == "run") return cmd_run(opt);
   if (cmd == "compile") return cmd_compile(opt);
+  if (cmd == "check") return cmd_check(opt);
   if (cmd == "batch") return cmd_batch(opt);
   if (cmd == "serve") return cmd_serve(opt);
   return usage();
