@@ -53,7 +53,7 @@ int main() {
                   "copy_dst", "copy_src"});
   for (std::uint32_t ph = 0; ph < res.phases.size(); ++ph) {
     const auto& phase = res.phases[ph];
-    auto join = [](const std::vector<std::uint32_t>& v) {
+    auto join = [](std::span<const std::uint32_t> v) {
       std::string s;
       for (std::size_t i = 0; i < v.size(); ++i)
         s += (i ? "," : "") + std::to_string(v[i]);

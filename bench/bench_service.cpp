@@ -192,7 +192,10 @@ int run(const Options& opt) {
         .field("cold_over_warm_ratio", ratio)
         .field("throughput_cache_off_jobs_per_s", off.jobs_per_second)
         .field("throughput_cache_on_jobs_per_s", on.jobs_per_second)
-        .field("cache_hit_rate", on.stats.cache.hit_rate());
+        .field("cache_hit_rate", on.stats.cache.hit_rate())
+        .field("p50_latency_s", on.stats.p50_latency)
+        .field("p95_latency_s", on.stats.p95_latency)
+        .field("p99_latency_s", on.stats.p99_latency);
     append_json_line(opt.get("json"), w.str());
     std::printf("appended JSON record to %s\n", opt.get("json").c_str());
   }

@@ -1,5 +1,6 @@
 #include "core/native_engine.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <barrier>
 #include <chrono>
@@ -55,6 +56,61 @@ void pin_current_thread(std::uint32_t worker) {
 #endif
 }
 
+/// Runs fn(p) for every processor 0..P-1 on `build_threads` workers
+/// (1 = serial, 0 = one per hardware core), rethrowing the first worker
+/// exception. Shared by the cold build and the incremental patch.
+template <typename Fn>
+void run_per_proc(std::uint32_t P, std::uint32_t build_threads,
+                  const Fn& fn) {
+  std::uint32_t workers =
+      build_threads == 0 ? std::max(1u, std::thread::hardware_concurrency())
+                         : build_threads;
+  workers = std::min(workers, P);
+  if (workers <= 1) {
+    for (std::uint32_t p = 0; p < P; ++p) fn(p);
+    return;
+  }
+  std::atomic<std::uint32_t> next{0};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::uint32_t w = 0; w < workers; ++w) {
+    pool.emplace_back([&] {
+      for (;;) {
+        const std::uint32_t p = next.fetch_add(1, std::memory_order_relaxed);
+        if (p >= P) return;
+        try {
+          fn(p);
+        } catch (...) {
+          const std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+/// Budget-mode structural verification shared by the cold build and the
+/// incremental patch: no kernel.ref() cross-check and no per-entry
+/// coverage walk unless a defect is detected, so the cost stays a small
+/// fraction of the inspector run itself (bench_hotpath reports the
+/// overhead; the budget is <5%). Admission and `earthred check` run the
+/// exhaustive pass.
+void verify_or_throw(const ExecutionPlan& plan, const char* what) {
+  inspector::PlanVerifyOptions vopt;
+  vopt.exhaustive = false;
+  const inspector::PlanVerifyReport report = inspector::verify_plan(
+      plan.sched, plan.insp, plan.shape.num_edges, plan.shape.num_refs,
+      vopt);
+  if (!report.ok())
+    throw verify_error(std::string(what) + " failed verification (" +
+                       std::to_string(report.violations) +
+                       " violation(s)): " + report.first_error());
+}
+
 }  // namespace
 
 std::uint64_t ExecutionPlan::byte_size() const {
@@ -80,7 +136,7 @@ ExecutionPlan build_execution_plan(const PhasedKernel& kernel,
   const std::uint32_t P = opt.num_procs;
   ExecutionPlan plan{shape, opt,
                      RotationSchedule(shape.num_nodes, P, opt.k),
-                     {}, 0.0};
+                     {}, 0.0, nullptr};
 
   auto owned_iters = inspector::distribute_iterations(
       shape.num_edges, P, opt.distribution, opt.block_cyclic_size);
@@ -102,59 +158,92 @@ ExecutionPlan build_execution_plan(const PhasedKernel& kernel,
         inspector::run_light_inspector(plan.sched, p, refs, opt.inspector);
   };
 
-  std::uint32_t workers =
-      opt.build_threads == 0
-          ? std::max(1u, std::thread::hardware_concurrency())
-          : opt.build_threads;
-  workers = std::min(workers, P);
-  if (workers <= 1) {
-    for (std::uint32_t p = 0; p < P; ++p) build_one(p);
-  } else {
-    std::atomic<std::uint32_t> next{0};
-    std::mutex error_mutex;
-    std::exception_ptr first_error;
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (std::uint32_t w = 0; w < workers; ++w) {
-      pool.emplace_back([&] {
-        for (;;) {
-          const std::uint32_t p =
-              next.fetch_add(1, std::memory_order_relaxed);
-          if (p >= P) return;
-          try {
-            build_one(p);
-          } catch (...) {
-            const std::lock_guard<std::mutex> lock(error_mutex);
-            if (!first_error) first_error = std::current_exception();
-          }
-        }
-      });
-    }
-    for (std::thread& t : pool) t.join();
-    if (first_error) std::rethrow_exception(first_error);
-  }
+  run_per_proc(P, opt.build_threads, build_one);
 
   plan.build_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
 
-  if (opt.verify) {
-    // Budget mode: structural invariants via the verifier's aggregate
-    // pass — no kernel.ref() cross-check and no per-entry coverage walk
-    // unless a defect is detected — so the cost stays a small fraction
-    // of the inspector run itself (bench_hotpath reports the overhead;
-    // the budget is <5%). Admission and `earthred check` run the
-    // exhaustive pass.
-    inspector::PlanVerifyOptions vopt;
-    vopt.exhaustive = false;
-    const inspector::PlanVerifyReport report = inspector::verify_plan(
-        plan.sched, plan.insp, shape.num_edges, shape.num_refs, vopt);
-    if (!report.ok())
-      throw verify_error(
-          "execution plan failed verification (" +
-          std::to_string(report.violations) + " violation(s)): " +
-          report.first_error());
+  if (opt.verify) verify_or_throw(plan, "execution plan");
+  return plan;
+}
+
+ExecutionPlan patch_execution_plan(
+    const PhasedKernel& kernel, const ExecutionPlan& previous,
+    std::span<const std::uint32_t> changed_iterations) {
+  const KernelShape shape = kernel.shape();
+  const PlanOptions& opt = previous.options;
+  ER_EXPECTS_MSG(shape.num_nodes == previous.shape.num_nodes &&
+                     shape.num_edges == previous.shape.num_edges &&
+                     shape.num_refs == previous.shape.num_refs &&
+                     shape.num_reduction_arrays ==
+                         previous.shape.num_reduction_arrays &&
+                     shape.num_node_read_arrays ==
+                         previous.shape.num_node_read_arrays,
+                 "incremental re-plan requires an identically-shaped kernel");
+  ER_EXPECTS_MSG(!opt.inspector.dedup_buffers,
+                 "incremental re-plan supports the paper's one-slot-per-"
+                 "reference scheme only");
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::uint32_t P = opt.num_procs;
+  // The patched plan keeps the base's schedule and storage handle:
+  // untouched phases may still be zero-copy views into a plan-store
+  // mapping owned by `previous`.
+  ExecutionPlan plan{shape, opt, previous.sched, {}, 0.0, previous.storage};
+  plan.insp.resize(P);
+
+  // The iteration distribution depends only on (num_edges, P,
+  // distribution) — all unchanged — so each processor owns the same
+  // iterations as in the base plan, and the handful of changed ids map to
+  // their (processor, local index) homes in O(changes) through the
+  // distribution inverse instead of an O(num_edges) re-distribution.
+  // Only the changed columns of the reference table are re-gathered.
+  std::vector<std::uint32_t> changed_sorted(changed_iterations.begin(),
+                                            changed_iterations.end());
+  std::sort(changed_sorted.begin(), changed_sorted.end());
+  changed_sorted.erase(
+      std::unique(changed_sorted.begin(), changed_sorted.end()),
+      changed_sorted.end());
+  std::vector<std::vector<inspector::ChangedIteration>> per_proc(P);
+  for (std::uint32_t g : changed_sorted) {
+    ER_EXPECTS_MSG(g < shape.num_edges, "changed iteration id out of range");
+    const inspector::IterationHome home = inspector::locate_iteration(
+        shape.num_edges, P, opt.distribution, opt.block_cyclic_size, g);
+    inspector::ChangedIteration ch;
+    ch.local = home.local;
+    ch.global = g;
+    ch.refs.reserve(shape.num_refs);
+    for (std::uint32_t r = 0; r < shape.num_refs; ++r)
+      ch.refs.push_back(kernel.ref(r, g));
+    per_proc[home.proc].push_back(std::move(ch));
   }
+  // Global ids ascending + a monotone local order per processor means
+  // each per_proc list is already sorted by local index, as the sparse
+  // update requires... except for block-cyclic, where locals of different
+  // chunks interleave. Sort to be safe; the lists are tiny.
+  for (auto& changes : per_proc)
+    std::sort(changes.begin(), changes.end(),
+              [](const auto& a, const auto& b) { return a.local < b.local; });
+
+  const auto patch_one = [&](std::uint32_t p) {
+    if (per_proc[p].empty()) {
+      // No owned iteration changed: the base result is still exact.
+      // U32Buf copies share adopted views, so this is cheap for loaded
+      // bases and one linear copy for built ones.
+      plan.insp[p] = previous.insp[p];
+      return;
+    }
+    plan.insp[p] = inspector::update_light_inspector(
+        plan.sched, p, previous.insp[p], per_proc[p], opt.inspector);
+  };
+  run_per_proc(P, opt.build_threads, patch_one);
+
+  plan.build_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  if (opt.verify) verify_or_throw(plan, "patched execution plan");
   return plan;
 }
 

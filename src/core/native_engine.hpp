@@ -26,6 +26,8 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <span>
 
 #include "core/kernel.hpp"
 #include "inspector/distribution.hpp"
@@ -78,6 +80,14 @@ struct ExecutionPlan {
   std::vector<inspector::InspectorResult> insp;
   /// Host seconds spent building this plan (distribution + inspector).
   double build_seconds = 0.0;
+  /// Backing storage for zero-copy loads: a plan deserialized from the
+  /// persistent plan store adopts its large arrays as views into the
+  /// store file's memory mapping, and this handle keeps that mapping
+  /// alive for the plan's lifetime (type-erased so core does not depend
+  /// on the io layer). Built plans leave it null. A plan *patched* from a
+  /// loaded base inherits the handle, because untouched phases still view
+  /// the base's mapping.
+  std::shared_ptr<const void> storage;
 
   /// Approximate heap footprint in bytes (drives PlanCache LRU budgets).
   std::uint64_t byte_size() const;
@@ -103,6 +113,24 @@ ExecutionPlan build_execution_plan(const PhasedKernel& kernel,
 inspector::PlanVerifyReport verify_execution_plan(
     const ExecutionPlan& plan, const PhasedKernel* kernel = nullptr,
     const inspector::PlanVerifyOptions& vopt = {});
+
+/// Incremental re-plan (the adaptive path): produces the plan
+/// build_execution_plan would build for `kernel`, but by patching
+/// `previous` through inspector::update_light_inspector instead of
+/// rebuilding from scratch. `changed_iterations` lists the global
+/// iteration ids whose indirection references differ from the kernel the
+/// previous plan was built for; `kernel` carries the *new* references.
+/// The result is bit-identical to a fresh build (property-tested in
+/// tests/test_plan_patch.cpp) at a cost proportional to the touched
+/// iterations per processor. Requires an identical shape and identical
+/// PlanOptions (same distribution, procs, k) and a non-dedup plan —
+/// violations throw precondition_error; when opt.verify is set the
+/// patched plan is re-verified in the same mode as a cold build and a
+/// violation throws verify_error. Callers wanting transparent fallback
+/// (the PlanCache) catch and rebuild.
+ExecutionPlan patch_execution_plan(
+    const PhasedKernel& kernel, const ExecutionPlan& previous,
+    std::span<const std::uint32_t> changed_iterations);
 
 /// NUMA/affinity knobs for the native engine's worker threads (the
 /// ROADMAP's pin + first-touch open item). Both default off; pinning is a

@@ -54,4 +54,43 @@ std::vector<std::vector<std::uint32_t>> distribute_iterations(
   return owned;
 }
 
+IterationHome locate_iteration(std::uint64_t num_iterations,
+                               std::uint32_t num_procs, Distribution d,
+                               std::uint32_t bc_block, std::uint64_t g) {
+  ER_EXPECTS(num_procs >= 1);
+  ER_EXPECTS(g < num_iterations);
+  IterationHome home;
+  switch (d) {
+    case Distribution::Cyclic:
+      home.proc = static_cast<std::uint32_t>(g % num_procs);
+      home.local = static_cast<std::uint32_t>(g / num_procs);
+      break;
+    case Distribution::Block: {
+      const std::uint64_t q = num_iterations / num_procs;
+      const std::uint64_t r = num_iterations % num_procs;
+      // The first r processors own q+1 iterations, the rest own q.
+      if (g < (q + 1) * r) {
+        home.proc = static_cast<std::uint32_t>(g / (q + 1));
+        home.local = static_cast<std::uint32_t>(g % (q + 1));
+      } else {
+        const std::uint64_t g2 = g - (q + 1) * r;
+        home.proc = static_cast<std::uint32_t>(r + g2 / q);
+        home.local = static_cast<std::uint32_t>(g2 % q);
+      }
+      break;
+    }
+    case Distribution::BlockCyclic: {
+      ER_EXPECTS(bc_block >= 1);
+      // Every chunk before g's is complete (its end is <= g < n), so the
+      // owner's earlier chunks contribute bc_block iterations each.
+      const std::uint64_t chunk = g / bc_block;
+      home.proc = static_cast<std::uint32_t>(chunk % num_procs);
+      home.local = static_cast<std::uint32_t>((chunk / num_procs) * bc_block +
+                                              g % bc_block);
+      break;
+    }
+  }
+  return home;
+}
+
 }  // namespace earthred::inspector

@@ -26,4 +26,20 @@ std::vector<std::vector<std::uint32_t>> distribute_iterations(
     std::uint64_t num_iterations, std::uint32_t num_procs, Distribution d,
     std::uint32_t bc_block = 16);
 
+/// Placement of one global iteration under a distribution.
+struct IterationHome {
+  std::uint32_t proc = 0;   ///< owning processor
+  std::uint32_t local = 0;  ///< index within that processor's local order
+};
+
+/// O(1) inverse of distribute_iterations: the processor owning global
+/// iteration `g` and g's position in that processor's local order, such
+/// that distribute_iterations(...)[home.proc][home.local] == g. Lets the
+/// incremental re-planner map a handful of mutated iterations to their
+/// processors without materializing the full O(num_iterations)
+/// distribution.
+IterationHome locate_iteration(std::uint64_t num_iterations,
+                               std::uint32_t num_procs, Distribution d,
+                               std::uint32_t bc_block, std::uint64_t g);
+
 }  // namespace earthred::inspector

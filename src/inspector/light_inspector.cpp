@@ -2,17 +2,19 @@
 
 #include <algorithm>
 #include <unordered_map>
-#include <unordered_set>
+#include <utility>
 
 #include "support/check.hpp"
 
 namespace earthred::inspector {
 
 void PhaseSchedule::flatten_indir() {
+  // clear() releases an adopted view without copying; the rows may still
+  // be views into the same mapping (kept alive by the plan's storage
+  // handle), so appending them below reads valid memory.
   indir_flat.clear();
   indir_flat.reserve(indir.size() * iter_global.size());
-  for (const std::vector<std::uint32_t>& row : indir)
-    indir_flat.insert(indir_flat.end(), row.begin(), row.end());
+  for (const U32Buf& row : indir) indir_flat.append(row);
 }
 
 std::vector<std::uint64_t> InspectorResult::phase_sizes() const {
@@ -133,97 +135,359 @@ InspectorResult run_light_inspector(const RotationSchedule& sched,
   return result;
 }
 
+// The sparse incremental update. The cost model is what justifies its
+// existence (bench_plan_store gates patch >= 2x faster than a rebuild),
+// so the implementation leans hard on one structural fact: the base
+// result is CANONICAL — the fresh inspector (without dedup) allocates one
+// buffer slot per deferred reference in (local iteration, ref slot)
+// lexicographic order, so a slot id IS the rank of its deferred reference
+// in that order, and slot ids increase with position. Removing the
+// changed iterations and re-inserting them therefore renumbers the
+// surviving slots by a piecewise-constant shift that can be derived from
+// the freed slots and the re-inserted references alone, via one merge
+// over the slot list — no full re-ranking of every reference. The only
+// O(total refs) work left is two branch-light sweeps of the resident
+// rows: a redirect count (to position the changed iterations among the
+// survivors) and the redirect rewrite itself.
+InspectorResult update_light_inspector(const RotationSchedule& sched,
+                                       std::uint32_t proc,
+                                       const InspectorResult& previous,
+                                       std::span<const ChangedIteration> changes,
+                                       const LightInspectorOptions& opt) {
+  ER_EXPECTS(proc < sched.num_procs());
+  ER_EXPECTS_MSG(!opt.dedup_buffers,
+                 "incremental update supports the paper's one-slot-per-"
+                 "reference scheme only");
+  ER_EXPECTS_MSG(previous.free_slots.empty(),
+                 "base result must be canonical (a fresh run or the output "
+                 "of a prior update)");
+  const std::uint32_t n_elems = sched.num_elements();
+  const std::size_t n_iters = previous.assigned_phase.size();
+  const std::size_t num_refs =
+      previous.phases.empty() ? 0 : previous.phases[0].indir.size();
+  for (std::size_t i = 0; i < changes.size(); ++i) {
+    const ChangedIteration& ch = changes[i];
+    ER_EXPECTS_MSG(ch.local < n_iters, "changed iteration index out of range");
+    ER_EXPECTS_MSG(i == 0 || changes[i - 1].local < ch.local,
+                   "changes must be sorted by local index without duplicates");
+    ER_EXPECTS_MSG(ch.refs.size() == num_refs,
+                   "one new reference value per reference slot");
+    for (std::uint32_t v : ch.refs)
+      ER_EXPECTS_MSG(v < n_elems, "indirection value out of range");
+  }
+
+  InspectorResult result = previous;
+  if (changes.empty()) {
+    result.local_array_size =
+        static_cast<std::uint64_t>(n_elems) + result.num_buffer_slots;
+    return result;
+  }
+
+  std::vector<std::uint32_t> cl;  // sorted changed locals
+  cl.reserve(changes.size());
+  for (const ChangedIteration& ch : changes) cl.push_back(ch.local);
+
+  // --- 1. Remove the changed iterations from their old phases, freeing
+  // their buffer slots. Canonicity of the base means each freed slot id
+  // is the old rank of that deferred reference.
+  std::vector<std::uint32_t> affected;  // phases that lost iterations
+  for (std::uint32_t c : cl) {
+    const std::uint32_t ph = result.assigned_phase[c];
+    if (std::find(affected.begin(), affected.end(), ph) == affected.end())
+      affected.push_back(ph);
+  }
+  struct FreedSlot {
+    std::uint32_t slot;
+    std::uint32_t local;  // the changed iteration it belonged to
+  };
+  std::vector<FreedSlot> freed;
+  for (std::uint32_t ph : affected) {
+    PhaseSchedule& phase = result.phases[ph];
+    const std::size_t n = phase.iter_local.size();
+    std::span<std::uint32_t> il = phase.iter_local.mutate();
+    std::span<std::uint32_t> ig = phase.iter_global.mutate();
+    std::vector<std::span<std::uint32_t>> rows;
+    rows.reserve(phase.indir.size());
+    for (U32Buf& row : phase.indir) rows.push_back(row.mutate());
+    std::size_t w = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (std::binary_search(cl.begin(), cl.end(), il[j])) {
+        for (const auto& row : rows)
+          if (row[j] >= n_elems) {
+            const std::uint32_t slot = row[j] - n_elems;
+            result.free_slots.push_back(slot);
+            freed.push_back({slot, il[j]});
+          }
+        continue;  // drop this entry
+      }
+      ig[w] = ig[j];
+      il[w] = il[j];
+      for (auto& row : rows) row[w] = row[j];
+      ++w;
+    }
+    phase.iter_global.resize(w);
+    phase.iter_local.resize(w);
+    for (U32Buf& row : phase.indir) row.resize(w);
+  }
+  // The fold entries that fed the freed slots are NOT compacted here:
+  // step 6 regenerates the second loop of every phase whose lists differ
+  // from canonical, which necessarily includes every phase with a stale
+  // entry — dropping them now would be a second pass for nothing.
+
+  // --- 2. A[i]: number of old deferred references at positions before
+  // (changes[i].local, 0) — the changed iteration's place in the old slot
+  // order. Counted as surviving redirects with iter_local < local (one
+  // branch-light sweep of the resident rows) plus the freed slots of
+  // earlier changed iterations.
+  std::vector<std::uint32_t> A(cl.size(), 0);
+  {
+    std::vector<std::uint32_t> bump(cl.size() + 1, 0);
+    for (const PhaseSchedule& phase : result.phases) {
+      const std::uint32_t* il = phase.iter_local.data();
+      for (const U32Buf& rowbuf : phase.indir) {
+        const std::uint32_t* row = rowbuf.data();
+        const std::size_t n = rowbuf.size();
+        for (std::size_t j = 0; j < n; ++j)
+          if (row[j] >= n_elems)
+            ++bump[static_cast<std::size_t>(
+                std::upper_bound(cl.begin(), cl.end(), il[j]) - cl.begin())];
+      }
+    }
+    std::vector<std::uint32_t> freed_per(cl.size(), 0);
+    for (const FreedSlot& f : freed)
+      ++freed_per[static_cast<std::size_t>(
+          std::lower_bound(cl.begin(), cl.end(), f.local) - cl.begin())];
+    std::uint32_t surviving = 0, freed_before = 0;
+    for (std::size_t i = 0; i < cl.size(); ++i) {
+      surviving += bump[i];
+      A[i] = surviving + freed_before;
+      freed_before += freed_per[i];
+    }
+  }
+
+  // --- 3. Re-insert the changed iterations with their new references,
+  // recording where each one landed. Insertion order follows `changes`
+  // (ascending local), so each phase's appended tail is already sorted.
+  SlotAllocator slots(result, sched, proc, /*dedup=*/false);
+  struct Landing {
+    std::uint32_t phase;
+    std::uint32_t pos;
+  };
+  std::vector<Landing> landed;
+  landed.reserve(changes.size());
+  for (const ChangedIteration& ch : changes) {
+    std::uint32_t assigned = sched.phases_per_sweep();
+    for (std::uint32_t v : ch.refs)
+      assigned = std::min(assigned,
+                          sched.owning_phase(proc, sched.portion_of(v)));
+    PhaseSchedule& phase = result.phases[assigned];
+    landed.push_back(
+        {assigned, static_cast<std::uint32_t>(phase.iter_global.size())});
+    phase.iter_global.push_back(ch.global);
+    phase.iter_local.push_back(ch.local);
+    for (std::size_t r = 0; r < num_refs; ++r) {
+      const std::uint32_t elem = ch.refs[r];
+      const std::uint32_t ph =
+          sched.owning_phase(proc, sched.portion_of(elem));
+      phase.indir[r].push_back(ph == assigned ? elem : slots.defer(elem));
+    }
+    result.assigned_phase[ch.local] = assigned;
+  }
+
+  // --- 4. Canonical renumbering as a merge. Surviving slots keep their
+  // relative order (their ranks all shift by the same amount between two
+  // consecutive change positions); each new deferred reference of change
+  // i sits immediately before survivor rank A[i] - |freed below A[i]|,
+  // ordered among its peers by (local, ref). One pass over the slot ids
+  // yields both the final slot_elem and the temp-id -> final-id map.
+  std::vector<std::uint32_t> freed_sorted;
+  freed_sorted.reserve(freed.size());
+  for (const FreedSlot& f : freed) freed_sorted.push_back(f.slot);
+  std::sort(freed_sorted.begin(), freed_sorted.end());
+
+  struct NewRef {
+    std::uint32_t key;   // survivor rank it precedes
+    std::uint32_t tmp;   // slot id the allocator handed out
+    std::uint32_t elem;  // element it folds into
+  };
+  std::vector<NewRef> newrefs;
+  for (std::size_t i = 0; i < changes.size(); ++i) {
+    const std::uint32_t key =
+        A[i] - static_cast<std::uint32_t>(
+                   std::lower_bound(freed_sorted.begin(), freed_sorted.end(),
+                                    A[i]) -
+                   freed_sorted.begin());
+    const PhaseSchedule& phase = result.phases[landed[i].phase];
+    for (std::size_t r = 0; r < num_refs; ++r) {
+      const std::uint32_t v = phase.indir[r][landed[i].pos];
+      if (v >= n_elems)
+        newrefs.push_back({key, v - n_elems, result.slot_elem[v - n_elems]});
+    }
+  }
+
+  const std::uint32_t s_old = previous.num_buffer_slots;
+  // Indexed by the ids currently in the rows: surviving old ids plus
+  // whatever the allocator handed out (reused freed ids and fresh ids
+  // starting at s_old).
+  std::vector<std::uint32_t> slot_map(s_old + newrefs.size());
+  std::vector<std::uint32_t> new_slot_elem;
+  new_slot_elem.reserve(s_old - freed_sorted.size() + newrefs.size());
+  {
+    std::size_t ni = 0, fi = 0;
+    std::uint32_t survivor_rank = 0;
+    for (std::uint32_t s = 0; s < s_old; ++s) {
+      if (fi < freed_sorted.size() && freed_sorted[fi] == s) {
+        ++fi;
+        continue;
+      }
+      while (ni < newrefs.size() && newrefs[ni].key <= survivor_rank) {
+        slot_map[newrefs[ni].tmp] =
+            static_cast<std::uint32_t>(new_slot_elem.size());
+        new_slot_elem.push_back(newrefs[ni].elem);
+        ++ni;
+      }
+      slot_map[s] = static_cast<std::uint32_t>(new_slot_elem.size());
+      new_slot_elem.push_back(previous.slot_elem[s]);
+      ++survivor_rank;
+    }
+    for (; ni < newrefs.size(); ++ni) {
+      slot_map[newrefs[ni].tmp] =
+          static_cast<std::uint32_t>(new_slot_elem.size());
+      new_slot_elem.push_back(newrefs[ni].elem);
+    }
+  }
+
+  // --- 5. Restore increasing-local-iteration order in the phases that
+  // grew a tail (the fresh run's emission order). The body kept its order
+  // through removal and the tail was appended in ascending order, so this
+  // is a two-pointer merge, not a sort.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> tails;  // phase, count
+  for (const Landing& l : landed) {
+    auto it = std::find_if(tails.begin(), tails.end(),
+                           [&](const auto& t) { return t.first == l.phase; });
+    if (it == tails.end())
+      tails.emplace_back(l.phase, 1);
+    else
+      ++it->second;
+  }
+  for (const auto& [ph, t] : tails) {
+    PhaseSchedule& phase = result.phases[ph];
+    const std::size_t n = phase.iter_local.size();
+    const std::uint32_t* il = phase.iter_local.data();
+    const std::size_t body = n - t;
+    if (body == 0 || il[body - 1] < il[body]) continue;  // already ordered
+    std::vector<std::uint32_t> idx(n);
+    std::size_t b = 0, ti = body, w = 0;
+    while (b < body && ti < n)
+      idx[w++] = static_cast<std::uint32_t>(il[b] < il[ti] ? b++ : ti++);
+    while (b < body) idx[w++] = static_cast<std::uint32_t>(b++);
+    while (ti < n) idx[w++] = static_cast<std::uint32_t>(ti++);
+    const auto apply = [&](U32Buf& buf) {
+      const std::uint32_t* src = buf.data();
+      std::vector<std::uint32_t> out(n);
+      for (std::size_t j = 0; j < n; ++j) out[j] = src[idx[j]];
+      buf.clear();
+      buf.append(out);
+    };
+    apply(phase.iter_global);
+    apply(phase.iter_local);
+    for (U32Buf& row : phase.indir) apply(row);
+  }
+
+  // --- 6. Rewrite redirects through the renumbering map. Rows whose
+  // redirects all keep their ids are left untouched — for a plan patched
+  // off a store-loaded base they stay zero-copy views into the mapping.
+  std::vector<std::uint32_t> dirty;  // phases needing re-flatten
+  const auto mark_dirty = [&](std::uint32_t ph) {
+    if (std::find(dirty.begin(), dirty.end(), ph) == dirty.end())
+      dirty.push_back(ph);
+  };
+  for (std::uint32_t ph : affected) mark_dirty(ph);
+  for (const auto& [ph, t] : tails) mark_dirty(ph);
+  for (std::uint32_t ph = 0;
+       ph < static_cast<std::uint32_t>(result.phases.size()); ++ph) {
+    PhaseSchedule& phase = result.phases[ph];
+    for (U32Buf& rowbuf : phase.indir) {
+      const std::uint32_t* row = rowbuf.data();
+      const std::size_t n = rowbuf.size();
+      std::size_t j = 0;
+      while (j < n &&
+             !(row[j] >= n_elems && slot_map[row[j] - n_elems] + n_elems !=
+                                        row[j]))
+        ++j;
+      if (j == n) continue;
+      std::span<std::uint32_t> wrow = rowbuf.mutate();
+      for (; j < n; ++j)
+        if (wrow[j] >= n_elems)
+          wrow[j] = n_elems + slot_map[wrow[j] - n_elems];
+      mark_dirty(ph);
+    }
+  }
+
+  // --- 7. Regenerate the second loop in canonical slot order (the fresh
+  // run appends each fold entry at allocation time, i.e. ascending slot).
+  // Phases whose lists come out unchanged keep their adopted buffers.
+  {
+    std::vector<std::uint32_t> fold_of(new_slot_elem.size());
+    std::vector<std::uint32_t> fold_count(result.phases.size(), 0);
+    for (std::size_t s = 0; s < new_slot_elem.size(); ++s) {
+      fold_of[s] = sched.owning_phase(proc, sched.portion_of(new_slot_elem[s]));
+      ++fold_count[fold_of[s]];
+    }
+    std::vector<std::vector<std::uint32_t>> cd(result.phases.size());
+    std::vector<std::vector<std::uint32_t>> cs(result.phases.size());
+    for (std::size_t ph = 0; ph < result.phases.size(); ++ph) {
+      cd[ph].reserve(fold_count[ph]);
+      cs[ph].reserve(fold_count[ph]);
+    }
+    for (std::size_t s = 0; s < new_slot_elem.size(); ++s) {
+      cd[fold_of[s]].push_back(new_slot_elem[s]);
+      cs[fold_of[s]].push_back(n_elems + static_cast<std::uint32_t>(s));
+    }
+    for (std::size_t ph = 0; ph < result.phases.size(); ++ph) {
+      PhaseSchedule& phase = result.phases[ph];
+      if (phase.copy_dst == cd[ph] && phase.copy_src == cs[ph]) continue;
+      phase.copy_dst.clear();
+      phase.copy_dst.append(cd[ph]);
+      phase.copy_src.clear();
+      phase.copy_src.append(cs[ph]);
+    }
+  }
+
+  result.num_buffer_slots = static_cast<std::uint32_t>(new_slot_elem.size());
+  result.slot_elem.clear();
+  result.slot_elem.append(new_slot_elem);
+  result.free_slots.clear();
+  for (std::uint32_t ph : dirty) result.phases[ph].flatten_indir();
+  result.local_array_size =
+      static_cast<std::uint64_t>(n_elems) + result.num_buffer_slots;
+  return result;
+}
+
 InspectorResult update_light_inspector(
     const RotationSchedule& sched, std::uint32_t proc,
     const IterationRefs& iters, const InspectorResult& previous,
     std::span<const std::uint32_t> changed_local,
     const LightInspectorOptions& opt) {
-  ER_EXPECTS(proc < sched.num_procs());
-  ER_EXPECTS_MSG(!opt.dedup_buffers,
-                 "incremental update supports the paper's one-slot-per-"
-                 "reference scheme only");
   check_refs(sched, iters);
   ER_EXPECTS(previous.assigned_phase.size() == iters.num_iterations());
-
-  InspectorResult result = previous;
-
-  std::unordered_set<std::uint32_t> changed(changed_local.begin(),
-                                            changed_local.end());
-  for (std::uint32_t c : changed_local)
+  std::vector<std::uint32_t> cl(changed_local.begin(), changed_local.end());
+  std::sort(cl.begin(), cl.end());
+  cl.erase(std::unique(cl.begin(), cl.end()), cl.end());
+  std::vector<ChangedIteration> changes;
+  changes.reserve(cl.size());
+  for (std::uint32_t c : cl) {
     ER_EXPECTS_MSG(c < iters.num_iterations(),
                    "changed iteration index out of range");
-
-  // Phases that contain changed iterations (removal targets).
-  std::unordered_set<std::uint32_t> affected;
-  for (std::uint32_t c : changed_local)
-    affected.insert(result.assigned_phase[c]);
-
-  // Remove changed iterations (and the copy entries their freed slots
-  // feed) from their old phases.
-  std::unordered_set<std::uint32_t> freed_redirects;  // num_elements + slot
-  for (std::uint32_t ph : affected) {
-    PhaseSchedule& phase = result.phases[ph];
-    std::size_t w = 0;
-    for (std::size_t j = 0; j < phase.iter_local.size(); ++j) {
-      if (changed.count(phase.iter_local[j])) {
-        for (auto& row : phase.indir) {
-          if (row[j] >= sched.num_elements()) {
-            const std::uint32_t slot =
-                row[j] - sched.num_elements();
-            result.free_slots.push_back(slot);
-            freed_redirects.insert(row[j]);
-          }
-        }
-        continue;  // drop this entry
-      }
-      phase.iter_global[w] = phase.iter_global[j];
-      phase.iter_local[w] = phase.iter_local[j];
-      for (auto& row : phase.indir) row[w] = row[j];
-      ++w;
-    }
-    phase.iter_global.resize(w);
-    phase.iter_local.resize(w);
-    for (auto& row : phase.indir) row.resize(w);
+    ChangedIteration ch;
+    ch.local = c;
+    ch.global = iters.global_iter[c];
+    ch.refs.reserve(iters.num_refs());
+    for (std::size_t r = 0; r < iters.num_refs(); ++r)
+      ch.refs.push_back(iters.refs[r][c]);
+    changes.push_back(std::move(ch));
   }
-
-  // Drop the second-loop entries that folded the freed slots. A freed
-  // slot's fold entry lives in the owning phase of its old element, which
-  // may be outside `affected`; locate it via slot_elem.
-  if (!freed_redirects.empty()) {
-    std::unordered_set<std::uint32_t> fold_phases;
-    for (std::uint32_t redirect : freed_redirects) {
-      const std::uint32_t slot = redirect - sched.num_elements();
-      fold_phases.insert(
-          sched.owning_phase(proc, sched.portion_of(result.slot_elem[slot])));
-    }
-    for (std::uint32_t ph : fold_phases) {
-      PhaseSchedule& phase = result.phases[ph];
-      std::size_t w = 0;
-      for (std::size_t j = 0; j < phase.copy_src.size(); ++j) {
-        if (freed_redirects.count(phase.copy_src[j])) continue;
-        phase.copy_dst[w] = phase.copy_dst[j];
-        phase.copy_src[w] = phase.copy_src[j];
-        ++w;
-      }
-      phase.copy_dst.resize(w);
-      phase.copy_src.resize(w);
-    }
-  }
-
-  // Re-insert the changed iterations with their new references.
-  SlotAllocator slots(result, sched, proc, /*dedup=*/false);
-  for (std::uint32_t c : changed_local)
-    place_iteration(sched, proc, iters, c, result, slots);
-
-  // Re-derive the flattened executor layout. Every phase is refreshed
-  // (not just the touched ones): the host-side cost is one linear copy,
-  // while the simulated incremental-inspector cycle charge stays
-  // proportional to the changed iterations as before.
-  for (PhaseSchedule& p : result.phases) p.flatten_indir();
-  result.local_array_size =
-      static_cast<std::uint64_t>(sched.num_elements()) +
-      result.num_buffer_slots;
-  return result;
+  return update_light_inspector(sched, proc, previous, changes, opt);
 }
 
 }  // namespace earthred::inspector

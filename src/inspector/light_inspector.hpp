@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "inspector/rotation.hpp"
+#include "inspector/u32buf.hpp"
 
 namespace earthred::inspector {
 
@@ -55,28 +56,32 @@ struct LightInspectorOptions {
 };
 
 /// One phase of the executor schedule.
+///
+/// Array fields use U32Buf (span-owning storage): built plans own heap
+/// vectors; plans loaded from the persistent plan store adopt zero-copy
+/// views into the store file's memory mapping. Mutation is copy-on-write.
 struct PhaseSchedule {
   /// Global iteration ids assigned to this phase, in execution order.
-  std::vector<std::uint32_t> iter_global;
+  U32Buf iter_global;
   /// Local iteration indices (into IterationRefs rows) parallel to
   /// iter_global; consumed by the incremental update.
-  std::vector<std::uint32_t> iter_local;
+  U32Buf iter_local;
   /// indir[r][j]: redirected index for reference slot r of the j-th
   /// iteration of this phase. Values < num_elements address the reduction
   /// array directly (always within the portion owned this phase for the
   /// reference that determined the assignment); values >= num_elements
   /// address buffer slots.
-  std::vector<std::vector<std::uint32_t>> indir;
+  std::vector<U32Buf> indir;
   /// Flattened structure-of-arrays copy of `indir`: one contiguous block,
   /// ref-major (`indir_flat[r * n + j] == indir[r][j]` where n is the
   /// phase's iteration count). Built by the inspector once the phase
   /// contents are final; batch executors (core::PhaseView) stream this
   /// block instead of chasing `num_refs` separate heap vectors.
-  std::vector<std::uint32_t> indir_flat;
+  U32Buf indir_flat;
   /// Second loop: element copy_dst[j] (owned this phase) accumulates
   /// buffer slot copy_src[j] (>= num_elements).
-  std::vector<std::uint32_t> copy_dst;
-  std::vector<std::uint32_t> copy_src;
+  U32Buf copy_dst;
+  U32Buf copy_src;
 
   /// Rebuilds `indir_flat` from the `indir` rows.
   void flatten_indir();
@@ -91,11 +96,11 @@ struct InspectorResult {
 
   // --- bookkeeping consumed by update_light_inspector ------------------
   /// Phase each local iteration was assigned to.
-  std::vector<std::uint32_t> assigned_phase;
+  U32Buf assigned_phase;
   /// Element a buffer slot folds into (slot -> element).
-  std::vector<std::uint32_t> slot_elem;
+  U32Buf slot_elem;
   /// Slots freed by incremental updates, available for reuse.
-  std::vector<std::uint32_t> free_slots;
+  U32Buf free_slots;
 
   /// Iterations per phase (load-balance analysis, Sec. 5.4.3).
   std::vector<std::uint64_t> phase_sizes() const;
@@ -112,15 +117,43 @@ InspectorResult run_light_inspector(const RotationSchedule& sched,
                                     const IterationRefs& iters,
                                     const LightInspectorOptions& opt = {});
 
+/// One mutated iteration, in the sparse-update form: the incremental
+/// inspector only ever needs the *new* references of the iterations that
+/// changed, so callers (core::patch_execution_plan) gather exactly these
+/// columns instead of re-gathering every reference on the processor.
+struct ChangedIteration {
+  std::uint32_t local = 0;   ///< local iteration index on this processor
+  std::uint32_t global = 0;  ///< global iteration id
+  /// New reference values, one per reference slot (refs[r] replaces
+  /// IterationRefs::refs[r][local]).
+  std::vector<std::uint32_t> refs;
+};
+
 /// Incremental variant (the paper's planned future work, Sec. 7): given a
-/// previous result and the subset of local iterations whose references
-/// changed, updates only the affected phases. Produces a result identical
-/// to a full re-run (verified by property tests); the point is cost — the
-/// engine charges cycles proportional to the touched iterations instead of
-/// all of them.
+/// previous result and the iterations whose references changed, updates
+/// only the affected state. Produces a result *bit-identical* to a full
+/// re-run — iteration order, slot numbering and fold order are normalized
+/// to the fresh run's canonical form (verified by property tests in
+/// tests/test_plan_patch.cpp); the point is cost — the work is
+/// proportional to the touched iterations plus light linear sweeps (a
+/// redirect count and a redirect rewrite over the resident rows) instead
+/// of a full rebuild with its reference gather and per-reference phase
+/// arithmetic.
 ///
+/// `previous` must be canonical — a fresh run or the output of a prior
+/// update (in particular free_slots must be empty); `changes` must be
+/// sorted by `local` with no duplicates, and every entry must carry one
+/// new reference value per reference slot of `previous`.
+InspectorResult update_light_inspector(const RotationSchedule& sched,
+                                       std::uint32_t proc,
+                                       const InspectorResult& previous,
+                                       std::span<const ChangedIteration> changes,
+                                       const LightInspectorOptions& opt = {});
+
+/// Convenience overload taking the full (new) reference table: extracts
+/// the changed columns and forwards to the sparse form above.
 /// `changed_local` lists local iteration indices (into iters.global_iter)
-/// whose references differ from the run that produced `previous`. `iters`
+/// whose references differ from the run that produced `previous`; `iters`
 /// must contain the *new* references for all iterations.
 InspectorResult update_light_inspector(const RotationSchedule& sched,
                                        std::uint32_t proc,

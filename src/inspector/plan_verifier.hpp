@@ -54,6 +54,17 @@
 
 namespace earthred::inspector {
 
+/// Identity of the invariant set this verifier proves. Stamped into every
+/// persisted plan-store file header and checked on load: a stored plan is
+/// only admitted zero-copy if it was written under the *same* verifier
+/// semantics that will re-check it in budget mode. Bump the low word
+/// whenever an invariant is added, removed, or reinterpreted — old files
+/// then fail the header check (E-STORE-VERIFIER) and fall back to a
+/// rebuild instead of being trusted under rules they were never proven
+/// against.
+inline constexpr std::uint64_t kPlanVerifierFingerprint =
+    0x45504c414e560001ull;  // "EPLANV" + revision 1
+
 struct PlanVerifyOptions {
   /// Diagnostics recorded before the verifier stops describing individual
   /// violations (it keeps counting them). A corrupt plan can fail at every

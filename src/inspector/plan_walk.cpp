@@ -12,6 +12,11 @@ std::uint64_t vec_bytes(const std::vector<T>& v) {
   return v.capacity() * sizeof(T);
 }
 
+/// U32Buf reports its own footprint: owned capacity, or the viewed extent
+/// for buffers adopted from a plan-store mapping — either way the bytes a
+/// resident plan pins, which is what the cache budget must see.
+std::uint64_t vec_bytes(const U32Buf& v) { return v.footprint_bytes(); }
+
 }  // namespace
 
 PlanWalkStats walk_inspector(const InspectorResult& insp,
@@ -19,7 +24,7 @@ PlanWalkStats walk_inspector(const InspectorResult& insp,
   PlanWalkStats stats;
   for_each_phase(insp, [&](std::uint32_t, const PhaseSchedule& phase) {
     stats.iterations += phase.iter_global.size();
-    for (const std::vector<std::uint32_t>& row : phase.indir) {
+    for (const U32Buf& row : phase.indir) {
       for (const std::uint32_t v : row) {
         if (v < num_elements)
           ++stats.direct_refs;
@@ -42,7 +47,7 @@ std::uint64_t inspector_byte_size(const InspectorResult& insp) {
     bytes += vec_bytes(ph.iter_global) + vec_bytes(ph.iter_local) +
              vec_bytes(ph.indir_flat) + vec_bytes(ph.copy_dst) +
              vec_bytes(ph.copy_src);
-    bytes += ph.indir.capacity() * sizeof(std::vector<std::uint32_t>);
+    bytes += ph.indir.capacity() * sizeof(U32Buf);
     for (const auto& row : ph.indir) bytes += vec_bytes(row);
   });
   return bytes;

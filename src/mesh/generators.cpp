@@ -255,4 +255,35 @@ void rebuild_interactions(Mesh& m, std::uint64_t num_edges) {
   m.validate();
 }
 
+std::vector<std::uint32_t> rewire_edges(Mesh& m, std::uint64_t count,
+                                        std::uint64_t seed) {
+  ER_EXPECTS_MSG(count <= m.edges.size(),
+                 "cannot rewire more edges than the mesh has");
+  ER_EXPECTS_MSG(m.num_nodes >= 2, "rewiring needs at least two nodes");
+  Xoshiro256 rng(seed);
+
+  // Sample `count` distinct slots (Floyd's algorithm: uniform without
+  // needing a full permutation of the edge list).
+  std::set<std::uint32_t> slots;
+  const std::uint64_t n = m.edges.size();
+  for (std::uint64_t j = n - count; j < n; ++j) {
+    const std::uint32_t t = static_cast<std::uint32_t>(rng.below(j + 1));
+    if (!slots.insert(t).second)
+      slots.insert(static_cast<std::uint32_t>(j));
+  }
+
+  for (const std::uint32_t slot : slots) {
+    const Edge old = m.edges[slot];
+    Edge fresh;
+    do {
+      fresh.a = static_cast<std::uint32_t>(rng.below(m.num_nodes));
+      fresh.b = static_cast<std::uint32_t>(rng.below(m.num_nodes));
+      if (fresh.a > fresh.b) std::swap(fresh.a, fresh.b);
+    } while (fresh.a == fresh.b || fresh == old);
+    m.edges[slot] = fresh;
+  }
+  m.validate();
+  return std::vector<std::uint32_t>(slots.begin(), slots.end());
+}
+
 }  // namespace earthred::mesh

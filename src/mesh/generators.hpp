@@ -67,4 +67,13 @@ void jitter_coords(Mesh& m, double sigma, Xoshiro256& rng);
 /// replaced; node count and coordinates are untouched.
 void rebuild_interactions(Mesh& m, std::uint64_t num_edges);
 
+/// Rewires `count` randomly chosen distinct edge slots to fresh random
+/// endpoint pairs (no self-loops, each new pair differs from the slot's
+/// old pair). Edge count, node count, and every other slot are untouched —
+/// the count-preserving mesh mutation that drives incremental re-planning
+/// (PlanCache::patch_or_build). Returns the mutated slot ids, sorted
+/// ascending. Requires count <= num_edges and num_nodes >= 2.
+std::vector<std::uint32_t> rewire_edges(Mesh& m, std::uint64_t count,
+                                        std::uint64_t seed);
+
 }  // namespace earthred::mesh

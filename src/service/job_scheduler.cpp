@@ -174,10 +174,21 @@ JobOutcome JobScheduler::execute(Queued& job) {
     } else {
       const auto t0 = Clock::now();
       PlanCache::Outcome cache_outcome = PlanCache::Outcome::Built;
-      const PlanPtr plan = cache_.lookup_or_build(
-          *req.kernel, req.plan, req.fingerprint, &cache_outcome);
+      const PlanPtr plan =
+          req.patch_base
+              ? cache_.patch_or_build(*req.kernel, req.plan, *req.patch_base,
+                                      req.changed_edges, req.fingerprint,
+                                      &cache_outcome)
+              : cache_.lookup_or_build(*req.kernel, req.plan,
+                                       req.fingerprint, &cache_outcome);
       out.setup_seconds = seconds_since(t0);
-      out.cache_hit = cache_outcome != PlanCache::Outcome::Built;
+      // "Warm" means no inspector ran for this job: a memory hit or a
+      // coalesced wait. Disk loads and incremental patches are cheaper
+      // than builds but still did per-job plan work, so they tally as
+      // cold setups (their own cache counters break them out).
+      out.cache_hit = cache_outcome == PlanCache::Outcome::Hit ||
+                      cache_outcome == PlanCache::Outcome::Coalesced;
+      out.plan_source = cache_outcome;
       out.plan_build_seconds = plan->build_seconds;
 
       if (req.plan.verify) {
@@ -251,6 +262,7 @@ ServiceStats JobScheduler::stats() const {
     std::sort(latencies.begin(), latencies.end());
     s.p50_latency = quantile_sorted(latencies, 0.50);
     s.p95_latency = quantile_sorted(latencies, 0.95);
+    s.p99_latency = quantile_sorted(latencies, 0.99);
   }
   s.cache = cache_.counters();
   return s;

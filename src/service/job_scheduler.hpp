@@ -66,6 +66,15 @@ struct JobRequest {
   /// Precomputed kernel_fingerprint() — avoids rehashing the indirection
   /// arrays on every submission of an already-known mesh.
   std::optional<std::uint64_t> fingerprint;
+  /// Adaptive re-planning: content hash of the *base* mesh this kernel is
+  /// a mutation of. When set, a native job acquires its plan through
+  /// PlanCache::patch_or_build — the base plan (memory or store) is
+  /// patched incrementally for `changed_edges` instead of rebuilt; any
+  /// patch failure falls back to a full build transparently.
+  std::optional<std::uint64_t> patch_base;
+  /// Global iteration (edge) ids whose references differ from the base
+  /// mesh. Only consulted when `patch_base` is set.
+  std::vector<std::uint32_t> changed_edges;
   /// Test hook forwarded to SweepOptions (exercises the deadline path).
   core::SweepOptions::LostForward lose_forward{};
   /// Execute phases through the batched compute_phase hot path (see
@@ -97,6 +106,9 @@ struct JobOutcome {
   std::string error;
   /// Plan came out of the cache without a build (Hit or Coalesced).
   bool cache_hit = false;
+  /// How the plan was acquired (meaningful for native jobs only): memory
+  /// hit, coalesced wait, disk load, incremental patch, or full build.
+  PlanCache::Outcome plan_source = PlanCache::Outcome::Built;
   /// Ran on the simulated EARTH machine (simulated_run holds results).
   bool simulated = false;
   double queue_seconds = 0.0;  ///< admission to worker pickup

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "inspector/plan_verifier.hpp"
+#include "service/plan_store.hpp"
 #include "support/check.hpp"
 
 namespace earthred::service {
@@ -48,11 +50,8 @@ PlanKey make_plan_key(const core::PhasedKernel& kernel,
   return key;
 }
 
-PlanPtr PlanCache::lookup_or_build(const core::PhasedKernel& kernel,
-                                   const core::PlanOptions& opt,
-                                   std::optional<std::uint64_t> fingerprint,
-                                   Outcome* outcome) {
-  const PlanKey key = make_plan_key(kernel, opt, fingerprint);
+PlanPtr PlanCache::acquire(const PlanKey& key, Outcome* outcome,
+                           const std::function<PlanPtr(Outcome&)>& produce) {
   const auto report = [&](Outcome o) {
     if (outcome) *outcome = o;
   };
@@ -69,11 +68,12 @@ PlanPtr PlanCache::lookup_or_build(const core::PhasedKernel& kernel,
         report(Outcome::Hit);
         return it->second.future.get();  // ready: get() cannot block
       }
-      // Single-flight join: another thread is building this key.
+      // Single-flight join: another thread is producing this key.
       ++counters_.coalesced;
       inflight = it->second.future;
     } else {
-      // Miss: install an in-flight entry and build outside the lock.
+      // Miss: install an in-flight entry and produce outside the lock.
+      // Disk loads ride the same single flight as builds.
       ++counters_.misses;
       Entry entry;
       entry.future = promise.get_future().share();
@@ -82,14 +82,14 @@ PlanPtr PlanCache::lookup_or_build(const core::PhasedKernel& kernel,
   }
   if (inflight.valid()) {
     report(Outcome::Coalesced);
-    return inflight.get();  // blocks; rethrows the builder's exception
+    return inflight.get();  // blocks; rethrows the producer's exception
   }
 
-  // Build without holding the lock (other keys proceed concurrently).
+  // Produce without holding the lock (other keys proceed concurrently).
   PlanPtr plan;
+  Outcome how = Outcome::Built;
   try {
-    plan = std::make_shared<const core::ExecutionPlan>(
-        core::build_execution_plan(kernel, opt));
+    plan = produce(how);
   } catch (...) {
     {
       const std::lock_guard<std::mutex> lock(mutex_);
@@ -117,8 +117,145 @@ PlanPtr PlanCache::lookup_or_build(const core::PhasedKernel& kernel,
       evict_to_budget();
     }
   }
-  report(Outcome::Built);
+  report(how);
   return plan;
+}
+
+PlanPtr PlanCache::try_store_load(const PlanKey& key, Outcome& how) {
+  if (!cfg_.store) return nullptr;
+  core::PlanLoadResult loaded = cfg_.store->load(key);
+  if (loaded.ok()) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++counters_.disk_hits;
+    how = Outcome::DiskLoaded;
+    return std::move(loaded.plan);
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (loaded.error_code == "E-STORE-OPEN") {
+    ++counters_.disk_misses;  // simply not stored yet
+  } else {
+    // Present but rejected (corrupt, stale version, wrong identity,
+    // failed verification, ...): count the fallback, remember why, and
+    // let the caller rebuild as if the file did not exist.
+    ++counters_.disk_fallbacks;
+    last_fallback_reason_ = loaded.error_code + ": " + loaded.detail;
+  }
+  return nullptr;
+}
+
+void PlanCache::persist(const PlanKey& key,
+                        const core::ExecutionPlan& plan) {
+  if (!cfg_.store) return;
+  std::string error;
+  const bool saved = cfg_.store->save(key, plan, &error);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (saved)
+    ++counters_.persisted;
+  else
+    ++counters_.persist_failures;
+}
+
+PlanPtr PlanCache::produce_from_tiers(const PlanKey& key,
+                                      const core::PhasedKernel& kernel,
+                                      const core::PlanOptions& opt,
+                                      Outcome& how) {
+  if (PlanPtr loaded = try_store_load(key, how)) return loaded;
+  auto plan = std::make_shared<const core::ExecutionPlan>(
+      core::build_execution_plan(kernel, opt));
+  how = Outcome::Built;
+  persist(key, *plan);
+  return plan;
+}
+
+PlanPtr PlanCache::lookup_or_build(const core::PhasedKernel& kernel,
+                                   const core::PlanOptions& opt,
+                                   std::optional<std::uint64_t> fingerprint,
+                                   Outcome* outcome) {
+  const PlanKey key = make_plan_key(kernel, opt, fingerprint);
+  return acquire(key, outcome, [&](Outcome& how) {
+    return produce_from_tiers(key, kernel, opt, how);
+  });
+}
+
+PlanPtr PlanCache::peek_ready(const PlanKey& key) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(key);
+  if (it == entries_.end() || !it->second.ready) return nullptr;
+  return it->second.future.get();
+}
+
+PlanPtr PlanCache::patch_or_build(
+    const core::PhasedKernel& kernel, const core::PlanOptions& opt,
+    std::uint64_t base_fingerprint,
+    std::span<const std::uint32_t> changed_iterations,
+    std::optional<std::uint64_t> fingerprint, Outcome* outcome) {
+  const PlanKey key = make_plan_key(kernel, opt, fingerprint);
+  PlanKey base_key = key;
+  base_key.content_hash = base_fingerprint;
+
+  return acquire(key, outcome, [&](Outcome& how) -> PlanPtr {
+    // Tier order matches lookup_or_build: the *target* plan may already
+    // be persisted (a repeat of the same mutation), in which case a
+    // zero-copy load beats re-patching.
+    if (PlanPtr loaded = try_store_load(key, how)) return loaded;
+
+    // Find the base plan: memory first, then the store. Neither lookup
+    // counts as a request — this is plumbing for the patch, not a client
+    // cache access.
+    PlanPtr base = peek_ready(base_key);
+    if (!base && cfg_.store) {
+      core::PlanLoadResult loaded = cfg_.store->load(base_key);
+      if (loaded.ok()) base = std::move(loaded.plan);
+    }
+
+    if (base && !base->options.inspector.dedup_buffers) {
+      try {
+        core::ExecutionPlan patched =
+            core::patch_execution_plan(kernel, *base, changed_iterations);
+        // Re-verify in budget mode unconditionally: a patched plan is
+        // admitted on proof, not provenance (patch_execution_plan itself
+        // verifies only when options.verify is on).
+        if (!base->options.verify) {
+          inspector::PlanVerifyOptions vopt;
+          vopt.exhaustive = false;
+          const inspector::PlanVerifyReport report = inspector::verify_plan(
+              patched.sched, patched.insp, patched.shape.num_edges,
+              patched.shape.num_refs, vopt);
+          if (!report.ok())
+            throw verify_error("patched plan failed verification: " +
+                               report.first_error());
+        }
+        auto plan =
+            std::make_shared<const core::ExecutionPlan>(std::move(patched));
+        how = Outcome::Patched;
+        persist(key, *plan);
+        const std::lock_guard<std::mutex> lock(mutex_);
+        ++counters_.patched;
+        return plan;
+      } catch (const std::exception& e) {
+        // Patch or verification failed: the base plan is suspect.
+        // Invalidate it, count the fallback, and rebuild from scratch —
+        // the client never sees this.
+        const std::lock_guard<std::mutex> lock(mutex_);
+        ++counters_.patch_fallbacks;
+        last_fallback_reason_ = std::string("patch fallback: ") + e.what();
+        const auto it = entries_.find(base_key);
+        if (it != entries_.end() && it->second.ready) {
+          counters_.bytes -= it->second.bytes;
+          --counters_.entries;
+          lru_.erase(it->second.lru);
+          entries_.erase(it);
+        }
+      }
+    }
+    // Full rebuild (no base, dedup plan, or failed patch). The store was
+    // already consulted for this key above, so build directly.
+    auto plan = std::make_shared<const core::ExecutionPlan>(
+        core::build_execution_plan(kernel, opt));
+    how = Outcome::Built;
+    persist(key, *plan);
+    return plan;
+  });
 }
 
 bool PlanCache::contains(const PlanKey& key) const {
@@ -130,6 +267,11 @@ bool PlanCache::contains(const PlanKey& key) const {
 PlanCache::Counters PlanCache::counters() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return counters_;
+}
+
+std::string PlanCache::last_fallback_reason() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return last_fallback_reason_;
 }
 
 void PlanCache::evict_to_budget() {

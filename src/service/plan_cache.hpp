@@ -25,16 +25,21 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <list>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <span>
+#include <string>
 
 #include "core/native_engine.hpp"
 
 namespace earthred::service {
+
+class PlanStore;
 
 /// Cache key: content hash of the indirection arrays + the plan options.
 /// Ordered (for std::map) and fully compared — a hash collision between
@@ -70,16 +75,32 @@ class PlanCache {
     /// lookup builds (single-flight still coalesces concurrent twins),
     /// which is how benches measure the cold path with unchanged code.
     std::uint64_t byte_budget = 256ull << 20;
+    /// Optional on-disk tier. When set, a memory miss first tries a
+    /// zero-copy load from the store (single-flighted like a build —
+    /// concurrent requests for one key cost one disk load), and every
+    /// freshly built or patched plan is persisted back best-effort. A
+    /// store file that fails any validation is a counted fallback to a
+    /// rebuild, never an error.
+    std::shared_ptr<PlanStore> store;
   };
 
   struct Counters {
     std::uint64_t hits = 0;        ///< served from a ready entry
     std::uint64_t coalesced = 0;   ///< joined an in-flight build
-    std::uint64_t misses = 0;      ///< initiated a build
+    std::uint64_t misses = 0;      ///< initiated a build or disk load
     std::uint64_t evictions = 0;   ///< ready entries dropped by LRU
     std::uint64_t build_failures = 0;
     std::uint64_t bytes = 0;       ///< current retained footprint
     std::uint64_t entries = 0;     ///< current retained entry count
+    // --- disk tier -------------------------------------------------------
+    std::uint64_t disk_hits = 0;       ///< served by a store load
+    std::uint64_t disk_misses = 0;     ///< key simply not stored
+    std::uint64_t disk_fallbacks = 0;  ///< stored but rejected -> rebuilt
+    std::uint64_t persisted = 0;       ///< plans written to the store
+    std::uint64_t persist_failures = 0;
+    // --- incremental re-planning ----------------------------------------
+    std::uint64_t patched = 0;          ///< plans produced by a patch
+    std::uint64_t patch_fallbacks = 0;  ///< patch failed -> full rebuild
     double hit_rate() const {
       const std::uint64_t total = hits + coalesced + misses;
       return total ? static_cast<double>(hits + coalesced) /
@@ -93,15 +114,18 @@ class PlanCache {
   PlanCache(const PlanCache&) = delete;
   PlanCache& operator=(const PlanCache&) = delete;
 
-  /// How a lookup_or_build call was satisfied.
+  /// How a lookup_or_build / patch_or_build call was satisfied.
   enum class Outcome {
-    Hit,        ///< served from a ready entry
-    Coalesced,  ///< waited on another thread's in-flight build
-    Built       ///< this call ran the build
+    Hit,         ///< served from a ready entry
+    Coalesced,   ///< waited on another thread's in-flight build
+    Built,       ///< this call ran the build
+    DiskLoaded,  ///< this call loaded the plan from the store tier
+    Patched      ///< this call patched a base plan incrementally
   };
 
   /// Returns the cached plan for (kernel, opt), building it at most once
-  /// per key across all threads. Propagates the builder's exception to
+  /// per key across all threads. With a store configured, a miss tries
+  /// the disk tier before building. Propagates the builder's exception to
   /// every waiter and forgets the key so a later request can retry.
   /// `outcome`, when non-null, reports how the call was satisfied.
   PlanPtr lookup_or_build(const core::PhasedKernel& kernel,
@@ -109,10 +133,35 @@ class PlanCache {
                           std::optional<std::uint64_t> fingerprint = {},
                           Outcome* outcome = nullptr);
 
+  /// The adaptive path: `kernel` is a mutation of the mesh whose plan is
+  /// cached under `base_fingerprint`, with `changed_iterations` naming
+  /// the global iterations whose references differ. If the base plan is
+  /// resident (memory or store), the new plan is produced by
+  /// core::patch_execution_plan and re-verified in budget mode — on any
+  /// patch or verification failure the *base* entry is invalidated, the
+  /// fallback is a full build, and the client never sees an error. The
+  /// result is cached and persisted under its own key exactly like a
+  /// built plan. `fingerprint` is the mutated kernel's content hash (so
+  /// repeat requests hit normally).
+  PlanPtr patch_or_build(const core::PhasedKernel& kernel,
+                         const core::PlanOptions& opt,
+                         std::uint64_t base_fingerprint,
+                         std::span<const std::uint32_t> changed_iterations,
+                         std::optional<std::uint64_t> fingerprint = {},
+                         Outcome* outcome = nullptr);
+
   /// True if `key` is resident and ready (does not touch LRU order).
   bool contains(const PlanKey& key) const;
 
   Counters counters() const;
+
+  /// Code of the most recent store-load rejection (e.g. E-STORE-CHECKSUM)
+  /// with its detail — the diagnostic surfaced when disk_fallbacks grows.
+  std::string last_fallback_reason() const;
+
+  const std::shared_ptr<PlanStore>& store() const noexcept {
+    return cfg_.store;
+  }
 
  private:
   struct Entry {
@@ -126,11 +175,36 @@ class PlanCache {
   /// Requires mutex_ held.
   void evict_to_budget();
 
+  /// The shared single-flight skeleton: hit/coalesce fast paths, then
+  /// `produce` (run outside the lock, exactly once per key across all
+  /// threads) makes the plan and reports how. Exceptions propagate to
+  /// every waiter and the key is forgotten for retry.
+  PlanPtr acquire(const PlanKey& key, Outcome* outcome,
+                  const std::function<PlanPtr(Outcome&)>& produce);
+
+  /// Builds (or disk-loads) + persists for `key`; the lookup_or_build
+  /// produce step.
+  PlanPtr produce_from_tiers(const PlanKey& key,
+                             const core::PhasedKernel& kernel,
+                             const core::PlanOptions& opt, Outcome& how);
+
+  /// Store-tier load for `key`: null on miss (counted disk_miss) or on a
+  /// rejected file (counted disk_fallback with the reason recorded).
+  PlanPtr try_store_load(const PlanKey& key, Outcome& how);
+
+  /// Best-effort store write, counting persisted / persist_failures.
+  void persist(const PlanKey& key, const core::ExecutionPlan& plan);
+
+  /// Ready plan for `key` from memory only (counts nothing, no LRU
+  /// touch); null if absent or in flight.
+  PlanPtr peek_ready(const PlanKey& key) const;
+
   Config cfg_;
   mutable std::mutex mutex_;
   std::map<PlanKey, Entry> entries_;
   std::list<PlanKey> lru_;  ///< front = most recent
   Counters counters_;
+  std::string last_fallback_reason_;
 };
 
 }  // namespace earthred::service

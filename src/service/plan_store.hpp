@@ -1,0 +1,76 @@
+// PlanStore: the on-disk tier behind the in-memory PlanCache.
+//
+// A directory of serialized ExecutionPlans (core/plan_io.hpp format), one
+// file per PlanKey, named so the key is recoverable from a directory
+// listing:
+//
+//   p<content_hash:016x>-P<procs>-k<k>-<distribution>[-bc<n>][-dedup].plan
+//
+// The store is deliberately dumb: no index, no locking, no eviction. File
+// names are the index; saves go through an atomic temp-file + rename so a
+// crashed writer can never leave a half-written plan where a reader finds
+// it; concurrent savers of the same key race benignly (last rename wins,
+// both files are valid); the PlanCache's single-flight already serializes
+// loads per key within a process. Capacity management is the operator's
+// `rm` — plans are cache entries, always rebuildable.
+//
+// Trust model: everything read from disk is untrusted until proven. A
+// load re-checks magic/version/endian/verifier fingerprint, the payload
+// checksum, structural parse consistency, the budget-mode plan verifier,
+// and finally that the file's identity matches the *requested* key
+// (E-STORE-KEY — a renamed or hash-colliding file must not serve the
+// wrong mesh). Any failure comes back as a coded reason, and the cache
+// falls back to a rebuild; a bad file is never an error the client sees.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/plan_io.hpp"
+#include "service/plan_cache.hpp"
+
+namespace earthred::service {
+
+class PlanStore {
+ public:
+  /// Opens (creating if needed) the store directory. Throws
+  /// precondition_error if the path exists but is not a directory or
+  /// cannot be created.
+  explicit PlanStore(std::string directory);
+
+  const std::string& directory() const noexcept { return dir_; }
+
+  /// File path a key persists to.
+  std::string path_for(const PlanKey& key) const;
+
+  /// Loads and fully validates the plan for `key`. On failure the result
+  /// carries an E-STORE-* code (E-STORE-OPEN simply means "not stored").
+  core::PlanLoadResult load(const PlanKey& key) const;
+
+  /// Serializes and atomically persists `plan` under `key`. Best-effort:
+  /// returns false with `error` set instead of throwing — persistence is
+  /// an optimization, never a job failure.
+  bool save(const PlanKey& key, const core::ExecutionPlan& plan,
+            std::string* error = nullptr) const;
+
+  /// One stored plan, as seen by `earthred plan ls`.
+  struct ListEntry {
+    std::string filename;
+    std::uint64_t file_bytes = 0;
+    /// Decoded header; valid only when `error_code` is empty.
+    core::PlanFileHeader header;
+    std::string error_code;  ///< non-empty for unreadable/foreign files
+  };
+
+  /// Scans the directory for *.plan files (sorted by name) and decodes
+  /// each header. Files that fail the header checks are listed with
+  /// their error code rather than skipped — a corrupt store should be
+  /// visible, not invisible.
+  std::vector<ListEntry> list() const;
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace earthred::service

@@ -23,6 +23,7 @@ void ServiceStats::print(std::ostream& os, const std::string& title) const {
   t.add_row({"in flight", fmt_group(static_cast<long long>(in_flight))});
   t.add_row({"job latency p50 (s)", fmt_f(p50_latency, 4)});
   t.add_row({"job latency p95 (s)", fmt_f(p95_latency, 4)});
+  t.add_row({"job latency p99 (s)", fmt_f(p99_latency, 4)});
   t.add_rule();
   t.add_row({"cold setups (plan built)",
              fmt_group(static_cast<long long>(cold_setups)) + " @ mean " +
@@ -40,6 +41,20 @@ void ServiceStats::print(std::ostream& os, const std::string& title) const {
                  fmt_group(static_cast<long long>(cache.bytes)) + " bytes)"});
   t.add_row({"cache evictions",
              fmt_group(static_cast<long long>(cache.evictions))});
+  t.add_rule();
+  t.add_row({"disk hits / misses / fallbacks",
+             fmt_group(static_cast<long long>(cache.disk_hits)) + " / " +
+                 fmt_group(static_cast<long long>(cache.disk_misses)) +
+                 " / " +
+                 fmt_group(static_cast<long long>(cache.disk_fallbacks))});
+  t.add_row({"plans persisted",
+             fmt_group(static_cast<long long>(cache.persisted)) + " (" +
+                 fmt_group(static_cast<long long>(cache.persist_failures)) +
+                 " failed)"});
+  t.add_row({"plans patched",
+             fmt_group(static_cast<long long>(cache.patched)) + " (" +
+                 fmt_group(static_cast<long long>(cache.patch_fallbacks)) +
+                 " fallbacks)"});
   t.print(os);
 }
 

@@ -27,6 +27,7 @@ struct ServiceStats {
   // End-to-end latency (submit to completion, seconds) over finished jobs.
   double p50_latency = 0.0;
   double p95_latency = 0.0;
+  double p99_latency = 0.0;
   // Setup cost (plan acquisition, seconds) split by cache outcome.
   double mean_cold_setup = 0.0;
   double mean_warm_setup = 0.0;

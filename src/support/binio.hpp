@@ -1,0 +1,139 @@
+// Binary file primitives for the persistent plan store.
+//
+// Three small pieces, deliberately separated from the plan format itself
+// (core/plan_io.hpp) so they stay reusable and testable in isolation:
+//
+//   * MappedFile — read-only mmap of a whole file with RAII unmap, plus a
+//     transparent read(2) fallback for filesystems where mmap fails. The
+//     zero-copy warm start hinges on this: loaded plans view the mapping
+//     instead of copying it, and the mapping is kept alive by a
+//     shared_ptr<MappedFile> stored in the plan.
+//   * ByteReader — bounds-checked little-endian cursor over a mapped (or
+//     in-memory) byte range. Never throws on malformed input: any
+//     overrun sets a sticky fail flag and subsequent reads return zeros,
+//     so format parsers can probe freely and check once.
+//   * ByteWriter — the matching append-only encoder.
+//   * fnv1a64 — byte-serial FNV-1a (same function the PlanCache uses for
+//     content hashing), for small ranges.
+//   * fast_hash64 — the plan-payload checksum: a word-parallel
+//     xor-multiply hash ~8x faster than fnv1a64, so checksumming a
+//     megabyte-class plan file stays off the warm-start critical path.
+//
+// All integers are encoded little-endian. Files written on a big-endian
+// host would carry a different endian tag in the plan header and be
+// rejected on load (E-STORE-ENDIAN) rather than misread.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace earthred::support {
+
+/// FNV-1a over a byte range; `seed` chains multiple ranges.
+std::uint64_t fnv1a64(const void* data, std::size_t size,
+                      std::uint64_t seed = 1469598103934665603ull);
+
+/// Word-parallel 64-bit hash (four independent xor-multiply lanes + final
+/// avalanche). Not FNV-compatible; used where throughput matters — the
+/// plan file payload checksum.
+std::uint64_t fast_hash64(const void* data, std::size_t size,
+                          std::uint64_t seed = 1469598103934665603ull);
+
+/// Whole-file read-only mapping. On platforms or filesystems where mmap
+/// is unavailable the contents are read into an owned buffer instead —
+/// callers see the same span either way (they only lose the zero-copy
+/// property, never correctness).
+class MappedFile {
+ public:
+  /// Maps `path`; returns nullptr (with `error` set) if the file cannot
+  /// be opened or read. An empty file maps successfully to an empty span.
+  static std::shared_ptr<MappedFile> open(const std::string& path,
+                                          std::string* error = nullptr);
+  ~MappedFile();
+
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  std::span<const std::byte> bytes() const noexcept {
+    return {static_cast<const std::byte*>(data_), size_};
+  }
+  std::size_t size() const noexcept { return size_; }
+  /// True when the contents are a real mmap (zero-copy), false when the
+  /// read(2) fallback buffered them.
+  bool mapped() const noexcept { return mapped_; }
+
+ private:
+  MappedFile() = default;
+  const void* data_ = nullptr;
+  std::size_t size_ = 0;
+  bool mapped_ = false;
+  std::vector<std::byte> fallback_;
+};
+
+/// Append-only little-endian encoder.
+class ByteWriter {
+ public:
+  void u32(std::uint32_t v) { raw(&v, sizeof v); }
+  void u64(std::uint64_t v) { raw(&v, sizeof v); }
+  void f64(double v) { raw(&v, sizeof v); }
+  /// Length-prefixed u32 array, zero-padded to an 8-byte boundary so the
+  /// payload keeps every array 8-aligned (mmap adoption needs aligned
+  /// u32 views; padding keeps the following u64 fields aligned too).
+  void u32_array(std::span<const std::uint32_t> v);
+  void raw(const void* p, std::size_t n);
+
+  std::span<const std::byte> bytes() const noexcept { return buf_; }
+  std::size_t size() const noexcept { return buf_.size(); }
+
+ private:
+  std::vector<std::byte> buf_;
+};
+
+/// Bounds-checked little-endian cursor. Reads past the end set `fail()`
+/// and yield zeros / empty spans; the cursor never moves past the end.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::byte> bytes) : bytes_(bytes) {}
+
+  std::uint32_t u32() { return scalar<std::uint32_t>(); }
+  std::uint64_t u64() { return scalar<std::uint64_t>(); }
+  double f64() { return scalar<double>(); }
+  /// Counterpart of ByteWriter::u32_array. The returned span aliases the
+  /// underlying bytes (this is the zero-copy handoff); it is empty — and
+  /// fail() is set — on overrun, misalignment, or an oversized count.
+  std::span<const std::uint32_t> u32_array();
+
+  bool fail() const noexcept { return fail_; }
+  std::size_t remaining() const noexcept { return bytes_.size() - pos_; }
+
+ private:
+  template <typename T>
+  T scalar() {
+    T v{};
+    if (fail_ || bytes_.size() - pos_ < sizeof(T)) {
+      fail_ = true;
+      return v;
+    }
+    std::memcpy(&v, bytes_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  std::span<const std::byte> bytes_;
+  std::size_t pos_ = 0;
+  bool fail_ = false;
+};
+
+/// Writes `bytes` to `path` atomically: a unique temp file in the same
+/// directory, fsync'd, then rename(2) over the target — readers only ever
+/// observe a complete file. Returns false (with `error` set) on failure.
+bool write_file_atomic(const std::string& path,
+                       std::span<const std::byte> bytes,
+                       std::string* error = nullptr);
+
+}  // namespace earthred::support

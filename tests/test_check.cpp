@@ -565,8 +565,9 @@ TEST(PlanMutation, ViolationCountingContinuesPastTheRecordingCap) {
   const std::uint32_t n = mp.plan.sched.num_elements();
   for (auto& phase : insp.phases) {
     for (auto& row : phase.indir)
-      for (auto& v : row)
-        if (v < n) v = (v + mp.plan.sched.portion_size(0)) % n;
+      for (std::size_t j = 0; j < row.size(); ++j)
+        if (row[j] < n)
+          row[j] = (row[j] + mp.plan.sched.portion_size(0)) % n;
     phase.flatten_indir();
   }
   const inspector::PlanVerifyReport report = mp.verify();

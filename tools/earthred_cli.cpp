@@ -26,8 +26,18 @@
 //                        errors, 0 on clean/warnings-only)
 //   earthred batch      --jobs=jobs.txt [--workers=W] [--queue=N]
 //                        [--cache-mb=M] [--no-cache] [--deadline=S]
+//                        [--plan-store=DIR] (persistent plan tier: plans
+//                        load zero-copy from DIR and new builds persist)
 //                        [--json=out.jsonl] [--quiet]
 //   earthred serve      (batch mode reading the job list from stdin)
+//   earthred plan       save|load|ls --store=DIR
+//                        save/load take the same kernel/mesh keys as run
+//                        (--kernel --preset/--mesh/--nodes --edges --seed)
+//                        plus --procs --k --dist [--bc=N] [--dedup]:
+//                        `save` builds + verifies + persists the plan,
+//                        `load` round-trips it through the full validation
+//                        chain (exit 1 with the E-STORE-* code on any
+//                        rejection), `ls` tables every *.plan file.
 //
 // `run` additionally accepts --check: build the execution plan, prove the
 // rotation invariants AND cross-check every scheduled reference against
@@ -44,6 +54,12 @@
 // sweeps; defaults to the build type's PlanOptions::verify). Jobs on the
 // same mesh share one cached execution plan (see
 // src/service/plan_cache.hpp).
+//
+// Adaptive jobs: mutate=N [mutate-seed=S] rewires N random interactions
+// of the job's mesh and submits the mutated kernel with the *base* mesh's
+// fingerprint as its patch base — the service patches the cached base
+// plan incrementally (PlanCache::patch_or_build) instead of rebuilding,
+// falling back transparently if no base plan is resident.
 //
 // DSL jobs: dsl=<loop.dsl> replaces kernel=/mesh= — the program is
 // admission-checked by the service (illegal loops are Rejected with the
@@ -75,6 +91,7 @@
 #include "mesh/io.hpp"
 #include "mesh/mesh.hpp"
 #include "service/job_scheduler.hpp"
+#include "service/plan_store.hpp"
 #include "sparse/io.hpp"
 #include "sparse/nas_cg.hpp"
 #include "support/check.hpp"
@@ -92,7 +109,7 @@ int usage() {
   std::fprintf(
       stderr,
       "usage: earthred "
-      "<gen-mesh|gen-matrix|info|run|compile|check|batch|serve> "
+      "<gen-mesh|gen-matrix|info|run|compile|check|batch|serve|plan> "
       "[--flags]\n(see the header of tools/earthred_cli.cpp)\n");
   return 1;
 }
@@ -516,6 +533,17 @@ const char* to_string(service::JobState s) {
   return "?";
 }
 
+const char* to_string(service::PlanCache::Outcome o) {
+  switch (o) {
+    case service::PlanCache::Outcome::Hit: return "cached";
+    case service::PlanCache::Outcome::Coalesced: return "coalesced";
+    case service::PlanCache::Outcome::Built: return "built";
+    case service::PlanCache::Outcome::DiskLoaded: return "disk";
+    case service::PlanCache::Outcome::Patched: return "patched";
+  }
+  return "?";
+}
+
 int run_service(std::istream& jobs_in, const Options& opt) {
   service::JobScheduler::Config cfg;
   cfg.workers = static_cast<std::uint32_t>(opt.get_int("workers", 4));
@@ -526,6 +554,9 @@ int run_service(std::istream& jobs_in, const Options& opt) {
       opt.get_bool("no-cache", false)
           ? 0
           : static_cast<std::uint64_t>(opt.get_int("cache-mb", 256)) << 20;
+  if (opt.has("plan-store"))
+    cfg.cache.store =
+        std::make_shared<service::PlanStore>(opt.get("plan-store"));
   service::JobScheduler sched(cfg);
 
   // Kernels (and their content fingerprints) are shared across jobs that
@@ -600,10 +631,27 @@ int run_service(std::istream& jobs_in, const Options& opt) {
     }
 
     service::JobRequest req;
-    req.kernel = it->second.kernel;
     req.name = jopt.get("name", kname + "#" + std::to_string(lineno));
     request_from_job_line(jopt, lineno, req);
-    req.fingerprint = it->second.fingerprint;
+    const auto mutate =
+        static_cast<std::uint64_t>(jopt.get_int("mutate", 0));
+    if (mutate > 0) {
+      // Adaptive job: rewire `mutate` interactions of the (regenerated)
+      // base mesh and ask the service to patch the base plan instead of
+      // rebuilding. The base fingerprint stays in the kernels map, so a
+      // prior plain job on the same mesh line seeds the base plan.
+      mesh::Mesh m = mesh_from_options(jopt);
+      req.changed_edges = mesh::rewire_edges(
+          m, mutate,
+          static_cast<std::uint64_t>(jopt.get_int("mutate-seed", 1)));
+      req.kernel = std::shared_ptr<const core::PhasedKernel>(
+          make_kernel(kname, std::move(m)));
+      req.fingerprint = service::kernel_fingerprint(*req.kernel);
+      req.patch_base = it->second.fingerprint;
+    } else {
+      req.kernel = it->second.kernel;
+      req.fingerprint = it->second.fingerprint;
+    }
     handles.push_back(sched.submit(std::move(req)));
   }
 
@@ -623,8 +671,7 @@ int run_service(std::istream& jobs_in, const Options& opt) {
     t.add_row({o.name, to_string(o.state),
                o.state == service::JobState::Rejected
                    ? "-"
-                   : (o.simulated ? "sim"
-                                  : (o.cache_hit ? "cached" : "built")),
+                   : (o.simulated ? "sim" : to_string(o.plan_source)),
                fmt_f(o.queue_seconds * 1e3, 2),
                fmt_f(o.setup_seconds * 1e3, 3), fmt_f(o.exec_seconds, 4),
                detail});
@@ -633,6 +680,7 @@ int run_service(std::istream& jobs_in, const Options& opt) {
       w.field("job", o.name)
           .field("state", to_string(o.state))
           .field("cache_hit", o.cache_hit)
+          .field("plan_source", o.simulated ? "sim" : to_string(o.plan_source))
           .field("queue_seconds", o.queue_seconds)
           .field("setup_seconds", o.setup_seconds)
           .field("plan_build_seconds", o.plan_build_seconds)
@@ -642,11 +690,122 @@ int run_service(std::istream& jobs_in, const Options& opt) {
       append_json_line(opt.get("json"), w.str());
     }
   }
+  const service::ServiceStats stats = sched.stats();
+  if (opt.has("json")) {
+    // Summary record after the per-job lines: the service-level latency
+    // percentiles and cache/store tallies a client can't derive from the
+    // individual outcomes.
+    JsonWriter w;
+    w.field("record", "service_stats")
+        .field("submitted", stats.submitted)
+        .field("completed", stats.completed)
+        .field("failed", stats.failed)
+        .field("rejected", stats.rejected)
+        .field("p50_latency_s", stats.p50_latency)
+        .field("p95_latency_s", stats.p95_latency)
+        .field("p99_latency_s", stats.p99_latency)
+        .field("cache_hit_rate", stats.cache.hit_rate())
+        .field("disk_hits", stats.cache.disk_hits)
+        .field("disk_misses", stats.cache.disk_misses)
+        .field("disk_fallbacks", stats.cache.disk_fallbacks)
+        .field("plans_persisted", stats.cache.persisted)
+        .field("plans_patched", stats.cache.patched)
+        .field("patch_fallbacks", stats.cache.patch_fallbacks);
+    append_json_line(opt.get("json"), w.str());
+  }
   if (!opt.get_bool("quiet", false)) {
     t.print(std::cout);
-    sched.stats().print(std::cout);
+    stats.print(std::cout);
   }
   return bad == 0 ? 0 : 1;
+}
+
+// ---- plan: operate on the persistent plan store directly ---------------
+
+/// Builds the (kernel, options, key) triple the save/load subcommands
+/// share, from the same flags `run` uses.
+struct PlanVerbContext {
+  std::unique_ptr<core::PhasedKernel> kernel;
+  core::PlanOptions popt;
+  service::PlanKey key;
+};
+
+PlanVerbContext plan_verb_context(const Options& opt) {
+  PlanVerbContext ctx;
+  ctx.kernel = make_kernel(opt.get("kernel", "euler"), mesh_from_options(opt));
+  ctx.popt.num_procs = static_cast<std::uint32_t>(opt.get_int("procs", 8));
+  ctx.popt.k = static_cast<std::uint32_t>(opt.get_int("k", 2));
+  ctx.popt.distribution =
+      inspector::parse_distribution(opt.get("dist", "cyclic"));
+  ctx.popt.block_cyclic_size =
+      static_cast<std::uint32_t>(opt.get_int("bc", 16));
+  ctx.popt.inspector.dedup_buffers = opt.get_bool("dedup", false);
+  ctx.key = service::make_plan_key(*ctx.kernel, ctx.popt);
+  return ctx;
+}
+
+int cmd_plan(const Options& opt) {
+  const std::string sub =
+      opt.positional().empty() ? "" : opt.positional().front();
+  if (sub != "save" && sub != "load" && sub != "ls")
+    throw check_error("plan needs a subcommand: save|load|ls");
+  const service::PlanStore store(opt.get("store", "plans"));
+
+  if (sub == "ls") {
+    Table t("plan store: " + store.directory());
+    t.set_header({"file", "bytes", "procs", "k", "mesh", "status"});
+    for (const service::PlanStore::ListEntry& e : store.list()) {
+      if (e.error_code.empty()) {
+        t.add_row({e.filename,
+                   fmt_group(static_cast<long long>(e.file_bytes)),
+                   std::to_string(e.header.num_procs),
+                   std::to_string(e.header.k),
+                   fmt_group(e.header.num_nodes) + " nodes / " +
+                       fmt_group(static_cast<long long>(
+                           e.header.num_edges)) +
+                       " edges",
+                   "ok"});
+      } else {
+        t.add_row({e.filename,
+                   fmt_group(static_cast<long long>(e.file_bytes)), "-",
+                   "-", "-", e.error_code});
+      }
+    }
+    t.print(std::cout);
+    return 0;
+  }
+
+  const PlanVerbContext ctx = plan_verb_context(opt);
+  if (sub == "save") {
+    core::PlanOptions build_opt = ctx.popt;
+    build_opt.verify = true;  // never persist an unproven plan
+    const core::ExecutionPlan plan =
+        core::build_execution_plan(*ctx.kernel, build_opt);
+    std::string error;
+    if (!store.save(ctx.key, plan, &error))
+      throw check_error("plan save failed: " + error);
+    std::printf("saved %s (built in %.4f s)\n",
+                store.path_for(ctx.key).c_str(), plan.build_seconds);
+    return 0;
+  }
+
+  // load: the full untrusted-input validation chain, surfaced verbatim.
+  const core::PlanLoadResult r = store.load(ctx.key);
+  if (!r.ok()) {
+    std::fprintf(stderr, "plan load rejected [%s]: %s\n",
+                 r.error_code.c_str(), r.detail.c_str());
+    return 1;
+  }
+  std::printf("loaded %s: %s phases x %u procs, %s bytes resident, "
+              "%szero-copy, verifier clean\n",
+              store.path_for(ctx.key).c_str(),
+              fmt_group(static_cast<long long>(
+                  r.plan->insp.empty() ? 0 : r.plan->insp[0].phases.size()))
+                  .c_str(),
+              r.plan->options.num_procs,
+              fmt_group(static_cast<long long>(r.plan->byte_size())).c_str(),
+              r.zero_copy ? "" : "NOT ");
+  return 0;
 }
 
 int cmd_batch(const Options& opt) {
@@ -671,6 +830,7 @@ int dispatch(int argc, char** argv) {
   if (cmd == "check") return cmd_check(opt);
   if (cmd == "batch") return cmd_batch(opt);
   if (cmd == "serve") return cmd_serve(opt);
+  if (cmd == "plan") return cmd_plan(opt);
   return usage();
 }
 
