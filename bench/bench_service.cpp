@@ -13,12 +13,26 @@
 // (byte budget 0: every job rebuilds its plan) and once enabled. Reports
 // jobs/second and the ServiceStats snapshot for each mode.
 //
+// Part 3 (--net): the same scheduler fronted by a ServeLoop on a
+// loopback socket, driven by concurrent net::Client threads — measures
+// the wire path (framing, checksums, poll loop, result reaping) end to
+// end. With --net-faults each client connection is wrapped in a
+// FaultyStream (seeded drops / bit flips / short reads), so the number
+// also covers the retry/reconnect machinery; the gate is then
+// accounting, not speed: every submission must terminate with a result
+// or a coded refusal, and the server must drain clean.
+//
 // Flags: --jobs=N (default 48), --workers=W (default 4), --sweeps=S
 //        (default 4), --reps=R warm-lookup repetitions (default 32),
+//        --net (run part 3), --net-clients=C (default 4), --net-faults,
+//        --small (CI-sized: shrink counts, skip the >=10x ratio gate),
 //        --json=<path> (JSONL record with the measured numbers).
+#include <atomic>
 #include <cstdio>
 #include <iostream>
 #include <memory>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -26,7 +40,11 @@
 #include "kernels/fig1.hpp"
 #include "kernels/moldyn.hpp"
 #include "mesh/generators.hpp"
+#include "net/client.hpp"
+#include "net/stream.hpp"
+#include "service/job_builder.hpp"
 #include "service/job_scheduler.hpp"
+#include "service/serve_loop.hpp"
 #include "support/options.hpp"
 
 namespace earthred {
@@ -124,11 +142,178 @@ ThroughputResult run_throughput(const std::vector<Config>& configs,
   return out;
 }
 
+struct NetResult {
+  double wall_seconds = 0.0;
+  double jobs_per_second = 0.0;
+  std::uint64_t done = 0;
+  std::uint64_t coded = 0;  ///< terminated with an E-NET-*/E-JOB-* code
+  net::ClientStats client;  ///< summed across client threads
+  service::ServeStats serve;
+  bool started = false;
+};
+
+NetResult run_net(std::uint32_t jobs, std::uint32_t workers,
+                  std::uint32_t clients, std::uint32_t sweeps,
+                  bool faults) {
+  NetResult out;
+  service::JobScheduler::Config cfg;
+  cfg.workers = workers;
+  cfg.queue_capacity = jobs + 16;
+  cfg.cache.byte_budget = 256ull << 20;
+  service::JobScheduler sched(cfg);
+
+  service::JobLimits limits;
+  limits.allow_file_io = false;  // networked submissions: no file refs
+  const auto builder = std::make_shared<service::JobBuilder>(limits);
+  const auto lineno = std::make_shared<std::size_t>(0);
+
+  service::ServeConfig scfg;
+  scfg.max_inflight = jobs + 16;
+  if (faults) {
+    // Dropped chunks leave frames incomplete; a short read timeout turns
+    // them into fast coded rejects instead of 10s stalls per incident.
+    scfg.read_timeout_ms = 500;
+    scfg.write_timeout_ms = 1000;
+  }
+  service::ServeLoop loop(
+      sched,
+      [builder, lineno](std::string_view line) {
+        return builder->build(line, ++*lineno);
+      },
+      scfg);
+  std::string error;
+  if (!loop.start(&error)) {
+    std::fprintf(stderr, "bench_service: serve start failed: %s\n",
+                 error.c_str());
+    return out;
+  }
+  out.started = true;
+
+  // One small job line reused throughout: the first submission builds the
+  // kernel + plan, the rest hit the plan cache — so the measurement is
+  // dominated by the wire path, which is the point.
+  const std::string job_line =
+      "kernel=fig1 nodes=1500 edges=9000 seed=11 procs=4 k=2 sweeps=" +
+      std::to_string(sweeps) + " name=net";
+
+  std::atomic<std::uint64_t> done{0};
+  std::atomic<std::uint64_t> coded{0};
+  std::mutex agg_mutex;
+  const auto t0 = Clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (std::uint32_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      net::ClientConfig ccfg;
+      ccfg.port = loop.port();
+      // A dropped chunk stalls the attempt until this expires; keep it
+      // short under faults so a retry happens in seconds, not tens.
+      ccfg.request_timeout_ms = faults ? 2000 : 10000;
+      ccfg.max_attempts = 6;
+      ccfg.backoff_base_ms = 2;
+      ccfg.backoff_cap_ms = 50;
+      ccfg.jitter_seed = 0x6a11ULL + c;
+      // Under injected faults the breaker must not fast-fail the run;
+      // persistence is what is being measured.
+      ccfg.breaker_threshold = 1000;
+      if (faults) {
+        ccfg.wrap_stream = [c](std::unique_ptr<net::Stream> s)
+            -> std::unique_ptr<net::Stream> {
+          net::ByteFaultConfig f;
+          f.seed = 0xbe5eULL + 0x9e3779b9ULL * c;
+          f.drop = 0.02;
+          f.corrupt = 0.02;
+          f.short_read = 0.10;
+          return std::make_unique<net::FaultyStream>(std::move(s), f);
+        };
+      }
+      net::Client client(ccfg);
+      const std::uint32_t per =
+          jobs / clients + (c < jobs % clients ? 1u : 0u);
+      for (std::uint32_t j = 0; j < per; ++j) {
+        const net::Client::Reply r = client.submit(job_line);
+        if (r.ok() &&
+            r.result.state ==
+                static_cast<std::uint32_t>(service::JobState::Done)) {
+          done.fetch_add(1);
+        } else {
+          coded.fetch_add(1);
+        }
+      }
+      const std::lock_guard<std::mutex> lk(agg_mutex);
+      const net::ClientStats& s = client.stats();
+      out.client.calls += s.calls;
+      out.client.attempts += s.attempts;
+      out.client.retries += s.retries;
+      out.client.reconnects += s.reconnects;
+      out.client.transport_failures += s.transport_failures;
+      out.client.breaker_fast_fails += s.breaker_fast_fails;
+      out.client.breaker_trips += s.breaker_trips;
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  out.wall_seconds = seconds_since(t0);
+  out.done = done.load();
+  out.coded = coded.load();
+  out.jobs_per_second =
+      out.wall_seconds > 0 ? static_cast<double>(jobs) / out.wall_seconds
+                           : 0.0;
+  loop.request_drain();
+  loop.wait();
+  sched.drain();
+  out.serve = loop.stats();
+  return out;
+}
+
+/// Prints one net mode's table + summary; true iff the accounting gate
+/// holds (every job terminated, server drained clean).
+bool report_net(const char* title, std::uint32_t jobs, const NetResult& r) {
+  if (!r.started) return false;
+  Table t(title);
+  t.set_header({"metric", "value"});
+  t.add_row({"wall s", fmt_f(r.wall_seconds, 3)});
+  t.add_row({"jobs/s", fmt_f(r.jobs_per_second, 1)});
+  t.add_row({"done", std::to_string(r.done)});
+  t.add_row({"coded refusals", std::to_string(r.coded)});
+  t.add_row({"client attempts", std::to_string(r.client.attempts)});
+  t.add_row({"client retries", std::to_string(r.client.retries)});
+  t.add_row({"client reconnects", std::to_string(r.client.reconnects)});
+  t.add_row({"transport failures",
+             std::to_string(r.client.transport_failures)});
+  t.add_row({"server frames in/out",
+             std::to_string(r.serve.frames_in) + " / " +
+                 std::to_string(r.serve.frames_out)});
+  t.add_row({"server bad frames", std::to_string(r.serve.bad_frames)});
+  t.add_row({"server sheds (busy/drain)",
+             std::to_string(r.serve.shed_busy) + " / " +
+                 std::to_string(r.serve.shed_draining)});
+  t.add_row({"server read/write timeouts",
+             std::to_string(r.serve.read_timeouts) + " / " +
+                 std::to_string(r.serve.write_timeouts)});
+  t.print(std::cout);
+  const bool accounted = r.done + r.coded == jobs;
+  const bool drained = r.serve.open_connections() == 0;
+  std::printf(
+      "net accounting: %llu done + %llu coded = %u submitted %s; "
+      "%llu connection(s) left open %s\n",
+      static_cast<unsigned long long>(r.done),
+      static_cast<unsigned long long>(r.coded), jobs,
+      accounted ? "(PASS)" : "(FAIL)",
+      static_cast<unsigned long long>(r.serve.open_connections()),
+      drained ? "(PASS)" : "(FAIL)");
+  return accounted && drained;
+}
+
 int run(const Options& opt) {
-  const auto jobs = static_cast<std::uint32_t>(opt.get_int("jobs", 48));
-  const auto workers = static_cast<std::uint32_t>(opt.get_int("workers", 4));
-  const auto sweeps = static_cast<std::uint32_t>(opt.get_int("sweeps", 4));
-  const auto reps = static_cast<std::uint32_t>(opt.get_int("reps", 32));
+  const bool small = opt.get_bool("small", false);
+  const auto jobs =
+      static_cast<std::uint32_t>(opt.get_int("jobs", small ? 16 : 48));
+  const auto workers =
+      static_cast<std::uint32_t>(opt.get_int("workers", small ? 2 : 4));
+  const auto sweeps =
+      static_cast<std::uint32_t>(opt.get_int("sweeps", small ? 2 : 4));
+  const auto reps =
+      static_cast<std::uint32_t>(opt.get_int("reps", small ? 8 : 32));
 
   const std::vector<Config> configs = make_configs();
 
@@ -181,6 +366,32 @@ int run(const Options& opt) {
   tp.print(std::cout);
   on.stats.print(std::cout, "service stats (cache on)");
 
+  // ---- Part 3: networked front-end (--net) ----------------------------
+  bool net_ok = true;
+  NetResult net;
+  NetResult net_chaos;
+  const bool run_net_part = opt.get_bool("net", false);
+  const bool net_faults = opt.get_bool("net-faults", false);
+  const auto clients = static_cast<std::uint32_t>(
+      opt.get_int("net-clients", small ? 2 : 4));
+  if (run_net_part) {
+    net = run_net(jobs, workers, clients, sweeps, false);
+    net_ok = report_net(
+        ("networked service (" + std::to_string(clients) +
+         " clients, clean wire)")
+            .c_str(),
+        jobs, net);
+    if (net_faults) {
+      net_chaos = run_net(jobs, workers, clients, sweeps, true);
+      net_ok = report_net(
+          ("networked service (" + std::to_string(clients) +
+           " clients, injected byte faults)")
+              .c_str(),
+          jobs, net_chaos) &&
+               net_ok;
+    }
+  }
+
   if (opt.has("json")) {
     JsonWriter w;
     w.field("bench", "service")
@@ -196,11 +407,30 @@ int run(const Options& opt) {
         .field("p50_latency_s", on.stats.p50_latency)
         .field("p95_latency_s", on.stats.p95_latency)
         .field("p99_latency_s", on.stats.p99_latency);
+    if (run_net_part) {
+      w.field("net_clients", static_cast<std::uint64_t>(clients))
+          .field("net_jobs_per_s", net.jobs_per_second)
+          .field("net_done", net.done)
+          .field("net_coded", net.coded)
+          .field("net_retries", net.client.retries)
+          .field("net_reconnects", net.client.reconnects);
+      if (net_faults) {
+        w.field("net_chaos_jobs_per_s", net_chaos.jobs_per_second)
+            .field("net_chaos_done", net_chaos.done)
+            .field("net_chaos_coded", net_chaos.coded)
+            .field("net_chaos_retries", net_chaos.client.retries)
+            .field("net_chaos_transport_failures",
+                   net_chaos.client.transport_failures);
+      }
+    }
     append_json_line(opt.get("json"), w.str());
     std::printf("appended JSON record to %s\n", opt.get("json").c_str());
   }
-  return ratio >= 10.0 && off.failed == 0 && on.failed == 0 &&
-                 off.rejected == 0 && on.rejected == 0
+  // --small is the CI smoke shape: counts too small for the >= 10x
+  // cold/warm ratio to be meaningful, so only correctness is gated.
+  const bool ratio_ok = small || ratio >= 10.0;
+  return ratio_ok && off.failed == 0 && on.failed == 0 &&
+                 off.rejected == 0 && on.rejected == 0 && net_ok
              ? 0
              : 1;
 }

@@ -1,0 +1,269 @@
+#include "net/client.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "support/str.hpp"
+
+namespace earthred::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Server-sent reject codes that indicate transient wire damage or
+/// overload — a fresh attempt on a fresh connection can succeed.
+bool retryable_reject(const std::string& code) {
+  return code == "E-NET-BUSY" || code == "E-NET-MAXCONN" ||
+         code == "E-NET-CHECKSUM" || code == "E-NET-MAGIC" ||
+         code == "E-NET-TRUNCATED" || code == "E-NET-TIMEOUT" ||
+         code == "E-NET-RESERVED" || code == "E-NET-TYPE";
+}
+
+}  // namespace
+
+const char* to_string(BreakerState s) {
+  switch (s) {
+    case BreakerState::Closed: return "closed";
+    case BreakerState::Open: return "open";
+    case BreakerState::HalfOpen: return "half-open";
+  }
+  return "?";
+}
+
+Client::Client(ClientConfig cfg)
+    : cfg_(std::move(cfg)), jitter_(cfg_.jitter_seed) {}
+
+Client::~Client() { disconnect(); }
+
+void Client::disconnect() {
+  if (stream_) {
+    stream_->close();
+    stream_.reset();
+  }
+}
+
+BreakerState Client::breaker_state() const {
+  if (!open_) return BreakerState::Closed;
+  return Clock::now() >= open_until_ ? BreakerState::HalfOpen
+                                     : BreakerState::Open;
+}
+
+bool Client::ensure_connected(std::string* error) {
+  if (stream_) return true;
+  std::unique_ptr<Stream> s = TcpStream::connect(
+      cfg_.host, cfg_.port, cfg_.connect_timeout_ms, error);
+  if (!s) return false;
+  if (cfg_.wrap_stream) s = cfg_.wrap_stream(std::move(s));
+  stream_ = std::move(s);
+  ++stats_.reconnects;
+  return true;
+}
+
+void Client::record_success() {
+  consecutive_failures_ = 0;
+  open_ = false;
+  half_open_probe_ = false;
+}
+
+void Client::record_failure() {
+  ++stats_.transport_failures;
+  ++consecutive_failures_;
+  if (open_ || consecutive_failures_ >= cfg_.breaker_threshold) {
+    // A Half-Open probe failing re-opens immediately; Closed trips once
+    // the threshold is reached.
+    if (!open_) ++stats_.breaker_trips;
+    open_ = true;
+    half_open_probe_ = false;
+    open_until_ =
+        Clock::now() + std::chrono::milliseconds(cfg_.breaker_cooldown_ms);
+  }
+}
+
+void Client::backoff_sleep(std::uint32_t attempt) {
+  // Full exponential with multiplicative jitter in [0.5, 1.0): spreads
+  // the retry herd while keeping a deterministic schedule per seed.
+  const double base = static_cast<double>(cfg_.backoff_base_ms) *
+                      static_cast<double>(1u << std::min(attempt, 10u));
+  const double capped =
+      std::min(base, static_cast<double>(cfg_.backoff_cap_ms));
+  const int ms = static_cast<int>(capped * jitter_.uniform(0.5, 1.0));
+  if (ms > 0) std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+Client::Attempt Client::attempt_call(FrameType type,
+                                     std::span<const std::byte> payload,
+                                     std::uint64_t seq) {
+  Attempt a;
+  std::string err;
+  if (!ensure_connected(&err)) {
+    a.code = "E-NET-CONN";
+    a.detail = err;
+    a.retryable = true;
+    a.transport_failure = true;
+    return a;
+  }
+  const auto deadline =
+      Clock::now() + std::chrono::milliseconds(cfg_.request_timeout_ms);
+  const auto ms_left = [&] {
+    const auto left =
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline -
+                                                              Clock::now())
+            .count();
+    return left < 1 ? 1 : static_cast<int>(left);
+  };
+
+  std::string detail;
+  const std::string wcode = write_frame(*stream_, type, seq, payload,
+                                        ms_left(), &detail);
+  if (!wcode.empty()) {
+    a.code = wcode;
+    a.detail = detail;
+    a.retryable = true;
+    a.transport_failure = true;
+    disconnect();
+    return a;
+  }
+  FrameRead f = read_frame(*stream_, cfg_.max_frame_bytes, ms_left());
+  if (!f.ok()) {
+    a.code = f.code;
+    a.detail = f.detail;
+    a.retryable = true;
+    a.transport_failure = true;
+    disconnect();
+    return a;
+  }
+  if (f.seq != seq &&
+      !(f.type == FrameType::Reject && f.seq == 0)) {
+    // A stale or misrouted response; the connection's framing can no
+    // longer be trusted. (seq 0 on a Reject is exempt: it is the
+    // server's connection-level refusal — MAXCONN at accept, a read
+    // timeout, unframed garbage — which cannot echo a request seq.)
+    a.code = "E-NET-PROTO";
+    a.detail = strformat("response seq %llu does not match request %llu",
+                         static_cast<unsigned long long>(f.seq),
+                         static_cast<unsigned long long>(seq));
+    a.retryable = true;
+    a.transport_failure = true;
+    disconnect();
+    return a;
+  }
+  if (f.type == FrameType::Reject) {
+    RejectBody rb;
+    if (!decode_reject(f.payload, &rb)) {
+      a.code = "E-NET-PROTO";
+      a.detail = "undecodable reject payload";
+      a.retryable = true;
+      a.transport_failure = true;
+      disconnect();
+      return a;
+    }
+    a.code = rb.code.empty() ? "E-NET-PROTO" : rb.code;
+    a.detail = rb.detail;
+    a.retryable = retryable_reject(a.code);
+    // The server answered coherently: the endpoint is alive, so a shed or
+    // parse refusal is not breaker-relevant.
+    a.transport_failure = false;
+    if (a.retryable) disconnect();  // shed/desync: start clean next try
+    return a;
+  }
+  a.response = std::move(f);
+  return a;
+}
+
+Client::Attempt Client::call(FrameType type,
+                             std::span<const std::byte> payload,
+                             std::uint32_t* attempts) {
+  ++stats_.calls;
+  Attempt last;
+  *attempts = 0;
+  for (std::uint32_t i = 0; i < cfg_.max_attempts; ++i) {
+    switch (breaker_state()) {
+      case BreakerState::Open:
+        ++stats_.breaker_fast_fails;
+        last.code = "E-NET-CIRCUIT";
+        last.detail = strformat(
+            "circuit breaker open after %u consecutive failure(s)",
+            consecutive_failures_);
+        last.retryable = false;
+        last.transport_failure = false;
+        return last;
+      case BreakerState::HalfOpen:
+        if (half_open_probe_) {
+          // Another probe is notionally in flight (same caller, nested
+          // use) — treat as open.
+          ++stats_.breaker_fast_fails;
+          last.code = "E-NET-CIRCUIT";
+          last.detail = "circuit breaker half-open, probe outstanding";
+          return last;
+        }
+        half_open_probe_ = true;
+        break;
+      case BreakerState::Closed:
+        break;
+    }
+    if (i > 0) {
+      ++stats_.retries;
+      backoff_sleep(i - 1);
+    }
+    ++*attempts;
+    ++stats_.attempts;
+    last = attempt_call(type, payload, next_seq_++);
+    if (last.ok()) {
+      record_success();
+      return last;
+    }
+    if (last.transport_failure) record_failure();
+    else record_success();  // a coherent reject proves the endpoint lives
+    if (!last.retryable) return last;
+    if (breaker_state() == BreakerState::Open) {
+      // Tripped mid-call: surface the breaker, not the raw failure, so
+      // the caller knows further calls will fail fast.
+      last.code = "E-NET-CIRCUIT";
+      last.detail = strformat("circuit breaker tripped (last failure: %s)",
+                              last.detail.c_str());
+      return last;
+    }
+  }
+  return last;
+}
+
+Client::Reply Client::submit(const std::string& job_line) {
+  Reply r;
+  support::ByteWriter w;
+  put_string(w, job_line);
+  const Attempt a = call(FrameType::Submit, w.bytes(), &r.attempts);
+  if (!a.ok()) {
+    r.code = a.code;
+    r.detail = a.detail;
+    return r;
+  }
+  if (a.response.type != FrameType::Result ||
+      !decode_result(a.response.payload, &r.result)) {
+    r.code = "E-NET-PROTO";
+    r.detail = strformat("expected result frame, got %s",
+                         to_string(a.response.type));
+    return r;
+  }
+  return r;
+}
+
+Client::PingReply Client::ping() {
+  PingReply r;
+  const Attempt a = call(FrameType::Ping, {}, &r.attempts);
+  if (!a.ok()) {
+    r.code = a.code;
+    r.detail = a.detail;
+    return r;
+  }
+  if (a.response.type != FrameType::Pong ||
+      !decode_pong(a.response.payload, &r.pong)) {
+    r.code = "E-NET-PROTO";
+    r.detail = strformat("expected pong frame, got %s",
+                         to_string(a.response.type));
+    return r;
+  }
+  return r;
+}
+
+}  // namespace earthred::net

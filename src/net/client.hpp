@@ -1,0 +1,141 @@
+// Thin fault-tolerant client for the networked reduction service.
+//
+// One Client object is one logical endpoint (host:port). Calls are
+// synchronous request/response over a persistent connection that is
+// re-established transparently; every call *terminates* — with a decoded
+// server response or a coded E-NET-* error — inside bounded time:
+//
+//   * connect and per-attempt request timeouts;
+//   * jittered exponential backoff retries, on retryable failures only
+//     (connect/IO/timeout, protocol desync the server signalled with
+//     E-NET-MAGIC / E-NET-CHECKSUM / E-NET-TRUNCATED — all transient
+//     wire damage — and E-NET-BUSY / E-NET-MAXCONN overload sheds).
+//     Permanent refusals (E-NET-VERSION, E-NET-OVERSIZE, E-NET-DRAINING,
+//     job-level E-JOB-* codes) are returned immediately: retrying a
+//     draining server or an illegal job cannot ever succeed;
+//   * a per-endpoint circuit breaker: `breaker_threshold` consecutive
+//     transport failures trip it Open and calls fail fast with
+//     E-NET-CIRCUIT (no connection attempt at all) until `cooldown`
+//     elapses, then one Half-Open probe either closes it or re-opens it.
+//
+// The `wrap_stream` hook lets tests interpose FaultyStream under the
+// client without the client knowing — the chaos suite drives every retry
+// and breaker path through real sockets with seeded byte faults.
+//
+// Thread safety: a Client is externally synchronized (one caller at a
+// time); use one Client per thread or guard it.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "net/stream.hpp"
+#include "net/wire.hpp"
+#include "support/prng.hpp"
+
+namespace earthred::net {
+
+struct ClientConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  int connect_timeout_ms = 2000;
+  /// Per-attempt budget covering the request write and the response read.
+  int request_timeout_ms = 10000;
+  /// Total tries per call (1 = no retries).
+  std::uint32_t max_attempts = 4;
+  int backoff_base_ms = 25;
+  int backoff_cap_ms = 1000;
+  /// Seeds the backoff jitter (deterministic for tests).
+  std::uint64_t jitter_seed = 0x6a11ULL;
+  /// Consecutive transport failures that trip the breaker Open.
+  std::uint32_t breaker_threshold = 5;
+  int breaker_cooldown_ms = 500;
+  std::uint32_t max_frame_bytes = kDefaultMaxPayload;
+  /// Test hook: wraps each fresh connection (e.g. in a FaultyStream).
+  std::function<std::unique_ptr<Stream>(std::unique_ptr<Stream>)>
+      wrap_stream;
+};
+
+/// Lifetime counters of one Client.
+struct ClientStats {
+  std::uint64_t calls = 0;
+  std::uint64_t attempts = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t reconnects = 0;
+  std::uint64_t transport_failures = 0;
+  std::uint64_t breaker_fast_fails = 0;
+  std::uint64_t breaker_trips = 0;
+};
+
+enum class BreakerState { Closed, Open, HalfOpen };
+const char* to_string(BreakerState s);
+
+class Client {
+ public:
+  explicit Client(ClientConfig cfg);
+  ~Client();
+
+  struct Reply {
+    std::string code;    ///< empty = job reached a terminal state
+    std::string detail;
+    ResultBody result;   ///< valid when code is empty
+    std::uint32_t attempts = 0;
+    bool ok() const { return code.empty(); }
+  };
+
+  struct PingReply {
+    std::string code;
+    std::string detail;
+    PongBody pong;
+    std::uint32_t attempts = 0;
+    bool ok() const { return code.empty(); }
+  };
+
+  /// Submits one job line; blocks until a terminal outcome.
+  Reply submit(const std::string& job_line);
+  /// Health probe.
+  PingReply ping();
+
+  const ClientStats& stats() const { return stats_; }
+  BreakerState breaker_state() const;
+  /// Drops the persistent connection (next call reconnects).
+  void disconnect();
+
+ private:
+  struct Attempt {
+    std::string code;
+    std::string detail;
+    FrameRead response;
+    bool retryable = false;
+    bool transport_failure = false;
+    bool ok() const { return code.empty(); }
+  };
+
+  Attempt attempt_call(FrameType type, std::span<const std::byte> payload,
+                       std::uint64_t seq);
+  /// Runs the retry/backoff/breaker state machine around attempt_call.
+  Attempt call(FrameType type, std::span<const std::byte> payload,
+               std::uint32_t* attempts);
+  bool ensure_connected(std::string* error);
+  void record_success();
+  void record_failure();
+  void backoff_sleep(std::uint32_t attempt);
+
+  ClientConfig cfg_;
+  ClientStats stats_;
+  std::unique_ptr<Stream> stream_;
+  std::uint64_t next_seq_ = 1;
+  Xoshiro256 jitter_;
+
+  // Breaker state.
+  std::uint32_t consecutive_failures_ = 0;
+  bool open_ = false;
+  bool half_open_probe_ = false;
+  std::chrono::steady_clock::time_point open_until_{};
+};
+
+}  // namespace earthred::net

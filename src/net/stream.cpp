@@ -1,0 +1,310 @@
+#include "net/stream.hpp"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "support/str.hpp"
+
+namespace earthred::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int ms_left(Clock::time_point deadline) {
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        deadline - Clock::now())
+                        .count();
+  return left < 0 ? 0 : static_cast<int>(left);
+}
+
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+IoResult io_error(const char* what) {
+  IoResult r;
+  r.status = IoResult::Status::Error;
+  r.error = strformat("%s: %s", what, std::strerror(errno));
+  return r;
+}
+
+/// Resolves the tiny host grammar the service needs (numeric IPv4 or
+/// "localhost"); no DNS, so nothing here can block.
+bool parse_addr(const std::string& host, std::uint16_t port,
+                sockaddr_in* out, std::string* error) {
+  std::memset(out, 0, sizeof(*out));
+  out->sin_family = AF_INET;
+  out->sin_port = htons(port);
+  const std::string h =
+      (host.empty() || host == "localhost") ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, h.c_str(), &out->sin_addr) != 1) {
+    if (error)
+      *error = "unsupported address '" + host + "' (numeric IPv4 only)";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+IoResult read_exact(Stream& s, void* buf, std::size_t n, int timeout_ms) {
+  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  std::size_t got = 0;
+  while (got < n) {
+    IoResult r = s.read_some(static_cast<char*>(buf) + got, n - got,
+                             ms_left(deadline));
+    if (!r.ok()) {
+      r.bytes = got + r.bytes;
+      return r;
+    }
+    got += r.bytes;
+  }
+  IoResult r;
+  r.bytes = got;
+  return r;
+}
+
+// ---- TcpStream ---------------------------------------------------------
+
+TcpStream::TcpStream(int fd) : fd_(fd) { set_nonblocking(fd_); }
+
+TcpStream::~TcpStream() { close(); }
+
+void TcpStream::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::unique_ptr<TcpStream> TcpStream::connect(const std::string& host,
+                                              std::uint16_t port,
+                                              int timeout_ms,
+                                              std::string* error) {
+  sockaddr_in addr;
+  if (!parse_addr(host, port, &addr, error)) return nullptr;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error) *error = strformat("socket: %s", std::strerror(errno));
+    return nullptr;
+  }
+  set_nonblocking(fd);
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 &&
+      errno != EINPROGRESS) {
+    if (error) *error = strformat("connect: %s", std::strerror(errno));
+    ::close(fd);
+    return nullptr;
+  }
+  pollfd p{fd, POLLOUT, 0};
+  const int rc = ::poll(&p, 1, timeout_ms);
+  if (rc <= 0) {
+    if (error)
+      *error = rc == 0 ? "connect timed out"
+                       : strformat("poll: %s", std::strerror(errno));
+    ::close(fd);
+    return nullptr;
+  }
+  int soerr = 0;
+  socklen_t len = sizeof(soerr);
+  if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr, &len) != 0 ||
+      soerr != 0) {
+    if (error) *error = strformat("connect: %s", std::strerror(soerr));
+    ::close(fd);
+    return nullptr;
+  }
+  return std::unique_ptr<TcpStream>(new TcpStream(fd));
+}
+
+IoResult TcpStream::read_some(void* buf, std::size_t n, int timeout_ms) {
+  IoResult r;
+  if (fd_ < 0) {
+    r.status = IoResult::Status::Error;
+    r.error = "stream is closed";
+    return r;
+  }
+  for (;;) {
+    const ssize_t got = ::recv(fd_, buf, n, 0);
+    if (got > 0) {
+      r.bytes = static_cast<std::size_t>(got);
+      return r;
+    }
+    if (got == 0) {
+      r.status = IoResult::Status::Eof;
+      return r;
+    }
+    if (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR)
+      return io_error("recv");
+    pollfd p{fd_, POLLIN, 0};
+    const int rc = ::poll(&p, 1, timeout_ms);
+    if (rc == 0) {
+      r.status = IoResult::Status::Timeout;
+      return r;
+    }
+    if (rc < 0 && errno != EINTR) return io_error("poll");
+    timeout_ms = 0;  // one poll round: data is ready or we report Timeout
+  }
+}
+
+IoResult TcpStream::write_all(const void* buf, std::size_t n,
+                              int timeout_ms) {
+  IoResult r;
+  if (fd_ < 0) {
+    r.status = IoResult::Status::Error;
+    r.error = "stream is closed";
+    return r;
+  }
+  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  std::size_t sent = 0;
+  while (sent < n) {
+    const ssize_t put = ::send(fd_, static_cast<const char*>(buf) + sent,
+                               n - sent, MSG_NOSIGNAL);
+    if (put > 0) {
+      sent += static_cast<std::size_t>(put);
+      continue;
+    }
+    if (put < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
+        errno != EINTR) {
+      r = io_error("send");
+      r.bytes = sent;
+      return r;
+    }
+    pollfd p{fd_, POLLOUT, 0};
+    const int rc = ::poll(&p, 1, ms_left(deadline));
+    if (rc == 0) {
+      r.status = IoResult::Status::Timeout;
+      r.bytes = sent;
+      return r;
+    }
+    if (rc < 0 && errno != EINTR) {
+      r = io_error("poll");
+      r.bytes = sent;
+      return r;
+    }
+  }
+  r.bytes = sent;
+  return r;
+}
+
+int tcp_listen(const std::string& host, std::uint16_t port, int backlog,
+               std::string* error) {
+  sockaddr_in addr;
+  if (!parse_addr(host, port, &addr, error)) return -1;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error) *error = strformat("socket: %s", std::strerror(errno));
+    return -1;
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (error) *error = strformat("bind: %s", std::strerror(errno));
+    ::close(fd);
+    return -1;
+  }
+  if (::listen(fd, backlog) != 0) {
+    if (error) *error = strformat("listen: %s", std::strerror(errno));
+    ::close(fd);
+    return -1;
+  }
+  set_nonblocking(fd);
+  return fd;
+}
+
+std::uint16_t tcp_local_port(int fd) {
+  sockaddr_in addr;
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0)
+    return 0;
+  return ntohs(addr.sin_port);
+}
+
+// ---- FaultyStream ------------------------------------------------------
+
+FaultyStream::FaultyStream(std::unique_ptr<Stream> inner,
+                           ByteFaultConfig cfg)
+    : inner_(std::move(inner)), cfg_(cfg), rng_(cfg.seed) {}
+
+void FaultyStream::close() { inner_->close(); }
+
+bool FaultyStream::maybe_die(std::size_t about_to_transfer) {
+  if (dead_) return true;
+  if (cfg_.die_after_bytes > 0 &&
+      transferred_ + about_to_transfer > cfg_.die_after_bytes) {
+    dead_ = true;
+    ++stats_.died;
+    inner_->close();
+    return true;
+  }
+  return false;
+}
+
+IoResult FaultyStream::read_some(void* buf, std::size_t n, int timeout_ms) {
+  if (maybe_die(1)) {
+    IoResult r;
+    r.status = IoResult::Status::Eof;  // peer died: the socket just ends
+    return r;
+  }
+  std::size_t want = n;
+  if (cfg_.short_read > 0.0 && n > 1 && rng_.chance(cfg_.short_read)) {
+    ++stats_.short_reads;
+    want = 1 + rng_.below(n - 1);
+  }
+  IoResult r = inner_->read_some(buf, want, timeout_ms);
+  transferred_ += r.bytes;
+  return r;
+}
+
+IoResult FaultyStream::write_all(const void* buf, std::size_t n,
+                                 int timeout_ms) {
+  IoResult r;
+  if (maybe_die(n)) {
+    r.status = IoResult::Status::Error;
+    r.error = "peer died (injected)";
+    return r;
+  }
+  if (cfg_.drop > 0.0 && rng_.chance(cfg_.drop)) {
+    // The bytes vanish: the caller believes they were sent, the peer
+    // never sees them — the stream-layer analogue of a dropped packet,
+    // which desynchronizes framing until the connection is torn down.
+    ++stats_.dropped;
+    r.bytes = n;
+    transferred_ += n;
+    return r;
+  }
+  if (cfg_.delay > 0.0 && rng_.chance(cfg_.delay)) {
+    ++stats_.delayed;
+    std::this_thread::sleep_for(std::chrono::milliseconds(cfg_.delay_ms));
+  }
+  if (cfg_.corrupt > 0.0 && n > 0 && rng_.chance(cfg_.corrupt)) {
+    ++stats_.corrupted;
+    std::vector<char> copy(static_cast<const char*>(buf),
+                           static_cast<const char*>(buf) + n);
+    copy[rng_.below(n)] ^= static_cast<char>(1u << rng_.below(8));
+    r = inner_->write_all(copy.data(), n, timeout_ms);
+    transferred_ += r.bytes;
+    return r;
+  }
+  r = inner_->write_all(buf, n, timeout_ms);
+  transferred_ += r.bytes;
+  if (r.ok() && cfg_.duplicate > 0.0 && rng_.chance(cfg_.duplicate)) {
+    ++stats_.duplicated;
+    (void)inner_->write_all(buf, n, timeout_ms);
+  }
+  return r;
+}
+
+}  // namespace earthred::net

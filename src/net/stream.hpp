@@ -1,0 +1,151 @@
+// Byte-stream transport under the wire protocol.
+//
+//   * Stream      — the minimal blocking-with-deadline byte interface the
+//                   client library is written against. Every operation
+//                   carries an explicit timeout and reports one of
+//                   Ok/Eof/Timeout/Error — there is no call that can hang
+//                   forever and no failure that is not distinguishable.
+//   * TcpStream   — POSIX sockets implementation (non-blocking fd +
+//                   poll(2) per operation, SIGPIPE suppressed).
+//   * FaultyStream— the chaos harness: wraps any Stream and applies the
+//                   seeded fault model of PR 1's EARTH network layer
+//                   (drop / corrupt / duplicate / delay) at the byte
+//                   level, plus short reads and scheduled peer death.
+//                   Deterministic in its seed, so every chaos test run is
+//                   reproducible.
+//
+// Server-side connections are handled by ServeLoop directly on raw
+// non-blocking fds (it multiplexes many of them under one poll set);
+// TcpStream is the client-side, one-connection-per-object view.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "support/prng.hpp"
+
+namespace earthred::net {
+
+/// Result of one stream operation.
+struct IoResult {
+  enum class Status { Ok, Eof, Timeout, Error };
+  Status status = Status::Ok;
+  std::size_t bytes = 0;  ///< bytes actually transferred
+  std::string error;      ///< set for Status::Error
+  bool ok() const { return status == Status::Ok; }
+  /// Maps the failure to its E-NET-* code ("" for Ok).
+  const char* code() const {
+    switch (status) {
+      case Status::Ok: return "";
+      case Status::Eof: return "E-NET-TRUNCATED";
+      case Status::Timeout: return "E-NET-TIMEOUT";
+      case Status::Error: return "E-NET-CONN";
+    }
+    return "E-NET-CONN";
+  }
+};
+
+class Stream {
+ public:
+  virtual ~Stream() = default;
+  /// Reads 1..n bytes, waiting at most timeout_ms for any to arrive.
+  virtual IoResult read_some(void* buf, std::size_t n, int timeout_ms) = 0;
+  /// Writes all n bytes, spending at most timeout_ms in total.
+  virtual IoResult write_all(const void* buf, std::size_t n,
+                             int timeout_ms) = 0;
+  virtual void close() = 0;
+};
+
+/// Reads exactly `n` bytes (looping read_some); EOF mid-way is Eof with
+/// `bytes` holding the partial count.
+IoResult read_exact(Stream& s, void* buf, std::size_t n, int timeout_ms);
+
+class TcpStream : public Stream {
+ public:
+  /// Connects to host:port within timeout_ms; nullptr (with `error` set)
+  /// on failure. `host` is a numeric IPv4 address or "localhost".
+  static std::unique_ptr<TcpStream> connect(const std::string& host,
+                                            std::uint16_t port,
+                                            int timeout_ms,
+                                            std::string* error);
+  /// Adopts an already-connected fd (made non-blocking).
+  explicit TcpStream(int fd);
+  ~TcpStream() override;
+  TcpStream(const TcpStream&) = delete;
+  TcpStream& operator=(const TcpStream&) = delete;
+
+  IoResult read_some(void* buf, std::size_t n, int timeout_ms) override;
+  IoResult write_all(const void* buf, std::size_t n,
+                     int timeout_ms) override;
+  void close() override;
+  int fd() const { return fd_; }
+
+ private:
+  int fd_ = -1;
+};
+
+/// Binds and listens on host:port (port 0 = ephemeral); returns the
+/// non-blocking listen fd or -1 with `error` set. SO_REUSEADDR is set.
+int tcp_listen(const std::string& host, std::uint16_t port, int backlog,
+               std::string* error);
+/// The locally bound port of a socket fd (resolves ephemeral binds).
+std::uint16_t tcp_local_port(int fd);
+
+/// Seeded byte-level fault model (the PR 1 drop/corrupt/dup/delay classes
+/// re-expressed at the stream layer, plus the two failure shapes unique
+/// to byte streams: short reads and peer death).
+struct ByteFaultConfig {
+  std::uint64_t seed = 0x5eedULL;
+  double drop = 0.0;       ///< P(an outgoing chunk is swallowed)
+  double corrupt = 0.0;    ///< P(one byte of an outgoing chunk is flipped)
+  double duplicate = 0.0;  ///< P(an outgoing chunk is sent twice)
+  double delay = 0.0;      ///< P(an outgoing chunk is sent late)
+  int delay_ms = 5;        ///< lateness applied when a delay fires
+  double short_read = 0.0; ///< P(a read returns fewer bytes than ready)
+  /// Close the underlying stream for good after this many bytes have
+  /// crossed it in either direction (0 = never): simulated peer death.
+  std::size_t die_after_bytes = 0;
+
+  bool active() const {
+    return drop > 0.0 || corrupt > 0.0 || duplicate > 0.0 || delay > 0.0 ||
+           short_read > 0.0 || die_after_bytes > 0;
+  }
+};
+
+/// Tally of injected faults (mirrors earth::FaultStats for the report
+/// tables of the chaos suite).
+struct ByteFaultStats {
+  std::uint64_t dropped = 0;
+  std::uint64_t corrupted = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t delayed = 0;
+  std::uint64_t short_reads = 0;
+  std::uint64_t died = 0;
+  std::uint64_t injected() const {
+    return dropped + corrupted + duplicated + delayed + short_reads + died;
+  }
+};
+
+class FaultyStream : public Stream {
+ public:
+  FaultyStream(std::unique_ptr<Stream> inner, ByteFaultConfig cfg);
+  IoResult read_some(void* buf, std::size_t n, int timeout_ms) override;
+  IoResult write_all(const void* buf, std::size_t n,
+                     int timeout_ms) override;
+  void close() override;
+  const ByteFaultStats& faults() const { return stats_; }
+
+ private:
+  bool maybe_die(std::size_t about_to_transfer);
+
+  std::unique_ptr<Stream> inner_;
+  ByteFaultConfig cfg_;
+  ByteFaultStats stats_;
+  Xoshiro256 rng_;
+  std::size_t transferred_ = 0;
+  bool dead_ = false;
+};
+
+}  // namespace earthred::net

@@ -1,0 +1,269 @@
+#include "net/wire.hpp"
+
+#include <cstring>
+
+#include "net/stream.hpp"
+#include "support/str.hpp"
+
+namespace earthred::net {
+
+namespace {
+
+bool known_type(std::uint32_t t) {
+  return t >= static_cast<std::uint32_t>(FrameType::Ping) &&
+         t <= static_cast<std::uint32_t>(FrameType::Reject);
+}
+
+}  // namespace
+
+const char* to_string(FrameType t) {
+  switch (t) {
+    case FrameType::Ping: return "ping";
+    case FrameType::Pong: return "pong";
+    case FrameType::Submit: return "submit";
+    case FrameType::Result: return "result";
+    case FrameType::Reject: return "reject";
+  }
+  return "?";
+}
+
+std::vector<std::byte> encode_frame(FrameType type, std::uint64_t seq,
+                                    std::span<const std::byte> payload) {
+  support::ByteWriter w;
+  w.u32(kMagic);
+  w.u32(kVersion);
+  w.u32(static_cast<std::uint32_t>(type));
+  w.u32(0);  // reserved
+  w.u64(seq);
+  w.u32(static_cast<std::uint32_t>(payload.size()));
+  w.u32(0);  // pad
+  w.u64(support::fast_hash64(payload.data(), payload.size()));
+  w.raw(payload.data(), payload.size());
+  return {w.bytes().begin(), w.bytes().end()};
+}
+
+HeaderParse parse_header(std::span<const std::byte> header,
+                         std::uint32_t max_payload) {
+  HeaderParse h;
+  if (header.size() < kHeaderBytes) {
+    h.code = "E-NET-TRUNCATED";
+    h.detail = strformat("header is %zu bytes, need %zu", header.size(),
+                         kHeaderBytes);
+    return h;
+  }
+  support::ByteReader r(header.first(kHeaderBytes));
+  const std::uint32_t magic = r.u32();
+  const std::uint32_t version = r.u32();
+  const std::uint32_t type = r.u32();
+  const std::uint32_t reserved = r.u32();
+  h.seq = r.u64();
+  h.payload_len = r.u32();
+  const std::uint32_t pad = r.u32();
+  h.checksum = r.u64();
+  if (magic != kMagic) {
+    h.code = "E-NET-MAGIC";
+    h.detail = strformat("bad magic 0x%08x (want 0x%08x)", magic, kMagic);
+    return h;
+  }
+  if (version > kVersion) {
+    h.code = "E-NET-VERSION";
+    h.detail = strformat("protocol version %u is newer than supported %u",
+                         version, kVersion);
+    return h;
+  }
+  if (!known_type(type)) {
+    h.code = "E-NET-TYPE";
+    h.detail = strformat("unknown frame type %u", type);
+    return h;
+  }
+  h.type = static_cast<FrameType>(type);
+  if (reserved != 0 || pad != 0) {
+    h.code = "E-NET-RESERVED";
+    h.detail = "nonzero reserved bits in header";
+    return h;
+  }
+  if (h.payload_len > max_payload) {
+    h.code = "E-NET-OVERSIZE";
+    h.detail = strformat("payload of %u bytes exceeds the %u-byte limit",
+                         h.payload_len, max_payload);
+    return h;
+  }
+  return h;
+}
+
+bool payload_checksum_ok(const HeaderParse& h,
+                         std::span<const std::byte> payload) {
+  return support::fast_hash64(payload.data(), payload.size()) == h.checksum;
+}
+
+std::string classify_frame_bytes(std::span<const std::byte> bytes,
+                                 std::uint32_t max_payload,
+                                 std::string* detail) {
+  const HeaderParse h = parse_header(bytes, max_payload);
+  if (!h.ok()) {
+    if (detail) *detail = h.detail;
+    return h.code;
+  }
+  if (bytes.size() < kHeaderBytes + h.payload_len) {
+    if (detail)
+      *detail = strformat("frame ends after %zu of %zu payload bytes",
+                          bytes.size() - kHeaderBytes,
+                          static_cast<std::size_t>(h.payload_len));
+    return "E-NET-TRUNCATED";
+  }
+  if (!payload_checksum_ok(h, bytes.subspan(kHeaderBytes, h.payload_len))) {
+    if (detail) *detail = "payload checksum mismatch";
+    return "E-NET-CHECKSUM";
+  }
+  if (detail) detail->clear();
+  return {};
+}
+
+FrameRead read_frame(Stream& s, std::uint32_t max_payload, int timeout_ms) {
+  FrameRead f;
+  std::byte header[kHeaderBytes];
+  IoResult io = read_exact(s, header, kHeaderBytes, timeout_ms);
+  if (!io.ok()) {
+    // A clean EOF before any header byte is the peer closing between
+    // frames, not a truncated frame; surface it as a connection end.
+    f.code = (io.status == IoResult::Status::Eof && io.bytes == 0)
+                 ? "E-NET-CONN"
+                 : io.code();
+    f.detail = io.error.empty()
+                   ? strformat("stream ended after %zu header byte(s)",
+                               io.bytes)
+                   : io.error;
+    return f;
+  }
+  const HeaderParse h = parse_header({header, kHeaderBytes}, max_payload);
+  if (!h.ok()) {
+    f.code = h.code;
+    f.detail = h.detail;
+    return f;
+  }
+  f.type = h.type;
+  f.seq = h.seq;
+  f.payload.resize(h.payload_len);
+  if (h.payload_len > 0) {
+    io = read_exact(s, f.payload.data(), h.payload_len, timeout_ms);
+    if (!io.ok()) {
+      f.code = io.code();
+      f.detail = io.error.empty()
+                     ? strformat("stream ended after %zu of %u payload "
+                                 "byte(s)",
+                                 io.bytes, h.payload_len)
+                     : io.error;
+      return f;
+    }
+  }
+  if (!payload_checksum_ok(h, f.payload)) {
+    f.code = "E-NET-CHECKSUM";
+    f.detail = "payload checksum mismatch";
+    f.payload.clear();
+  }
+  return f;
+}
+
+std::string write_frame(Stream& s, FrameType type, std::uint64_t seq,
+                        std::span<const std::byte> payload, int timeout_ms,
+                        std::string* detail) {
+  const std::vector<std::byte> frame = encode_frame(type, seq, payload);
+  const IoResult io = s.write_all(frame.data(), frame.size(), timeout_ms);
+  if (io.ok()) return {};
+  if (detail)
+    *detail = io.error.empty()
+                  ? strformat("wrote %zu of %zu frame byte(s)", io.bytes,
+                              frame.size())
+                  : io.error;
+  return io.code();
+}
+
+void put_string(support::ByteWriter& w, std::string_view s) {
+  w.u32(static_cast<std::uint32_t>(s.size()));
+  w.raw(s.data(), s.size());
+}
+
+std::string get_string(support::ByteReader& r, std::size_t max_len) {
+  const std::uint32_t len = r.u32();
+  if (r.fail()) return {};
+  if (len > max_len || len > r.remaining()) {
+    // Poison the reader so callers that only check fail() at the end see
+    // the bad length (raw past the end sets the sticky flag, copies
+    // nothing).
+    r.raw(nullptr, r.remaining() + 1);
+    return {};
+  }
+  std::string s(len, '\0');
+  if (!r.raw(s.data(), len)) return {};
+  return s;
+}
+
+std::vector<std::byte> encode_reject(const RejectBody& b) {
+  support::ByteWriter w;
+  put_string(w, b.code);
+  put_string(w, b.detail);
+  return {w.bytes().begin(), w.bytes().end()};
+}
+
+bool decode_reject(std::span<const std::byte> payload, RejectBody* out) {
+  support::ByteReader r(payload);
+  out->code = get_string(r);
+  out->detail = get_string(r);
+  return !r.fail();
+}
+
+std::vector<std::byte> encode_result(const ResultBody& b) {
+  support::ByteWriter w;
+  w.u32(b.state);
+  w.u32(b.cache_hit);
+  w.u32(b.plan_source);
+  w.u32(b.reserved);
+  w.f64(b.queue_seconds);
+  w.f64(b.setup_seconds);
+  w.f64(b.exec_seconds);
+  w.f64(b.total_seconds);
+  w.u64(b.digest);
+  put_string(w, b.name);
+  put_string(w, b.error);
+  return {w.bytes().begin(), w.bytes().end()};
+}
+
+bool decode_result(std::span<const std::byte> payload, ResultBody* out) {
+  support::ByteReader r(payload);
+  out->state = r.u32();
+  out->cache_hit = r.u32();
+  out->plan_source = r.u32();
+  out->reserved = r.u32();
+  out->queue_seconds = r.f64();
+  out->setup_seconds = r.f64();
+  out->exec_seconds = r.f64();
+  out->total_seconds = r.f64();
+  out->digest = r.u64();
+  out->name = get_string(r);
+  out->error = get_string(r);
+  return !r.fail();
+}
+
+std::vector<std::byte> encode_pong(const PongBody& b) {
+  support::ByteWriter w;
+  w.u64(b.queue_depth);
+  w.u64(b.in_flight);
+  w.u64(b.completed);
+  w.u64(b.rejected);
+  w.u32(b.draining);
+  w.u32(b.version);
+  return {w.bytes().begin(), w.bytes().end()};
+}
+
+bool decode_pong(std::span<const std::byte> payload, PongBody* out) {
+  support::ByteReader r(payload);
+  out->queue_depth = r.u64();
+  out->in_flight = r.u64();
+  out->completed = r.u64();
+  out->rejected = r.u64();
+  out->draining = r.u32();
+  out->version = r.u32();
+  return !r.fail();
+}
+
+}  // namespace earthred::net

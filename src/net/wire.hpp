@@ -1,0 +1,184 @@
+// Wire protocol for the networked reduction service.
+//
+// Every exchange is a length-prefixed, versioned binary *frame*:
+//
+//   offset  size  field
+//        0     4  magic      "ERT1" (0x31545245 little-endian)
+//        4     4  version    protocol version (kVersion)
+//        8     4  type       FrameType
+//       12     4  reserved   must be 0
+//       16     8  seq        caller-assigned id, echoed in the response
+//       24     4  payload_len
+//       28     4  pad        must be 0
+//       32     8  checksum   support::fast_hash64 of the payload bytes
+//       40     —  payload
+//
+// All integers are little-endian (support/binio conventions). The header
+// is fixed-size so a reader can validate magic/version/type/length before
+// committing to read — or even allocate — the payload; `payload_len` is
+// bounded by the receiver's configured maximum and an oversized frame is
+// rejected *from the header alone* (E-NET-OVERSIZE), never buffered.
+//
+// Frame types:
+//   Ping    -> Pong       health probe; Pong carries a ServeLoop snapshot
+//   Submit  -> Result     job line in, terminal JobOutcome summary out
+//           -> Reject     the request never reached the scheduler: a
+//                         coded transport/admission refusal (overload
+//                         shed, drain, parse failure, malformed frame)
+//
+// Error codes (the `E-NET-*` catalog — docs/architecture.md section 12
+// tables fault -> detection -> client-visible outcome):
+//   E-NET-MAGIC     bad magic (stream desync or not our protocol)
+//   E-NET-VERSION   protocol version newer than this build understands
+//   E-NET-TYPE      unknown frame type
+//   E-NET-RESERVED  nonzero reserved/pad bits (future-proofing)
+//   E-NET-OVERSIZE  payload_len exceeds the configured frame limit
+//   E-NET-CHECKSUM  payload hash mismatch (corruption in flight)
+//   E-NET-TRUNCATED stream ended mid-frame
+//   E-NET-TIMEOUT   read/write deadline exceeded
+//   E-NET-CONN      connect/reset/IO failure
+//   E-NET-PROTO     well-formed but unexpected frame (wrong seq/type)
+//   E-NET-MAXCONN   server connection limit reached (shed at accept)
+//   E-NET-BUSY      server inflight-job limit reached (shed at submit)
+//   E-NET-DRAINING  server is draining and no longer accepts work
+//   E-NET-CIRCUIT   client-side circuit breaker is open (fail-fast)
+//
+// Rejections are *always* delivered as a Reject frame carrying the code
+// and a human-readable detail — an overloaded or draining server sheds
+// load with a reasoned refusal, never a silent drop or a hang.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/binio.hpp"
+
+namespace earthred::net {
+
+inline constexpr std::uint32_t kMagic = 0x31545245u;  // "ERT1"
+inline constexpr std::uint32_t kVersion = 1;
+inline constexpr std::size_t kHeaderBytes = 40;
+/// Default ceiling on a frame payload; receivers may configure lower.
+inline constexpr std::uint32_t kDefaultMaxPayload = 1u << 20;
+
+enum class FrameType : std::uint32_t {
+  Ping = 1,
+  Pong = 2,
+  Submit = 3,
+  Result = 4,
+  Reject = 5,
+};
+
+const char* to_string(FrameType t);
+
+/// Outcome of validating a 40-byte header (before the payload is read).
+struct HeaderParse {
+  std::string code;    ///< empty = valid; else an E-NET-* code
+  std::string detail;  ///< human-readable elaboration of `code`
+  FrameType type = FrameType::Ping;
+  std::uint64_t seq = 0;
+  std::uint32_t payload_len = 0;
+  std::uint64_t checksum = 0;
+  bool ok() const { return code.empty(); }
+};
+
+/// Encodes a complete frame (header + payload).
+std::vector<std::byte> encode_frame(FrameType type, std::uint64_t seq,
+                                    std::span<const std::byte> payload);
+
+/// Validates the fixed header. `header` must hold >= kHeaderBytes;
+/// `max_payload` bounds payload_len. Never throws.
+HeaderParse parse_header(std::span<const std::byte> header,
+                         std::uint32_t max_payload);
+
+/// True when `payload` hashes to the checksum the header promised.
+bool payload_checksum_ok(const HeaderParse& h,
+                         std::span<const std::byte> payload);
+
+/// Classifies an arbitrary byte blob as one frame: header validation,
+/// then completeness, then payload checksum. Returns the empty string for
+/// a well-formed frame, else the E-NET-* code — this is the function the
+/// malformed-frame corpus (examples/frames/bad/) is pinned against.
+std::string classify_frame_bytes(std::span<const std::byte> bytes,
+                                 std::uint32_t max_payload,
+                                 std::string* detail = nullptr);
+
+// ---- frame transport over a Stream -------------------------------------
+
+class Stream;
+
+/// One fully received and validated frame, or the E-NET-* code that ended
+/// the read (header validation failure, checksum mismatch, timeout, EOF).
+struct FrameRead {
+  std::string code;    ///< empty = `type`/`seq`/`payload` are valid
+  std::string detail;
+  FrameType type = FrameType::Ping;
+  std::uint64_t seq = 0;
+  std::vector<std::byte> payload;
+  bool ok() const { return code.empty(); }
+};
+
+/// Reads exactly one frame (header, then the promised payload) within
+/// timeout_ms, verifying the payload checksum.
+FrameRead read_frame(Stream& s, std::uint32_t max_payload, int timeout_ms);
+
+/// Writes one complete frame within timeout_ms; returns "" or the E-NET-*
+/// code of the failure (detail elaborated via `detail` when non-null).
+std::string write_frame(Stream& s, FrameType type, std::uint64_t seq,
+                        std::span<const std::byte> payload, int timeout_ms,
+                        std::string* detail = nullptr);
+
+// ---- payload encoding helpers ------------------------------------------
+// Strings are u32 length + raw bytes (no alignment padding; wire payloads
+// are parsed sequentially, never adopted as typed views).
+
+void put_string(support::ByteWriter& w, std::string_view s);
+/// Reads a string written by put_string; sets the reader's fail flag (and
+/// returns "") on overrun or a length above `max_len`.
+std::string get_string(support::ByteReader& r, std::size_t max_len = 1 << 16);
+
+// ---- typed payloads ----------------------------------------------------
+
+/// Reject payload: a coded refusal.
+struct RejectBody {
+  std::string code;    ///< E-NET-* or E-JOB-* / scheduler codes
+  std::string detail;
+};
+std::vector<std::byte> encode_reject(const RejectBody& b);
+bool decode_reject(std::span<const std::byte> payload, RejectBody* out);
+
+/// Result payload: the terminal summary of one scheduled job. `digest` is
+/// service::result_digest over the reduction output, so a client can
+/// verify bit-identity against a local run without shipping the arrays.
+struct ResultBody {
+  std::uint32_t state = 0;  ///< service::JobState as u32
+  std::uint32_t cache_hit = 0;
+  std::uint32_t plan_source = 0;  ///< service::PlanCache::Outcome as u32
+  std::uint32_t reserved = 0;
+  double queue_seconds = 0.0;
+  double setup_seconds = 0.0;
+  double exec_seconds = 0.0;
+  double total_seconds = 0.0;
+  std::uint64_t digest = 0;
+  std::string name;
+  std::string error;
+};
+std::vector<std::byte> encode_result(const ResultBody& b);
+bool decode_result(std::span<const std::byte> payload, ResultBody* out);
+
+/// Pong payload: a health snapshot of the serving process.
+struct PongBody {
+  std::uint64_t queue_depth = 0;
+  std::uint64_t in_flight = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t rejected = 0;
+  std::uint32_t draining = 0;
+  std::uint32_t version = kVersion;
+};
+std::vector<std::byte> encode_pong(const PongBody& b);
+bool decode_pong(std::span<const std::byte> payload, PongBody* out);
+
+}  // namespace earthred::net

@@ -7,6 +7,7 @@
 #include "compiler/check.hpp"
 #include "support/check.hpp"
 #include "support/stats.hpp"
+#include "support/str.hpp"
 
 namespace earthred::service {
 
@@ -71,6 +72,11 @@ JobHandle JobScheduler::submit(JobRequest req) {
       reject("scheduler is shut down");
       return handle;
     }
+    if (draining_) {
+      lock.unlock();
+      reject("scheduler is draining (E-SVC-DRAINING)");
+      return handle;
+    }
     if (queue_.size() >= cfg_.queue_capacity) {
       lock.unlock();
       reject("queue full (capacity " +
@@ -108,16 +114,84 @@ void JobScheduler::shutdown() {
   workers_.clear();
 }
 
+void JobScheduler::begin_drain() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    draining_ = true;
+  }
+  cv_.notify_all();
+}
+
+void JobScheduler::drain() {
+  begin_drain();
+  // Draining workers exit once the queue is empty; joining them is the
+  // wait for every in-flight job.
+  shutdown();
+}
+
+bool JobScheduler::draining() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return draining_;
+}
+
+void JobScheduler::abort_queued(const std::string& reason) {
+  std::deque<Queued> orphans;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    orphans.swap(queue_);
+    rejected_ += orphans.size();
+  }
+  for (Queued& job : orphans) {
+    JobOutcome out;
+    out.state = JobState::Rejected;
+    out.name = job.req.name;
+    out.error = reason;
+    out.queue_seconds = seconds_since(job.submitted);
+    out.total_seconds = out.queue_seconds;
+    job.promise.set_value(std::move(out));
+  }
+  cv_.notify_all();
+}
+
 void JobScheduler::worker_loop() {
   for (;;) {
     Queued job;
+    bool expire = false;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stopping and drained
       job = std::move(queue_.front());
       queue_.pop_front();
-      ++in_flight_;
+      if (draining_) {
+        // Deadline x drain interplay: a queued job whose deadline has
+        // already elapsed is rejected with the deadline reason rather
+        // than silently completed late.
+        const double deadline = job.req.deadline_seconds > 0.0
+                                    ? job.req.deadline_seconds
+                                    : cfg_.default_deadline;
+        if (seconds_since(job.submitted) > deadline) {
+          expire = true;
+          ++rejected_;
+          ++rejected_deadline_;
+        }
+      }
+      if (!expire) ++in_flight_;
+    }
+    if (expire) {
+      JobOutcome out;
+      out.state = JobState::Rejected;
+      out.name = job.req.name;
+      out.queue_seconds = seconds_since(job.submitted);
+      out.total_seconds = out.queue_seconds;
+      out.error = strformat(
+          "deadline exceeded during drain (E-SVC-DEADLINE): queued %.3f s "
+          "against a %.3f s deadline",
+          out.queue_seconds,
+          job.req.deadline_seconds > 0.0 ? job.req.deadline_seconds
+                                         : cfg_.default_deadline);
+      job.promise.set_value(std::move(out));
+      continue;
     }
 
     JobOutcome out = execute(job);
@@ -244,6 +318,7 @@ ServiceStats JobScheduler::stats() const {
     s.rejected = rejected_;
     s.rejected_dsl = rejected_dsl_;
     s.rejected_plan = rejected_plan_;
+    s.rejected_deadline = rejected_deadline_;
     s.completed = completed_;
     s.failed = failed_;
     s.queue_depth = queue_.size();

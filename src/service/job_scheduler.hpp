@@ -134,6 +134,15 @@ class JobHandle {
   const JobOutcome& wait() const& { return future_.get(); }
   const JobOutcome& wait() && = delete;
 
+  /// Non-blocking: true once wait() would return immediately. Lets event
+  /// loops (ServeLoop, the signal-aware CLI wait) poll handles without
+  /// parking a thread per job.
+  bool ready() const {
+    return future_.valid() &&
+           future_.wait_for(std::chrono::seconds(0)) ==
+               std::future_status::ready;
+  }
+
   bool valid() const { return future_.valid(); }
 
  private:
@@ -175,6 +184,27 @@ class JobScheduler {
   /// also run by the destructor.
   void shutdown();
 
+  /// Graceful-drain admission cutoff: new submissions are rejected with
+  /// "E-SVC-DRAINING", queued jobs still run — except those already past
+  /// their deadline at pickup, which are rejected with the deadline
+  /// reason ("E-SVC-DEADLINE", counted in ServiceStats::
+  /// rejected_deadline) instead of completing silently late. Workers keep
+  /// running so in-flight work finishes; idempotent.
+  void begin_drain();
+
+  /// begin_drain() plus: wait for the queue to empty and every in-flight
+  /// job to resolve, then join the workers. After drain() every handle
+  /// ever returned has resolved and the stats reconcile
+  /// (submitted == completed + failed + rejected).
+  void drain();
+
+  /// Forced shutdown path: immediately resolves every *queued* (not yet
+  /// running) job as Rejected with `reason`. In-flight jobs cannot be
+  /// interrupted and still run to completion.
+  void abort_queued(const std::string& reason);
+
+  bool draining() const;
+
   ServiceStats stats() const;
   PlanCache& cache() { return cache_; }
 
@@ -195,6 +225,7 @@ class JobScheduler {
   std::condition_variable cv_;
   std::deque<Queued> queue_;
   bool stopping_ = false;
+  bool draining_ = false;
   std::vector<std::thread> workers_;
 
   // Stats (guarded by mutex_).
@@ -202,6 +233,7 @@ class JobScheduler {
   std::uint64_t rejected_ = 0;
   std::uint64_t rejected_dsl_ = 0;   ///< DSL legality errors at admission
   std::uint64_t rejected_plan_ = 0;  ///< plan-verifier rejects
+  std::uint64_t rejected_deadline_ = 0;  ///< expired at pickup during drain
   std::uint64_t completed_ = 0;
   std::uint64_t failed_ = 0;
   std::uint64_t in_flight_ = 0;

@@ -17,6 +17,10 @@ struct ServiceStats {
   /// admission pressure: full queue, shutdown, malformed request).
   std::uint64_t rejected_dsl = 0;   ///< DSL failed the legality checker
   std::uint64_t rejected_plan = 0;  ///< plan failed the invariant verifier
+  /// Queued jobs already past their deadline when a draining scheduler
+  /// picked them up — rejected with the deadline reason, never silently
+  /// completed late.
+  std::uint64_t rejected_deadline = 0;
   std::uint64_t completed = 0;  ///< finished successfully
   std::uint64_t failed = 0;     ///< raised (deadline stall, bad shapes, ...)
 

@@ -1,0 +1,57 @@
+#include "service/signals.hpp"
+
+#include <csignal>
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace earthred::service {
+
+namespace {
+
+volatile std::sig_atomic_t g_count = 0;
+int g_pipe_rd = -1;
+int g_pipe_wr = -1;
+
+void on_signal(int) {
+  g_count = g_count + 1;
+  if (g_pipe_wr >= 0) {
+    const char b = 's';
+    // write(2) is async-signal-safe; a full pipe just drops the nudge
+    // (the counter is the ground truth).
+    (void)!::write(g_pipe_wr, &b, 1);
+  }
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+}  // namespace
+
+int install_shutdown_signals() {
+  static bool installed = false;
+  if (!installed) {
+    installed = true;
+    int fds[2];
+    if (::pipe(fds) == 0) {
+      set_nonblocking(fds[0]);
+      set_nonblocking(fds[1]);
+      g_pipe_rd = fds[0];
+      g_pipe_wr = fds[1];
+    }
+    struct sigaction sa = {};
+    sa.sa_handler = on_signal;
+    ::sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0;  // no SA_RESTART: blocking waits must wake
+    ::sigaction(SIGINT, &sa, nullptr);
+    ::sigaction(SIGTERM, &sa, nullptr);
+  }
+  return g_pipe_rd;
+}
+
+int shutdown_signal_count() { return static_cast<int>(g_count); }
+
+void raise_shutdown_signal() { on_signal(0); }
+
+}  // namespace earthred::service

@@ -1,0 +1,29 @@
+// Minimal async-signal-safe SIGINT/SIGTERM plumbing for the serving CLI.
+//
+// The handler does only two things a signal handler may legally do: bump
+// a `volatile sig_atomic_t` counter and write one byte to a self-pipe.
+// Event loops poll the pipe fd (or just the counter) and implement the
+// two-stage shutdown themselves:
+//
+//   first signal   -> graceful drain (stop accepting, finish in-flight)
+//   second signal  -> forced abort (reject queued work, tear down now)
+//
+// Installation is process-global and idempotent; there is no uninstall
+// (the CLI verbs that use it run to exit).
+#pragma once
+
+namespace earthred::service {
+
+/// Installs the SIGINT/SIGTERM handler (idempotent). Returns a readable
+/// non-blocking fd that becomes ready when a signal lands — suitable for
+/// a poll set — or -1 if the pipe could not be created (the counter still
+/// works).
+int install_shutdown_signals();
+
+/// Number of SIGINT/SIGTERM deliveries since installation.
+int shutdown_signal_count();
+
+/// Test hook: simulate a signal delivery (same counter + pipe write).
+void raise_shutdown_signal();
+
+}  // namespace earthred::service

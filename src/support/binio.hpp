@@ -100,9 +100,22 @@ class ByteReader {
  public:
   explicit ByteReader(std::span<const std::byte> bytes) : bytes_(bytes) {}
 
+  std::uint8_t u8() { return scalar<std::uint8_t>(); }
   std::uint32_t u32() { return scalar<std::uint32_t>(); }
   std::uint64_t u64() { return scalar<std::uint64_t>(); }
   double f64() { return scalar<double>(); }
+  /// Copies `n` raw bytes into `dst`. On overrun nothing is copied, the
+  /// fail flag is set, and false is returned (wire strings need this; the
+  /// aligned u32_array path is unsuitable for byte payloads).
+  bool raw(void* dst, std::size_t n) {
+    if (fail_ || bytes_.size() - pos_ < n) {
+      fail_ = true;
+      return false;
+    }
+    std::memcpy(dst, bytes_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
   /// Counterpart of ByteWriter::u32_array. The returned span aliases the
   /// underlying bytes (this is the zero-copy handoff); it is empty — and
   /// fail() is set — on overrun, misalignment, or an oversized count.

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <string>
 #include <thread>
@@ -377,6 +378,132 @@ TEST(JobScheduler, DestructorDrainsQueuedJobs) {
   }  // ~JobScheduler drains
   for (const JobHandle& h : handles)
     EXPECT_EQ(h.wait().state, JobState::Done) << h.wait().error;
+}
+
+// --- graceful drain: deadline interaction and stats reconciliation ------
+
+TEST(JobSchedulerDrain, ExpiredQueuedJobsRejectAtPickupDuringDrain) {
+  JobScheduler::Config cfg;
+  cfg.workers = 1;
+  cfg.queue_capacity = 16;
+  JobScheduler sched(cfg);
+
+  // One long blocker occupies the single worker...
+  const auto big = std::make_shared<kernels::EulerKernel>(
+      mesh::make_geometric_mesh({2000, 12000, 8}));
+  JobRequest blocker;
+  blocker.kernel = big;
+  blocker.name = "blocker";
+  blocker.plan = plan_opts(4, 2);
+  blocker.sweeps = 4000;
+  blocker.deadline_seconds = 60.0;
+  const JobHandle blocker_handle = sched.submit(std::move(blocker));
+  // ...and is definitely running before anything else is queued.
+  for (int i = 0; i < 500 && sched.stats().in_flight == 0; ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  ASSERT_EQ(sched.stats().in_flight, 1u);
+
+  // Tight-deadline jobs queue behind it; by the time the drain lets the
+  // worker pick them up their deadline has long expired.
+  const auto small = std::make_shared<kernels::Fig1Kernel>(
+      kernels::Fig1Kernel::with_integer_values(
+          mesh::make_geometric_mesh({100, 500, 14})));
+  std::vector<JobHandle> expired;
+  for (int j = 0; j < 3; ++j) {
+    JobRequest req;
+    req.kernel = small;
+    req.name = "expired" + std::to_string(j);
+    req.plan = plan_opts(2, 2);
+    req.sweeps = 1;
+    req.deadline_seconds = 0.001;
+    expired.push_back(sched.submit(std::move(req)));
+  }
+  sched.begin_drain();
+  EXPECT_TRUE(sched.draining());
+
+  EXPECT_EQ(blocker_handle.wait().state, JobState::Done)
+      << blocker_handle.wait().error;
+  for (const JobHandle& h : expired) {
+    const JobOutcome& o = h.wait();
+    EXPECT_EQ(o.state, JobState::Rejected) << o.name;
+    EXPECT_NE(o.error.find("deadline"), std::string::npos) << o.error;
+  }
+
+  // Reconciliation: every submitted job is accounted for exactly once
+  // and nothing is left queued or running after the drain.
+  const ServiceStats s = sched.stats();
+  EXPECT_EQ(s.submitted, 4u);
+  EXPECT_EQ(s.completed + s.failed + s.rejected, s.submitted);
+  EXPECT_EQ(s.rejected_deadline, 3u);
+  EXPECT_EQ(s.queue_depth, 0u);
+  EXPECT_EQ(s.in_flight, 0u);
+  EXPECT_EQ(s.pending(), 0u);
+}
+
+TEST(JobSchedulerDrain, SubmitAfterDrainIsRejectedWithCode) {
+  JobScheduler sched(JobScheduler::Config{});
+  sched.begin_drain();
+
+  const auto kernel = std::make_shared<kernels::Fig1Kernel>(
+      kernels::Fig1Kernel::with_integer_values(
+          mesh::make_geometric_mesh({100, 500, 14})));
+  JobRequest req;
+  req.kernel = kernel;
+  req.name = "late";
+  req.plan = plan_opts(2, 2);
+  const JobHandle late = sched.submit(std::move(req));
+  const JobOutcome& o = late.wait();
+  EXPECT_EQ(o.state, JobState::Rejected);
+  EXPECT_NE(o.error.find("E-SVC-DRAINING"), std::string::npos) << o.error;
+
+  const ServiceStats s = sched.stats();
+  EXPECT_EQ(s.submitted, 1u);
+  EXPECT_EQ(s.rejected, 1u);
+  EXPECT_EQ(s.pending(), 0u);
+}
+
+TEST(JobSchedulerDrain, AbortQueuedResolvesEveryHandleWithReason) {
+  JobScheduler::Config cfg;
+  cfg.workers = 1;
+  cfg.queue_capacity = 32;
+  JobScheduler sched(cfg);
+
+  const auto big = std::make_shared<kernels::EulerKernel>(
+      mesh::make_geometric_mesh({2000, 12000, 8}));
+  JobRequest blocker;
+  blocker.kernel = big;
+  blocker.name = "blocker";
+  blocker.plan = plan_opts(4, 2);
+  blocker.sweeps = 4000;
+  blocker.deadline_seconds = 60.0;
+  const JobHandle blocker_handle = sched.submit(std::move(blocker));
+  for (int i = 0; i < 500 && sched.stats().in_flight == 0; ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+
+  const auto small = std::make_shared<kernels::Fig1Kernel>(
+      kernels::Fig1Kernel::with_integer_values(
+          mesh::make_geometric_mesh({100, 500, 14})));
+  std::vector<JobHandle> queued;
+  for (int j = 0; j < 5; ++j) {
+    JobRequest req;
+    req.kernel = small;
+    req.name = "queued" + std::to_string(j);
+    req.plan = plan_opts(2, 2);
+    queued.push_back(sched.submit(std::move(req)));
+  }
+
+  sched.abort_queued("forced shutdown (test)");
+  for (const JobHandle& h : queued) {
+    const JobOutcome& o = h.wait();
+    EXPECT_EQ(o.state, JobState::Rejected) << o.name;
+    EXPECT_NE(o.error.find("forced shutdown"), std::string::npos)
+        << o.error;
+  }
+  // The in-flight blocker is never killed mid-run: abort empties the
+  // queue, it does not corrupt running work.
+  EXPECT_EQ(blocker_handle.wait().state, JobState::Done)
+      << blocker_handle.wait().error;
+  EXPECT_EQ(sched.stats().pending(), 0u);
 }
 
 }  // namespace

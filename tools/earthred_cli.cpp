@@ -30,6 +30,21 @@
 //                        load zero-copy from DIR and new builds persist)
 //                        [--json=out.jsonl] [--quiet]
 //   earthred serve      (batch mode reading the job list from stdin)
+//   earthred serve      --listen=PORT [--host=H] [--max-conns=N]
+//                        [--max-inflight=N] [--drain-grace=S] plus the
+//                        batch scheduler flags: networked front end
+//                        speaking the framed binary protocol of
+//                        src/net/wire.hpp; file-referencing jobs
+//                        (mesh=/dsl=) are refused (E-JOB-FILEIO) since
+//                        remote peers must not name server-side paths
+//   earthred submit     --connect=HOST:PORT --job="..." | --jobs=FILE
+//                        [--retries=N] [--timeout-ms=T]: submits job
+//                        lines to a remote server with jittered
+//                        exponential-backoff retries and a circuit
+//                        breaker (src/net/client.hpp); prints each
+//                        outcome with its result digest
+//   earthred ping       --connect=HOST:PORT: health probe (queue depth,
+//                        in-flight, drain state)
 //   earthred plan       save|load|ls --store=DIR
 //                        save/load take the same kernel/mesh keys as run
 //                        (--kernel --preset/--mesh/--nodes --edges --seed)
@@ -68,14 +83,23 @@
 // keys size it), and submitted as one job per fissioned loop.
 //
 // Exit status: 0 on success, 1 on usage/data errors (message on stderr);
-// batch/serve exit 1 if any job failed or was rejected.
+// batch/serve exit 1 if any job failed or was rejected (malformed job
+// lines are reported as coded rows, they do not abort the batch).
+//
+// Graceful drain: batch/serve install SIGINT/SIGTERM handlers. The first
+// signal stops admission and drains — in-flight jobs finish, queued jobs
+// past their deadline are rejected with the deadline reason — and the
+// second signal aborts everything still queued. A run ended by the
+// second signal exits 3, so scripts can tell a forced shutdown from a
+// clean (even if partly failed) drain.
+#include <chrono>
 #include <cstdio>
 #include <exception>
 #include <fstream>
 #include <iostream>
 #include <memory>
-#include <set>
 #include <sstream>
+#include <thread>
 
 #include "compiler/check.hpp"
 #include "compiler/codegen.hpp"
@@ -90,8 +114,12 @@
 #include "mesh/generators.hpp"
 #include "mesh/io.hpp"
 #include "mesh/mesh.hpp"
+#include "net/client.hpp"
+#include "service/job_builder.hpp"
 #include "service/job_scheduler.hpp"
 #include "service/plan_store.hpp"
+#include "service/serve_loop.hpp"
+#include "service/signals.hpp"
 #include "sparse/io.hpp"
 #include "sparse/nas_cg.hpp"
 #include "support/check.hpp"
@@ -109,7 +137,8 @@ int usage() {
   std::fprintf(
       stderr,
       "usage: earthred "
-      "<gen-mesh|gen-matrix|info|run|compile|check|batch|serve|plan> "
+      "<gen-mesh|gen-matrix|info|run|compile|check|batch|serve|submit|"
+      "ping|plan> "
       "[--flags]\n(see the header of tools/earthred_cli.cpp)\n");
   return 1;
 }
@@ -445,83 +474,9 @@ int cmd_check(const Options& opt) {
 }
 
 // ---- batch/serve: drive the reduction service from a job list ----------
-
-/// Parses one job line ("kernel=euler preset=euler-small procs=8 ...")
-/// into Options by prefixing each token with "--".
-Options parse_job_line(const std::string& line) {
-  std::vector<std::string> store{"job"};
-  for (const std::string& tok : split(line, ' ')) {
-    const std::string_view t = trim(tok);
-    if (!t.empty()) store.push_back("--" + std::string(t));
-  }
-  std::vector<const char*> argv;
-  argv.reserve(store.size());
-  for (const std::string& s : store) argv.push_back(s.c_str());
-  return Options(static_cast<int>(argv.size()), argv.data());
-}
-
-/// Fills the plan/sweep fields of a JobRequest from one job line's keys
-/// (shared by kernel jobs and `dsl=` jobs).
-void request_from_job_line(const Options& jopt, std::size_t lineno,
-                           service::JobRequest& req) {
-  req.plan.num_procs =
-      static_cast<std::uint32_t>(jopt.get_int("procs", 4));
-  req.plan.k = static_cast<std::uint32_t>(jopt.get_int("k", 2));
-  req.plan.distribution =
-      inspector::parse_distribution(jopt.get("dist", "cyclic"));
-  req.plan.block_cyclic_size =
-      static_cast<std::uint32_t>(jopt.get_int("bc", 16));
-  req.plan.inspector.dedup_buffers = jopt.get_bool("dedup", false);
-  req.sweeps = static_cast<std::uint32_t>(jopt.get_int("sweeps", 1));
-  req.deadline_seconds = jopt.get_double("deadline", 0.0);
-  hotpath_from_options(jopt, req.batch, req.affinity,
-                       req.plan.build_threads);
-  const std::string verify = jopt.get("verify");
-  if (!verify.empty()) {
-    ER_CHECK_MSG(verify == "on" || verify == "off",
-                 "job line " + std::to_string(lineno) +
-                     ": verify expects on|off, got '" + verify + "'");
-    req.plan.verify = verify == "on";
-  }
-  const std::string engine = jopt.get("engine", "native");
-  if (engine == "sim" || engine == "rotation") req.simulated = true;
-  else ER_CHECK_MSG(engine == "native",
-                    "job line " + std::to_string(lineno) +
-                        ": unknown engine '" + engine + "'");
-}
-
-/// Synthesizes a DataEnv for a legality-checked DSL program: loop-extent
-/// parameters take the `edges` value, every other parameter `nodes`; int
-/// arrays are filled with uniform element indices below `nodes` (they are
-/// indirections into node-sized arrays), real arrays with uniform values.
-/// Deterministic in `seed`.
-compiler::DataEnv synthesize_env(const compiler::Program& program,
-                                 std::uint32_t nodes, std::uint64_t edges,
-                                 std::uint64_t seed) {
-  compiler::DataEnv env;
-  std::set<std::string> extents;
-  for (const compiler::Loop& l : program.loops)
-    if (!l.hi_param.empty()) extents.insert(l.hi_param);
-  for (const std::string& p : program.params)
-    env.params[p] = extents.count(p) ? edges : nodes;
-  Xoshiro256 rng(seed);
-  for (const compiler::ArrayDecl& a : program.arrays) {
-    const auto it = env.params.find(a.size_param);
-    const std::uint64_t size = it == env.params.end() ? nodes : it->second;
-    if (a.type == compiler::ElemType::Int) {
-      std::vector<std::uint32_t>& v = env.int_arrays[a.name];
-      v.reserve(size);
-      for (std::uint64_t i = 0; i < size; ++i)
-        v.push_back(static_cast<std::uint32_t>(rng.below(nodes)));
-    } else {
-      std::vector<double>& v = env.real_arrays[a.name];
-      v.reserve(size);
-      for (std::uint64_t i = 0; i < size; ++i)
-        v.push_back(rng.uniform(0.1, 1.0));
-    }
-  }
-  return env;
-}
+// Job-line parsing lives in service::JobBuilder (shared with the
+// networked ServeLoop and tests); the CLI only schedules, waits, and
+// reports.
 
 const char* to_string(service::JobState s) {
   switch (s) {
@@ -544,7 +499,9 @@ const char* to_string(service::PlanCache::Outcome o) {
   return "?";
 }
 
-int run_service(std::istream& jobs_in, const Options& opt) {
+/// Scheduler configuration shared by batch, stdin serve, and the
+/// networked `serve --listen`.
+service::JobScheduler::Config scheduler_config(const Options& opt) {
   service::JobScheduler::Config cfg;
   cfg.workers = static_cast<std::uint32_t>(opt.get_int("workers", 4));
   cfg.queue_capacity =
@@ -557,102 +514,70 @@ int run_service(std::istream& jobs_in, const Options& opt) {
   if (opt.has("plan-store"))
     cfg.cache.store =
         std::make_shared<service::PlanStore>(opt.get("plan-store"));
-  service::JobScheduler sched(cfg);
+  return cfg;
+}
 
-  // Kernels (and their content fingerprints) are shared across jobs that
-  // name the same mesh, so repeat jobs hit the plan cache with an O(1)
-  // key.
-  struct KernelEntry {
-    std::shared_ptr<const core::PhasedKernel> kernel;
-    std::uint64_t fingerprint = 0;
+int run_service(std::istream& jobs_in, const Options& opt) {
+  service::JobScheduler sched(scheduler_config(opt));
+  service::JobBuilder builder;  // local front end: file IO allowed
+
+  service::install_shutdown_signals();
+
+  struct ParseReject {
+    std::string name, code, detail;
   };
-  std::map<std::string, KernelEntry> kernels;
-
+  std::vector<ParseReject> parse_rejects;
   std::vector<service::JobHandle> handles;
   std::string line;
   std::size_t lineno = 0;
-  while (std::getline(jobs_in, line)) {
+  while (service::shutdown_signal_count() == 0 &&
+         std::getline(jobs_in, line)) {
     ++lineno;
-    const std::string_view stripped = trim(line);
-    if (stripped.empty() || stripped.front() == '#') continue;
-    const Options jopt = parse_job_line(line);
-
-    if (jopt.has("dsl")) {
-      // DSL job: the source is the admission contract. An illegal program
-      // is still submitted (source only) so the scheduler's admission
-      // check rejects and counts it with the checker's diagnostic; a
-      // legal one is compiled, bound to a synthesized environment, and
-      // submitted as one job per fissioned loop.
-      const std::string source = read_file(jopt.get("dsl"));
-      const std::string base =
-          jopt.get("name", "dsl#" + std::to_string(lineno));
-      const compiler::CheckReport report = compiler::check_source(source);
-      if (report.has_errors()) {
-        service::JobRequest req;
-        request_from_job_line(jopt, lineno, req);
-        req.name = base;
-        req.dsl_source = source;
-        handles.push_back(sched.submit(std::move(req)));
-        continue;
-      }
-      const compiler::CompileResult compiled = compiler::compile(source);
-      const compiler::DataEnv env = synthesize_env(
-          compiled.program,
-          static_cast<std::uint32_t>(jopt.get_int("nodes", 1000)),
-          static_cast<std::uint64_t>(jopt.get_int("edges", 5000)),
-          static_cast<std::uint64_t>(jopt.get_int("seed", 42)));
-      for (std::size_t i = 0; i < compiled.analysis.fissioned.size(); ++i) {
-        service::JobRequest req;
-        request_from_job_line(jopt, lineno, req);
-        req.name = compiled.analysis.fissioned.size() > 1
-                       ? base + "/loop" + std::to_string(i)
-                       : base;
-        req.dsl_source = source;
-        req.kernel = std::shared_ptr<const core::PhasedKernel>(
-            compiler::bind(compiled, i, env));
-        handles.push_back(sched.submit(std::move(req)));
-      }
+    service::JobBuild b = builder.build(line, lineno);
+    if (!b.ok()) {
+      // Malformed lines become coded rows in the report, not a batch
+      // abort; blank/comment lines are simply not jobs.
+      if (b.code != "E-JOB-EMPTY")
+        parse_rejects.push_back(
+            {"line " + std::to_string(lineno), b.code, b.detail});
       continue;
     }
+    for (service::JobRequest& req : b.requests)
+      handles.push_back(sched.submit(std::move(req)));
+  }
 
-    const std::string kname = jopt.get("kernel", "euler");
-    const std::string key = kname + "|" + jopt.get("preset") + "|" +
-                            jopt.get("mesh") + "|" +
-                            jopt.get("nodes", "1000") + "|" +
-                            jopt.get("edges", "5000") + "|" +
-                            jopt.get("seed", "42");
-    auto it = kernels.find(key);
-    if (it == kernels.end()) {
-      KernelEntry entry;
-      entry.kernel = std::shared_ptr<const core::PhasedKernel>(
-          make_kernel(kname, mesh_from_options(jopt)));
-      entry.fingerprint = service::kernel_fingerprint(*entry.kernel);
-      it = kernels.emplace(key, std::move(entry)).first;
+  // Signal-aware wait: poll readiness instead of blocking, so the first
+  // signal can start a drain (in-flight jobs finish, expired queued jobs
+  // reject at pickup) and a second can abort what is still queued.
+  bool forced = false;
+  int signals_seen = 0;
+  std::size_t unresolved = handles.size();
+  std::vector<bool> resolved(handles.size(), false);
+  while (unresolved > 0) {
+    const int sigs = service::shutdown_signal_count();
+    if (sigs != signals_seen) {
+      if (signals_seen == 0 && sigs >= 1) {
+        std::fprintf(stderr,
+                     "earthred: draining (signal again to force)\n");
+        sched.begin_drain();
+      }
+      if (sigs >= 2 && !forced) {
+        forced = true;
+        std::fprintf(stderr,
+                     "earthred: forced shutdown, aborting queued jobs\n");
+        sched.abort_queued("shutdown forced by second signal");
+      }
+      signals_seen = sigs;
     }
-
-    service::JobRequest req;
-    req.name = jopt.get("name", kname + "#" + std::to_string(lineno));
-    request_from_job_line(jopt, lineno, req);
-    const auto mutate =
-        static_cast<std::uint64_t>(jopt.get_int("mutate", 0));
-    if (mutate > 0) {
-      // Adaptive job: rewire `mutate` interactions of the (regenerated)
-      // base mesh and ask the service to patch the base plan instead of
-      // rebuilding. The base fingerprint stays in the kernels map, so a
-      // prior plain job on the same mesh line seeds the base plan.
-      mesh::Mesh m = mesh_from_options(jopt);
-      req.changed_edges = mesh::rewire_edges(
-          m, mutate,
-          static_cast<std::uint64_t>(jopt.get_int("mutate-seed", 1)));
-      req.kernel = std::shared_ptr<const core::PhasedKernel>(
-          make_kernel(kname, std::move(m)));
-      req.fingerprint = service::kernel_fingerprint(*req.kernel);
-      req.patch_base = it->second.fingerprint;
-    } else {
-      req.kernel = it->second.kernel;
-      req.fingerprint = it->second.fingerprint;
+    bool progressed = false;
+    for (std::size_t i = 0; i < handles.size(); ++i) {
+      if (resolved[i] || !handles[i].ready()) continue;
+      resolved[i] = true;
+      --unresolved;
+      progressed = true;
     }
-    handles.push_back(sched.submit(std::move(req)));
+    if (unresolved > 0 && !progressed)
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
   }
 
   // Every handle resolves — rejected jobs report their reason here rather
@@ -661,6 +586,18 @@ int run_service(std::istream& jobs_in, const Options& opt) {
   t.set_header({"job", "state", "plan", "queue ms", "setup ms", "exec s",
                 "detail"});
   std::uint64_t bad = 0;
+  for (const ParseReject& r : parse_rejects) {
+    ++bad;
+    t.add_row({r.name, "rejected", "-", "-", "-", "-",
+               r.code + ": " + r.detail});
+    if (opt.has("json")) {
+      JsonWriter w;
+      w.field("job", r.name)
+          .field("state", "rejected")
+          .field("error", r.code + ": " + r.detail);
+      append_json_line(opt.get("json"), w.str());
+    }
+  }
   for (const service::JobHandle& h : handles) {
     const service::JobOutcome& o = h.wait();
     if (o.state != service::JobState::Done) ++bad;
@@ -717,6 +654,7 @@ int run_service(std::istream& jobs_in, const Options& opt) {
     t.print(std::cout);
     stats.print(std::cout);
   }
+  if (forced) return 3;
   return bad == 0 ? 0 : 1;
 }
 
@@ -816,7 +754,193 @@ int cmd_batch(const Options& opt) {
   return run_service(is, opt);
 }
 
-int cmd_serve(const Options& opt) { return run_service(std::cin, opt); }
+// ---- serve --listen / submit / ping: the networked front end -----------
+
+int run_netserve(const Options& opt) {
+  service::JobScheduler sched(scheduler_config(opt));
+  // Remote peers must not name server-side files.
+  service::JobLimits limits;
+  limits.allow_file_io = false;
+  auto builder = std::make_shared<service::JobBuilder>(limits);
+  auto lineno = std::make_shared<std::size_t>(0);
+
+  service::ServeConfig scfg;
+  scfg.host = opt.get("host", "127.0.0.1");
+  scfg.port = static_cast<std::uint16_t>(opt.get_int("listen", 0));
+  scfg.max_connections =
+      static_cast<std::uint32_t>(opt.get_int("max-conns", 64));
+  scfg.max_inflight =
+      static_cast<std::uint32_t>(opt.get_int("max-inflight", 128));
+  scfg.drain_grace_seconds = opt.get_double("drain-grace", 30.0);
+
+  service::ServeLoop loop(
+      sched,
+      [builder, lineno](std::string_view job_line) {
+        return builder->build(job_line, ++*lineno);
+      },
+      scfg);
+  std::string error;
+  if (!loop.start(&error)) {
+    std::fprintf(stderr, "earthred serve: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("earthred: serving on %s:%u (signal once to drain, twice "
+              "to force)\n",
+              scfg.host.c_str(), loop.port());
+  std::fflush(stdout);
+
+  service::install_shutdown_signals();
+  bool forced = false;
+  int signals_seen = 0;
+  while (loop.running()) {
+    const int sigs = service::shutdown_signal_count();
+    if (sigs != signals_seen) {
+      if (signals_seen == 0 && sigs >= 1) {
+        std::fprintf(stderr,
+                     "earthred: draining (signal again to force)\n");
+        loop.request_drain();
+      }
+      if (sigs >= 2 && !forced) {
+        forced = true;
+        std::fprintf(stderr, "earthred: forced shutdown\n");
+        loop.request_abort();
+      }
+      signals_seen = sigs;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  loop.wait();
+  sched.drain();
+
+  const service::ServeStats ns = loop.stats();
+  Table t("serve transport");
+  t.set_header({"counter", "value"});
+  const auto row = [&t](const char* name, std::uint64_t v) {
+    t.add_row({name, fmt_group(static_cast<long long>(v))});
+  };
+  row("connections accepted", ns.accepted);
+  row("frames in", ns.frames_in);
+  row("frames out", ns.frames_out);
+  row("submits", ns.submits);
+  row("results sent", ns.results_sent);
+  row("rejects sent", ns.rejects_sent);
+  row("bad frames", ns.bad_frames);
+  row("shed (max-conns)", ns.shed_maxconn);
+  row("shed (busy)", ns.shed_busy);
+  row("shed (draining)", ns.shed_draining);
+  row("parse rejects", ns.parse_rejects);
+  row("timeouts (read/write)", ns.read_timeouts + ns.write_timeouts);
+  row("orphaned results", ns.orphaned_results);
+  t.print(std::cout);
+  sched.stats().print(std::cout);
+  return forced ? 3 : 0;
+}
+
+net::ClientConfig client_config(const Options& opt) {
+  const std::string ep = opt.get("connect");
+  if (ep.empty()) throw check_error("need --connect=host:port");
+  const std::size_t colon = ep.rfind(':');
+  ER_CHECK_MSG(colon != std::string::npos && colon + 1 < ep.size(),
+               "--connect expects host:port, got '" + ep + "'");
+  net::ClientConfig cfg;
+  cfg.host = ep.substr(0, colon);
+  unsigned long port = 0;
+  try {
+    port = std::stoul(ep.substr(colon + 1));
+  } catch (const std::exception&) {
+    port = 0;
+  }
+  ER_CHECK_MSG(port > 0 && port <= 65535,
+               "--connect port must be 1..65535, got '" +
+                   ep.substr(colon + 1) + "'");
+  cfg.port = static_cast<std::uint16_t>(port);
+  cfg.request_timeout_ms =
+      static_cast<int>(opt.get_int("timeout-ms", 10000));
+  cfg.max_attempts =
+      static_cast<std::uint32_t>(opt.get_int("retries", 3)) + 1;
+  return cfg;
+}
+
+int cmd_submit(const Options& opt) {
+  net::Client client(client_config(opt));
+  std::vector<std::string> lines;
+  if (opt.has("job")) {
+    lines.push_back(opt.get("job"));
+  } else if (opt.has("jobs")) {
+    std::ifstream is(opt.get("jobs"));
+    ER_CHECK_MSG(is.good(), "cannot open '" + opt.get("jobs") + "'");
+    std::string l;
+    while (std::getline(is, l)) {
+      const std::string_view s = trim(l);
+      if (!s.empty() && s.front() != '#') lines.push_back(l);
+    }
+  } else {
+    throw check_error("submit needs --job=\"...\" or --jobs=<file>");
+  }
+
+  Table t("submitted jobs");
+  t.set_header({"job", "state", "plan", "exec s", "digest", "tries",
+                "detail"});
+  std::uint64_t bad = 0;
+  for (const std::string& l : lines) {
+    const net::Client::Reply r = client.submit(l);
+    if (!r.ok()) {
+      ++bad;
+      t.add_row({l.size() > 32 ? l.substr(0, 29) + "..." : l, "error",
+                 "-", "-", "-", std::to_string(r.attempts),
+                 r.code + ": " + r.detail});
+      continue;
+    }
+    const auto state = static_cast<service::JobState>(r.result.state);
+    if (state != service::JobState::Done) ++bad;
+    t.add_row(
+        {r.result.name, to_string(state),
+         state == service::JobState::Rejected
+             ? "-"
+             : to_string(static_cast<service::PlanCache::Outcome>(
+                   r.result.plan_source)),
+         fmt_f(r.result.exec_seconds, 4),
+         r.result.digest
+             ? strformat("%016llx", static_cast<unsigned long long>(
+                                        r.result.digest))
+             : "-",
+         std::to_string(r.attempts), r.result.error});
+  }
+  t.print(std::cout);
+  const net::ClientStats& cs = client.stats();
+  std::printf("client: %llu call(s), %llu attempt(s), %llu retries, "
+              "%llu reconnect(s), breaker %s\n",
+              static_cast<unsigned long long>(cs.calls),
+              static_cast<unsigned long long>(cs.attempts),
+              static_cast<unsigned long long>(cs.retries),
+              static_cast<unsigned long long>(cs.reconnects),
+              net::to_string(client.breaker_state()));
+  return bad == 0 ? 0 : 1;
+}
+
+int cmd_ping(const Options& opt) {
+  net::Client client(client_config(opt));
+  const net::Client::PingReply r = client.ping();
+  if (!r.ok()) {
+    std::fprintf(stderr, "ping failed [%s]: %s (after %u attempt(s))\n",
+                 r.code.c_str(), r.detail.c_str(), r.attempts);
+    return 1;
+  }
+  std::printf("pong (protocol v%u): queue %llu, in-flight %llu, "
+              "completed %llu, rejected %llu%s\n",
+              r.pong.version,
+              static_cast<unsigned long long>(r.pong.queue_depth),
+              static_cast<unsigned long long>(r.pong.in_flight),
+              static_cast<unsigned long long>(r.pong.completed),
+              static_cast<unsigned long long>(r.pong.rejected),
+              r.pong.draining ? ", DRAINING" : "");
+  return 0;
+}
+
+int cmd_serve(const Options& opt) {
+  if (opt.has("listen")) return run_netserve(opt);
+  return run_service(std::cin, opt);
+}
 
 int dispatch(int argc, char** argv) {
   if (argc < 2) return usage();
@@ -830,6 +954,8 @@ int dispatch(int argc, char** argv) {
   if (cmd == "check") return cmd_check(opt);
   if (cmd == "batch") return cmd_batch(opt);
   if (cmd == "serve") return cmd_serve(opt);
+  if (cmd == "submit") return cmd_submit(opt);
+  if (cmd == "ping") return cmd_ping(opt);
   if (cmd == "plan") return cmd_plan(opt);
   return usage();
 }
