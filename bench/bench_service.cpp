@@ -22,9 +22,18 @@
 // accounting, not speed: every submission must terminate with a result
 // or a coded refusal, and the server must drain clean.
 //
+// Part 4 (--shards=N): N in-process shard ServeLoops fronted by a
+// ShardRouter on loopback — the multi-process fleet topology collapsed
+// into one benchmarkable process. Mixed job lines spread over several
+// meshes exercise the rendezvous partitioner; the gates are accounting
+// (submits == results + coded rejects at the router) and zero reroutes
+// on a healthy fleet, the headline is routed jobs/second and the
+// per-shard forward spread.
+//
 // Flags: --jobs=N (default 48), --workers=W (default 4), --sweeps=S
 //        (default 4), --reps=R warm-lookup repetitions (default 32),
 //        --net (run part 3), --net-clients=C (default 4), --net-faults,
+//        --shards=N (run part 4 with N loopback shards),
 //        --small (CI-sized: shrink counts, skip the >=10x ratio gate),
 //        --json=<path> (JSONL record with the measured numbers).
 #include <atomic>
@@ -45,6 +54,9 @@
 #include "service/job_builder.hpp"
 #include "service/job_scheduler.hpp"
 #include "service/serve_loop.hpp"
+#include "shard/endpoint_pool.hpp"
+#include "shard/shard_map.hpp"
+#include "shard/shard_router.hpp"
 #include "support/options.hpp"
 
 namespace earthred {
@@ -249,6 +261,10 @@ NetResult run_net(std::uint32_t jobs, std::uint32_t workers,
       out.client.transport_failures += s.transport_failures;
       out.client.breaker_fast_fails += s.breaker_fast_fails;
       out.client.breaker_trips += s.breaker_trips;
+      out.client.breaker_half_open_probes += s.breaker_half_open_probes;
+      out.client.breaker_closes += s.breaker_closes;
+      out.client.backoff_sleeps += s.backoff_sleeps;
+      out.client.backoff_ms_total += s.backoff_ms_total;
     });
   }
   for (std::thread& t : threads) t.join();
@@ -263,6 +279,174 @@ NetResult run_net(std::uint32_t jobs, std::uint32_t workers,
   sched.drain();
   out.serve = loop.stats();
   return out;
+}
+
+// ---- Part 4: multi-shard loopback fleet ---------------------------------
+
+/// One in-process backend shard (scheduler + ServeLoop), wired the way
+/// `earthred serve --listen` wires them.
+struct BenchShard {
+  service::JobScheduler sched;
+  std::shared_ptr<service::JobBuilder> builder;
+  std::unique_ptr<service::ServeLoop> loop;
+
+  explicit BenchShard(std::uint32_t workers, std::uint32_t inflight)
+      : sched([&] {
+          service::JobScheduler::Config cfg;
+          cfg.workers = workers;
+          cfg.queue_capacity = inflight;
+          cfg.cache.byte_budget = 256ull << 20;
+          return cfg;
+        }()) {
+    service::JobLimits limits;
+    limits.allow_file_io = false;
+    builder = std::make_shared<service::JobBuilder>(limits);
+    service::ServeConfig scfg;
+    scfg.max_inflight = inflight;
+    loop = std::make_unique<service::ServeLoop>(
+        sched,
+        [b = builder](std::string_view line) { return b->build(line, 0); },
+        scfg);
+  }
+};
+
+struct ShardBenchResult {
+  double wall_seconds = 0.0;
+  double jobs_per_second = 0.0;
+  std::uint64_t done = 0;
+  std::uint64_t coded = 0;
+  std::uint64_t forwards_min = 0, forwards_max = 0;
+  shard::RouterStats router;
+  std::vector<shard::ShardSnapshot> shards;
+  bool started = false;
+};
+
+ShardBenchResult run_sharded(std::uint32_t jobs, std::uint32_t workers,
+                             std::uint32_t nshards, std::uint32_t clients,
+                             std::uint32_t sweeps) {
+  ShardBenchResult out;
+  std::vector<std::unique_ptr<BenchShard>> shards;
+  std::vector<shard::ShardEndpoint> eps;
+  for (std::uint32_t i = 0; i < nshards; ++i) {
+    shards.push_back(std::make_unique<BenchShard>(workers, jobs + 16));
+    std::string error;
+    if (!shards.back()->loop->start(&error)) {
+      std::fprintf(stderr, "bench_service: shard start failed: %s\n",
+                   error.c_str());
+      return out;
+    }
+    eps.push_back({"shard-" + std::to_string(i), "127.0.0.1",
+                   shards.back()->loop->port()});
+  }
+  shard::RouterConfig rcfg;
+  rcfg.max_connections = clients + 8;
+  rcfg.pool.max_inflight_per_shard = jobs + 16;
+  shard::ShardRouter router{shard::ShardMap(eps), rcfg};
+  std::string error;
+  if (!router.start(&error)) {
+    std::fprintf(stderr, "bench_service: router start failed: %s\n",
+                 error.c_str());
+    return out;
+  }
+  out.started = true;
+
+  // Mixed lines over several meshes: distinct content keys, so the
+  // rendezvous partitioner actually spreads work, and each shard's
+  // PlanCache warms for its own subset only.
+  std::vector<std::string> lines;
+  for (int i = 0; i < 6; ++i)
+    lines.push_back("kernel=" + std::string(i % 2 ? "euler" : "fig1") +
+                    " nodes=" + std::to_string(1000 + 150 * i) +
+                    " edges=" + std::to_string(6000 + 500 * i) +
+                    " seed=11 procs=4 k=2 sweeps=" +
+                    std::to_string(sweeps));
+
+  std::atomic<std::uint64_t> done{0};
+  std::atomic<std::uint64_t> coded{0};
+  const auto t0 = Clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (std::uint32_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      net::ClientConfig ccfg;
+      ccfg.port = router.port();
+      ccfg.jitter_seed = 0x6a11ULL + c;
+      net::Client client(ccfg);
+      const std::uint32_t per =
+          jobs / clients + (c < jobs % clients ? 1u : 0u);
+      for (std::uint32_t j = 0; j < per; ++j) {
+        const net::Client::Reply r =
+            client.submit(lines[(c + j) % lines.size()]);
+        if (r.ok() &&
+            r.result.state ==
+                static_cast<std::uint32_t>(service::JobState::Done))
+          done.fetch_add(1);
+        else
+          coded.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  out.wall_seconds = seconds_since(t0);
+  out.done = done.load();
+  out.coded = coded.load();
+  out.jobs_per_second =
+      out.wall_seconds > 0 ? static_cast<double>(jobs) / out.wall_seconds
+                           : 0.0;
+
+  // Quiesce router-last; final counters are exact after wait().
+  router.drain_fleet();
+  router.wait();
+  for (auto& s : shards) {
+    s->loop->wait();
+    s->sched.drain();
+  }
+  out.router = router.stats();
+  out.shards = router.pool().snapshot();
+  for (std::size_t i = 0; i < out.shards.size(); ++i) {
+    const std::uint64_t f = out.shards[i].forwards;
+    out.forwards_min = i == 0 ? f : std::min(out.forwards_min, f);
+    out.forwards_max = std::max(out.forwards_max, f);
+  }
+  return out;
+}
+
+/// Prints part 4; true iff routing terminated every job, nothing was
+/// rerouted on a healthy fleet, and the router accounting identity holds.
+bool report_sharded(std::uint32_t jobs, std::uint32_t nshards,
+                    const ShardBenchResult& r) {
+  if (!r.started) return false;
+  Table t("sharded fleet (" + std::to_string(nshards) +
+          " loopback shards + router)");
+  t.set_header({"metric", "value"});
+  t.add_row({"wall s", fmt_f(r.wall_seconds, 3)});
+  t.add_row({"routed jobs/s", fmt_f(r.jobs_per_second, 1)});
+  t.add_row({"done", std::to_string(r.done)});
+  t.add_row({"coded refusals", std::to_string(r.coded)});
+  t.add_row({"reroutes", std::to_string(r.router.reroutes)});
+  t.add_row({"forward spread (min/max per shard)",
+             std::to_string(r.forwards_min) + " / " +
+                 std::to_string(r.forwards_max)});
+  for (const shard::ShardSnapshot& s : r.shards)
+    t.add_row({"  " + s.name + " forwards / p95 ms",
+               std::to_string(s.forwards) + " / " + fmt_f(s.p95_ms, 2)});
+  t.print(std::cout);
+  const bool accounted =
+      r.done + r.coded == jobs &&
+      r.router.submits == r.router.results_sent + r.router.submit_rejects;
+  const bool no_reroutes = r.router.reroutes == 0;
+  std::printf(
+      "shard accounting: %llu done + %llu coded = %u submitted, router "
+      "%llu = %llu + %llu %s; %llu reroute(s) on a healthy fleet %s\n",
+      static_cast<unsigned long long>(r.done),
+      static_cast<unsigned long long>(r.coded), jobs,
+      static_cast<unsigned long long>(r.router.submits),
+      static_cast<unsigned long long>(r.router.results_sent),
+      static_cast<unsigned long long>(r.router.submit_rejects),
+      accounted ? "(PASS)" : "(FAIL)",
+      static_cast<unsigned long long>(r.router.reroutes),
+      no_reroutes ? "(PASS)" : "(FAIL)");
+  return accounted && no_reroutes;
 }
 
 /// Prints one net mode's table + summary; true iff the accounting gate
@@ -280,6 +464,13 @@ bool report_net(const char* title, std::uint32_t jobs, const NetResult& r) {
   t.add_row({"client reconnects", std::to_string(r.client.reconnects)});
   t.add_row({"transport failures",
              std::to_string(r.client.transport_failures)});
+  t.add_row({"backoff sleeps / ms",
+             std::to_string(r.client.backoff_sleeps) + " / " +
+                 std::to_string(r.client.backoff_ms_total)});
+  t.add_row({"breaker trips/probes/closes",
+             std::to_string(r.client.breaker_trips) + " / " +
+                 std::to_string(r.client.breaker_half_open_probes) +
+                 " / " + std::to_string(r.client.breaker_closes)});
   t.add_row({"server frames in/out",
              std::to_string(r.serve.frames_in) + " / " +
                  std::to_string(r.serve.frames_out)});
@@ -392,6 +583,16 @@ int run(const Options& opt) {
     }
   }
 
+  // ---- Part 4: sharded fleet (--shards=N) -----------------------------
+  bool shard_ok = true;
+  ShardBenchResult sharded;
+  const auto nshards =
+      static_cast<std::uint32_t>(opt.get_int("shards", 0));
+  if (nshards > 0) {
+    sharded = run_sharded(jobs, workers, nshards, clients, sweeps);
+    shard_ok = report_sharded(jobs, nshards, sharded);
+  }
+
   if (opt.has("json")) {
     JsonWriter w;
     w.field("bench", "service")
@@ -413,15 +614,36 @@ int run(const Options& opt) {
           .field("net_done", net.done)
           .field("net_coded", net.coded)
           .field("net_retries", net.client.retries)
-          .field("net_reconnects", net.client.reconnects);
+          .field("net_reconnects", net.client.reconnects)
+          .field("net_backoff_sleeps", net.client.backoff_sleeps)
+          .field("net_backoff_ms_total", net.client.backoff_ms_total)
+          .field("net_breaker_trips", net.client.breaker_trips)
+          .field("net_breaker_half_open_probes",
+                 net.client.breaker_half_open_probes)
+          .field("net_breaker_closes", net.client.breaker_closes);
       if (net_faults) {
         w.field("net_chaos_jobs_per_s", net_chaos.jobs_per_second)
             .field("net_chaos_done", net_chaos.done)
             .field("net_chaos_coded", net_chaos.coded)
             .field("net_chaos_retries", net_chaos.client.retries)
             .field("net_chaos_transport_failures",
-                   net_chaos.client.transport_failures);
+                   net_chaos.client.transport_failures)
+            .field("net_chaos_backoff_sleeps",
+                   net_chaos.client.backoff_sleeps)
+            .field("net_chaos_backoff_ms_total",
+                   net_chaos.client.backoff_ms_total)
+            .field("net_chaos_breaker_trips",
+                   net_chaos.client.breaker_trips);
       }
+    }
+    if (nshards > 0) {
+      w.field("shard_count", static_cast<std::uint64_t>(nshards))
+          .field("shard_jobs_per_s", sharded.jobs_per_second)
+          .field("shard_done", sharded.done)
+          .field("shard_coded", sharded.coded)
+          .field("shard_reroutes", sharded.router.reroutes)
+          .field("shard_forwards_min", sharded.forwards_min)
+          .field("shard_forwards_max", sharded.forwards_max);
     }
     append_json_line(opt.get("json"), w.str());
     std::printf("appended JSON record to %s\n", opt.get("json").c_str());
@@ -430,7 +652,8 @@ int run(const Options& opt) {
   // cold/warm ratio to be meaningful, so only correctness is gated.
   const bool ratio_ok = small || ratio >= 10.0;
   return ratio_ok && off.failed == 0 && on.failed == 0 &&
-                 off.rejected == 0 && on.rejected == 0 && net_ok
+                 off.rejected == 0 && on.rejected == 0 && net_ok &&
+                 shard_ok
              ? 0
              : 1;
 }

@@ -61,6 +61,7 @@ bool Client::ensure_connected(std::string* error) {
 }
 
 void Client::record_success() {
+  if (open_) ++stats_.breaker_closes;  // a Half-Open probe succeeded
   consecutive_failures_ = 0;
   open_ = false;
   half_open_probe_ = false;
@@ -88,7 +89,11 @@ void Client::backoff_sleep(std::uint32_t attempt) {
   const double capped =
       std::min(base, static_cast<double>(cfg_.backoff_cap_ms));
   const int ms = static_cast<int>(capped * jitter_.uniform(0.5, 1.0));
-  if (ms > 0) std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+  if (ms > 0) {
+    ++stats_.backoff_sleeps;
+    stats_.backoff_ms_total += static_cast<std::uint64_t>(ms);
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+  }
 }
 
 Client::Attempt Client::attempt_call(FrameType type,
@@ -198,6 +203,7 @@ Client::Attempt Client::call(FrameType type,
           return last;
         }
         half_open_probe_ = true;
+        ++stats_.breaker_half_open_probes;
         break;
       case BreakerState::Closed:
         break;
@@ -251,6 +257,24 @@ Client::Reply Client::submit(const std::string& job_line) {
 Client::PingReply Client::ping() {
   PingReply r;
   const Attempt a = call(FrameType::Ping, {}, &r.attempts);
+  if (!a.ok()) {
+    r.code = a.code;
+    r.detail = a.detail;
+    return r;
+  }
+  if (a.response.type != FrameType::Pong ||
+      !decode_pong(a.response.payload, &r.pong)) {
+    r.code = "E-NET-PROTO";
+    r.detail = strformat("expected pong frame, got %s",
+                         to_string(a.response.type));
+    return r;
+  }
+  return r;
+}
+
+Client::PingReply Client::drain() {
+  PingReply r;
+  const Attempt a = call(FrameType::Drain, {}, &r.attempts);
   if (!a.ok()) {
     r.code = a.code;
     r.detail = a.detail;

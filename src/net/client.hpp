@@ -60,7 +60,10 @@ struct ClientConfig {
       wrap_stream;
 };
 
-/// Lifetime counters of one Client.
+/// Lifetime counters of one Client. Beyond the call/attempt tallies, the
+/// backoff and breaker-transition counters make the retry machinery
+/// observable from the outside (bench_service --net --json and the shard
+/// router's per-shard stats surface them).
 struct ClientStats {
   std::uint64_t calls = 0;
   std::uint64_t attempts = 0;
@@ -68,7 +71,11 @@ struct ClientStats {
   std::uint64_t reconnects = 0;
   std::uint64_t transport_failures = 0;
   std::uint64_t breaker_fast_fails = 0;
-  std::uint64_t breaker_trips = 0;
+  std::uint64_t breaker_trips = 0;        ///< Closed/HalfOpen -> Open
+  std::uint64_t breaker_half_open_probes = 0;  ///< Open -> HalfOpen probe
+  std::uint64_t breaker_closes = 0;       ///< HalfOpen probe -> Closed
+  std::uint64_t backoff_sleeps = 0;
+  std::uint64_t backoff_ms_total = 0;     ///< total time spent backing off
 };
 
 enum class BreakerState { Closed, Open, HalfOpen };
@@ -99,6 +106,10 @@ class Client {
   Reply submit(const std::string& job_line);
   /// Health probe.
   PingReply ping();
+  /// Sends a Drain control frame (v2); the peer begins a graceful drain
+  /// and acknowledges with a Pong snapshot (draining=1). Idempotent on
+  /// the server side, so the usual retry machinery applies.
+  PingReply drain();
 
   const ClientStats& stats() const { return stats_; }
   BreakerState breaker_state() const;

@@ -9,9 +9,13 @@ namespace earthred::net {
 
 namespace {
 
-bool known_type(std::uint32_t t) {
+bool known_type(std::uint32_t t, std::uint32_t version) {
+  // Drain arrived in v2: inside a v1 header it is exactly as unknown as
+  // it would be to a real v1 peer.
+  const auto last = version <= kVersionNoDrain ? FrameType::Reject
+                                               : FrameType::Drain;
   return t >= static_cast<std::uint32_t>(FrameType::Ping) &&
-         t <= static_cast<std::uint32_t>(FrameType::Reject);
+         t <= static_cast<std::uint32_t>(last);
 }
 
 }  // namespace
@@ -23,6 +27,7 @@ const char* to_string(FrameType t) {
     case FrameType::Submit: return "submit";
     case FrameType::Result: return "result";
     case FrameType::Reject: return "reject";
+    case FrameType::Drain: return "drain";
   }
   return "?";
 }
@@ -65,13 +70,14 @@ HeaderParse parse_header(std::span<const std::byte> header,
     h.detail = strformat("bad magic 0x%08x (want 0x%08x)", magic, kMagic);
     return h;
   }
+  h.version = version;
   if (version > kVersion) {
     h.code = "E-NET-VERSION";
     h.detail = strformat("protocol version %u is newer than supported %u",
                          version, kVersion);
     return h;
   }
-  if (!known_type(type)) {
+  if (!known_type(type, version)) {
     h.code = "E-NET-TYPE";
     h.detail = strformat("unknown frame type %u", type);
     return h;
@@ -217,7 +223,7 @@ std::vector<std::byte> encode_result(const ResultBody& b) {
   w.u32(b.state);
   w.u32(b.cache_hit);
   w.u32(b.plan_source);
-  w.u32(b.reserved);
+  w.u32(b.flags);
   w.f64(b.queue_seconds);
   w.f64(b.setup_seconds);
   w.f64(b.exec_seconds);
@@ -233,7 +239,7 @@ bool decode_result(std::span<const std::byte> payload, ResultBody* out) {
   out->state = r.u32();
   out->cache_hit = r.u32();
   out->plan_source = r.u32();
-  out->reserved = r.u32();
+  out->flags = r.u32();
   out->queue_seconds = r.f64();
   out->setup_seconds = r.f64();
   out->exec_seconds = r.f64();
@@ -252,6 +258,9 @@ std::vector<std::byte> encode_pong(const PongBody& b) {
   w.u64(b.rejected);
   w.u32(b.draining);
   w.u32(b.version);
+  w.u64(b.cache_entries);
+  w.u64(b.cache_key_digest);
+  w.u64(b.cache_hits);
   return {w.bytes().begin(), w.bytes().end()};
 }
 
@@ -263,6 +272,18 @@ bool decode_pong(std::span<const std::byte> payload, PongBody* out) {
   out->rejected = r.u64();
   out->draining = r.u32();
   out->version = r.u32();
+  if (r.fail()) return false;
+  // Trailing cache fields are v2 additions; a v1 pong simply ends here
+  // and they stay zero.
+  if (r.remaining() >= 3 * sizeof(std::uint64_t)) {
+    out->cache_entries = r.u64();
+    out->cache_key_digest = r.u64();
+    out->cache_hits = r.u64();
+  } else {
+    out->cache_entries = 0;
+    out->cache_key_digest = 0;
+    out->cache_hits = 0;
+  }
   return !r.fail();
 }
 

@@ -25,6 +25,17 @@
 //           -> Reject     the request never reached the scheduler: a
 //                         coded transport/admission refusal (overload
 //                         shed, drain, parse failure, malformed frame)
+//   Drain   -> Pong       control frame (v2): begin a graceful drain and
+//                         acknowledge with a snapshot (draining=1); the
+//                         shard router fans it out fleet-wide, shards
+//                         first, itself last
+//
+// Versioning: v2 added Drain plus trailing PongBody fields (plan-cache
+// entry count / key digest / hits). A v2 receiver accepts v1 frames —
+// Drain inside a v1 header is refused (E-NET-TYPE, the code a genuine v1
+// peer would produce) and a short v1 Pong payload decodes with the new
+// fields zeroed. Frames from the future (version > kVersion) are still
+// rejected whole with E-NET-VERSION.
 //
 // Error codes (the `E-NET-*` catalog — docs/architecture.md section 12
 // tables fault -> detection -> client-visible outcome):
@@ -59,7 +70,9 @@
 namespace earthred::net {
 
 inline constexpr std::uint32_t kMagic = 0x31545245u;  // "ERT1"
-inline constexpr std::uint32_t kVersion = 1;
+inline constexpr std::uint32_t kVersion = 2;
+/// The last protocol version that did not know the Drain frame.
+inline constexpr std::uint32_t kVersionNoDrain = 1;
 inline constexpr std::size_t kHeaderBytes = 40;
 /// Default ceiling on a frame payload; receivers may configure lower.
 inline constexpr std::uint32_t kDefaultMaxPayload = 1u << 20;
@@ -70,6 +83,7 @@ enum class FrameType : std::uint32_t {
   Submit = 3,
   Result = 4,
   Reject = 5,
+  Drain = 6,  ///< v2+: graceful-drain control frame (empty payload)
 };
 
 const char* to_string(FrameType t);
@@ -82,6 +96,7 @@ struct HeaderParse {
   std::uint64_t seq = 0;
   std::uint32_t payload_len = 0;
   std::uint64_t checksum = 0;
+  std::uint32_t version = kVersion;  ///< the sender's protocol version
   bool ok() const { return code.empty(); }
 };
 
@@ -150,6 +165,10 @@ struct RejectBody {
 std::vector<std::byte> encode_reject(const RejectBody& b);
 bool decode_reject(std::span<const std::byte> payload, RejectBody* out);
 
+/// Result flag bits (`ResultBody::flags`). The field was reserved-zero in
+/// v1, so v1 results decode with no flags set.
+inline constexpr std::uint32_t kResultFlagRerouted = 1u << 0;
+
 /// Result payload: the terminal summary of one scheduled job. `digest` is
 /// service::result_digest over the reduction output, so a client can
 /// verify bit-identity against a local run without shipping the arrays.
@@ -157,7 +176,10 @@ struct ResultBody {
   std::uint32_t state = 0;  ///< service::JobState as u32
   std::uint32_t cache_hit = 0;
   std::uint32_t plan_source = 0;  ///< service::PlanCache::Outcome as u32
-  std::uint32_t reserved = 0;
+  /// kResultFlag* bits; kResultFlagRerouted marks a result the shard
+  /// router obtained from a non-primary shard (breaker open / failover),
+  /// so digests stay attributable ("X-rerouted").
+  std::uint32_t flags = 0;
   double queue_seconds = 0.0;
   double setup_seconds = 0.0;
   double exec_seconds = 0.0;
@@ -169,7 +191,9 @@ struct ResultBody {
 std::vector<std::byte> encode_result(const ResultBody& b);
 bool decode_result(std::span<const std::byte> payload, ResultBody* out);
 
-/// Pong payload: a health snapshot of the serving process.
+/// Pong payload: a health snapshot of the serving process. The trailing
+/// cache fields are v2 additions — decode_pong zero-fills them for a
+/// short (v1) payload, so mixed fleets still health-check.
 struct PongBody {
   std::uint64_t queue_depth = 0;
   std::uint64_t in_flight = 0;
@@ -177,6 +201,13 @@ struct PongBody {
   std::uint64_t rejected = 0;
   std::uint32_t draining = 0;
   std::uint32_t version = kVersion;
+  /// Resident (ready) PlanCache entries of the serving process.
+  std::uint64_t cache_entries = 0;
+  /// Order-independent digest over the resident entries' content keys:
+  /// the shard's advertised identity, so an operator can see which warm
+  /// state lives where (`earthred fleet status`).
+  std::uint64_t cache_key_digest = 0;
+  std::uint64_t cache_hits = 0;
 };
 std::vector<std::byte> encode_pong(const PongBody& b);
 bool decode_pong(std::span<const std::byte> payload, PongBody* out);

@@ -269,6 +269,25 @@ PlanCache::Counters PlanCache::counters() const {
   return counters_;
 }
 
+std::uint64_t PlanCache::resident_key_digest(std::uint64_t* entries) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  // entries_ is an ordered map, so the fold order is canonical regardless
+  // of how the entries arrived.
+  std::uint64_t h = kFnvOffset;
+  std::uint64_t n = 0;
+  for (const auto& [key, entry] : entries_) {
+    if (!entry.ready) continue;
+    ++n;
+    fnv_mix(h, key.content_hash);
+    fnv_mix(h, (static_cast<std::uint64_t>(key.num_procs) << 32) | key.k);
+    fnv_mix(h, (static_cast<std::uint64_t>(key.distribution) << 32) |
+                   key.block_cyclic_size);
+    fnv_mix(h, key.dedup_buffers ? 1ull : 0ull);
+  }
+  if (entries) *entries = n;
+  return h;
+}
+
 std::string PlanCache::last_fallback_reason() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return last_fallback_reason_;

@@ -155,6 +155,14 @@ class PlanCache {
 
   Counters counters() const;
 
+  /// Digest over the *ready* resident entries' keys (content hash +
+  /// options), folded in canonical (sorted) key order so the value is
+  /// independent of insertion history. `entries`, when non-null, receives
+  /// the ready-entry count. This is the identity a serving process
+  /// advertises in its Pong (wire v2) so `earthred fleet status` can show
+  /// which warm plans live on which shard.
+  std::uint64_t resident_key_digest(std::uint64_t* entries = nullptr) const;
+
   /// Code of the most recent store-load rejection (e.g. E-STORE-CHECKSUM)
   /// with its detail — the diagnostic surfaced when disk_fallbacks grows.
   std::string last_fallback_reason() const;

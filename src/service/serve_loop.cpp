@@ -244,24 +244,50 @@ void ServeLoop::parse_frames(Conn& c) {
   }
 }
 
+net::PongBody ServeLoop::make_pong() {
+  const ServiceStats s = sched_.stats();
+  net::PongBody pong;
+  pong.queue_depth = s.queue_depth;
+  pong.in_flight = s.in_flight;
+  pong.completed = s.completed;
+  pong.rejected = s.rejected;
+  pong.draining = draining_active_ ? 1 : 0;
+  // Advertise the warm-plan identity (wire v2): entry count plus the
+  // canonical digest over resident content keys, so a fleet operator can
+  // see which shard holds which warm state.
+  pong.cache_key_digest =
+      sched_.cache().resident_key_digest(&pong.cache_entries);
+  pong.cache_hits = s.cache.hits + s.cache.coalesced;
+  return pong;
+}
+
 void ServeLoop::handle_frame(Conn& c, std::uint32_t type_raw,
                              std::uint64_t seq,
                              std::span<const std::byte> payload) {
   switch (static_cast<net::FrameType>(type_raw)) {
     case net::FrameType::Ping: {
-      const ServiceStats s = sched_.stats();
-      net::PongBody pong;
-      pong.queue_depth = s.queue_depth;
-      pong.in_flight = s.in_flight;
-      pong.completed = s.completed;
-      pong.rejected = s.rejected;
-      pong.draining = draining_active_ ? 1 : 0;
-      queue_frame(c, net::FrameType::Pong, seq, net::encode_pong(pong));
+      queue_frame(c, net::FrameType::Pong, seq,
+                  net::encode_pong(make_pong()));
       return;
     }
     case net::FrameType::Submit:
       handle_submit(c, seq, payload);
       return;
+    case net::FrameType::Drain: {
+      // Remote graceful drain (fleet orchestration): acknowledge with a
+      // snapshot that already shows draining, then begin the drain. The
+      // Pong is queued before the transition, and the quiesce condition
+      // requires every wbuf flushed, so the ack always reaches the peer.
+      {
+        const std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.drain_frames;
+      }
+      net::PongBody pong = make_pong();
+      pong.draining = 1;
+      queue_frame(c, net::FrameType::Pong, seq, net::encode_pong(pong));
+      drain_requested_.store(true);
+      return;
+    }
     case net::FrameType::Pong:
     case net::FrameType::Result:
     case net::FrameType::Reject:

@@ -87,6 +87,7 @@ struct ServeStats {
   std::uint64_t shed_maxconn = 0;
   std::uint64_t shed_busy = 0;
   std::uint64_t shed_draining = 0;
+  std::uint64_t drain_frames = 0;    ///< Drain control frames honored
   std::uint64_t parse_rejects = 0;   ///< handler refused the job line
   std::uint64_t read_timeouts = 0;
   std::uint64_t write_timeouts = 0;
@@ -149,6 +150,7 @@ class ServeLoop {
   };
 
   void run();
+  net::PongBody make_pong();
   void accept_ready();
   void read_ready(Conn& c);
   void parse_frames(Conn& c);

@@ -1,0 +1,206 @@
+#include "shard/endpoint_pool.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "support/stats.hpp"
+#include "support/str.hpp"
+
+namespace earthred::shard {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Ring-buffer cap on per-shard latency samples: enough for stable
+/// percentiles, bounded for a long-lived router.
+constexpr std::size_t kMaxLatencySamples = 4096;
+
+/// Codes that mean "this shard, right now" rather than "this job":
+/// the next-ranked shard may well succeed. E-NET-BUSY is deliberately
+/// absent — the in-flight bound is back-pressure and propagates, so a
+/// saturated owner is not silently diluted across the fleet (which would
+/// cold-start other caches). Deterministic refusals (E-JOB-*, VERSION,
+/// OVERSIZE) are absent because every shard would refuse identically.
+bool failover_code(const std::string& code) {
+  return code == "E-NET-CIRCUIT" || code == "E-NET-CONN" ||
+         code == "E-NET-TIMEOUT" || code == "E-NET-TRUNCATED" ||
+         code == "E-NET-MAGIC" || code == "E-NET-CHECKSUM" ||
+         code == "E-NET-PROTO" || code == "E-NET-MAXCONN" ||
+         code == "E-NET-DRAINING";
+}
+
+}  // namespace
+
+EndpointPool::EndpointPool(ShardMap map, EndpointPoolConfig cfg)
+    : map_(std::move(map)), cfg_(std::move(cfg)) {
+  shards_.reserve(map_.size());
+  for (std::size_t i = 0; i < map_.size(); ++i) {
+    auto s = std::make_unique<Shard>();
+    net::ClientConfig ccfg = cfg_.client;
+    ccfg.host = map_.at(i).host;
+    ccfg.port = map_.at(i).port;
+    // Decorrelate retry jitter across shards.
+    ccfg.jitter_seed = cfg_.client.jitter_seed + 0x9e3779b97f4a7c15ull * i;
+    if (cfg_.wrap_stream) {
+      const auto idx = static_cast<std::uint32_t>(i);
+      auto wrap = cfg_.wrap_stream;
+      ccfg.wrap_stream = [wrap, idx](std::unique_ptr<net::Stream> inner) {
+        return wrap(std::move(inner), idx);
+      };
+    }
+    s->client = std::make_unique<net::Client>(std::move(ccfg));
+    shards_.push_back(std::move(s));
+  }
+}
+
+EndpointPool::Forward EndpointPool::submit(std::uint64_t key,
+                                           const std::string& job_line) {
+  Forward f;
+  if (shards_.empty()) {
+    f.code = "E-NET-CONN";
+    f.detail = "no shards configured";
+    return f;
+  }
+  const std::vector<std::uint32_t> order = map_.rank(key);
+  std::string last_code;
+  std::string last_detail;
+  bool skipped_any = false;
+  for (std::size_t r = 0; r < order.size(); ++r) {
+    const std::uint32_t idx = order[r];
+    Shard& s = *shards_[idx];
+    f.shard = idx;
+
+    // In-flight bound, counting callers already queued on the client
+    // mutex: saturation is shed as back-pressure, never as a pile-up.
+    if (s.inflight.fetch_add(1) >= cfg_.max_inflight_per_shard) {
+      s.inflight.fetch_sub(1);
+      f.code = "E-NET-BUSY";
+      f.detail = strformat("shard %s at its %u-inflight bound",
+                           map_.at(idx).name.c_str(),
+                           cfg_.max_inflight_per_shard);
+      const std::lock_guard<std::mutex> lk(s.stats_mutex);
+      ++s.busy_shed;
+      return f;
+    }
+
+    net::Client::Reply reply;
+    bool breaker_open = false;
+    const auto t0 = Clock::now();
+    {
+      const std::lock_guard<std::mutex> lk(s.mutex);
+      if (s.client->breaker_state() == net::BreakerState::Open) {
+        // Fail over without a connection attempt — the whole point of
+        // the per-endpoint breaker.
+        breaker_open = true;
+      } else {
+        reply = s.client->submit(job_line);
+      }
+    }
+    s.inflight.fetch_sub(1);
+
+    if (breaker_open) {
+      skipped_any = true;
+      last_code = "E-NET-CIRCUIT";
+      last_detail = strformat("shard %s breaker open",
+                              map_.at(idx).name.c_str());
+      const std::lock_guard<std::mutex> lk(s.stats_mutex);
+      ++s.breaker_skips;
+      continue;
+    }
+    ++f.shards_tried;
+
+    if (reply.ok()) {
+      const double ms =
+          std::chrono::duration<double, std::milli>(Clock::now() - t0)
+              .count();
+      f.result = reply.result;
+      f.rerouted = r != 0 || skipped_any;
+      const std::lock_guard<std::mutex> lk(s.stats_mutex);
+      ++s.forwards;
+      ++s.done;
+      if (f.rerouted) ++s.rerouted_in;
+      if (s.latency_ms.size() < kMaxLatencySamples)
+        s.latency_ms.push_back(ms);
+      else
+        s.latency_ms[s.done % kMaxLatencySamples] = ms;
+      return f;
+    }
+
+    if (failover_code(reply.code)) {
+      last_code = reply.code;
+      last_detail = strformat("shard %s: %s", map_.at(idx).name.c_str(),
+                              reply.detail.c_str());
+      skipped_any = true;
+      const std::lock_guard<std::mutex> lk(s.stats_mutex);
+      ++s.forwards;
+      ++s.failovers;
+      continue;
+    }
+
+    // Deterministic refusal (E-JOB-*, E-NET-BUSY from the shard's own
+    // inflight limit, version/oversize): propagate as the outcome.
+    f.code = reply.code;
+    f.detail = reply.detail;
+    const std::lock_guard<std::mutex> lk(s.stats_mutex);
+    ++s.forwards;
+    ++s.rejected;
+    return f;
+  }
+  // Every ranked shard was skipped or failed at the transport level.
+  f.code = last_code.empty() ? "E-NET-CONN" : last_code;
+  f.detail = strformat("all %zu ranked shard(s) unavailable; last: %s",
+                       order.size(), last_detail.c_str());
+  return f;
+}
+
+net::Client::PingReply EndpointPool::ping(std::size_t shard) {
+  Shard& s = *shards_[shard];
+  const std::lock_guard<std::mutex> lk(s.mutex);
+  return s.client->ping();
+}
+
+net::Client::PingReply EndpointPool::drain(std::size_t shard) {
+  Shard& s = *shards_[shard];
+  const std::lock_guard<std::mutex> lk(s.mutex);
+  return s.client->drain();
+}
+
+std::vector<ShardSnapshot> EndpointPool::snapshot() const {
+  std::vector<ShardSnapshot> out;
+  out.reserve(shards_.size());
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    const Shard& s = *shards_[i];
+    ShardSnapshot snap;
+    snap.name = map_.at(i).name;
+    snap.endpoint = map_.at(i).host + ":" + std::to_string(map_.at(i).port);
+    std::vector<double> lat;
+    {
+      const std::lock_guard<std::mutex> lk(s.stats_mutex);
+      snap.forwards = s.forwards;
+      snap.done = s.done;
+      snap.rejected = s.rejected;
+      snap.rerouted_in = s.rerouted_in;
+      snap.failovers = s.failovers;
+      snap.busy_shed = s.busy_shed;
+      snap.breaker_skips = s.breaker_skips;
+      lat = s.latency_ms;
+    }
+    {
+      const std::lock_guard<std::mutex> lk(s.mutex);
+      snap.client = s.client->stats();
+      snap.breaker = s.client->breaker_state();
+    }
+    snap.latency_samples = lat.size();
+    if (!lat.empty()) {
+      std::sort(lat.begin(), lat.end());
+      snap.p50_ms = quantile_sorted(lat, 0.50);
+      snap.p95_ms = quantile_sorted(lat, 0.95);
+      snap.p99_ms = quantile_sorted(lat, 0.99);
+    }
+    out.push_back(std::move(snap));
+  }
+  return out;
+}
+
+}  // namespace earthred::shard

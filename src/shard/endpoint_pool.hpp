@@ -1,0 +1,113 @@
+// EndpointPool: one fault-isolated net::Client per shard, plus the
+// failover policy that turns a ShardMap rank order into a terminated
+// outcome.
+//
+// Every shard gets exactly one persistent Client (its per-endpoint
+// circuit breaker is the unit of fault isolation), guarded by a mutex —
+// the wire protocol is synchronous request/response, so fleet
+// parallelism comes from many router connections, not from multiplexing
+// one. A per-shard in-flight bound counts callers queued on that mutex:
+// when the owner shard is saturated the pool sheds with E-NET-BUSY
+// (back-pressure propagates to the submitting client, which retries with
+// backoff) instead of piling unbounded waiters onto a slow member — the
+// async-BSP lesson of never barriering the fleet on one laggard.
+//
+// Failover walks the HRW rank order: a shard whose breaker is Open is
+// skipped without a connection attempt, and a transport-level failure
+// (dead shard, timeout, draining member) moves to the next-ranked shard.
+// Deterministic refusals (E-JOB-*, version/oversize) propagate
+// immediately — every shard would say the same. Any job served by a
+// non-primary shard is marked rerouted so its digest stays attributable.
+//
+// Thread safety: submit/ping/drain/snapshot are safe from any thread.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "net/client.hpp"
+#include "shard/shard_map.hpp"
+
+namespace earthred::shard {
+
+struct EndpointPoolConfig {
+  /// Template for every shard's client; host/port come from the
+  /// ShardMap and the jitter seed is decorrelated per shard.
+  net::ClientConfig client;
+  /// Submissions in flight (executing or queued) per shard beyond which
+  /// the pool sheds with E-NET-BUSY.
+  std::uint32_t max_inflight_per_shard = 32;
+  /// Chaos seam: wraps each fresh connection of shard `index` (e.g. in a
+  /// FaultyStream), mirroring net::ClientConfig::wrap_stream.
+  std::function<std::unique_ptr<net::Stream>(std::unique_ptr<net::Stream>,
+                                             std::uint32_t index)>
+      wrap_stream;
+};
+
+/// Point-in-time per-shard accounting (ShardStats row).
+struct ShardSnapshot {
+  std::string name;
+  std::string endpoint;
+  std::uint64_t forwards = 0;      ///< submits attempted on this shard
+  std::uint64_t done = 0;          ///< results returned by this shard
+  std::uint64_t rejected = 0;      ///< refusals propagated from it
+  std::uint64_t rerouted_in = 0;   ///< served here on a failover leg
+  std::uint64_t failovers = 0;     ///< failures that moved to next rank
+  std::uint64_t busy_shed = 0;     ///< shed at the in-flight bound
+  std::uint64_t breaker_skips = 0; ///< ranked here, breaker open
+  net::ClientStats client;
+  net::BreakerState breaker = net::BreakerState::Closed;
+  std::uint64_t latency_samples = 0;
+  double p50_ms = 0.0, p95_ms = 0.0, p99_ms = 0.0;
+};
+
+class EndpointPool {
+ public:
+  EndpointPool(ShardMap map, EndpointPoolConfig cfg);
+  EndpointPool(const EndpointPool&) = delete;
+  EndpointPool& operator=(const EndpointPool&) = delete;
+
+  /// Terminal outcome of routing one submission.
+  struct Forward {
+    std::string code;    ///< empty = `result` is valid
+    std::string detail;
+    net::ResultBody result;
+    bool rerouted = false;       ///< not served by the owner shard
+    std::uint32_t shard = 0;     ///< shard that answered (or last tried)
+    std::uint32_t shards_tried = 0;
+    bool ok() const { return code.empty(); }
+  };
+
+  /// Forwards one job line along the HRW rank order of `key`; always
+  /// terminates with a result or a coded refusal.
+  Forward submit(std::uint64_t key, const std::string& job_line);
+
+  net::Client::PingReply ping(std::size_t shard);
+  /// Sends the Drain control frame to one shard.
+  net::Client::PingReply drain(std::size_t shard);
+
+  const ShardMap& map() const { return map_; }
+  std::vector<ShardSnapshot> snapshot() const;
+
+ private:
+  struct Shard {
+    mutable std::mutex mutex;  ///< serializes the Client (ext. sync'd)
+    std::unique_ptr<net::Client> client;
+    std::atomic<std::uint32_t> inflight{0};
+    mutable std::mutex stats_mutex;
+    std::uint64_t forwards = 0, done = 0, rejected = 0, rerouted_in = 0,
+                  failovers = 0, busy_shed = 0, breaker_skips = 0;
+    std::vector<double> latency_ms;  ///< bounded reservoir of successes
+  };
+
+  ShardMap map_;
+  EndpointPoolConfig cfg_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace earthred::shard

@@ -1,0 +1,83 @@
+// ShardMap: the static fleet topology and its deterministic routing
+// function.
+//
+// The fleet is a set of named shard endpoints (serve processes, each with
+// its own PlanCache/PlanStore). A job is routed by rendezvous (HRW)
+// hashing of its *plan content key*: every shard gets a weight
+// fast_hash64(shard name, seed = key) and the job goes to the
+// highest-weight shard. Two properties make this the right partitioner
+// for compile-once/run-many plans:
+//
+//   * identical jobs always land on the same shard, so its PlanCache
+//     stays warm for them — the fleet-level analog of the paper's
+//     inspector reuse;
+//   * removing one shard moves only the keys that shard owned (in
+//     expectation 1/N of the keyspace); every surviving key keeps its
+//     owner, so a shard failure does not cold-start the whole fleet.
+//
+// The content key itself is derived from the job line *without building
+// the kernel*: only the keys that enter the plan identity (mesh synthesis
+// + PlanOptions) are folded, with the JobBuilder defaults applied, so
+// `procs=4` spelled out and omitted route identically. Sweep counts,
+// names, deadlines and engine flags never affect placement. `mutate=` is
+// deliberately excluded too: an adaptive job routes to the shard holding
+// its *base* plan, which is what patch_or_build needs to be resident.
+//
+// Everything here is pure computation — deterministic, unit-testable,
+// pinned by a golden assignment table in tests/test_shard.cpp.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace earthred::shard {
+
+struct ShardEndpoint {
+  std::string name;  ///< stable identity the HRW weight hashes (unique)
+  std::string host;
+  std::uint16_t port = 0;
+};
+
+class ShardMap {
+ public:
+  ShardMap() = default;
+  explicit ShardMap(std::vector<ShardEndpoint> shards);
+
+  /// Parses config text: one shard per line, `host:port` or
+  /// `name host:port`; blank lines and '#' comments are skipped. Returns
+  /// an empty map (with `error` set) on any malformed line or duplicate
+  /// name.
+  static ShardMap parse(std::string_view text, std::string* error);
+  /// parse() over the contents of `path`.
+  static ShardMap load(const std::string& path, std::string* error);
+  /// Parses a `host:port,host:port,...` flag value (--shards=).
+  static ShardMap from_spec(const std::string& spec, std::string* error);
+
+  std::size_t size() const { return shards_.size(); }
+  bool empty() const { return shards_.empty(); }
+  const ShardEndpoint& at(std::size_t i) const { return shards_[i]; }
+  const std::vector<ShardEndpoint>& shards() const { return shards_; }
+
+  /// The HRW weight of shard `i` for `key`.
+  std::uint64_t weight(std::size_t i, std::uint64_t key) const;
+  /// Shard indices ranked by descending weight for `key` (ties broken by
+  /// index, so the order is total and deterministic). rank(key)[0] is the
+  /// owner; the tail is the failover order.
+  std::vector<std::uint32_t> rank(std::uint64_t key) const;
+  /// rank(key)[0] without materializing the whole order.
+  std::uint32_t owner(std::uint64_t key) const;
+
+ private:
+  std::vector<ShardEndpoint> shards_;
+};
+
+/// The routing content key of one job line: a hash over the
+/// plan-identity keys only (kernel/preset/mesh/dsl/nodes/edges/seed/
+/// procs/k/dist/bc/dedup), canonicalized with the JobBuilder defaults.
+/// Unparseable or unknown tokens are folded verbatim (the shard will
+/// reject the line; the router only needs determinism).
+std::uint64_t content_key(std::string_view job_line);
+
+}  // namespace earthred::shard

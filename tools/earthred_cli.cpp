@@ -45,6 +45,28 @@
 //                        outcome with its result digest
 //   earthred ping       --connect=HOST:PORT: health probe (queue depth,
 //                        in-flight, drain state)
+//   earthred route      --shards=HOST:PORT,... | --shard-file=FILE
+//                        [--listen=PORT] [--host=H] [--max-conns=N]
+//                        [--shard-inflight=N] [--retries=N]
+//                        [--timeout-ms=T] [--drain-grace=S] [--json=F]:
+//                        shard-router front end — speaks the same wire
+//                        protocol as serve on both faces and forwards
+//                        each Submit to the shard owning its plan
+//                        content key (rendezvous hashing, so identical
+//                        jobs always hit the same warm PlanCache); a
+//                        dead or breaker-open shard fails over along the
+//                        HRW rank order and the Result is flagged
+//                        X-rerouted. Prints `LISTENING <port>` on
+//                        stdout once bound. First signal drains the
+//                        whole fleet (shards first, router last).
+//   earthred fleet      status|drain --connect=HOST:PORT |
+//                        --shards=HOST:PORT,... | --shard-file=FILE:
+//                        fleet orchestration. `status` pings every
+//                        endpoint and tables queue depth, drain state
+//                        and the advertised plan-cache identity (entry
+//                        count + content-key digest). `drain` sends the
+//                        Drain control frame — pointed at a router it
+//                        quiesces the whole fleet router-last.
 //   earthred plan       save|load|ls --store=DIR
 //                        save/load take the same kernel/mesh keys as run
 //                        (--kernel --preset/--mesh/--nodes --edges --seed)
@@ -120,6 +142,8 @@
 #include "service/plan_store.hpp"
 #include "service/serve_loop.hpp"
 #include "service/signals.hpp"
+#include "shard/shard_map.hpp"
+#include "shard/shard_router.hpp"
 #include "sparse/io.hpp"
 #include "sparse/nas_cg.hpp"
 #include "support/check.hpp"
@@ -138,7 +162,7 @@ int usage() {
       stderr,
       "usage: earthred "
       "<gen-mesh|gen-matrix|info|run|compile|check|batch|serve|submit|"
-      "ping|plan> "
+      "ping|route|fleet|plan> "
       "[--flags]\n(see the header of tools/earthred_cli.cpp)\n");
   return 1;
 }
@@ -623,6 +647,11 @@ int run_service(std::istream& jobs_in, const Options& opt) {
           .field("plan_build_seconds", o.plan_build_seconds)
           .field("exec_seconds", o.exec_seconds)
           .field("total_seconds", o.total_seconds);
+      if (o.state == service::JobState::Done && !o.simulated)
+        w.field("digest",
+                strformat("%016llx",
+                          static_cast<unsigned long long>(
+                              service::result_digest(o.native))));
       if (!o.error.empty()) w.field("error", o.error);
       append_json_line(opt.get("json"), w.str());
     }
@@ -784,6 +813,9 @@ int run_netserve(const Options& opt) {
     std::fprintf(stderr, "earthred serve: %s\n", error.c_str());
     return 1;
   }
+  // Machine-readable first line: launchers (CI, fleet scripts) that bind
+  // port 0 parse the actual port from here.
+  std::printf("LISTENING %u\n", loop.port());
   std::printf("earthred: serving on %s:%u (signal once to drain, twice "
               "to force)\n",
               scfg.host.c_str(), loop.port());
@@ -942,6 +974,208 @@ int cmd_serve(const Options& opt) {
   return run_service(std::cin, opt);
 }
 
+// ---- route / fleet: the shard-router fleet front end --------------------
+
+shard::ShardMap shard_map_from_options(const Options& opt) {
+  std::string error;
+  shard::ShardMap map;
+  if (opt.has("shard-file"))
+    map = shard::ShardMap::load(opt.get("shard-file"), &error);
+  else if (opt.has("shards"))
+    map = shard::ShardMap::from_spec(opt.get("shards"), &error);
+  else
+    throw check_error(
+        "need --shards=host:port,... or --shard-file=<file>");
+  ER_CHECK_MSG(!map.empty(),
+               error.empty() ? "shard map is empty" : error);
+  return map;
+}
+
+int cmd_route(const Options& opt) {
+  shard::RouterConfig rcfg;
+  rcfg.host = opt.get("host", "127.0.0.1");
+  rcfg.port = static_cast<std::uint16_t>(opt.get_int("listen", 0));
+  rcfg.max_connections =
+      static_cast<std::uint32_t>(opt.get_int("max-conns", 64));
+  rcfg.drain_grace_seconds = opt.get_double("drain-grace", 30.0);
+  rcfg.pool.max_inflight_per_shard =
+      static_cast<std::uint32_t>(opt.get_int("shard-inflight", 32));
+  rcfg.pool.client.request_timeout_ms =
+      static_cast<int>(opt.get_int("timeout-ms", 10000));
+  rcfg.pool.client.max_attempts =
+      static_cast<std::uint32_t>(opt.get_int("retries", 3)) + 1;
+
+  shard::ShardRouter router(shard_map_from_options(opt), rcfg);
+  std::string error;
+  if (!router.start(&error)) {
+    std::fprintf(stderr, "earthred route: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("LISTENING %u\n", router.port());
+  std::printf("earthred: routing on %s:%u across %zu shard(s) (signal "
+              "once to drain the fleet, twice to force)\n",
+              rcfg.host.c_str(), router.port(), router.map().size());
+  std::fflush(stdout);
+
+  service::install_shutdown_signals();
+  bool forced = false;
+  int signals_seen = 0;
+  while (router.running()) {
+    const int sigs = service::shutdown_signal_count();
+    if (sigs != signals_seen) {
+      if (signals_seen == 0 && sigs >= 1) {
+        std::fprintf(stderr,
+                     "earthred: draining fleet, shards first (signal "
+                     "again to force)\n");
+        router.drain_fleet();
+      }
+      if (sigs >= 2 && !forced) {
+        forced = true;
+        std::fprintf(stderr, "earthred: forced shutdown\n");
+        router.request_abort();
+      }
+      signals_seen = sigs;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  router.wait();
+
+  const std::vector<shard::ShardSnapshot> shards = router.pool().snapshot();
+  Table st("shard stats");
+  st.set_header({"shard", "forwards", "done", "rejected", "rerouted",
+                 "failovers", "busy", "brk-skip", "breaker", "p50 ms",
+                 "p95 ms", "p99 ms"});
+  for (const shard::ShardSnapshot& s : shards) {
+    st.add_row({s.name, fmt_group(static_cast<long long>(s.forwards)),
+                fmt_group(static_cast<long long>(s.done)),
+                fmt_group(static_cast<long long>(s.rejected)),
+                fmt_group(static_cast<long long>(s.rerouted_in)),
+                fmt_group(static_cast<long long>(s.failovers)),
+                fmt_group(static_cast<long long>(s.busy_shed)),
+                fmt_group(static_cast<long long>(s.breaker_skips)),
+                net::to_string(s.breaker), fmt_f(s.p50_ms, 2),
+                fmt_f(s.p95_ms, 2), fmt_f(s.p99_ms, 2)});
+  }
+  st.print(std::cout);
+
+  const shard::RouterStats rs = router.stats();
+  Table t("router transport");
+  t.set_header({"counter", "value"});
+  const auto row = [&t](const char* name, std::uint64_t v) {
+    t.add_row({name, fmt_group(static_cast<long long>(v))});
+  };
+  row("connections accepted", rs.accepted);
+  row("frames in", rs.frames_in);
+  row("frames out", rs.frames_out);
+  row("submits", rs.submits);
+  row("results sent", rs.results_sent);
+  row("submit rejects", rs.submit_rejects);
+  row("rejects sent (all)", rs.rejects_sent);
+  row("reroutes", rs.reroutes);
+  row("bad frames", rs.bad_frames);
+  row("shed (max-conns)", rs.shed_maxconn);
+  row("shed (draining)", rs.shed_draining);
+  row("drain frames", rs.drain_frames);
+  t.print(std::cout);
+
+  if (opt.has("json")) {
+    for (const shard::ShardSnapshot& s : shards) {
+      JsonWriter w;
+      w.field("record", "shard_stats")
+          .field("shard", s.name)
+          .field("endpoint", s.endpoint)
+          .field("forwards", s.forwards)
+          .field("done", s.done)
+          .field("rejected", s.rejected)
+          .field("rerouted_in", s.rerouted_in)
+          .field("failovers", s.failovers)
+          .field("busy_shed", s.busy_shed)
+          .field("breaker_skips", s.breaker_skips)
+          .field("breaker", net::to_string(s.breaker))
+          .field("breaker_opens", s.client.breaker_trips)
+          .field("breaker_closes", s.client.breaker_closes)
+          .field("reconnects", s.client.reconnects)
+          .field("transport_failures", s.client.transport_failures)
+          .field("backoff_sleeps", s.client.backoff_sleeps)
+          .field("backoff_ms_total", s.client.backoff_ms_total)
+          .field("latency_samples", s.latency_samples)
+          .field("p50_ms", s.p50_ms)
+          .field("p95_ms", s.p95_ms)
+          .field("p99_ms", s.p99_ms);
+      append_json_line(opt.get("json"), w.str());
+    }
+    JsonWriter w;
+    w.field("record", "router_stats")
+        .field("accepted", rs.accepted)
+        .field("submits", rs.submits)
+        .field("results_sent", rs.results_sent)
+        .field("submit_rejects", rs.submit_rejects)
+        .field("rejects_sent", rs.rejects_sent)
+        .field("reroutes", rs.reroutes)
+        .field("bad_frames", rs.bad_frames)
+        .field("shed_maxconn", rs.shed_maxconn)
+        .field("shed_draining", rs.shed_draining)
+        .field("drain_frames", rs.drain_frames);
+    append_json_line(opt.get("json"), w.str());
+  }
+  return forced ? 3 : 0;
+}
+
+int cmd_fleet(const Options& opt) {
+  const std::string sub =
+      opt.positional().empty() ? "" : opt.positional().front();
+  if (sub != "status" && sub != "drain")
+    throw check_error("fleet needs a subcommand: status|drain");
+
+  // Target list: one router (--connect) or the shard endpoints directly.
+  std::vector<shard::ShardEndpoint> targets;
+  if (opt.has("connect")) {
+    const net::ClientConfig cfg = client_config(opt);
+    targets.push_back({cfg.host + ":" + std::to_string(cfg.port),
+                       cfg.host, cfg.port});
+  } else {
+    const shard::ShardMap map = shard_map_from_options(opt);
+    targets = map.shards();
+  }
+
+  Table t("fleet " + sub);
+  t.set_header({"endpoint", "state", "queue", "in-flight", "completed",
+                "rejected", "cache", "cache digest", "cache hits"});
+  int bad = 0;
+  for (const shard::ShardEndpoint& ep : targets) {
+    net::ClientConfig cfg;
+    cfg.host = ep.host;
+    cfg.port = ep.port;
+    cfg.request_timeout_ms =
+        static_cast<int>(opt.get_int("timeout-ms", 10000));
+    cfg.max_attempts =
+        static_cast<std::uint32_t>(opt.get_int("retries", 1)) + 1;
+    net::Client client(cfg);
+    const net::Client::PingReply r =
+        sub == "drain" ? client.drain() : client.ping();
+    if (!r.ok()) {
+      ++bad;
+      t.add_row({ep.name, r.code + ": " + r.detail, "-", "-", "-", "-",
+                 "-", "-", "-"});
+      continue;
+    }
+    t.add_row(
+        {ep.name, r.pong.draining ? "draining" : "up",
+         fmt_group(static_cast<long long>(r.pong.queue_depth)),
+         fmt_group(static_cast<long long>(r.pong.in_flight)),
+         fmt_group(static_cast<long long>(r.pong.completed)),
+         fmt_group(static_cast<long long>(r.pong.rejected)),
+         fmt_group(static_cast<long long>(r.pong.cache_entries)),
+         r.pong.cache_key_digest
+             ? strformat("%016llx", static_cast<unsigned long long>(
+                                        r.pong.cache_key_digest))
+             : "-",
+         fmt_group(static_cast<long long>(r.pong.cache_hits))});
+  }
+  t.print(std::cout);
+  return bad == 0 ? 0 : 1;
+}
+
 int dispatch(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
@@ -956,6 +1190,8 @@ int dispatch(int argc, char** argv) {
   if (cmd == "serve") return cmd_serve(opt);
   if (cmd == "submit") return cmd_submit(opt);
   if (cmd == "ping") return cmd_ping(opt);
+  if (cmd == "route") return cmd_route(opt);
+  if (cmd == "fleet") return cmd_fleet(opt);
   if (cmd == "plan") return cmd_plan(opt);
   return usage();
 }
