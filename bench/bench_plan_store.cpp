@@ -46,6 +46,7 @@
 #include "mesh/generators.hpp"
 #include "service/plan_cache.hpp"
 #include "service/plan_store.hpp"
+#include "support/cpu_features.hpp"
 #include "support/options.hpp"
 #include "support/table.hpp"
 
@@ -295,6 +296,8 @@ int run(const Options& opt) {
     }
     JsonWriter w;
     w.field("bench", "planstore")
+        .field("hardware_threads",
+               static_cast<std::uint64_t>(support::hardware_threads()))
         .field("small", small)
         .field("reps", static_cast<std::uint64_t>(reps))
         .field("mutated_edges", mutate)

@@ -57,6 +57,7 @@
 #include "shard/endpoint_pool.hpp"
 #include "shard/shard_map.hpp"
 #include "shard/shard_router.hpp"
+#include "support/cpu_features.hpp"
 #include "support/options.hpp"
 
 namespace earthred {
@@ -596,6 +597,8 @@ int run(const Options& opt) {
   if (opt.has("json")) {
     JsonWriter w;
     w.field("bench", "service")
+        .field("hardware_threads",
+               static_cast<std::uint64_t>(support::hardware_threads()))
         .field("jobs", static_cast<std::uint64_t>(jobs))
         .field("workers", static_cast<std::uint64_t>(workers))
         .field("sweeps", static_cast<std::uint64_t>(sweeps))

@@ -1,0 +1,62 @@
+#pragma once
+
+// Compute-backend selection for the batched phase hot path.
+//
+// A "backend" is an implementation tier of the per-kernel batch loops
+// (src/kernels/ops_simd.cpp): plain scalar, AVX2, or AVX-512. All tiers are
+// bit-identical by contract — they perform the same floating-point
+// operations in the same order as the per-edge reference path, which is
+// enforced by test_batch_equivalence. Because results cannot differ, the
+// backend is a *run* knob (SweepOptions), never a *plan* knob: it is
+// excluded from PlanOptions, the PlanCache key, and shard content_key().
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+// Whether the SIMD tiers are compiled in at all. Per-function
+// __attribute__((target(...))) with <immintrin.h> needs an x86-64
+// GCC/Clang toolchain; elsewhere only the scalar tier exists.
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define EARTHRED_HAS_X86_BACKENDS 1
+#else
+#define EARTHRED_HAS_X86_BACKENDS 0
+#endif
+
+namespace earthred::core {
+
+enum class BackendKind {
+  Auto,     ///< Pick the widest tier the host supports.
+  Scalar,   ///< Portable reference loops (always available).
+  Avx2,     ///< 4-wide double lanes, VEX gathers.
+  Avx512,   ///< 8-wide double lanes (AVX-512F).
+};
+
+/// "auto", "scalar", "avx2", "avx512".
+std::string_view to_string(BackendKind kind);
+
+/// Parses a backend name; throws `check_error` ("E-BACKEND-NAME") on an
+/// unknown spelling.
+BackendKind parse_backend(std::string_view name);
+
+/// True when `kind` can execute on this host (compiled in + CPU/OS
+/// support). `Auto` and `Scalar` are always supported.
+bool backend_supported(BackendKind kind);
+
+/// Applies the `EARTHRED_FORCE_BACKEND` environment override: when
+/// `requested` is Auto and the variable names a concrete tier, that tier
+/// becomes the effective request (it must still pass `backend_supported`,
+/// so forcing an absent tier yields the same coded rejection as
+/// `--backend=`). An explicit request always wins over the environment.
+BackendKind effective_backend(BackendKind requested);
+
+/// Resolves a request to the concrete tier that will run: Auto picks the
+/// widest supported tier; a concrete request is validated. Throws
+/// `check_error` with "E-BACKEND-UNSUPPORTED" when the requested tier is
+/// not available on this host.
+BackendKind resolve_backend(BackendKind requested);
+
+/// Concrete tiers compiled into this binary, widest last.
+const std::vector<BackendKind>& compiled_backends();
+
+}  // namespace earthred::core

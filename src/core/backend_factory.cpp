@@ -1,0 +1,84 @@
+#include "core/backend.hpp"
+
+#include <cstdlib>
+
+#include "support/check.hpp"
+#include "support/cpu_features.hpp"
+#include "support/str.hpp"
+
+namespace earthred::core {
+
+std::string_view to_string(BackendKind kind) {
+  switch (kind) {
+    case BackendKind::Auto: return "auto";
+    case BackendKind::Scalar: return "scalar";
+    case BackendKind::Avx2: return "avx2";
+    case BackendKind::Avx512: return "avx512";
+  }
+  return "scalar";
+}
+
+BackendKind parse_backend(std::string_view name) {
+  if (name == "auto") return BackendKind::Auto;
+  if (name == "scalar") return BackendKind::Scalar;
+  if (name == "avx2") return BackendKind::Avx2;
+  if (name == "avx512" || name == "avx512f") return BackendKind::Avx512;
+  throw check_error(strformat(
+      "E-BACKEND-NAME: unknown backend '%.*s' "
+      "(expected auto|scalar|avx2|avx512)",
+      static_cast<int>(name.size()), name.data()));
+}
+
+bool backend_supported(BackendKind kind) {
+  switch (kind) {
+    case BackendKind::Auto:
+    case BackendKind::Scalar:
+      return true;
+    case BackendKind::Avx2:
+      return EARTHRED_HAS_X86_BACKENDS &&
+             support::host_cpu_features().avx2;
+    case BackendKind::Avx512:
+      return EARTHRED_HAS_X86_BACKENDS &&
+             support::host_cpu_features().avx512f;
+  }
+  return false;
+}
+
+BackendKind effective_backend(BackendKind requested) {
+  if (requested != BackendKind::Auto) return requested;
+  const char* forced = std::getenv("EARTHRED_FORCE_BACKEND");
+  if (forced == nullptr || *forced == '\0') return requested;
+  return parse_backend(forced);
+}
+
+BackendKind resolve_backend(BackendKind requested) {
+  const BackendKind effective = effective_backend(requested);
+  if (effective == BackendKind::Auto) {
+    if (backend_supported(BackendKind::Avx512)) return BackendKind::Avx512;
+    if (backend_supported(BackendKind::Avx2)) return BackendKind::Avx2;
+    return BackendKind::Scalar;
+  }
+  if (!backend_supported(effective)) {
+    throw check_error(strformat(
+        "E-BACKEND-UNSUPPORTED: backend '%.*s' is not available on this "
+        "host (cpu: %s); use --backend=auto for graceful fallback",
+        static_cast<int>(to_string(effective).size()),
+        to_string(effective).data(),
+        support::to_string(support::host_cpu_features()).c_str()));
+  }
+  return effective;
+}
+
+const std::vector<BackendKind>& compiled_backends() {
+  static const std::vector<BackendKind> kinds = [] {
+    std::vector<BackendKind> v{BackendKind::Scalar};
+#if EARTHRED_HAS_X86_BACKENDS
+    v.push_back(BackendKind::Avx2);
+    v.push_back(BackendKind::Avx512);
+#endif
+    return v;
+  }();
+  return kinds;
+}
+
+}  // namespace earthred::core

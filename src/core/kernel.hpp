@@ -19,6 +19,7 @@
 #include <span>
 #include <vector>
 
+#include "core/backend.hpp"
 #include "earth/cost.hpp"
 #include "earth/fiber.hpp"
 
@@ -66,6 +67,9 @@ struct PhaseView {
   std::span<const std::uint32_t> indir;
   std::size_t num_iters = 0;
   std::uint32_t num_refs = 0;
+  /// Resolved compute backend for this phase's batch loop (never Auto;
+  /// the executor resolves once per run). Scalar is always a safe value.
+  BackendKind backend = BackendKind::Scalar;
 
   /// Contiguous redirected indices for reference slot `r`.
   const std::uint32_t* indir_row(std::uint32_t r) const noexcept {

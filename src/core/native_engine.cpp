@@ -324,6 +324,11 @@ NativeResult run_native_plan(const PhasedKernel& kernel,
   const std::uint32_t RA = shape.num_reduction_arrays;
   const std::uint32_t NA = shape.num_node_read_arrays;
   const bool first_touch = opt.affinity.first_touch;
+  // Resolve the compute backend once, before any worker spawns: Auto
+  // picks the widest supported tier, and an unsupported explicit request
+  // raises E-BACKEND-UNSUPPORTED here rather than faulting in a worker.
+  // The per-edge executor ignores the choice but still validates it.
+  const BackendKind backend = resolve_backend(opt.backend);
 
   // ---- per-run mutable state (the plan itself stays untouched) ----------
   // The StagedSlot objects (semaphores) are always created here so the
@@ -504,6 +509,7 @@ NativeResult run_native_plan(const PhasedKernel& kernel,
             view.indir = phase.indir_flat;
             view.num_iters = iters;
             view.num_refs = shape.num_refs;
+            view.backend = backend;
             kernel.compute_phase(ctx, tags, view, ps);
           } else {
             for (std::size_t j = 0; j < iters; ++j) {
@@ -600,6 +606,7 @@ NativeResult run_native_plan(const PhasedKernel& kernel,
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
+  result.backend = opt.batch ? backend : BackendKind::Scalar;
   return result;
 }
 

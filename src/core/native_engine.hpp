@@ -172,6 +172,12 @@ struct SweepOptions {
   /// per-edge executor.
   bool batch = true;
   AffinityOptions affinity{};
+  /// Compute backend for the batched phase loops (see core/backend.hpp).
+  /// Auto resolves to the widest tier the host supports; a concrete
+  /// request that the host cannot run raises "E-BACKEND-UNSUPPORTED".
+  /// Backends are bit-identical by contract, so this is a run knob only
+  /// — it never forks plans, caches, or shard routing.
+  BackendKind backend = BackendKind::Auto;
 };
 
 /// One-shot options: plan parameters plus run parameters (the original
@@ -189,13 +195,14 @@ struct NativeOptions {
   std::uint32_t build_threads = 1;
   bool batch = true;
   AffinityOptions affinity{};
+  BackendKind backend = BackendKind::Auto;
 
   PlanOptions plan() const {
     return {num_procs,        k,         distribution,
             block_cyclic_size, inspector, build_threads};
   }
   SweepOptions sweep() const {
-    return {sweeps, stall_timeout, lose_forward, batch, affinity};
+    return {sweeps, stall_timeout, lose_forward, batch, affinity, backend};
   }
 };
 
@@ -206,6 +213,9 @@ struct NativeResult {
   std::vector<std::vector<double>> reduction;
   /// Final node read arrays.
   std::vector<std::vector<double>> node_read;
+  /// Concrete compute backend the batched loops ran on (Scalar when the
+  /// per-edge executor was used or no SIMD tier was available).
+  BackendKind backend = BackendKind::Scalar;
 };
 
 /// Executes `sweeps` time steps of `kernel` under a prebuilt plan. The

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "kernels/ops_simd.hpp"
 #include "support/check.hpp"
 
 namespace earthred::kernels {
@@ -109,33 +110,21 @@ void EulerKernel::compute_phase(earth::FiberContext& ctx,
                                 const core::PhaseView& phase,
                                 core::ProcArrays& arrays) const {
   // Same flux arithmetic as compute_edge, expression for expression, so
-  // results are bit-identical — just devirtualized and free of per-access
-  // cost charging.
-  const std::uint32_t* ia1 = phase.indir_row(0);
-  const std::uint32_t* ia2 = phase.indir_row(1);
-  const std::uint32_t* eg = phase.iter_global.data();
-  const mesh::Edge* edges = mesh_.edges.data();
-  const double* coef = coef_.data();
-  const double* vel = arrays.node_read[kVel].data();
-  const double* pre = arrays.node_read[kPre].data();
-  double* dvel = arrays.reduction[kVel].data();
-  double* dpre = arrays.reduction[kPre].data();
-  for (std::size_t j = 0; j < phase.num_iters; ++j) {
-    const std::uint32_t e = eg[j];
-    const std::uint32_t n1 = edges[e].a;
-    const std::uint32_t n2 = edges[e].b;
-    const double c = coef[e];
-    const double v1 = vel[n1];
-    const double v2 = vel[n2];
-    const double p1 = pre[n1];
-    const double p2 = pre[n2];
-    const double vflux = c * (p1 - p2);
-    const double pflux = c * 0.5 * (v1 + v2) + 0.25 * c * (p1 - p2);
-    dvel[ia1[j]] += vflux;
-    dvel[ia2[j]] -= vflux;
-    dpre[ia1[j]] += pflux;
-    dpre[ia2[j]] -= pflux;
-  }
+  // results are bit-identical; the batch loop lives in ops_simd with one
+  // implementation per compute backend.
+  ops::euler_phase(phase.backend,
+                   ops::EulerArgs{
+                       .ia1 = phase.indir_row(0),
+                       .ia2 = phase.indir_row(1),
+                       .eg = phase.iter_global.data(),
+                       .edges = mesh_.edges.data(),
+                       .coef = coef_.data(),
+                       .vel = arrays.node_read[kVel].data(),
+                       .pre = arrays.node_read[kPre].data(),
+                       .dvel = arrays.reduction[kVel].data(),
+                       .dpre = arrays.reduction[kPre].data(),
+                       .n = phase.num_iters,
+                   });
   ctx.charge_flops(52 * phase.num_iters);
 }
 

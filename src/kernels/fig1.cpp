@@ -1,5 +1,6 @@
 #include "kernels/fig1.hpp"
 
+#include "kernels/ops_simd.hpp"
 #include "support/check.hpp"
 
 namespace earthred::kernels {
@@ -57,18 +58,18 @@ void Fig1Kernel::compute_phase(earth::FiberContext& ctx,
                                const core::CostTags&,
                                const core::PhaseView& phase,
                                core::ProcArrays& arrays) const {
-  // Same floating-point operations in the same order as compute_edge, in
-  // one devirtualized loop over the flattened indirection rows.
-  const std::uint32_t* ia1 = phase.indir_row(0);
-  const std::uint32_t* ia2 = phase.indir_row(1);
-  const std::uint32_t* eg = phase.iter_global.data();
-  const double* y = y_.data();
-  double* x = arrays.reduction[0].data();
-  for (std::size_t j = 0; j < phase.num_iters; ++j) {
-    const double contribution = y[eg[j]] * c_;
-    x[ia1[j]] += contribution;
-    x[ia2[j]] += contribution;
-  }
+  // Same floating-point operations in the same order as compute_edge;
+  // the batch loop itself lives in ops_simd with one implementation per
+  // compute backend, all bit-identical.
+  ops::fig1_phase(phase.backend, ops::Fig1Args{
+                                     .ia1 = phase.indir_row(0),
+                                     .ia2 = phase.indir_row(1),
+                                     .eg = phase.iter_global.data(),
+                                     .y = y_.data(),
+                                     .c = c_,
+                                     .x = arrays.reduction[0].data(),
+                                     .n = phase.num_iters,
+                                 });
   ctx.charge_flops(3 * phase.num_iters);
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "kernels/ops_simd.hpp"
 #include "support/check.hpp"
 
 namespace earthred::kernels {
@@ -82,40 +83,22 @@ void MoldynKernel::compute_phase(earth::FiberContext& ctx,
                                  const core::PhaseView& phase,
                                  core::ProcArrays& arrays) const {
   // Mirrors compute_edge's LJ evaluation exactly (same operations, same
-  // order → bit-identical forces) without virtual dispatch or per-access
-  // cost charging.
-  const std::uint32_t* ia1 = phase.indir_row(0);
-  const std::uint32_t* ia2 = phase.indir_row(1);
-  const std::uint32_t* eg = phase.iter_global.data();
-  const mesh::Edge* edges = mesh_.edges.data();
-  const double* px = arrays.node_read[0].data();
-  const double* py = arrays.node_read[1].data();
-  const double* pz = arrays.node_read[2].data();
-  double* fx = arrays.reduction[0].data();
-  double* fy = arrays.reduction[1].data();
-  double* fz = arrays.reduction[2].data();
-  for (std::size_t j = 0; j < phase.num_iters; ++j) {
-    const std::uint32_t e = eg[j];
-    const std::uint32_t m1 = edges[e].a;
-    const std::uint32_t m2 = edges[e].b;
-    const double d0 = px[m1] - px[m2];
-    const double d1 = py[m1] - py[m2];
-    const double d2 = pz[m1] - pz[m2];
-    const double r2 = d0 * d0 + d1 * d1 + d2 * d2 + 0.25;
-    const double inv2 = 1.0 / r2;
-    const double inv6 = inv2 * inv2 * inv2;
-    const double mag = 24.0 * inv2 * inv6 * (2.0 * inv6 - 1.0);
-    const double clamped = std::clamp(mag, -32.0, 32.0);
-    const double f0 = clamped * d0;
-    const double f1 = clamped * d1;
-    const double f2 = clamped * d2;
-    fx[ia1[j]] += f0;
-    fx[ia2[j]] -= f0;
-    fy[ia1[j]] += f1;
-    fy[ia2[j]] -= f1;
-    fz[ia1[j]] += f2;
-    fz[ia2[j]] -= f2;
-  }
+  // order → bit-identical forces); the batch loop lives in ops_simd with
+  // one implementation per compute backend.
+  ops::moldyn_phase(phase.backend,
+                    ops::MoldynArgs{
+                        .ia1 = phase.indir_row(0),
+                        .ia2 = phase.indir_row(1),
+                        .eg = phase.iter_global.data(),
+                        .edges = mesh_.edges.data(),
+                        .px = arrays.node_read[0].data(),
+                        .py = arrays.node_read[1].data(),
+                        .pz = arrays.node_read[2].data(),
+                        .fx = arrays.reduction[0].data(),
+                        .fy = arrays.reduction[1].data(),
+                        .fz = arrays.reduction[2].data(),
+                        .n = phase.num_iters,
+                    });
   ctx.charge_flops(49 * phase.num_iters);
 }
 

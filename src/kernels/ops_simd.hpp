@@ -1,0 +1,83 @@
+#pragma once
+
+// Per-kernel backend ops for the batched phase hot path.
+//
+// Each kernel's `compute_phase` batch loop lives here as a family of
+// implementations — scalar, AVX2, AVX-512 — behind one dispatch function
+// taking a resolved `core::BackendKind`. All tiers are bit-identical to
+// the per-edge reference path (test_batch_equivalence is the acceptance
+// bar). The SIMD tiers get that by construction: gathers and the flux
+// arithmetic run in vector lanes (IEEE-exact per lane, no FMA contraction
+// — this file is built with -ffp-contract=off on x86), while the scatter
+// accumulation into reduction arrays is always scalar and j-ascending,
+// because accumulation *order* is the contract.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/backend.hpp"
+#include "mesh/mesh.hpp"
+
+namespace earthred::kernels::ops {
+
+/// fig1: x[ia1[j]] += y[eg[j]]*c; x[ia2[j]] += y[eg[j]]*c.
+struct Fig1Args {
+  const std::uint32_t* ia1 = nullptr;
+  const std::uint32_t* ia2 = nullptr;
+  const std::uint32_t* eg = nullptr;
+  const double* y = nullptr;
+  double c = 0.0;
+  double* x = nullptr;
+  std::size_t n = 0;
+};
+
+/// euler: edge flux from gathered vel/pre, equal-and-opposite scatter.
+struct EulerArgs {
+  const std::uint32_t* ia1 = nullptr;
+  const std::uint32_t* ia2 = nullptr;
+  const std::uint32_t* eg = nullptr;
+  const mesh::Edge* edges = nullptr;
+  const double* coef = nullptr;
+  const double* vel = nullptr;
+  const double* pre = nullptr;
+  double* dvel = nullptr;
+  double* dpre = nullptr;
+  std::size_t n = 0;
+};
+
+/// moldyn: clamped Lennard-Jones force from gathered positions.
+struct MoldynArgs {
+  const std::uint32_t* ia1 = nullptr;
+  const std::uint32_t* ia2 = nullptr;
+  const std::uint32_t* eg = nullptr;
+  const mesh::Edge* edges = nullptr;
+  const double* px = nullptr;
+  const double* py = nullptr;
+  const double* pz = nullptr;
+  double* fx = nullptr;
+  double* fy = nullptr;
+  double* fz = nullptr;
+  std::size_t n = 0;
+};
+
+/// spmv_t: y[ia[j]] += val[eg[j]] * x[row[eg[j]]].
+struct SpmvTArgs {
+  const std::uint32_t* ia = nullptr;
+  const std::uint32_t* eg = nullptr;
+  const std::uint32_t* row = nullptr;
+  const double* val = nullptr;
+  const double* x = nullptr;
+  double* y = nullptr;
+  std::size_t n = 0;
+};
+
+// Dispatch on a *resolved* backend (never Auto; resolve with
+// core::resolve_backend first). An unsupported/uncompiled SIMD kind falls
+// back to scalar rather than faulting, so a stale PhaseView default is
+// always safe to execute.
+void fig1_phase(core::BackendKind backend, const Fig1Args& a);
+void euler_phase(core::BackendKind backend, const EulerArgs& a);
+void moldyn_phase(core::BackendKind backend, const MoldynArgs& a);
+void spmv_t_phase(core::BackendKind backend, const SpmvTArgs& a);
+
+}  // namespace earthred::kernels::ops

@@ -1,5 +1,6 @@
 #include "kernels/spmv_t.hpp"
 
+#include "kernels/ops_simd.hpp"
 #include "support/check.hpp"
 
 namespace earthred::kernels {
@@ -63,18 +64,17 @@ void SpmvTKernel::compute_phase(earth::FiberContext& ctx,
                                 const core::CostTags&,
                                 const core::PhaseView& phase,
                                 core::ProcArrays& arrays) const {
-  // Single-reference case: the batched loop is a pure gather-multiply-
-  // scatter stream over the flattened indirection block.
-  const std::uint32_t* ia = phase.indir_row(0);
-  const std::uint32_t* eg = phase.iter_global.data();
-  const std::uint32_t* row = row_.data();
-  const double* val = val_.data();
-  const double* x = x_.data();
-  double* y = arrays.reduction[0].data();
-  for (std::size_t j = 0; j < phase.num_iters; ++j) {
-    const std::uint32_t e = eg[j];
-    y[ia[j]] += val[e] * x[row[e]];
-  }
+  // Single-reference case: a pure gather-multiply-scatter stream over the
+  // flattened indirection block, dispatched to the selected backend.
+  ops::spmv_t_phase(phase.backend, ops::SpmvTArgs{
+                                       .ia = phase.indir_row(0),
+                                       .eg = phase.iter_global.data(),
+                                       .row = row_.data(),
+                                       .val = val_.data(),
+                                       .x = x_.data(),
+                                       .y = arrays.reduction[0].data(),
+                                       .n = phase.num_iters,
+                                   });
   ctx.charge_flops(2 * phase.num_iters);
 }
 

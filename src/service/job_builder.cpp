@@ -30,7 +30,7 @@ const std::set<std::string>& known_keys() {
       "seed",    "procs",   "k",           "dist",    "bc",
       "dedup",   "sweeps",  "deadline",    "engine",  "name",
       "batch",   "no-batch","pin",         "parallel-build",
-      "verify",  "mutate",  "mutate-seed", "dsl"};
+      "verify",  "mutate",  "mutate-seed", "dsl",     "backend"};
   return keys;
 }
 
@@ -131,6 +131,9 @@ void request_from_keys(const Options& jopt, JobRequest& req) {
   if (engine == "sim" || engine == "rotation") req.simulated = true;
   else ER_CHECK_MSG(engine == "native",
                     "unknown engine '" + engine + "'");
+  // Run knob only: the backend never reaches PlanOptions, so plans,
+  // cache entries, and shard routing are shared across backends.
+  req.backend = core::parse_backend(jopt.get("backend", "auto"));
 }
 
 }  // namespace

@@ -65,6 +65,15 @@ JobHandle JobScheduler::submit(JobRequest req) {
     reject("malformed request: null kernel");
     return handle;
   }
+  // Backend admission: a concrete (or EARTHRED_FORCE_BACKEND-forced)
+  // compute tier the host cannot run is a coded rejection here, never a
+  // fault inside a worker; `auto` always resolves and never rejects.
+  try {
+    (void)core::resolve_backend(req.backend);
+  } catch (const check_error& e) {
+    reject(e.what(), &rejected_backend_);
+    return handle;
+  }
   {
     std::unique_lock<std::mutex> lock(mutex_);
     if (stopping_) {
@@ -202,6 +211,11 @@ void JobScheduler::worker_loop() {
       --in_flight_;
       if (out.state == JobState::Done) {
         ++completed_;
+        switch (out.backend) {
+          case core::BackendKind::Avx512: ++served_avx512_; break;
+          case core::BackendKind::Avx2: ++served_avx2_; break;
+          default: ++served_scalar_; break;
+        }
       } else if (out.state == JobState::Rejected) {
         // Worker-resolved rejects (plan verification) land in the same
         // lifetime tally as admission rejects, plus their own bucket.
@@ -291,9 +305,11 @@ JobOutcome JobScheduler::execute(Queued& job) {
       sopt.lose_forward = req.lose_forward;
       sopt.batch = req.batch;
       sopt.affinity = req.affinity;
+      sopt.backend = req.backend;
       const auto t1 = Clock::now();
       out.native = core::run_native_plan(*req.kernel, *plan, sopt);
       out.exec_seconds = seconds_since(t1);
+      out.backend = out.native.backend;
     }
     out.state = JobState::Done;
   } catch (const verify_error& e) {
@@ -319,6 +335,10 @@ ServiceStats JobScheduler::stats() const {
     s.rejected_dsl = rejected_dsl_;
     s.rejected_plan = rejected_plan_;
     s.rejected_deadline = rejected_deadline_;
+    s.rejected_backend = rejected_backend_;
+    s.served_scalar = served_scalar_;
+    s.served_avx2 = served_avx2_;
+    s.served_avx512 = served_avx512_;
     s.completed = completed_;
     s.failed = failed_;
     s.queue_depth = queue_.size();

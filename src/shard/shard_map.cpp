@@ -166,10 +166,13 @@ std::uint64_t content_key(std::string_view job_line) {
       // Known non-routing keys (sweeps=, name=, ...) are skipped; unknown
       // tokens still perturb the hash so distinct-but-invalid lines
       // cannot be confused.
+      // "backend" is deliberately non-routing: compute backends are
+      // bit-identical by contract, so plans and shard placement must
+      // not fork on them.
       static const std::set<std::string> kNonRouting = {
           "sweeps", "deadline", "engine",  "name",
           "batch",  "no-batch", "pin",     "parallel-build",
-          "verify", "mutate",   "mutate-seed"};
+          "verify", "mutate",   "mutate-seed", "backend"};
       if (!kNonRouting.count(key)) {
         junk += std::string(t);
         junk += '\n';

@@ -1,0 +1,108 @@
+#include "support/cpu_features.hpp"
+
+#include <cstdint>
+#include <thread>
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#include <cpuid.h>
+#define EARTHRED_HAS_CPUID 1
+#else
+#define EARTHRED_HAS_CPUID 0
+#endif
+
+#if defined(__linux__)
+#include <sched.h>
+#define EARTHRED_HAS_SCHED_GETAFFINITY 1
+#else
+#define EARTHRED_HAS_SCHED_GETAFFINITY 0
+#endif
+
+namespace earthred::support {
+
+namespace {
+
+#if EARTHRED_HAS_CPUID
+
+// XGETBV with ECX=0 reads XCR0, the OS-controlled register that says which
+// register state the kernel context-switches. Guarded by the OSXSAVE CPUID
+// bit: executing xgetbv without it is #UD.
+std::uint64_t read_xcr0() {
+  std::uint32_t eax = 0;
+  std::uint32_t edx = 0;
+  __asm__ volatile(".byte 0x0f, 0x01, 0xd0"  // xgetbv
+                   : "=a"(eax), "=d"(edx)
+                   : "c"(0));
+  return (static_cast<std::uint64_t>(edx) << 32) | eax;
+}
+
+CpuFeatures detect() {
+  CpuFeatures f;
+  unsigned eax = 0;
+  unsigned ebx = 0;
+  unsigned ecx = 0;
+  unsigned edx = 0;
+  if (!__get_cpuid(1, &eax, &ebx, &ecx, &edx)) return f;
+  f.osxsave = (ecx & (1u << 27)) != 0;
+  if (f.osxsave) {
+    const std::uint64_t xcr0 = read_xcr0();
+    // Bits 1|2: XMM+YMM. Bits 5|6|7: opmask, ZMM-hi256, hi16-ZMM.
+    f.os_ymm = (xcr0 & 0x6) == 0x6;
+    f.os_zmm = f.os_ymm && (xcr0 & 0xe0) == 0xe0;
+  }
+  unsigned max_leaf = __get_cpuid_max(0, nullptr);
+  if (max_leaf >= 7) {
+    unsigned b = 0;
+    unsigned c = 0;
+    unsigned d = 0;
+    unsigned a = 0;
+    __cpuid_count(7, 0, a, b, c, d);
+    f.avx2 = f.os_ymm && (b & (1u << 5)) != 0;
+    f.avx512f = f.os_zmm && (b & (1u << 16)) != 0;
+  }
+  return f;
+}
+
+#else  // !EARTHRED_HAS_CPUID
+
+CpuFeatures detect() { return {}; }
+
+#endif
+
+const CpuFeatures* g_forced = nullptr;
+
+}  // namespace
+
+const CpuFeatures& host_cpu_features() {
+  static const CpuFeatures detected = detect();
+  return g_forced ? *g_forced : detected;
+}
+
+void set_cpu_features_for_test(const CpuFeatures* forced) {
+  g_forced = forced;
+}
+
+std::string to_string(const CpuFeatures& f) {
+  std::string out;
+  if (f.avx2) out += "avx2";
+  if (f.avx512f) {
+    if (!out.empty()) out += ' ';
+    out += "avx512f";
+  }
+  if (out.empty()) return "none (scalar only)";
+  return out;
+}
+
+unsigned hardware_threads() {
+#if EARTHRED_HAS_SCHED_GETAFFINITY
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  if (sched_getaffinity(0, sizeof(set), &set) == 0) {
+    const int n = CPU_COUNT(&set);
+    if (n >= 1) return static_cast<unsigned>(n);
+  }
+#endif
+  const unsigned n = std::thread::hardware_concurrency();
+  return n >= 1 ? n : 1;
+}
+
+}  // namespace earthred::support

@@ -1,0 +1,41 @@
+#pragma once
+
+// Runtime CPU feature detection (CPUID + XGETBV) for the compute-backend
+// dispatch layer, plus a robust hardware-thread count that respects the
+// process affinity mask (containers and `taskset` runs frequently expose
+// fewer CPUs than the machine has online).
+
+#include <string>
+
+namespace earthred::support {
+
+/// SIMD-relevant features of the host, as observed at process start.
+///
+/// `avx2` / `avx512f` are only reported true when the OS has also enabled
+/// the corresponding register state via XSAVE (XCR0 bits), so a true flag
+/// means the instructions are actually safe to execute.
+struct CpuFeatures {
+  bool osxsave = false;   ///< OS uses XSAVE/XGETBV at all.
+  bool os_ymm = false;    ///< XCR0 enables XMM+YMM state (AVX usable).
+  bool os_zmm = false;    ///< XCR0 enables opmask+ZMM state (AVX-512 usable).
+  bool avx2 = false;      ///< CPU has AVX2 and the OS saves YMM state.
+  bool avx512f = false;   ///< CPU has AVX-512F and the OS saves ZMM state.
+};
+
+/// Detected features of this host, probed once and cached.
+const CpuFeatures& host_cpu_features();
+
+/// Human-readable summary, e.g. "avx2 avx512f" or "none (scalar only)".
+std::string to_string(const CpuFeatures& f);
+
+/// Test-only override for `host_cpu_features()`: pass a value to force a
+/// specific feature set (e.g. a host without AVX-512), or `nullptr` to
+/// restore real detection. Not thread-safe; call before spawning workers.
+void set_cpu_features_for_test(const CpuFeatures* forced);
+
+/// Number of hardware threads available to *this process*: the CPU
+/// affinity mask population count when available, else
+/// `std::thread::hardware_concurrency()`, and never less than 1.
+unsigned hardware_threads();
+
+}  // namespace earthred::support

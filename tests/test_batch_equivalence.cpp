@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "core/backend.hpp"
 #include "core/native_engine.hpp"
 #include "inspector/light_inspector.hpp"
 #include "kernels/euler.hpp"
@@ -90,6 +91,52 @@ TEST(BatchEquivalence, BitIdenticalAcrossKernelsDistributionsAndK) {
             edge, batch,
             nk.name + " dist=" + std::to_string(static_cast<int>(dist)) +
                 " k=" + std::to_string(k));
+      }
+    }
+  }
+}
+
+TEST(BatchEquivalence, AllBackendsBitIdenticalToPerEdgeReference) {
+  // The acceptance bar for the compute-backend layer: every tier the
+  // host can run (scalar always; AVX2/AVX-512 when supported) must
+  // reproduce the per-edge reference bit for bit across every kernel,
+  // distribution, and k. The SIMD tiers vectorize gathers and arithmetic
+  // only — scatter accumulation stays scalar and in order — so exact
+  // equality is the contract, not a tolerance.
+  std::vector<BackendKind> tiers = {BackendKind::Scalar};
+  if (backend_supported(BackendKind::Avx2))
+    tiers.push_back(BackendKind::Avx2);
+  if (backend_supported(BackendKind::Avx512))
+    tiers.push_back(BackendKind::Avx512);
+
+  const std::vector<NamedKernel> kernels = make_kernels();
+  for (const NamedKernel& nk : kernels) {
+    for (const auto dist : {inspector::Distribution::Block,
+                            inspector::Distribution::Cyclic,
+                            inspector::Distribution::BlockCyclic}) {
+      for (const std::uint32_t k : {1u, 2u, 4u}) {
+        PlanOptions popt;
+        popt.num_procs = 4;
+        popt.k = k;
+        popt.distribution = dist;
+        const ExecutionPlan plan = build_execution_plan(*nk.kernel, popt);
+
+        SweepOptions sopt;
+        sopt.sweeps = 3;
+        sopt.batch = false;
+        const NativeResult edge = run_native_plan(*nk.kernel, plan, sopt);
+
+        sopt.batch = true;
+        for (const BackendKind tier : tiers) {
+          sopt.backend = tier;
+          const NativeResult got = run_native_plan(*nk.kernel, plan, sopt);
+          EXPECT_EQ(got.backend, tier);
+          expect_results_identical(
+              edge, got,
+              nk.name + " backend=" + std::string(to_string(tier)) +
+                  " dist=" + std::to_string(static_cast<int>(dist)) +
+                  " k=" + std::to_string(k));
+        }
       }
     }
   }

@@ -280,6 +280,15 @@ TEST(ContentKey, DefaultsOrderAndNonRoutingKeysAreCanonicalized) {
   EXPECT_EQ(shard::content_key("kernel=fig1 nodes=80 edges=400 procs=4 "
                                "k=2 mutate=16 mutate-seed=3"),
             base);
+  // The compute backend is a run knob, never a plan knob: all backends
+  // are bit-identical by contract, so backend= must not fork routing (a
+  // warm plan on the owning shard serves every tier).
+  EXPECT_EQ(shard::content_key("kernel=fig1 nodes=80 edges=400 procs=4 "
+                               "k=2 backend=avx512"),
+            base);
+  EXPECT_EQ(shard::content_key("kernel=fig1 nodes=80 edges=400 procs=4 "
+                               "k=2 backend=scalar"),
+            base);
   // Routing keys do.
   EXPECT_NE(shard::content_key("kernel=fig1 nodes=81 edges=400 procs=4 "
                                "k=2"),

@@ -14,6 +14,11 @@
 //                        path, default on) [--pin] (worker pinning +
 //                        first-touch) [--parallel-build[=T]] (plan build
 //                        task pool; T omitted = all cores)
+//                        [--backend=auto|scalar|avx2|avx512] (compute
+//                        backend for the batched loops; auto picks the
+//                        widest tier the host supports, an explicit tier
+//                        the host lacks fails with E-BACKEND-UNSUPPORTED;
+//                        all tiers are bit-identical)
 //                        fault injection (engine=rotation only):
 //                        [--fault-drop=p] [--fault-corrupt=p]
 //                        [--fault-dup=p] [--fault-delay=p]
@@ -25,6 +30,8 @@
 //                        diagnostic with source snippets; exit 1 on
 //                        errors, 0 on clean/warnings-only)
 //   earthred batch      --jobs=jobs.txt [--workers=W] [--queue=N]
+//                        [--backend=...] (default compute backend for
+//                        jobs that don't carry their own backend= key)
 //                        [--cache-mb=M] [--no-cache] [--deadline=S]
 //                        [--plan-store=DIR] (persistent plan tier: plans
 //                        load zero-copy from DIR and new builds persist)
@@ -67,6 +74,9 @@
 //                        count + content-key digest). `drain` sends the
 //                        Drain control frame — pointed at a router it
 //                        quiesces the whole fleet router-last.
+//   earthred version    (also --version): build info, compiled compute
+//                        backends, detected CPU features (CPUID/xgetbv),
+//                        and the backend `auto` resolves to on this host
 //   earthred plan       save|load|ls --store=DIR
 //                        save/load take the same kernel/mesh keys as run
 //                        (--kernel --preset/--mesh/--nodes --edges --seed)
@@ -88,9 +98,12 @@
 // dist=block|cyclic|bc [bc=CHUNK], sweeps=N, [dedup], [deadline=S],
 // [engine=native|sim], [name=LABEL], [no-batch], [pin],
 // [parallel-build[=T]], [verify=on|off] (plan verification before the
-// sweeps; defaults to the build type's PlanOptions::verify). Jobs on the
-// same mesh share one cached execution plan (see
-// src/service/plan_cache.hpp).
+// sweeps; defaults to the build type's PlanOptions::verify),
+// [backend=auto|scalar|avx2|avx512] (compute backend; an unsupported
+// tier is rejected at admission with E-BACKEND-UNSUPPORTED, auto never
+// rejects). Jobs on the same mesh share one cached execution plan (see
+// src/service/plan_cache.hpp) — the backend never forks the plan key,
+// since every backend is bit-identical by contract.
 //
 // Adaptive jobs: mutate=N [mutate-seed=S] rewires N random interactions
 // of the job's mesh and submits the mutated kernel with the *base* mesh's
@@ -147,6 +160,7 @@
 #include "sparse/io.hpp"
 #include "sparse/nas_cg.hpp"
 #include "support/check.hpp"
+#include "support/cpu_features.hpp"
 #include "support/json.hpp"
 #include "support/options.hpp"
 #include "support/prng.hpp"
@@ -162,7 +176,7 @@ int usage() {
       stderr,
       "usage: earthred "
       "<gen-mesh|gen-matrix|info|run|compile|check|batch|serve|submit|"
-      "ping|route|fleet|plan> "
+      "ping|route|fleet|plan|version> "
       "[--flags]\n(see the header of tools/earthred_cli.cpp)\n");
   return 1;
 }
@@ -254,8 +268,10 @@ int cmd_info(const Options& opt) {
 /// --parallel-build[=T] (T omitted = one build thread per core).
 void hotpath_from_options(const Options& opt, bool& batch,
                           core::AffinityOptions& affinity,
-                          std::uint32_t& build_threads) {
+                          std::uint32_t& build_threads,
+                          core::BackendKind& backend) {
   batch = opt.has("no-batch") ? false : opt.get_bool("batch", true);
+  backend = core::parse_backend(opt.get("backend", "auto"));
   if (opt.get_bool("pin", false)) {
     affinity.pin_threads = true;
     affinity.first_touch = true;
@@ -316,6 +332,18 @@ int cmd_run(const Options& opt) {
   const auto dist = inspector::parse_distribution(opt.get("dist", "cyclic"));
   const std::string engine = opt.get("engine", "rotation");
 
+  // --backend is a native-engine knob. Validate the spelling up front so
+  // a typo fails loudly on every engine, and refuse a concrete tier on
+  // the simulated engines, which would otherwise silently ignore it.
+  if (opt.has("backend")) {
+    const core::BackendKind requested =
+        core::parse_backend(opt.get("backend"));
+    if (engine != "native" && requested != core::BackendKind::Auto)
+      throw check_error("--backend=" + opt.get("backend") +
+                        " only applies to --engine=native (the '" + engine +
+                        "' engine simulates per-edge execution)");
+  }
+
   if (opt.get_bool("check", false)) {
     // Prove the plan before running anything: full structural invariants
     // plus the kernel indirection cross-check. Engine-independent — the
@@ -358,7 +386,7 @@ int cmd_run(const Options& opt) {
     nopt.distribution = dist;
     nopt.sweeps = sweeps;
     hotpath_from_options(opt, nopt.batch, nopt.affinity,
-                         nopt.build_threads);
+                         nopt.build_threads, nopt.backend);
     const core::ExecutionPlan plan =
         core::build_execution_plan(*kernel, nopt.plan());
     const core::NativeResult r =
@@ -366,6 +394,7 @@ int cmd_run(const Options& opt) {
     t.add_row({"plan build seconds", fmt_f(plan.build_seconds, 4)});
     t.add_row({"wall seconds (host threads)", fmt_f(r.wall_seconds, 4)});
     t.add_row({"executor", nopt.batch ? "batched" : "per-edge"});
+    t.add_row({"backend", std::string(core::to_string(r.backend))});
   } else {
     core::RunResult r;
     if (engine == "classic") {
@@ -544,6 +573,10 @@ service::JobScheduler::Config scheduler_config(const Options& opt) {
 int run_service(std::istream& jobs_in, const Options& opt) {
   service::JobScheduler sched(scheduler_config(opt));
   service::JobBuilder builder;  // local front end: file IO allowed
+  // Service-wide default compute backend: jobs whose line doesn't pick a
+  // concrete backend= run on this (auto = widest supported tier).
+  const core::BackendKind default_backend =
+      core::parse_backend(opt.get("backend", "auto"));
 
   service::install_shutdown_signals();
 
@@ -566,8 +599,11 @@ int run_service(std::istream& jobs_in, const Options& opt) {
             {"line " + std::to_string(lineno), b.code, b.detail});
       continue;
     }
-    for (service::JobRequest& req : b.requests)
+    for (service::JobRequest& req : b.requests) {
+      if (req.backend == core::BackendKind::Auto)
+        req.backend = default_backend;
       handles.push_back(sched.submit(std::move(req)));
+    }
   }
 
   // Signal-aware wait: poll readiness instead of blocking, so the first
@@ -629,6 +665,8 @@ int run_service(std::istream& jobs_in, const Options& opt) {
     if (o.state == service::JobState::Done && o.simulated_run.total_cycles)
       detail = fmt_group(static_cast<long long>(
                    o.simulated_run.total_cycles)) + " cycles";
+    else if (o.state == service::JobState::Done && !o.simulated)
+      detail = "backend=" + std::string(core::to_string(o.backend));
     t.add_row({o.name, to_string(o.state),
                o.state == service::JobState::Rejected
                    ? "-"
@@ -648,7 +686,8 @@ int run_service(std::istream& jobs_in, const Options& opt) {
           .field("exec_seconds", o.exec_seconds)
           .field("total_seconds", o.total_seconds);
       if (o.state == service::JobState::Done && !o.simulated)
-        w.field("digest",
+        w.field("backend", std::string(core::to_string(o.backend)))
+            .field("digest",
                 strformat("%016llx",
                           static_cast<unsigned long long>(
                               service::result_digest(o.native))));
@@ -667,6 +706,10 @@ int run_service(std::istream& jobs_in, const Options& opt) {
         .field("completed", stats.completed)
         .field("failed", stats.failed)
         .field("rejected", stats.rejected)
+        .field("rejected_backend", stats.rejected_backend)
+        .field("served_scalar", stats.served_scalar)
+        .field("served_avx2", stats.served_avx2)
+        .field("served_avx512", stats.served_avx512)
         .field("p50_latency_s", stats.p50_latency)
         .field("p95_latency_s", stats.p95_latency)
         .field("p99_latency_s", stats.p99_latency)
@@ -792,6 +835,10 @@ int run_netserve(const Options& opt) {
   limits.allow_file_io = false;
   auto builder = std::make_shared<service::JobBuilder>(limits);
   auto lineno = std::make_shared<std::size_t>(0);
+  // Same default-backend rule as the stdin/batch front end: a job line
+  // without a concrete backend= key runs on the server's --backend=.
+  const core::BackendKind default_backend =
+      core::parse_backend(opt.get("backend", "auto"));
 
   service::ServeConfig scfg;
   scfg.host = opt.get("host", "127.0.0.1");
@@ -804,8 +851,12 @@ int run_netserve(const Options& opt) {
 
   service::ServeLoop loop(
       sched,
-      [builder, lineno](std::string_view job_line) {
-        return builder->build(job_line, ++*lineno);
+      [builder, lineno, default_backend](std::string_view job_line) {
+        service::JobBuild b = builder->build(job_line, ++*lineno);
+        for (service::JobRequest& req : b.requests)
+          if (req.backend == core::BackendKind::Auto)
+            req.backend = default_backend;
+        return b;
       },
       scfg);
   std::string error;
@@ -819,6 +870,12 @@ int run_netserve(const Options& opt) {
   std::printf("earthred: serving on %s:%u (signal once to drain, twice "
               "to force)\n",
               scfg.host.c_str(), loop.port());
+  std::printf("earthred: cpu features: %s; backend auto -> %s\n",
+              support::to_string(support::host_cpu_features()).c_str(),
+              std::string(core::to_string(
+                              core::resolve_backend(
+                                  core::BackendKind::Auto)))
+                  .c_str());
   std::fflush(stdout);
 
   service::install_shutdown_signals();
@@ -1176,9 +1233,31 @@ int cmd_fleet(const Options& opt) {
   return bad == 0 ? 0 : 1;
 }
 
+int cmd_version() {
+  const support::CpuFeatures& f = support::host_cpu_features();
+  std::printf("earthred (irregular-reduction service)\n");
+  std::string compiled;
+  for (const core::BackendKind k : core::compiled_backends()) {
+    if (!compiled.empty()) compiled += ' ';
+    compiled += std::string(core::to_string(k));
+  }
+  std::printf("compiled backends: %s\n", compiled.c_str());
+  std::printf("cpu features: %s (osxsave=%d ymm=%d zmm=%d)\n",
+              support::to_string(f).c_str(), f.osxsave ? 1 : 0,
+              f.os_ymm ? 1 : 0, f.os_zmm ? 1 : 0);
+  std::printf(
+      "backend auto -> %s\n",
+      std::string(core::to_string(
+                      core::resolve_backend(core::BackendKind::Auto)))
+          .c_str());
+  std::printf("hardware threads: %u\n", support::hardware_threads());
+  return 0;
+}
+
 int dispatch(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
+  if (cmd == "version" || cmd == "--version") return cmd_version();
   const Options opt(argc - 1, argv + 1);
   if (cmd == "gen-mesh") return cmd_gen_mesh(opt);
   if (cmd == "gen-matrix") return cmd_gen_matrix(opt);
