@@ -1,0 +1,13 @@
+// Legal but wasteful: the same (array, indirection) pair is scattered to
+// twice per iteration. Fusing the two statements would halve the scatter
+// traffic every lowering strategy pays for (W-STRATEGY-DUP-SCATTER).
+param num_nodes, num_edges;
+array real X[num_nodes];
+array int  IA[num_edges];
+array real Y[num_edges];
+array real Z[num_edges];
+
+forall (e : 0 .. num_edges) {
+  X[IA[e]] += Y[e];
+  X[IA[e]] += Z[e];
+}

@@ -1,0 +1,13 @@
+// Illegal for strategy lowering: two reduction arrays with different
+// extents are scattered through the same indirection set, so no single
+// ownership map can partition both element spaces (E-STRATEGY-EXTENT-MIX).
+param num_nodes, num_cells, num_edges;
+array real X[num_nodes];
+array real C[num_cells];
+array int  IA[num_edges];
+array real Y[num_edges];
+
+forall (e : 0 .. num_edges) {
+  X[IA[e]] += Y[e];
+  C[IA[e]] += Y[e];
+}

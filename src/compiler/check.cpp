@@ -4,6 +4,7 @@
 #include <set>
 
 #include "compiler/parser.hpp"
+#include "compiler/strategy.hpp"
 
 namespace earthred::compiler {
 
@@ -204,17 +205,10 @@ std::vector<LoopLegality> check_reduction_legality(
 }
 
 CheckReport check_source(std::string_view source) {
-  DiagnosticSink sink;
-  sink.attach_source(source);
-  CheckReport report;
-  report.program = parse(source, sink);
-  if (!sink.has_errors()) {
-    report.analysis = analyze(report.program, sink);
-    report.loops =
-        check_reduction_legality(report.program, report.analysis, sink);
-  }
-  report.diagnostics = sink.diagnostics();
-  return report;
+  // The default check is the strategy-aware one with notes off: the
+  // W/E-STRATEGY-* codes flow to every caller (CLI, service admission,
+  // the golden corpus) while clean sources stay diagnostic-free.
+  return check_source_with_strategies(source, StrategyContext{}).check;
 }
 
 }  // namespace earthred::compiler

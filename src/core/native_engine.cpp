@@ -131,6 +131,11 @@ ExecutionPlan build_execution_plan(const PhasedKernel& kernel,
   const KernelShape shape = kernel.shape();
   ER_EXPECTS(opt.num_procs >= 1);
   ER_EXPECTS(opt.k >= 1);
+  // Fail a forced strategy the host cannot run at build time (the same
+  // E-STRATEGY-UNSUPPORTED the service's admission control reports)
+  // instead of on the first run of the cached plan.
+  (void)resolve_strategy(opt.strategy,
+                         strategy_inputs(shape, opt.num_procs, opt.k));
 
   const auto t0 = std::chrono::steady_clock::now();
   const std::uint32_t P = opt.num_procs;
@@ -303,20 +308,30 @@ inspector::PlanVerifyReport verify_execution_plan(
   return report;
 }
 
-NativeResult run_native_plan(const PhasedKernel& kernel,
-                             const ExecutionPlan& plan,
-                             const SweepOptions& opt) {
-  const KernelShape shape = kernel.shape();
-  ER_EXPECTS(opt.sweeps >= 1);
-  ER_CHECK_MSG(shape.num_nodes == plan.shape.num_nodes &&
-                   shape.num_edges == plan.shape.num_edges &&
-                   shape.num_refs == plan.shape.num_refs &&
-                   shape.num_reduction_arrays ==
-                       plan.shape.num_reduction_arrays &&
-                   shape.num_node_read_arrays ==
-                       plan.shape.num_node_read_arrays,
-               "execution plan was built for a differently-shaped kernel");
+namespace {
 
+/// Synthetic-address cost tags sized for the kernel (detached contexts
+/// ignore the charges, but kernels index the vectors).
+CostTags make_cost_tags(std::uint32_t RA, std::uint32_t NA) {
+  CostTags tags;
+  earth::ArrayTagAllocator alloc;
+  for (std::uint32_t a = 0; a < RA; ++a)
+    tags.reduction.push_back(alloc.next());
+  for (std::uint32_t a = 0; a < NA; ++a)
+    tags.node_read.push_back(alloc.next());
+  tags.edge_data = alloc.next();
+  tags.indir = alloc.next();
+  return tags;
+}
+
+/// The paper's executor: portions of the reduction arrays rotate through
+/// the processors over k*P phases with bounded-buffer staging (see the
+/// header comment). Deterministic; bit-identical between the batched and
+/// per-edge paths.
+NativeResult run_phased(const PhasedKernel& kernel,
+                        const ExecutionPlan& plan, const SweepOptions& opt,
+                        BackendKind backend) {
+  const KernelShape shape = kernel.shape();
   const RotationSchedule& sched = plan.sched;
   const std::uint32_t P = plan.options.num_procs;
   const std::uint32_t k = plan.options.k;
@@ -324,11 +339,6 @@ NativeResult run_native_plan(const PhasedKernel& kernel,
   const std::uint32_t RA = shape.num_reduction_arrays;
   const std::uint32_t NA = shape.num_node_read_arrays;
   const bool first_touch = opt.affinity.first_touch;
-  // Resolve the compute backend once, before any worker spawns: Auto
-  // picks the widest supported tier, and an unsupported explicit request
-  // raises E-BACKEND-UNSUPPORTED here rather than faulting in a worker.
-  // The per-edge executor ignores the choice but still validates it.
-  const BackendKind backend = resolve_backend(opt.backend);
 
   // ---- per-run mutable state (the plan itself stays untouched) ----------
   // The StagedSlot objects (semaphores) are always created here so the
@@ -375,18 +385,7 @@ NativeResult run_native_plan(const PhasedKernel& kernel,
   if (!first_touch)
     for (std::uint32_t p = 0; p < P; ++p) init_proc_state(p);
 
-  // Kernels index into the tag vectors even though detached contexts
-  // ignore the charges, so size them properly.
-  CostTags tags;
-  {
-    earth::ArrayTagAllocator alloc;
-    for (std::uint32_t a = 0; a < RA; ++a)
-      tags.reduction.push_back(alloc.next());
-    for (std::uint32_t a = 0; a < NA; ++a)
-      tags.node_read.push_back(alloc.next());
-    tags.edge_data = alloc.next();
-    tags.indir = alloc.next();
-  }
+  const CostTags tags = make_cost_tags(RA, NA);
 
   NativeResult result;
   result.reduction.assign(RA, std::vector<double>(shape.num_nodes, 0.0));
@@ -607,6 +606,302 @@ NativeResult run_native_plan(const PhasedKernel& kernel,
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
   result.backend = opt.batch ? backend : BackendKind::Scalar;
+  return result;
+}
+
+/// Privatized executor: every worker accumulates into a full private
+/// replica of the reduction arrays using the *direct* element ids (the
+/// plan's redirection undone via kernel.ref), then the replicas are
+/// folded into a shared result in fixed worker-ascending order over
+/// disjoint node ranges. The fixed fold order is the strategy's
+/// bit-identity contract: the batched and per-edge paths perform the
+/// same FP ops in the same order (the phased contract, inherited), and
+/// the merge adds replica 0, 1, ..., P-1 per element regardless of
+/// thread timing, so results never depend on interleaving.
+NativeResult run_privatized(const PhasedKernel& kernel,
+                            const ExecutionPlan& plan,
+                            const SweepOptions& opt, BackendKind backend) {
+  const KernelShape shape = kernel.shape();
+  const std::uint32_t P = plan.options.num_procs;
+  const std::uint32_t kp = P * plan.options.k;
+  const std::uint32_t RA = shape.num_reduction_arrays;
+  const std::uint32_t NA = shape.num_node_read_arrays;
+  const std::uint32_t N = shape.num_nodes;
+  const std::uint32_t R = shape.num_refs;
+  const bool first_touch = opt.affinity.first_touch;
+
+  // The shared arrays the fold writes and update_nodes reads/writes.
+  ProcArrays merged;
+  merged.reduction.assign(RA, std::vector<double>(N, 0.0));
+  merged.node_read.assign(NA, std::vector<double>(N, 0.0));
+  kernel.init_node_arrays(merged.node_read);
+
+  std::vector<ProcArrays> priv(P);
+  // direct[p][ph]: the worker's schedule with redirection undone — a
+  // flattened ref-major block of true element ids, same layout as the
+  // plan's indir_flat, so the kernels' batched phase loops run unchanged
+  // against the full-size replica.
+  std::vector<std::vector<std::vector<std::uint32_t>>> direct(P);
+
+  const auto init_proc_state = [&](std::uint32_t p) {
+    priv[p].reduction.assign(RA, std::vector<double>(N, 0.0));
+    priv[p].node_read.assign(NA, std::vector<double>(N, 0.0));
+    kernel.init_node_arrays(priv[p].node_read);
+    direct[p].resize(kp);
+    for (std::uint32_t ph = 0; ph < kp; ++ph) {
+      const inspector::PhaseSchedule& phase = plan.insp[p].phases[ph];
+      const std::size_t iters = phase.iter_global.size();
+      std::vector<std::uint32_t>& flat = direct[p][ph];
+      flat.resize(iters * R);
+      for (std::uint32_t r = 0; r < R; ++r)
+        for (std::size_t j = 0; j < iters; ++j)
+          flat[static_cast<std::size_t>(r) * iters + j] =
+              kernel.ref(r, phase.iter_global[j]);
+    }
+  };
+  if (!first_touch)
+    for (std::uint32_t p = 0; p < P; ++p) init_proc_state(p);
+
+  const CostTags tags = make_cost_tags(RA, NA);
+  NativeResult result;
+  const std::uint32_t sweeps = opt.sweeps;
+  std::barrier sync(static_cast<std::ptrdiff_t>(P));
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(P);
+  for (std::uint32_t p = 0; p < P; ++p) {
+    threads.emplace_back([&, p] {
+      if (opt.affinity.pin_threads) pin_current_thread(p);
+      if (first_touch) {
+        init_proc_state(p);
+        sync.arrive_and_wait();
+      }
+      earth::FiberContext ctx = earth::FiberContext::detached(p);
+      ProcArrays& ps = priv[p];
+      std::vector<std::uint32_t> redirected(R);
+      // This worker's node range: it folds, updates and publishes
+      // exactly these elements.
+      const std::uint32_t lo = static_cast<std::uint32_t>(
+          static_cast<std::uint64_t>(N) * p / P);
+      const std::uint32_t hi = static_cast<std::uint32_t>(
+          static_cast<std::uint64_t>(N) * (p + 1) / P);
+
+      for (std::uint32_t sweep = 0; sweep < sweeps; ++sweep) {
+        for (std::uint32_t ph = 0; ph < kp; ++ph) {
+          const inspector::PhaseSchedule& phase = plan.insp[p].phases[ph];
+          const std::size_t iters = phase.iter_global.size();
+          const std::vector<std::uint32_t>& flat = direct[p][ph];
+          if (opt.batch) {
+            PhaseView view;
+            view.iter_global = phase.iter_global;
+            view.iter_local = phase.iter_local;
+            view.indir = flat;
+            view.num_iters = iters;
+            view.num_refs = R;
+            view.backend = backend;
+            kernel.compute_phase(ctx, tags, view, ps);
+          } else {
+            for (std::size_t j = 0; j < iters; ++j) {
+              for (std::uint32_t r = 0; r < R; ++r)
+                redirected[r] = flat[static_cast<std::size_t>(r) * iters + j];
+              kernel.compute_edge(ctx, tags, phase.iter_global[j],
+                                  phase.iter_local[j], redirected, ps);
+            }
+          }
+        }
+
+        // All replicas complete before anyone folds.
+        sync.arrive_and_wait();
+
+        // Fixed-order fold over this worker's node range: replica 0
+        // first, then ascending — the deterministic-merge contract.
+        for (std::uint32_t a = 0; a < RA; ++a) {
+          for (std::uint32_t v = lo; v < hi; ++v) {
+            double sum = priv[0].reduction[a][v];
+            for (std::uint32_t q = 1; q < P; ++q)
+              sum += priv[q].reduction[a][v];
+            merged.reduction[a][v] = sum;
+          }
+        }
+        kernel.update_nodes(ctx, tags, lo, hi, lo, merged);
+
+        // Publish before anyone reads another range or zeroes a replica
+        // someone may still be folding from.
+        sync.arrive_and_wait();
+
+        if (sweep + 1 < sweeps) {
+          for (std::uint32_t a = 0; a < RA; ++a)
+            std::fill(ps.reduction[a].begin(), ps.reduction[a].end(), 0.0);
+          for (std::uint32_t a = 0; a < NA; ++a)
+            std::copy(merged.node_read[a].begin(),
+                      merged.node_read[a].end(), ps.node_read[a].begin());
+          sync.arrive_and_wait();
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  result.reduction = std::move(merged.reduction);
+  result.node_read = std::move(merged.node_read);
+  result.backend = opt.batch ? backend : BackendKind::Scalar;
+  return result;
+}
+
+/// Atomic executor: workers capture each edge's contributions in a tiny
+/// per-worker scratch block (reduction arrays sized num_refs, identity
+/// redirection), then fetch_add them into the shared arrays. No
+/// replicas, no rotation — but the accumulation order depends on thread
+/// interleaving, so results are tolerance-reproducible only (the
+/// strategy is excluded from every bit-identity gate) and the batched
+/// phase loops cannot be used (contributions must be intercepted before
+/// they hit shared memory). The compute backend is therefore always
+/// reported as Scalar.
+NativeResult run_atomic(const PhasedKernel& kernel,
+                        const ExecutionPlan& plan,
+                        const SweepOptions& opt) {
+  const KernelShape shape = kernel.shape();
+  const std::uint32_t P = plan.options.num_procs;
+  const std::uint32_t kp = P * plan.options.k;
+  const std::uint32_t RA = shape.num_reduction_arrays;
+  const std::uint32_t NA = shape.num_node_read_arrays;
+  const std::uint32_t N = shape.num_nodes;
+  const std::uint32_t R = shape.num_refs;
+
+  ProcArrays global;
+  global.reduction.assign(RA, std::vector<double>(N, 0.0));
+  global.node_read.assign(NA, std::vector<double>(N, 0.0));
+  kernel.init_node_arrays(global.node_read);
+
+  // scratch[p]: reduction rows sized num_refs (slot r holds the edge's
+  // contribution through reference r); node_read is the worker's replica.
+  std::vector<ProcArrays> scratch(P);
+  const auto init_proc_state = [&](std::uint32_t p) {
+    scratch[p].reduction.assign(RA, std::vector<double>(R, 0.0));
+    scratch[p].node_read.assign(NA, std::vector<double>(N, 0.0));
+    kernel.init_node_arrays(scratch[p].node_read);
+  };
+  if (!opt.affinity.first_touch)
+    for (std::uint32_t p = 0; p < P; ++p) init_proc_state(p);
+
+  const CostTags tags = make_cost_tags(RA, NA);
+  NativeResult result;
+  const std::uint32_t sweeps = opt.sweeps;
+  std::barrier sync(static_cast<std::ptrdiff_t>(P));
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(P);
+  for (std::uint32_t p = 0; p < P; ++p) {
+    threads.emplace_back([&, p] {
+      if (opt.affinity.pin_threads) pin_current_thread(p);
+      if (opt.affinity.first_touch) {
+        init_proc_state(p);
+        sync.arrive_and_wait();
+      }
+      earth::FiberContext ctx = earth::FiberContext::detached(p);
+      ProcArrays& ps = scratch[p];
+      std::vector<std::uint32_t> identity(R);
+      for (std::uint32_t r = 0; r < R; ++r) identity[r] = r;
+      const std::uint32_t lo = static_cast<std::uint32_t>(
+          static_cast<std::uint64_t>(N) * p / P);
+      const std::uint32_t hi = static_cast<std::uint32_t>(
+          static_cast<std::uint64_t>(N) * (p + 1) / P);
+
+      for (std::uint32_t sweep = 0; sweep < sweeps; ++sweep) {
+        for (std::uint32_t ph = 0; ph < kp; ++ph) {
+          const inspector::PhaseSchedule& phase = plan.insp[p].phases[ph];
+          const std::size_t iters = phase.iter_global.size();
+          for (std::size_t j = 0; j < iters; ++j) {
+            const std::uint64_t g = phase.iter_global[j];
+            for (std::uint32_t a = 0; a < RA; ++a)
+              std::fill(ps.reduction[a].begin(), ps.reduction[a].end(),
+                        0.0);
+            kernel.compute_edge(ctx, tags, g, phase.iter_local[j],
+                                identity, ps);
+            for (std::uint32_t a = 0; a < RA; ++a) {
+              for (std::uint32_t r = 0; r < R; ++r) {
+                std::atomic_ref<double> cell(
+                    global.reduction[a][kernel.ref(r, g)]);
+                cell.fetch_add(ps.reduction[a][r],
+                               std::memory_order_relaxed);
+              }
+            }
+          }
+        }
+
+        // All scatters land before the node update reads them.
+        sync.arrive_and_wait();
+        kernel.update_nodes(ctx, tags, lo, hi, lo, global);
+        sync.arrive_and_wait();
+
+        if (sweep + 1 < sweeps) {
+          for (std::uint32_t a = 0; a < RA; ++a)
+            std::fill(global.reduction[a].begin() + lo,
+                      global.reduction[a].begin() + hi, 0.0);
+          for (std::uint32_t a = 0; a < NA; ++a)
+            std::copy(global.node_read[a].begin(),
+                      global.node_read[a].end(), ps.node_read[a].begin());
+          sync.arrive_and_wait();
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  result.reduction = std::move(global.reduction);
+  result.node_read = std::move(global.node_read);
+  result.backend = BackendKind::Scalar;
+  return result;
+}
+
+}  // namespace
+
+NativeResult run_native_plan(const PhasedKernel& kernel,
+                             const ExecutionPlan& plan,
+                             const SweepOptions& opt) {
+  const KernelShape shape = kernel.shape();
+  ER_EXPECTS(opt.sweeps >= 1);
+  ER_CHECK_MSG(shape.num_nodes == plan.shape.num_nodes &&
+                   shape.num_edges == plan.shape.num_edges &&
+                   shape.num_refs == plan.shape.num_refs &&
+                   shape.num_reduction_arrays ==
+                       plan.shape.num_reduction_arrays &&
+                   shape.num_node_read_arrays ==
+                       plan.shape.num_node_read_arrays,
+               "execution plan was built for a differently-shaped kernel");
+
+  // Resolve the compute backend and the lowering strategy once, before
+  // any worker spawns: Auto picks via host support / the cost model, and
+  // an unsupported explicit request raises its E-* code here rather than
+  // faulting in a worker. The per-edge executors ignore the backend but
+  // still validate it.
+  const BackendKind backend = resolve_backend(opt.backend);
+  const StrategyKind strategy = resolve_strategy(
+      plan.options.strategy,
+      strategy_inputs(shape, plan.options.num_procs, plan.options.k));
+
+  NativeResult result;
+  switch (strategy) {
+    case StrategyKind::Privatized:
+      result = run_privatized(kernel, plan, opt, backend);
+      break;
+    case StrategyKind::Atomic:
+      result = run_atomic(kernel, plan, opt);
+      break;
+    case StrategyKind::Auto:  // unreachable after resolution
+    case StrategyKind::Phased:
+      result = run_phased(kernel, plan, opt, backend);
+      break;
+  }
+  result.strategy = strategy;
   return result;
 }
 

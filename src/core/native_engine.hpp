@@ -30,6 +30,7 @@
 #include <span>
 
 #include "core/kernel.hpp"
+#include "core/strategy.hpp"
 #include "inspector/distribution.hpp"
 #include "inspector/light_inspector.hpp"
 #include "inspector/plan_verifier.hpp"
@@ -65,6 +66,13 @@ struct PlanOptions {
 #else
   bool verify = true;
 #endif
+  /// Lowering strategy (core/strategy.hpp): Auto resolves through the
+  /// cost model each time the plan runs; a concrete value forces that
+  /// executor. Strategies can change result bits, so — unlike backend or
+  /// verify — this IS part of the PlanCache key and the persisted plan
+  /// header. Appended last so positional aggregate initializers written
+  /// before the field existed stay valid.
+  StrategyKind strategy = StrategyKind::Auto;
 };
 
 /// The reusable preprocessing product: rotation schedule plus one
@@ -196,10 +204,13 @@ struct NativeOptions {
   bool batch = true;
   AffinityOptions affinity{};
   BackendKind backend = BackendKind::Auto;
+  StrategyKind strategy = StrategyKind::Auto;
 
   PlanOptions plan() const {
-    return {num_procs,        k,         distribution,
-            block_cyclic_size, inspector, build_threads};
+    PlanOptions p{num_procs,         k,         distribution,
+                  block_cyclic_size, inspector, build_threads};
+    p.strategy = strategy;
+    return p;
   }
   SweepOptions sweep() const {
     return {sweeps, stall_timeout, lose_forward, batch, affinity, backend};
@@ -216,6 +227,9 @@ struct NativeResult {
   /// Concrete compute backend the batched loops ran on (Scalar when the
   /// per-edge executor was used or no SIMD tier was available).
   BackendKind backend = BackendKind::Scalar;
+  /// Concrete lowering strategy that executed (never Auto; the executor
+  /// resolves the plan's request through core/strategy.hpp).
+  StrategyKind strategy = StrategyKind::Phased;
 };
 
 /// Executes `sweeps` time steps of `kernel` under a prebuilt plan. The

@@ -66,7 +66,14 @@ bool decode_header(std::span<const std::byte> bytes, PlanFileHeader* out,
   h.num_refs = r.u32();
   h.num_reduction_arrays = r.u32();
   h.num_node_read_arrays = r.u32();
-  r.u32();  // reserved
+  // The (formerly reserved) strategy field. Values above the known
+  // range are rejected like any other structural inconsistency; files
+  // from before strategies existed wrote 0 == Auto.
+  h.strategy = r.u32();
+  if (h.strategy > static_cast<std::uint32_t>(StrategyKind::Atomic))
+    return fail("E-STORE-PARSE",
+                strformat("unknown lowering strategy %u in header",
+                          h.strategy));
   h.payload_bytes = r.u64();
   h.payload_checksum = r.u64();
   if (out) *out = h;
@@ -201,7 +208,7 @@ std::vector<std::byte> serialize_plan(const ExecutionPlan& plan,
   file.u32(plan.shape.num_refs);
   file.u32(plan.shape.num_reduction_arrays);
   file.u32(plan.shape.num_node_read_arrays);
-  file.u32(0);  // reserved
+  file.u32(static_cast<std::uint32_t>(plan.options.strategy));
   file.u64(payload.size());
   file.u64(support::fast_hash64(payload.bytes().data(), payload.size()));
 
@@ -289,6 +296,7 @@ PlanLoadResult load_plan_file(const std::string& path) {
       static_cast<inspector::Distribution>(h.distribution);
   plan.options.block_cyclic_size = h.block_cyclic_size;
   plan.options.inspector.dedup_buffers = h.dedup_buffers != 0;
+  plan.options.strategy = static_cast<StrategyKind>(h.strategy);
   // The load itself is the proof; re-verification on use is the
   // admission paths' call, not an obligation baked into the plan.
   plan.options.verify = false;
@@ -335,7 +343,8 @@ bool plans_bit_identical(const ExecutionPlan& a, const ExecutionPlan& b) {
       a.options.k != b.options.k ||
       a.options.distribution != b.options.distribution ||
       a.options.inspector.dedup_buffers !=
-          b.options.inspector.dedup_buffers)
+          b.options.inspector.dedup_buffers ||
+      a.options.strategy != b.options.strategy)
     return false;
   if (a.options.distribution == inspector::Distribution::BlockCyclic &&
       a.options.block_cyclic_size != b.options.block_cyclic_size)

@@ -14,7 +14,8 @@
 //       52  u32 num_nodes
 //       56  u64 num_edges
 //       64  u32 num_refs, num_reduction_arrays, num_node_read_arrays,
-//           reserved
+//           strategy (requested StrategyKind; 0 == Auto, which is also
+//           what pre-strategy files wrote as their reserved field)
 //       80  u64 payload_bytes
 //       88  u64 payload_checksum      support::fast_hash64 of the payload
 //
@@ -79,6 +80,9 @@ struct PlanFileHeader {
   std::uint32_t num_refs = 0;
   std::uint32_t num_reduction_arrays = 0;
   std::uint32_t num_node_read_arrays = 0;
+  /// Requested StrategyKind as u32 (0 == Auto; pre-strategy files wrote
+  /// a zero reserved field here, which decodes as Auto unchanged).
+  std::uint32_t strategy = 0;
   std::uint64_t payload_bytes = 0;
   std::uint64_t payload_checksum = 0;
 };

@@ -1,0 +1,214 @@
+#include "core/strategy.hpp"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "core/kernel.hpp"
+#include "support/check.hpp"
+#include "support/cpu_features.hpp"
+#include "support/str.hpp"
+
+namespace earthred::core {
+
+std::string_view to_string(StrategyKind kind) {
+  switch (kind) {
+    case StrategyKind::Auto: return "auto";
+    case StrategyKind::Phased: return "phased";
+    case StrategyKind::Privatized: return "privatized";
+    case StrategyKind::Atomic: return "atomic";
+  }
+  return "phased";
+}
+
+StrategyKind parse_strategy(std::string_view name) {
+  if (name == "auto") return StrategyKind::Auto;
+  if (name == "phased" || name == "rotation") return StrategyKind::Phased;
+  if (name == "privatized" || name == "private")
+    return StrategyKind::Privatized;
+  if (name == "atomic") return StrategyKind::Atomic;
+  throw check_error(strformat(
+      "E-STRATEGY-NAME: unknown strategy '%.*s' "
+      "(expected auto|phased|privatized|atomic)",
+      static_cast<int>(name.size()), name.data()));
+}
+
+bool strategy_supported(StrategyKind kind) {
+  switch (kind) {
+    case StrategyKind::Auto:
+    case StrategyKind::Phased:
+    case StrategyKind::Privatized:
+      return true;
+    case StrategyKind::Atomic:
+      // The CAS scatter needs genuinely lock-free double fetch_add; on a
+      // host where atomic_ref<double> takes a lock the strategy would be
+      // both slow and deadlock-prone inside signal contexts, so it is
+      // rejected at admission instead.
+      return std::atomic_ref<double>::is_always_lock_free;
+  }
+  return false;
+}
+
+StrategyKind effective_strategy(StrategyKind requested) {
+  if (requested != StrategyKind::Auto) return requested;
+  const char* forced = std::getenv("EARTHRED_FORCE_STRATEGY");
+  if (forced == nullptr || *forced == '\0') return requested;
+  return parse_strategy(forced);
+}
+
+StrategyInputs strategy_inputs(const KernelShape& shape,
+                               std::uint32_t num_procs, std::uint32_t k) {
+  StrategyInputs in;
+  in.num_nodes = shape.num_nodes == 0 ? 1 : shape.num_nodes;
+  in.num_edges = shape.num_edges == 0 ? 1 : shape.num_edges;
+  in.num_refs = shape.num_refs == 0 ? 1 : shape.num_refs;
+  in.num_reduction_arrays =
+      shape.num_reduction_arrays == 0 ? 1 : shape.num_reduction_arrays;
+  in.num_procs = num_procs == 0 ? 1 : num_procs;
+  in.k = k == 0 ? 1 : k;
+  in.hw_threads = support::hardware_threads();
+  return in;
+}
+
+namespace {
+
+// Cost-model constants, in units of one fused gather-accumulate (the
+// per-reference compute work every strategy pays identically). They are
+// coarse on purpose: the model only has to rank strategies correctly on
+// real shapes (bench_hotpath's strategy section gates the auto pick at
+// >= 0.9x the best measured strategy), not predict absolute time.
+constexpr double kCopyCost = 0.45;    ///< one double copied, per double
+constexpr double kSyncCost = 5.0;     ///< one semaphore/barrier handoff
+constexpr double kCasCost = 5.0;      ///< CAS-loop fetch_add vs plain add
+constexpr double kEdgeCallCost = 2.0; ///< per-edge virtual call + scratch
+                                      ///< zero (the atomic path cannot
+                                      ///< use the batched phase loops)
+constexpr double kOversubFactor = 100.0;  ///< a handoff between procs
+                                          ///< sharing a hardware thread is
+                                          ///< a scheduler round trip
+                                          ///< (~10us), not a cache-line
+                                          ///< ping (~100ns)
+
+double derived_fanin(const StrategyInputs& in) {
+  if (in.fanin_mean > 0.0) return in.fanin_mean;
+  return static_cast<double>(in.num_edges) * in.num_refs /
+         static_cast<double>(in.num_nodes);
+}
+
+}  // namespace
+
+std::vector<StrategyCost> score_strategies(const StrategyInputs& in) {
+  const double N = static_cast<double>(in.num_nodes);
+  const double E = static_cast<double>(in.num_edges);
+  const double P = in.num_procs;
+  const double K = in.k;
+  const double R = in.num_refs;
+  const double RA = in.num_reduction_arrays;
+  const double fanin = derived_fanin(in);
+
+  // When the plan runs more procs than the host has hardware threads,
+  // every handoff parks a thread through the OS scheduler; price sync at
+  // the context-switch rate. hw_threads == 0 (the compiler's static
+  // pass) models a dedicated host and keeps the base rate.
+  const bool oversub = in.hw_threads != 0 && in.num_procs > in.hw_threads;
+  const double sync_unit = oversub ? kSyncCost * kOversubFactor : kSyncCost;
+  const char* sync_note = oversub ? ", oversubscribed host" : "";
+
+  std::vector<StrategyCost> scores;
+  scores.reserve(3);
+
+  // Phased: every portion (N/(k*P) elements x RA arrays) is copied
+  // through the staging slot of each of the k*P phases once per sweep —
+  // P * N * RA doubles of rotation traffic — plus two semaphore handoffs
+  // per (proc, phase).
+  {
+    const double rotate = kCopyCost * P * N * RA / E;
+    const double sync = sync_unit * 2.0 * K * P * P / E;
+    StrategyCost c;
+    c.strategy = StrategyKind::Phased;
+    c.cost_per_edge = R + rotate + sync;
+    c.rationale = strformat(
+        "compute %.2f + rotate %.2f (%.2g portion-doubles/edge) + "
+        "sync %.2f (%u phases x %u procs%s)",
+        R, rotate, P * N * RA / E, sync,
+        static_cast<unsigned>(in.k * in.num_procs),
+        static_cast<unsigned>(in.num_procs), sync_note);
+    scores.push_back(std::move(c));
+  }
+
+  // Privatized: replicas are zeroed and folded every sweep — P reads +
+  // 1 write of N * RA doubles — with three barriers per sweep. Replica
+  // memory beyond the last-level cache makes the merge bandwidth-bound,
+  // modeled as a flat multiplier per doubling.
+  {
+    const double replica_bytes = P * N * RA * 8.0;
+    constexpr double kLlcBytes = 32.0 * 1024 * 1024;
+    double mem_penalty = 1.0;
+    for (double b = replica_bytes; b > kLlcBytes && mem_penalty < 4.0;
+         b /= 2.0)
+      mem_penalty += 0.25;
+    const double merge = kCopyCost * (P + 1.0) * N * RA / E * mem_penalty;
+    const double sync = sync_unit * 3.0 * P / E;
+    StrategyCost c;
+    c.strategy = StrategyKind::Privatized;
+    c.cost_per_edge = R + merge + sync;
+    c.rationale = strformat(
+        "compute %.2f + merge %.2f (%u replicas of %.2g doubles, "
+        "mem penalty %.2fx) + sync %.2f (3 barriers%s)",
+        R, merge, static_cast<unsigned>(in.num_procs), N * RA,
+        mem_penalty, sync, sync_note);
+    scores.push_back(std::move(c));
+  }
+
+  // Atomic: no rotation and no merge, but every scatter is a CAS loop,
+  // the batched phase loops are unavailable (contributions must be
+  // captured per edge before the atomic adds), and fan-in skew means hot
+  // elements serialize on their cache line.
+  {
+    const double contention = 2.0 * in.fanin_cv;
+    StrategyCost c;
+    c.strategy = StrategyKind::Atomic;
+    c.cost_per_edge = R * (1.0 + kCasCost + contention) + kEdgeCallCost;
+    c.auto_eligible = !in.fp_accumulators;
+    c.rationale = strformat(
+        "compute %.2f x (1 + cas %.1f + contention %.2f) + per-edge "
+        "call %.1f; fan-in %.1f%s",
+        R, kCasCost, contention, kEdgeCallCost, fanin,
+        in.fp_accumulators
+            ? "; order-sensitive for real accumulators: opt-in only"
+            : "");
+    scores.push_back(std::move(c));
+  }
+  return scores;
+}
+
+StrategyKind choose_strategy(const StrategyInputs& in) {
+  const std::vector<StrategyCost> scores = score_strategies(in);
+  const StrategyCost* best = nullptr;
+  for (const StrategyCost& c : scores) {
+    if (!c.auto_eligible || !strategy_supported(c.strategy)) continue;
+    if (best == nullptr || c.cost_per_edge < best->cost_per_edge) best = &c;
+  }
+  return best == nullptr ? StrategyKind::Phased : best->strategy;
+}
+
+StrategyKind resolve_strategy(StrategyKind requested,
+                              const StrategyInputs& in) {
+  const StrategyKind effective = effective_strategy(requested);
+  if (effective == StrategyKind::Auto) return choose_strategy(in);
+  if (!strategy_supported(effective)) {
+    throw check_error(strformat(
+        "E-STRATEGY-UNSUPPORTED: strategy '%.*s' is not available on this "
+        "host; use --strategy=auto for graceful fallback",
+        static_cast<int>(to_string(effective).size()),
+        to_string(effective).data()));
+  }
+  return effective;
+}
+
+std::uint64_t privatized_replica_bytes(const KernelShape& shape,
+                                       std::uint32_t num_procs) {
+  return static_cast<std::uint64_t>(num_procs) * shape.num_nodes *
+         shape.num_reduction_arrays * sizeof(double);
+}
+
+}  // namespace earthred::core

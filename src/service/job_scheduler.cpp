@@ -74,6 +74,34 @@ JobHandle JobScheduler::submit(JobRequest req) {
     reject(e.what(), &rejected_backend_);
     return handle;
   }
+  // Strategy admission, same contract: a forced strategy the host cannot
+  // execute — or a forced privatized strategy whose replica memory would
+  // bust the budget — rejects here with "E-STRATEGY-UNSUPPORTED";
+  // `strategy=auto` always resolves and never rejects.
+  if (!req.simulated) {
+    try {
+      const core::KernelShape shape = req.kernel->shape();
+      const core::StrategyKind forced =
+          core::effective_strategy(req.plan.strategy);
+      (void)core::resolve_strategy(
+          req.plan.strategy,
+          core::strategy_inputs(shape, req.plan.num_procs, req.plan.k));
+      if (forced == core::StrategyKind::Privatized) {
+        const std::uint64_t bytes =
+            core::privatized_replica_bytes(shape, req.plan.num_procs);
+        if (bytes > cfg_.max_replica_bytes)
+          throw check_error(strformat(
+              "E-STRATEGY-UNSUPPORTED: privatized replicas need %llu "
+              "bytes, over the %llu-byte admission budget; use "
+              "strategy=auto or fewer procs",
+              static_cast<unsigned long long>(bytes),
+              static_cast<unsigned long long>(cfg_.max_replica_bytes)));
+      }
+    } catch (const check_error& e) {
+      reject(e.what(), &rejected_strategy_);
+      return handle;
+    }
+  }
   {
     std::unique_lock<std::mutex> lock(mutex_);
     if (stopping_) {
@@ -216,6 +244,11 @@ void JobScheduler::worker_loop() {
           case core::BackendKind::Avx2: ++served_avx2_; break;
           default: ++served_scalar_; break;
         }
+        switch (out.strategy) {
+          case core::StrategyKind::Privatized: ++served_privatized_; break;
+          case core::StrategyKind::Atomic: ++served_atomic_; break;
+          default: ++served_phased_; break;
+        }
       } else if (out.state == JobState::Rejected) {
         // Worker-resolved rejects (plan verification) land in the same
         // lifetime tally as admission rejects, plus their own bucket.
@@ -310,6 +343,7 @@ JobOutcome JobScheduler::execute(Queued& job) {
       out.native = core::run_native_plan(*req.kernel, *plan, sopt);
       out.exec_seconds = seconds_since(t1);
       out.backend = out.native.backend;
+      out.strategy = out.native.strategy;
     }
     out.state = JobState::Done;
   } catch (const verify_error& e) {
@@ -336,9 +370,13 @@ ServiceStats JobScheduler::stats() const {
     s.rejected_plan = rejected_plan_;
     s.rejected_deadline = rejected_deadline_;
     s.rejected_backend = rejected_backend_;
+    s.rejected_strategy = rejected_strategy_;
     s.served_scalar = served_scalar_;
     s.served_avx2 = served_avx2_;
     s.served_avx512 = served_avx512_;
+    s.served_phased = served_phased_;
+    s.served_privatized = served_privatized_;
+    s.served_atomic = served_atomic_;
     s.completed = completed_;
     s.failed = failed_;
     s.queue_depth = queue_.size();

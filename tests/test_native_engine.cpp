@@ -85,6 +85,10 @@ TEST(NativeEngine, RepeatedRunsAreDeterministic) {
   opt.num_procs = 5;
   opt.k = 2;
   opt.sweeps = 4;
+  // Bit-reproducibility is a phased/privatized contract; pin phased so
+  // the CI strategy-matrix env cannot route this onto the atomic scatter,
+  // which is tolerance-reproducible only.
+  opt.strategy = StrategyKind::Phased;
   const NativeResult a = run_native_engine(kernel, opt);
   const NativeResult b = run_native_engine(kernel, opt);
   for (std::size_t arr = 0; arr < a.node_read.size(); ++arr)
@@ -136,6 +140,9 @@ TEST(NativeEngine, LostForwardTripsStallWatchdog) {
   opt.k = 2;
   opt.sweeps = 3;
   opt.stall_timeout = 0.5;
+  // The faulted ring forward only exists in the phased executor; pin the
+  // strategy so auto cannot route around the fault.
+  opt.strategy = StrategyKind::Phased;
   opt.lose_forward = {true, 0, 0, 0};
   try {
     run_native_engine(kernel, opt);

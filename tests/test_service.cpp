@@ -277,6 +277,9 @@ TEST(JobScheduler, DeadlineStallSurfacesAsFailedJob) {
           mesh::make_geometric_mesh({100, 600, 11})));
   req.name = "stalling";
   req.plan = plan_opts(4, 2);
+  // The lost-forward hook faults the rotation ring, which only exists in
+  // the phased executor — pin it so auto cannot route around the fault.
+  req.plan.strategy = core::StrategyKind::Phased;
   req.sweeps = 3;
   req.deadline_seconds = 0.3;
   req.lose_forward = {true, 0, 0, 0};

@@ -19,6 +19,13 @@
 //                        widest tier the host supports, an explicit tier
 //                        the host lacks fails with E-BACKEND-UNSUPPORTED;
 //                        all tiers are bit-identical)
+//                        [--strategy=auto|phased|privatized|atomic]
+//                        (lowering strategy: phased rotation engine,
+//                        per-worker privatized replicas with a fixed
+//                        worker-ascending fold, or opt-in atomic CAS
+//                        scatter; auto scores all three with the cost
+//                        model in src/core/strategy.cpp and never picks
+//                        atomic for floating-point accumulators)
 //                        fault injection (engine=rotation only):
 //                        [--fault-drop=p] [--fault-corrupt=p]
 //                        [--fault-dup=p] [--fault-delay=p]
@@ -26,12 +33,24 @@
 //                        [--fault-dead-link=src:dst] [--reliable]
 //   earthred compile    --file=loop.dsl [--emit]
 //   earthred check      <loop.dsl> | --file=loop.dsl
-//                        (reduction-legality analysis: prints every
-//                        diagnostic with source snippets; exit 1 on
-//                        errors, 0 on clean/warnings-only)
+//                        [--explain] [--json] [--Werror]
+//                        [--strategy=auto|phased|privatized|atomic]
+//                        [--procs=P] [--k=K]
+//                        (reduction-legality analysis + per-loop lowering
+//                        strategy selection: prints every diagnostic with
+//                        source snippets; --explain adds I-STRATEGY-*
+//                        notes and the rendered lowering plan; --strategy
+//                        forces one lowering and reports what auto would
+//                        have picked; --procs/--k parameterize the cost
+//                        model; --json emits one machine-readable object
+//                        (diagnostics + per-loop strategy scores) on
+//                        stdout. Exit 1 on errors, 2 with --Werror when
+//                        warnings remain, else 0.)
 //   earthred batch      --jobs=jobs.txt [--workers=W] [--queue=N]
 //                        [--backend=...] (default compute backend for
 //                        jobs that don't carry their own backend= key)
+//                        [--strategy=...] (default lowering strategy for
+//                        jobs without their own strategy= key)
 //                        [--cache-mb=M] [--no-cache] [--deadline=S]
 //                        [--plan-store=DIR] (persistent plan tier: plans
 //                        load zero-copy from DIR and new builds persist)
@@ -101,9 +120,14 @@
 // sweeps; defaults to the build type's PlanOptions::verify),
 // [backend=auto|scalar|avx2|avx512] (compute backend; an unsupported
 // tier is rejected at admission with E-BACKEND-UNSUPPORTED, auto never
-// rejects). Jobs on the same mesh share one cached execution plan (see
-// src/service/plan_cache.hpp) — the backend never forks the plan key,
-// since every backend is bit-identical by contract.
+// rejects), [strategy=auto|phased|privatized|atomic] (lowering strategy;
+// a forced strategy the host cannot honor — or forced privatized replicas
+// over the admission byte budget — is rejected with
+// E-STRATEGY-UNSUPPORTED, auto never rejects). Jobs on the same mesh
+// share one cached execution plan (see src/service/plan_cache.hpp) — the
+// backend never forks the plan key, since every backend is bit-identical
+// by contract, but a concrete strategy= DOES fork it, since strategies
+// may legally differ in floating-point summation order.
 //
 // Adaptive jobs: mutate=N [mutate-seed=S] rewires N random interactions
 // of the job's mesh and submits the mutated kernel with the *base* mesh's
@@ -139,6 +163,8 @@
 #include "compiler/check.hpp"
 #include "compiler/codegen.hpp"
 #include "compiler/compiler.hpp"
+#include "compiler/strategy.hpp"
+#include "core/strategy.hpp"
 #include "core/classic_engine.hpp"
 #include "core/native_engine.hpp"
 #include "core/reduction_engine.hpp"
@@ -343,6 +369,17 @@ int cmd_run(const Options& opt) {
                         " only applies to --engine=native (the '" + engine +
                         "' engine simulates per-edge execution)");
   }
+  // --strategy likewise picks a native lowering (phased rotation,
+  // privatized replicas, or atomic scatter); the simulated engines only
+  // model the phased rotation, so a concrete strategy is refused there.
+  if (opt.has("strategy")) {
+    const core::StrategyKind requested =
+        core::parse_strategy(opt.get("strategy"));
+    if (engine != "native" && requested != core::StrategyKind::Auto)
+      throw check_error("--strategy=" + opt.get("strategy") +
+                        " only applies to --engine=native (the '" + engine +
+                        "' engine simulates the phased rotation only)");
+  }
 
   if (opt.get_bool("check", false)) {
     // Prove the plan before running anything: full structural invariants
@@ -387,6 +424,7 @@ int cmd_run(const Options& opt) {
     nopt.sweeps = sweeps;
     hotpath_from_options(opt, nopt.batch, nopt.affinity,
                          nopt.build_threads, nopt.backend);
+    nopt.strategy = core::parse_strategy(opt.get("strategy", "auto"));
     const core::ExecutionPlan plan =
         core::build_execution_plan(*kernel, nopt.plan());
     const core::NativeResult r =
@@ -395,6 +433,7 @@ int cmd_run(const Options& opt) {
     t.add_row({"wall seconds (host threads)", fmt_f(r.wall_seconds, 4)});
     t.add_row({"executor", nopt.batch ? "batched" : "per-edge"});
     t.add_row({"backend", std::string(core::to_string(r.backend))});
+    t.add_row({"strategy", std::string(core::to_string(r.strategy))});
   } else {
     core::RunResult r;
     if (engine == "classic") {
@@ -500,6 +539,47 @@ int cmd_compile(const Options& opt) {
   return 0;
 }
 
+/// Serializes a StrategyReport's lowering plan as a JSON array of loops.
+std::string lowering_plan_json(const compiler::LoweringPlan& plan) {
+  std::vector<std::string> loops;
+  for (const compiler::LoopStrategy& ls : plan.loops) {
+    std::vector<std::string> chains;
+    for (const compiler::ChainInfo& c : ls.chains) {
+      std::vector<std::string> vias;
+      for (const std::string& v : c.indirections)
+        vias.push_back("\"" + json_escape(v) + "\"");
+      JsonWriter cw;
+      cw.field("array", c.array)
+          .raw_field("indirections", json_array(vias))
+          .field("elem",
+                 c.elem == compiler::ElemType::Real ? "real" : "int")
+          .field("updates_per_iteration",
+                 static_cast<std::uint64_t>(c.updates_per_iteration))
+          .field("has_subtract", c.has_subtract)
+          .field("fanin", c.fanin);
+      chains.push_back(cw.str());
+    }
+    std::vector<std::string> scores;
+    for (const core::StrategyCost& s : ls.scores) {
+      JsonWriter sw;
+      sw.field("strategy", std::string(core::to_string(s.strategy)))
+          .field("cost_per_edge", s.cost_per_edge)
+          .field("auto_eligible", s.auto_eligible)
+          .field("rationale", s.rationale);
+      scores.push_back(sw.str());
+    }
+    JsonWriter lw;
+    lw.field("line", ls.line)
+        .field("legal", ls.legal)
+        .field("strategy", std::string(core::to_string(ls.chosen)))
+        .field("rationale", ls.rationale)
+        .raw_field("chains", json_array(chains))
+        .raw_field("scores", json_array(scores));
+    loops.push_back(lw.str());
+  }
+  return json_array(loops);
+}
+
 int cmd_check(const Options& opt) {
   std::string path = opt.get("file");
   if (path.empty() && !opt.positional().empty())
@@ -507,7 +587,47 @@ int cmd_check(const Options& opt) {
   if (path.empty())
     throw check_error("check needs a DSL file: earthred check loop.dsl");
   const std::string source = read_file(path);
-  const compiler::CheckReport report = compiler::check_source(source);
+
+  compiler::StrategyContext ctx;
+  ctx.explain = opt.get_bool("explain", false);
+  ctx.forced = core::parse_strategy(opt.get("strategy", "auto"));
+  ctx.num_procs = static_cast<std::uint32_t>(opt.get_int("procs", 4));
+  ctx.k = static_cast<std::uint32_t>(opt.get_int("k", 2));
+  const compiler::StrategyReport sr =
+      compiler::check_source_with_strategies(source, ctx);
+  const compiler::CheckReport& report = sr.check;
+
+  const bool werror = opt.get_bool("Werror", false);
+  const int exit_code = report.has_errors() ? 1
+                        : werror && report.warning_count() > 0 ? 2
+                                                               : 0;
+
+  if (opt.get_bool("json", false)) {
+    // One machine-readable object on stdout: what CI's lint gate and
+    // editor integrations consume instead of scraping the text form.
+    std::vector<std::string> diags;
+    for (const Diagnostic& d : report.diagnostics) {
+      JsonWriter dw;
+      dw.field("line", d.line)
+          .field("col", d.column)
+          .field("severity", earthred::to_string(d.severity))
+          .field("code", d.code)
+          .field("message", d.message);
+      diags.push_back(dw.str());
+    }
+    JsonWriter w;
+    w.field("file", path)
+        .field("errors", static_cast<std::uint64_t>(report.error_count()))
+        .field("warnings",
+               static_cast<std::uint64_t>(report.warning_count()))
+        .field("werror", werror)
+        .field("exit", static_cast<std::int64_t>(exit_code))
+        .raw_field("diagnostics", json_array(diags))
+        .raw_field("loops", lowering_plan_json(sr.lowering));
+    std::printf("%s\n", w.str().c_str());
+    return exit_code;
+  }
+
   for (const Diagnostic& d : report.diagnostics)
     std::printf("%s:%s\n", path.c_str(), d.to_string().c_str());
   if (report.has_errors()) {
@@ -516,14 +636,16 @@ int cmd_check(const Options& opt) {
                 path.c_str(), report.error_count(), report.warning_count());
     return 1;
   }
+  if (ctx.explain) std::printf("%s", sr.lowering.render().c_str());
   std::size_t reductions = 0;
   for (const compiler::LoopLegality& l : report.loops)
     reductions += l.reduction_writes;
   std::printf("%s: ok — %zu loop(s), %zu reduction statement(s), %zu "
-              "warning(s)\n",
+              "warning(s)%s\n",
               path.c_str(), report.loops.size(), reductions,
-              report.warning_count());
-  return 0;
+              report.warning_count(),
+              exit_code == 2 ? " [--Werror: warnings are fatal]" : "");
+  return exit_code;
 }
 
 // ---- batch/serve: drive the reduction service from a job list ----------
@@ -577,6 +699,10 @@ int run_service(std::istream& jobs_in, const Options& opt) {
   // concrete backend= run on this (auto = widest supported tier).
   const core::BackendKind default_backend =
       core::parse_backend(opt.get("backend", "auto"));
+  // Same shape for the lowering strategy; auto defers to the per-shape
+  // cost model at execution time.
+  const core::StrategyKind default_strategy =
+      core::parse_strategy(opt.get("strategy", "auto"));
 
   service::install_shutdown_signals();
 
@@ -602,6 +728,8 @@ int run_service(std::istream& jobs_in, const Options& opt) {
     for (service::JobRequest& req : b.requests) {
       if (req.backend == core::BackendKind::Auto)
         req.backend = default_backend;
+      if (req.plan.strategy == core::StrategyKind::Auto)
+        req.plan.strategy = default_strategy;
       handles.push_back(sched.submit(std::move(req)));
     }
   }
@@ -666,7 +794,8 @@ int run_service(std::istream& jobs_in, const Options& opt) {
       detail = fmt_group(static_cast<long long>(
                    o.simulated_run.total_cycles)) + " cycles";
     else if (o.state == service::JobState::Done && !o.simulated)
-      detail = "backend=" + std::string(core::to_string(o.backend));
+      detail = "backend=" + std::string(core::to_string(o.backend)) +
+               " strategy=" + std::string(core::to_string(o.strategy));
     t.add_row({o.name, to_string(o.state),
                o.state == service::JobState::Rejected
                    ? "-"
@@ -687,6 +816,7 @@ int run_service(std::istream& jobs_in, const Options& opt) {
           .field("total_seconds", o.total_seconds);
       if (o.state == service::JobState::Done && !o.simulated)
         w.field("backend", std::string(core::to_string(o.backend)))
+            .field("strategy", std::string(core::to_string(o.strategy)))
             .field("digest",
                 strformat("%016llx",
                           static_cast<unsigned long long>(
@@ -707,9 +837,13 @@ int run_service(std::istream& jobs_in, const Options& opt) {
         .field("failed", stats.failed)
         .field("rejected", stats.rejected)
         .field("rejected_backend", stats.rejected_backend)
+        .field("rejected_strategy", stats.rejected_strategy)
         .field("served_scalar", stats.served_scalar)
         .field("served_avx2", stats.served_avx2)
         .field("served_avx512", stats.served_avx512)
+        .field("served_phased", stats.served_phased)
+        .field("served_privatized", stats.served_privatized)
+        .field("served_atomic", stats.served_atomic)
         .field("p50_latency_s", stats.p50_latency)
         .field("p95_latency_s", stats.p95_latency)
         .field("p99_latency_s", stats.p99_latency)
@@ -839,6 +973,8 @@ int run_netserve(const Options& opt) {
   // without a concrete backend= key runs on the server's --backend=.
   const core::BackendKind default_backend =
       core::parse_backend(opt.get("backend", "auto"));
+  const core::StrategyKind default_strategy =
+      core::parse_strategy(opt.get("strategy", "auto"));
 
   service::ServeConfig scfg;
   scfg.host = opt.get("host", "127.0.0.1");
@@ -851,11 +987,15 @@ int run_netserve(const Options& opt) {
 
   service::ServeLoop loop(
       sched,
-      [builder, lineno, default_backend](std::string_view job_line) {
+      [builder, lineno, default_backend,
+       default_strategy](std::string_view job_line) {
         service::JobBuild b = builder->build(job_line, ++*lineno);
-        for (service::JobRequest& req : b.requests)
+        for (service::JobRequest& req : b.requests) {
           if (req.backend == core::BackendKind::Auto)
             req.backend = default_backend;
+          if (req.plan.strategy == core::StrategyKind::Auto)
+            req.plan.strategy = default_strategy;
+        }
         return b;
       },
       scfg);
