@@ -30,6 +30,8 @@
 //   I-STRATEGY-CHAIN       (explain) one note per classified chain
 //   I-STRATEGY-COST        (explain) one note per scored strategy
 //   I-STRATEGY-CHOICE      (explain) the chosen strategy + rationale
+//   I-STRATEGY-LAYOUT      (explain) estimated reduction-array cache-line
+//                          reuse the --layout pass would unlock per loop
 #pragma once
 
 #include <cstdint>
@@ -101,6 +103,11 @@ struct LoopStrategy {
   std::vector<core::StrategyCost> scores;
   core::StrategyKind chosen = core::StrategyKind::Phased;
   std::string rationale;
+  /// Estimated scattered updates served per reduction-array cache-line
+  /// fetch once the layout pass localizes the targets (mean fan-in x
+  /// accumulator elements per line). The layout=none baseline on a
+  /// DRAM-resident array is ~1 update per fetch; 0 when not scored.
+  double est_line_reuse = 0.0;
 };
 
 /// The pass result: one LoopStrategy per program loop (parallel to

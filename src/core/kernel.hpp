@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -70,6 +71,12 @@ struct PhaseView {
   /// Resolved compute backend for this phase's batch loop (never Auto;
   /// the executor resolves once per run). Scalar is always a safe value.
   BackendKind backend = BackendKind::Scalar;
+  /// Cache-blocking tile size in iterations from the plan's layout pass
+  /// (ExecutionPlan::tile_iters). 0 = untiled: batch loops run the whole
+  /// phase in one span. Tiling only changes issue distance (the next
+  /// tile's gather lines are software-prefetched), never evaluation
+  /// order, so it is bit-safe under every backend.
+  std::uint32_t tile_iters = 0;
 
   /// Contiguous redirected indices for reference slot `r`.
   const std::uint32_t* indir_row(std::uint32_t r) const noexcept {
@@ -139,6 +146,20 @@ class PhasedKernel {
       compute_edge(ctx, tags, phase.iter_global[j], phase.iter_local[j],
                    redirected, arrays);
     }
+  }
+
+  /// Layout support: returns a deep copy of this kernel with every node id
+  /// relabeled through `perm` (perm[old] = new) — mesh endpoints, node-
+  /// indexed coefficient tables, and ref() targets all move together, so
+  /// running the clone against a plan whose references were gathered
+  /// through the same `perm` performs the identical floating-point
+  /// operations at relabeled addresses. Kernels that cannot relabel
+  /// (e.g. compiler-synthesized environments) return nullptr and the
+  /// layout pass falls back to LayoutKind::None for them.
+  virtual std::unique_ptr<PhasedKernel> clone_renumbered(
+      std::span<const std::uint32_t> perm) const {
+    (void)perm;
+    return nullptr;
   }
 };
 

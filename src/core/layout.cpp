@@ -1,0 +1,52 @@
+#include "core/layout.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "support/check.hpp"
+#include "support/cpu_features.hpp"
+#include "support/str.hpp"
+
+namespace earthred::core {
+
+std::string_view to_string(LayoutKind kind) {
+  switch (kind) {
+    case LayoutKind::None: return "none";
+    case LayoutKind::Rcm: return "rcm";
+    case LayoutKind::Auto: return "auto";
+  }
+  return "?";
+}
+
+LayoutKind parse_layout(std::string_view name) {
+  if (name == "none") return LayoutKind::None;
+  if (name == "rcm") return LayoutKind::Rcm;
+  if (name == "auto") return LayoutKind::Auto;
+  throw check_error(strformat(
+      "E-LAYOUT-NAME: unknown layout '%.*s' (expected none|rcm|auto)",
+      static_cast<int>(name.size()), name.data()));
+}
+
+LayoutKind effective_layout(LayoutKind requested) {
+  if (requested != LayoutKind::None) return requested;
+  const char* forced = std::getenv("EARTHRED_FORCE_LAYOUT");
+  if (forced == nullptr || *forced == '\0') return requested;
+  return parse_layout(forced);
+}
+
+std::uint32_t layout_tile_iters(std::uint32_t bytes_per_iter,
+                                std::uint32_t override_iters) {
+  if (override_iters != 0) return override_iters;
+  if (bytes_per_iter == 0) return 0;
+  const support::CacheInfo& cache = support::host_cache_info();
+  // Half the L1d for the tile's gather stream; 32 KiB when undetected.
+  const std::uint64_t budget =
+      (cache.l1d_bytes != 0 ? cache.l1d_bytes : 32 * 1024) / 2;
+  const std::uint64_t iters = budget / bytes_per_iter;
+  // Floor of 256 keeps the per-tile dispatch overhead negligible even for
+  // fat iterations; cap guards against a bogus huge sysconf value.
+  return static_cast<std::uint32_t>(
+      std::clamp<std::uint64_t>(iters, 256, 1u << 20));
+}
+
+}  // namespace earthred::core

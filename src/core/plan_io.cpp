@@ -76,6 +76,19 @@ bool decode_header(std::span<const std::byte> bytes, PlanFileHeader* out,
                           h.strategy));
   h.payload_bytes = r.u64();
   h.payload_checksum = r.u64();
+  // v2: layout kinds + tile size.
+  h.layout = r.u32();
+  h.applied_layout = r.u32();
+  h.tile_iters = r.u32();
+  r.u32();  // pad
+  if (r.fail())
+    return fail("E-STORE-TRUNC",
+                strformat("file holds %zu bytes, the header alone is %zu",
+                          bytes.size(), kPlanHeaderBytes));
+  if (h.layout > 2 || h.applied_layout > 2)
+    return fail("E-STORE-PARSE",
+                strformat("unknown layout kind %u/%u in header", h.layout,
+                          h.applied_layout));
   if (out) *out = h;
   return true;
 }
@@ -88,13 +101,37 @@ bool decode_header(std::span<const std::byte> bytes, PlanFileHeader* out,
 /// cover semantic mismatches).
 bool parse_payload(const PlanFileHeader& h,
                    std::span<const std::byte> payload, ExecutionPlan* plan,
-                   std::string* detail) {
+                   std::string* code, std::string* detail) {
   const auto fail = [&](std::string d) {
     if (detail) *detail = std::move(d);
     return false;
   };
   ByteReader r(payload);
   plan->build_seconds = r.f64();
+
+  // v2: the layout permutation (and inverse) ride ahead of the inspector
+  // records. Either both empty (no renumbering) or both num_nodes long
+  // and mutually inverse bijections — anything else is E-STORE-PERM, a
+  // coded rejection, never a crash at execution time.
+  plan->perm.adopt(r.u32_array());
+  plan->perm_inv.adopt(r.u32_array());
+  if (r.fail()) return fail("payload ends inside the layout permutation");
+  const std::size_t np = plan->perm.size();
+  if (np != plan->perm_inv.size() || (np != 0 && np != h.num_nodes)) {
+    if (code) *code = "E-STORE-PERM";
+    return fail(strformat("layout permutation arrays hold %zu/%zu entries "
+                          "for %u nodes",
+                          np, plan->perm_inv.size(), h.num_nodes));
+  }
+  for (std::size_t v = 0; v < np; ++v) {
+    const std::uint32_t pv = plan->perm[v];
+    if (pv >= np || plan->perm_inv[pv] != v) {
+      if (code) *code = "E-STORE-PERM";
+      return fail(strformat("layout permutation is not a bijection at "
+                            "element %zu",
+                            v));
+    }
+  }
 
   const std::uint64_t phases_per_proc =
       static_cast<std::uint64_t>(h.k) * h.num_procs;
@@ -173,6 +210,8 @@ std::vector<std::byte> serialize_plan(const ExecutionPlan& plan,
                                       std::uint64_t content_hash) {
   ByteWriter payload;
   payload.f64(plan.build_seconds);
+  payload.u32_array(plan.perm);
+  payload.u32_array(plan.perm_inv);
   for (const inspector::InspectorResult& insp : plan.insp) {
     payload.u32(insp.num_buffer_slots);
     payload.u32(0);  // pad
@@ -211,6 +250,10 @@ std::vector<std::byte> serialize_plan(const ExecutionPlan& plan,
   file.u32(static_cast<std::uint32_t>(plan.options.strategy));
   file.u64(payload.size());
   file.u64(support::fast_hash64(payload.bytes().data(), payload.size()));
+  file.u32(static_cast<std::uint32_t>(plan.options.layout));
+  file.u32(static_cast<std::uint32_t>(plan.applied_layout));
+  file.u32(plan.tile_iters);
+  file.u32(0);  // pad to the 112-byte header
 
   std::vector<std::byte> out;
   out.reserve(kPlanHeaderBytes + payload.size());
@@ -297,19 +340,25 @@ PlanLoadResult load_plan_file(const std::string& path) {
   plan.options.block_cyclic_size = h.block_cyclic_size;
   plan.options.inspector.dedup_buffers = h.dedup_buffers != 0;
   plan.options.strategy = static_cast<StrategyKind>(h.strategy);
+  plan.options.layout = static_cast<LayoutKind>(h.layout);
+  plan.applied_layout = static_cast<LayoutKind>(h.applied_layout);
+  plan.tile_iters = h.tile_iters;
   // The load itself is the proof; re-verification on use is the
   // admission paths' call, not an obligation baked into the plan.
   plan.options.verify = false;
 
+  std::string parse_code = "E-STORE-PARSE";
   std::string parse_detail;
-  const bool parsed = parse_payload(h, payload, &plan, &parse_detail);
+  const bool parsed =
+      parse_payload(h, payload, &plan, &parse_code, &parse_detail);
 
   checksum_thread.join();
   // Corruption names its root cause: a flipped bit usually breaks the
   // parse too, but E-STORE-CHECKSUM is the diagnosis.
   if (checksum != h.payload_checksum)
     return rejected("E-STORE-CHECKSUM", "payload hash mismatch");
-  if (!parsed) return rejected("E-STORE-PARSE", std::move(parse_detail));
+  if (!parsed)
+    return rejected(std::move(parse_code), std::move(parse_detail));
 
   // Budget-mode verification: the same invariant set the producer's
   // fingerprint promises, proven against *these* bytes.
@@ -344,7 +393,11 @@ bool plans_bit_identical(const ExecutionPlan& a, const ExecutionPlan& b) {
       a.options.distribution != b.options.distribution ||
       a.options.inspector.dedup_buffers !=
           b.options.inspector.dedup_buffers ||
-      a.options.strategy != b.options.strategy)
+      a.options.strategy != b.options.strategy ||
+      a.options.layout != b.options.layout ||
+      a.applied_layout != b.applied_layout ||
+      a.tile_iters != b.tile_iters || !(a.perm == b.perm) ||
+      !(a.perm_inv == b.perm_inv))
     return false;
   if (a.options.distribution == inspector::Distribution::BlockCyclic &&
       a.options.block_cyclic_size != b.options.block_cyclic_size)

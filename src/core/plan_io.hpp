@@ -1,6 +1,6 @@
 // Serialization of ExecutionPlans for the persistent plan store.
 //
-// One file per plan: a 96-byte little-endian header followed by a flat
+// One file per plan: a 112-byte little-endian header followed by a flat
 // payload (docs/architecture.md section 11):
 //
 //   offset  field
@@ -18,9 +18,13 @@
 //           what pre-strategy files wrote as their reserved field)
 //       80  u64 payload_bytes
 //       88  u64 payload_checksum      support::fast_hash64 of the payload
+//       96  u32 layout (requested LayoutKind), applied_layout,
+//           tile_iters, pad          (new in format v2)
 //
-// The payload serializes build_seconds plus each processor's inspector
-// output, every u32 array as a count + 8-byte-aligned data — the
+// The payload serializes build_seconds, the layout permutation and its
+// inverse (empty arrays when the plan carries no renumbering), then each
+// processor's inspector output, every u32 array as a count +
+// 8-byte-aligned data — the
 // alignment that lets load_plan_file adopt the arrays as views into the
 // file's memory mapping (zero-copy warm start; the mapping's lifetime is
 // held by ExecutionPlan::storage). Per-phase `indir` rows are not
@@ -45,6 +49,7 @@
 //   E-STORE-CHECKSUM  payload hash mismatch (reported in preference to
 //                     parse/verify failures: corruption names its cause)
 //   E-STORE-PARSE     structurally inconsistent with the header counts
+//   E-STORE-PERM      layout permutation is truncated or not a bijection
 //   E-STORE-VERIFY    parsed, but failed the budget-mode plan verifier
 //   E-STORE-KEY       (PlanStore::load) header identity does not match
 //                     the requested key
@@ -61,9 +66,12 @@
 namespace earthred::core {
 
 inline constexpr std::uint64_t kPlanMagic = 0x31304e414c505245ull;  // "ERPLAN01"
-inline constexpr std::uint32_t kPlanFormatVersion = 1;
+/// v2 (layout): header grew 96 -> 112 bytes (layout kinds + tile size at
+/// offset 96) and the payload gained the permutation arrays right after
+/// build_seconds. No cross-version reads — plans are always rebuildable.
+inline constexpr std::uint32_t kPlanFormatVersion = 2;
 inline constexpr std::uint32_t kPlanEndianTag = 0x01020304u;
-inline constexpr std::size_t kPlanHeaderBytes = 96;
+inline constexpr std::size_t kPlanHeaderBytes = 112;
 
 /// Decoded fixed header of a plan file (everything before the payload).
 struct PlanFileHeader {
@@ -85,6 +93,12 @@ struct PlanFileHeader {
   std::uint32_t strategy = 0;
   std::uint64_t payload_bytes = 0;
   std::uint64_t payload_checksum = 0;
+  /// Requested LayoutKind as u32 (0 == None).
+  std::uint32_t layout = 0;
+  /// LayoutKind the build actually applied (never Auto).
+  std::uint32_t applied_layout = 0;
+  /// Cache-blocking tile size (0 = untiled).
+  std::uint32_t tile_iters = 0;
 };
 
 /// Outcome of load_plan_file / PlanStore::load: either a validated plan
@@ -105,7 +119,7 @@ struct PlanLoadResult {
 std::vector<std::byte> serialize_plan(const ExecutionPlan& plan,
                                       std::uint64_t content_hash);
 
-/// Reads and validates only the 96-byte header — the cheap identity check
+/// Reads and validates only the 112-byte header — the cheap identity check
 /// PlanStore::load and `plan ls` run before trusting a payload. Returns
 /// nullopt with `code`/`detail` set on any header-level rejection.
 std::optional<PlanFileHeader> read_plan_header(const std::string& path,

@@ -460,9 +460,104 @@ ER_TGT_AVX512 void spmv_t_avx512(const SpmvTArgs& a) {
 
 #endif  // EARTHRED_HAS_X86_BACKENDS
 
+// Software prefetch into a low cache level, read-only. A no-op on
+// compilers without the builtin — tiling still works, just without the
+// early line fetch.
+#if defined(__GNUC__) || defined(__clang__)
+#define ER_PREFETCH(p) __builtin_prefetch((p), 0, 1)
+#else
+#define ER_PREFETCH(p) ((void)(p))
+#endif
+
+// Cache-tile drivers: run the phase one tile at a time, prefetching the
+// *next* tile's gather lines before computing the current one. The
+// gather targets (y[eg[j]], edges[eg[j]], ...) are the only
+// data-dependent loads whose addresses are known ahead of the compute
+// loop, so they are what the layout pass's tiling buys back after the
+// target-stable edge sort randomizes edge-data order. Each tile runs the
+// same j-ascending loop as the untiled path, so evaluation order — and
+// therefore every result bit — is unchanged; only memory-issue distance
+// moves.
+
+void fig1_tiled(core::BackendKind backend, const Fig1Args& a) {
+  const std::size_t tile = a.tile;
+  for (std::size_t base = 0; base < a.n; base += tile) {
+    const std::size_t len = std::min(tile, a.n - base);
+    const std::size_t next_end = std::min(a.n, base + len + tile);
+    for (std::size_t j = base + len; j < next_end; ++j)
+      ER_PREFETCH(&a.y[a.eg[j]]);
+    Fig1Args sub = a;
+    sub.ia1 += base;
+    sub.ia2 += base;
+    sub.eg += base;
+    sub.n = len;
+    sub.tile = 0;
+    fig1_phase(backend, sub);
+  }
+}
+
+void euler_tiled(core::BackendKind backend, const EulerArgs& a) {
+  const std::size_t tile = a.tile;
+  for (std::size_t base = 0; base < a.n; base += tile) {
+    const std::size_t len = std::min(tile, a.n - base);
+    const std::size_t next_end = std::min(a.n, base + len + tile);
+    for (std::size_t j = base + len; j < next_end; ++j) {
+      const std::uint32_t e = a.eg[j];
+      ER_PREFETCH(&a.edges[e]);
+      ER_PREFETCH(&a.coef[e]);
+    }
+    EulerArgs sub = a;
+    sub.ia1 += base;
+    sub.ia2 += base;
+    sub.eg += base;
+    sub.n = len;
+    sub.tile = 0;
+    euler_phase(backend, sub);
+  }
+}
+
+void moldyn_tiled(core::BackendKind backend, const MoldynArgs& a) {
+  const std::size_t tile = a.tile;
+  for (std::size_t base = 0; base < a.n; base += tile) {
+    const std::size_t len = std::min(tile, a.n - base);
+    const std::size_t next_end = std::min(a.n, base + len + tile);
+    for (std::size_t j = base + len; j < next_end; ++j)
+      ER_PREFETCH(&a.edges[a.eg[j]]);
+    MoldynArgs sub = a;
+    sub.ia1 += base;
+    sub.ia2 += base;
+    sub.eg += base;
+    sub.n = len;
+    sub.tile = 0;
+    moldyn_phase(backend, sub);
+  }
+}
+
+void spmv_t_tiled(core::BackendKind backend, const SpmvTArgs& a) {
+  const std::size_t tile = a.tile;
+  for (std::size_t base = 0; base < a.n; base += tile) {
+    const std::size_t len = std::min(tile, a.n - base);
+    const std::size_t next_end = std::min(a.n, base + len + tile);
+    for (std::size_t j = base + len; j < next_end; ++j) {
+      const std::uint32_t e = a.eg[j];
+      ER_PREFETCH(&a.val[e]);
+      ER_PREFETCH(&a.row[e]);
+    }
+    SpmvTArgs sub = a;
+    sub.ia += base;
+    sub.eg += base;
+    sub.n = len;
+    sub.tile = 0;
+    spmv_t_phase(backend, sub);
+  }
+}
+
+#undef ER_PREFETCH
+
 }  // namespace
 
 void fig1_phase(core::BackendKind backend, const Fig1Args& a) {
+  if (a.tile != 0 && a.n > a.tile) return fig1_tiled(backend, a);
 #if EARTHRED_HAS_X86_BACKENDS
   if (backend == core::BackendKind::Avx512) return fig1_avx512(a);
   if (backend == core::BackendKind::Avx2) return fig1_avx2(a);
@@ -472,6 +567,7 @@ void fig1_phase(core::BackendKind backend, const Fig1Args& a) {
 }
 
 void euler_phase(core::BackendKind backend, const EulerArgs& a) {
+  if (a.tile != 0 && a.n > a.tile) return euler_tiled(backend, a);
 #if EARTHRED_HAS_X86_BACKENDS
   if (backend == core::BackendKind::Avx512) return euler_avx512(a);
   if (backend == core::BackendKind::Avx2) return euler_avx2(a);
@@ -481,6 +577,7 @@ void euler_phase(core::BackendKind backend, const EulerArgs& a) {
 }
 
 void moldyn_phase(core::BackendKind backend, const MoldynArgs& a) {
+  if (a.tile != 0 && a.n > a.tile) return moldyn_tiled(backend, a);
 #if EARTHRED_HAS_X86_BACKENDS
   if (backend == core::BackendKind::Avx512) return moldyn_avx512(a);
   if (backend == core::BackendKind::Avx2) return moldyn_avx2(a);
@@ -490,6 +587,7 @@ void moldyn_phase(core::BackendKind backend, const MoldynArgs& a) {
 }
 
 void spmv_t_phase(core::BackendKind backend, const SpmvTArgs& a) {
+  if (a.tile != 0 && a.n > a.tile) return spmv_t_tiled(backend, a);
 #if EARTHRED_HAS_X86_BACKENDS
   if (backend == core::BackendKind::Avx512) return spmv_t_avx512(a);
   if (backend == core::BackendKind::Avx2) return spmv_t_avx2(a);

@@ -11,6 +11,13 @@
 // — this file is built with -ffp-contract=off on x86), while the scatter
 // accumulation into reduction arrays is always scalar and j-ascending,
 // because accumulation *order* is the contract.
+//
+// Cache-blocked tiling: when an Args struct carries a non-zero `tile`
+// (from the plan's layout pass, core/layout.hpp), the dispatch functions
+// cut the phase into tiles of that many iterations and software-prefetch
+// the next tile's gather lines before running the current one. Tiling
+// never changes evaluation order — each tile runs the same j-ascending
+// loop — so it is bit-safe under every backend tier.
 
 #include <cstddef>
 #include <cstdint>
@@ -29,6 +36,7 @@ struct Fig1Args {
   double c = 0.0;
   double* x = nullptr;
   std::size_t n = 0;
+  std::uint32_t tile = 0;  ///< iterations per cache tile; 0 = untiled
 };
 
 /// euler: edge flux from gathered vel/pre, equal-and-opposite scatter.
@@ -43,6 +51,7 @@ struct EulerArgs {
   double* dvel = nullptr;
   double* dpre = nullptr;
   std::size_t n = 0;
+  std::uint32_t tile = 0;  ///< iterations per cache tile; 0 = untiled
 };
 
 /// moldyn: clamped Lennard-Jones force from gathered positions.
@@ -58,6 +67,7 @@ struct MoldynArgs {
   double* fy = nullptr;
   double* fz = nullptr;
   std::size_t n = 0;
+  std::uint32_t tile = 0;  ///< iterations per cache tile; 0 = untiled
 };
 
 /// spmv_t: y[ia[j]] += val[eg[j]] * x[row[eg[j]]].
@@ -69,6 +79,7 @@ struct SpmvTArgs {
   const double* x = nullptr;
   double* y = nullptr;
   std::size_t n = 0;
+  std::uint32_t tile = 0;  ///< iterations per cache tile; 0 = untiled
 };
 
 // Dispatch on a *resolved* backend (never Auto; resolve with

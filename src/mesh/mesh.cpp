@@ -70,13 +70,22 @@ std::vector<std::uint32_t> rcm_permutation(const Mesh& m) {
 
   // Process every connected component, starting each BFS from a
   // minimum-degree unvisited node (the usual RCM pseudo-peripheral pick,
-  // simplified).
-  for (std::uint32_t seed = 0; seed < m.num_nodes; ++seed) {
-    if (visited[seed]) continue;
-    // Find the min-degree node of this component reachable scan-order.
-    std::uint32_t start = seed;
-    for (std::uint32_t v = seed; v < m.num_nodes; ++v)
-      if (!visited[v] && deg[v] < deg[start]) start = v;
+  // simplified). Walking a degree-sorted node list with a cursor makes
+  // that pick O(1) amortized per component — a mesh with many isolated
+  // nodes (every one its own component) would otherwise rescan all nodes
+  // per component — and guarantees every component is eventually seeded,
+  // which a forward-only scan does not when the min-degree node lies in
+  // a different component than the scan position.
+  std::vector<std::uint32_t> by_degree(m.num_nodes);
+  std::iota(by_degree.begin(), by_degree.end(), 0u);
+  std::sort(by_degree.begin(), by_degree.end(),
+            [&](std::uint32_t x, std::uint32_t y) {
+              return deg[x] != deg[y] ? deg[x] < deg[y] : x < y;
+            });
+  std::size_t cursor = 0;
+  while (order.size() < m.num_nodes) {
+    while (visited[by_degree[cursor]]) ++cursor;
+    const std::uint32_t start = by_degree[cursor];
 
     std::deque<std::uint32_t> queue{start};
     visited[start] = true;

@@ -3,6 +3,13 @@
 #include <cstdint>
 #include <thread>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#define EARTHRED_HAS_SYSCONF 1
+#else
+#define EARTHRED_HAS_SYSCONF 0
+#endif
+
 #if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
 #include <cpuid.h>
 #define EARTHRED_HAS_CPUID 1
@@ -90,6 +97,99 @@ std::string to_string(const CpuFeatures& f) {
   }
   if (out.empty()) return "none (scalar only)";
   return out;
+}
+
+namespace {
+
+const CacheInfo* g_forced_cache = nullptr;
+
+#if EARTHRED_HAS_CPUID
+/// CPUID leaf 4 (Intel deterministic cache parameters; AMD mirrors it on
+/// leaf 0x8000001d, probed as a fallback). Fills only levels sysconf left
+/// at 0 so cgroup-aware numbers win when present.
+void cpuid_cache_fill(CacheInfo& c) {
+  const auto probe = [&](unsigned leaf) {
+    for (unsigned sub = 0;; ++sub) {
+      unsigned a = 0;
+      unsigned b = 0;
+      unsigned cx = 0;
+      unsigned d = 0;
+      __cpuid_count(leaf, sub, a, b, cx, d);
+      const unsigned type = a & 0x1f;  // 0 = no more caches
+      if (type == 0) break;
+      const unsigned level = (a >> 5) & 0x7;
+      const bool is_data = type == 1 || type == 3;  // data or unified
+      const std::uint64_t line = (b & 0xfff) + 1;
+      const std::uint64_t partitions = ((b >> 12) & 0x3ff) + 1;
+      const std::uint64_t ways = ((b >> 22) & 0x3ff) + 1;
+      const std::uint64_t sets = static_cast<std::uint64_t>(cx) + 1;
+      const std::uint64_t bytes = line * partitions * ways * sets;
+      if (!is_data || bytes == 0) continue;
+      if (level == 1 && c.l1d_bytes == 0) c.l1d_bytes = bytes;
+      if (level == 2 && c.l2_bytes == 0) c.l2_bytes = bytes;
+      if (level >= 3 && c.llc_bytes == 0) c.llc_bytes = bytes;
+      if (line != 0) c.line_bytes = static_cast<std::uint32_t>(line);
+    }
+  };
+  if (__get_cpuid_max(0, nullptr) >= 4) probe(4);
+  if (c.l1d_bytes == 0 && __get_cpuid_max(0x80000000, nullptr) >= 0x8000001d)
+    probe(0x8000001d);
+}
+#endif
+
+CacheInfo detect_cache() {
+  CacheInfo c;
+#if EARTHRED_HAS_SYSCONF
+  const auto sc = [](int name) -> std::uint64_t {
+    const long v = sysconf(name);
+    return v > 0 ? static_cast<std::uint64_t>(v) : 0;
+  };
+#ifdef _SC_LEVEL1_DCACHE_SIZE
+  c.l1d_bytes = sc(_SC_LEVEL1_DCACHE_SIZE);
+#endif
+#ifdef _SC_LEVEL2_CACHE_SIZE
+  c.l2_bytes = sc(_SC_LEVEL2_CACHE_SIZE);
+#endif
+#ifdef _SC_LEVEL4_CACHE_SIZE
+  c.llc_bytes = sc(_SC_LEVEL4_CACHE_SIZE);
+#endif
+#ifdef _SC_LEVEL3_CACHE_SIZE
+  if (c.llc_bytes == 0) c.llc_bytes = sc(_SC_LEVEL3_CACHE_SIZE);
+#endif
+#ifdef _SC_LEVEL1_DCACHE_LINESIZE
+  if (const std::uint64_t line = sc(_SC_LEVEL1_DCACHE_LINESIZE); line != 0)
+    c.line_bytes = static_cast<std::uint32_t>(line);
+#endif
+#endif  // EARTHRED_HAS_SYSCONF
+#if EARTHRED_HAS_CPUID
+  cpuid_cache_fill(c);
+#endif
+  return c;
+}
+
+std::string fmt_bytes(std::uint64_t b) {
+  if (b == 0) return "?";
+  if (b % (1024 * 1024) == 0)
+    return std::to_string(b / (1024 * 1024)) + " MiB";
+  if (b % 1024 == 0) return std::to_string(b / 1024) + " KiB";
+  return std::to_string(b) + " B";
+}
+
+}  // namespace
+
+const CacheInfo& host_cache_info() {
+  static const CacheInfo detected = detect_cache();
+  return g_forced_cache ? *g_forced_cache : detected;
+}
+
+void set_cache_info_for_test(const CacheInfo* forced) {
+  g_forced_cache = forced;
+}
+
+std::string to_string(const CacheInfo& c) {
+  return "L1d " + fmt_bytes(c.l1d_bytes) + ", L2 " + fmt_bytes(c.l2_bytes) +
+         ", LLC " + fmt_bytes(c.llc_bytes) + ", line " +
+         std::to_string(c.line_bytes) + " B";
 }
 
 unsigned hardware_threads() {

@@ -276,6 +276,57 @@ TEST(BatchEquivalence, StrategySweepKeepsExecutorContracts) {
   }
 }
 
+TEST(BatchEquivalence, LayoutPassIsBitIdenticalToLayoutNone) {
+  // The layout pass's acceptance bar: RCM renumbering + target-stable
+  // edge reorder + cache tiles form a pure plan isomorphism — the same
+  // floating-point operations at relabeled addresses, per-target
+  // accumulation order preserved by the stable sort, results un-permuted
+  // at read-out. Every layout plan must therefore reproduce the
+  // layout=none *per-edge reference* bit for bit, through both
+  // executors, across kernels x distributions x k.
+  const std::vector<NamedKernel> kernels = make_kernels();
+  for (const NamedKernel& nk : kernels) {
+    for (const auto dist : {inspector::Distribution::Block,
+                            inspector::Distribution::Cyclic,
+                            inspector::Distribution::BlockCyclic}) {
+      for (const std::uint32_t k : {1u, 2u}) {
+        PlanOptions popt;
+        popt.num_procs = 4;
+        popt.k = k;
+        popt.distribution = dist;
+        popt.strategy = StrategyKind::Phased;  // bit-identity gate: pin
+        const ExecutionPlan none = build_execution_plan(*nk.kernel, popt);
+
+        SweepOptions sopt;
+        sopt.sweeps = 3;
+        sopt.batch = false;
+        const NativeResult ref = run_native_plan(*nk.kernel, none, sopt);
+
+        for (const LayoutKind layout : {LayoutKind::Rcm, LayoutKind::Auto}) {
+          popt.layout = layout;
+          const ExecutionPlan plan = build_execution_plan(*nk.kernel, popt);
+          // All four built-in kernels can renumber, so both rcm and auto
+          // must actually apply the pass (and size its tiles).
+          EXPECT_EQ(plan.applied_layout, LayoutKind::Rcm);
+          EXPECT_GT(plan.tile_iters, 0u);
+
+          sopt.batch = false;
+          const NativeResult edge = run_native_plan(*nk.kernel, plan, sopt);
+          sopt.batch = true;
+          const NativeResult batch = run_native_plan(*nk.kernel, plan, sopt);
+
+          const std::string what =
+              nk.name + " layout=" + std::string(to_string(layout)) +
+              " dist=" + std::to_string(static_cast<int>(dist)) +
+              " k=" + std::to_string(k);
+          expect_results_identical(ref, edge, what + " (per-edge)");
+          expect_results_identical(ref, batch, what + " (batched)");
+        }
+      }
+    }
+  }
+}
+
 TEST(BatchEquivalence, InspectorFlattensIndirConsistently) {
   // indir_flat is the batch executor's input: after both the full run and
   // an incremental update it must be the exact ref-major flattening of

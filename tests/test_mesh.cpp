@@ -65,6 +65,25 @@ TEST(Mesh, RcmPermutationIsABijection) {
   }
 }
 
+TEST(Mesh, RcmCoversDisconnectedComponentsAndIsolatedNodes) {
+  // Components whose min-degree node sits *behind* the scan position used
+  // to be skipped forever (the ensure at the end of rcm_permutation
+  // fired). Node 0-1 form one component, 2 is isolated, 3-5 a triangle —
+  // the isolated node is the global degree minimum, so a forward-only
+  // scan starting past it never seeds the first component.
+  Mesh m;
+  m.num_nodes = 6;
+  m.edges = {{0, 1}, {3, 4}, {4, 5}, {3, 5}};
+  const auto perm = rcm_permutation(m);
+  ASSERT_EQ(perm.size(), m.num_nodes);
+  std::vector<bool> seen(m.num_nodes, false);
+  for (auto v : perm) {
+    ASSERT_LT(v, m.num_nodes);
+    ASSERT_FALSE(seen[v]);
+    seen[v] = true;
+  }
+}
+
 TEST(Mesh, RcmReducesBandwidthOnShuffledMesh) {
   // Scramble a mesh's numbering, then check RCM restores locality.
   Mesh m = euler_mesh_small();

@@ -99,6 +99,91 @@ TEST(PlanStore, RoundTripIsZeroCopyAndBitIdentical) {
   EXPECT_EQ(entries[0].header.content_hash, key.content_hash);
 }
 
+TEST(PlanStore, LayoutPlanRoundTripsPermutationArrays) {
+  // Format v2: a layout plan's permutation and inverse ride the payload
+  // right after build_seconds; the header carries the layout kinds and
+  // tile size. The round trip must preserve all of it bit for bit, and
+  // the layout key must fork the file path so a layout=none plan can
+  // never alias it.
+  const auto kernel = make_kernel();
+  core::PlanOptions opt = plan_opts();
+  opt.layout = core::LayoutKind::Rcm;
+  const core::ExecutionPlan plan = core::build_execution_plan(kernel, opt);
+  ASSERT_FALSE(plan.perm.empty());
+  ASSERT_EQ(plan.perm.size(), plan.perm_inv.size());
+  ASSERT_EQ(plan.applied_layout, core::LayoutKind::Rcm);
+  ASSERT_GT(plan.tile_iters, 0u);
+
+  ScratchStore scratch;
+  const PlanStore store(scratch.dir);
+  const PlanKey key = make_plan_key(kernel, opt);
+  EXPECT_EQ(key.layout, core::LayoutKind::Rcm);
+  EXPECT_NE(store.path_for(key).find("-rcm"), std::string::npos)
+      << store.path_for(key);
+  PlanKey none_key = key;
+  none_key.layout = core::LayoutKind::None;
+  EXPECT_NE(store.path_for(key), store.path_for(none_key));
+
+  std::string error;
+  ASSERT_TRUE(store.save(key, plan, &error)) << error;
+  const core::PlanLoadResult r = store.load(key);
+  ASSERT_TRUE(r.ok()) << r.error_code << ": " << r.detail;
+  EXPECT_TRUE(core::plans_bit_identical(*r.plan, plan));
+  EXPECT_TRUE(r.plan->perm == plan.perm);
+  EXPECT_TRUE(r.plan->perm_inv == plan.perm_inv);
+  EXPECT_EQ(r.plan->applied_layout, plan.applied_layout);
+  EXPECT_EQ(r.plan->tile_iters, plan.tile_iters);
+  EXPECT_EQ(r.plan->options.layout, core::LayoutKind::Rcm);
+
+  // And the header alone reports the layout identity.
+  std::string code, detail;
+  const auto header =
+      core::read_plan_header(store.path_for(key), &code, &detail);
+  ASSERT_TRUE(header.has_value()) << code << ": " << detail;
+  EXPECT_EQ(header->layout,
+            static_cast<std::uint32_t>(core::LayoutKind::Rcm));
+  EXPECT_EQ(header->applied_layout,
+            static_cast<std::uint32_t>(core::LayoutKind::Rcm));
+  EXPECT_EQ(header->tile_iters, plan.tile_iters);
+}
+
+TEST(PlanStore, BrokenPermutationIsPermError) {
+  // A perm defect inserted *before* serialization leaves the checksum
+  // valid, so only the structural validation can catch it — and it must
+  // answer with the dedicated E-STORE-PERM code, never a crash.
+  const auto kernel = make_kernel();
+  core::PlanOptions opt = plan_opts();
+  opt.layout = core::LayoutKind::Rcm;
+  ScratchStore scratch;
+  const PlanStore store(scratch.dir);
+  const PlanKey key = make_plan_key(kernel, opt);
+
+  const auto expect_perm_error = [&](core::ExecutionPlan&& bad) {
+    ASSERT_TRUE(store.save(key, bad));
+    const core::PlanLoadResult r = store.load(key);
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(r.error_code, "E-STORE-PERM") << r.detail;
+    EXPECT_EQ(r.plan, nullptr);
+  };
+
+  {  // not a bijection: two nodes map to one slot
+    core::ExecutionPlan bad = core::build_execution_plan(kernel, opt);
+    ASSERT_FALSE(bad.perm.empty());
+    std::vector<std::uint32_t> p(bad.perm.data(),
+                                 bad.perm.data() + bad.perm.size());
+    p.at(0) = p.at(1);
+    bad.perm = inspector::U32Buf(std::move(p));
+    expect_perm_error(std::move(bad));
+  }
+  {  // truncated: perm shorter than the node count
+    core::ExecutionPlan bad = core::build_execution_plan(kernel, opt);
+    std::vector<std::uint32_t> p(bad.perm.data(),
+                                 bad.perm.data() + bad.perm.size() - 1);
+    bad.perm = inspector::U32Buf(std::move(p));
+    expect_perm_error(std::move(bad));
+  }
+}
+
 TEST(PlanStore, MissingKeyIsOpenError) {
   ScratchStore scratch;
   const PlanStore store(scratch.dir);

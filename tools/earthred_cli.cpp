@@ -26,6 +26,13 @@
 //                        scatter; auto scores all three with the cost
 //                        model in src/core/strategy.cpp and never picks
 //                        atomic for floating-point accumulators)
+//                        [--layout=none|rcm|auto] (data-layout pass at
+//                        plan build: RCM renumbering of the reduction
+//                        arrays + target-stable edge reorder + cache
+//                        tiles with software prefetch; results are
+//                        bit-identical to layout=none by construction.
+//                        rcm fails on kernels that cannot renumber,
+//                        auto falls back to none there)
 //                        fault injection (engine=rotation only):
 //                        [--fault-drop=p] [--fault-corrupt=p]
 //                        [--fault-dup=p] [--fault-delay=p]
@@ -51,6 +58,8 @@
 //                        jobs that don't carry their own backend= key)
 //                        [--strategy=...] (default lowering strategy for
 //                        jobs without their own strategy= key)
+//                        [--layout=...] (default data-layout pass for
+//                        jobs without their own layout= key)
 //                        [--cache-mb=M] [--no-cache] [--deadline=S]
 //                        [--plan-store=DIR] (persistent plan tier: plans
 //                        load zero-copy from DIR and new builds persist)
@@ -95,7 +104,9 @@
 //                        quiesces the whole fleet router-last.
 //   earthred version    (also --version): build info, compiled compute
 //                        backends, detected CPU features (CPUID/xgetbv),
-//                        and the backend `auto` resolves to on this host
+//                        the backend `auto` resolves to on this host, and
+//                        the detected cache sizes (L1d/L2/LLC + line
+//                        width) that size the layout pass's tiles
 //   earthred plan       save|load|ls --store=DIR
 //                        save/load take the same kernel/mesh keys as run
 //                        (--kernel --preset/--mesh/--nodes --edges --seed)
@@ -123,7 +134,9 @@
 // rejects), [strategy=auto|phased|privatized|atomic] (lowering strategy;
 // a forced strategy the host cannot honor — or forced privatized replicas
 // over the admission byte budget — is rejected with
-// E-STRATEGY-UNSUPPORTED, auto never rejects). Jobs on the same mesh
+// E-STRATEGY-UNSUPPORTED, auto never rejects), [layout=none|rcm|auto]
+// (data-layout pass; forks the plan key and shard routing when
+// non-default, bit-identical results either way). Jobs on the same mesh
 // share one cached execution plan (see src/service/plan_cache.hpp) — the
 // backend never forks the plan key, since every backend is bit-identical
 // by contract, but a concrete strategy= DOES fork it, since strategies
@@ -380,6 +393,15 @@ int cmd_run(const Options& opt) {
                         " only applies to --engine=native (the '" + engine +
                         "' engine simulates the phased rotation only)");
   }
+  // --layout is a plan-build knob of the native engine (the renumbering
+  // is applied and un-applied inside run_native_plan); the simulated
+  // engines never see it, so a concrete value is refused there.
+  if (opt.has("layout")) {
+    const core::LayoutKind requested = core::parse_layout(opt.get("layout"));
+    if (engine != "native" && requested != core::LayoutKind::None)
+      throw check_error("--layout=" + opt.get("layout") +
+                        " only applies to --engine=native");
+  }
 
   if (opt.get_bool("check", false)) {
     // Prove the plan before running anything: full structural invariants
@@ -389,6 +411,7 @@ int cmd_run(const Options& opt) {
     popt.num_procs = procs;
     popt.k = k;
     popt.distribution = dist;
+    popt.layout = core::parse_layout(opt.get("layout", "none"));
     popt.verify = false;  // the explicit full check below supersedes it
     const core::ExecutionPlan plan =
         core::build_execution_plan(*kernel, popt);
@@ -425,6 +448,7 @@ int cmd_run(const Options& opt) {
     hotpath_from_options(opt, nopt.batch, nopt.affinity,
                          nopt.build_threads, nopt.backend);
     nopt.strategy = core::parse_strategy(opt.get("strategy", "auto"));
+    nopt.layout = core::parse_layout(opt.get("layout", "none"));
     const core::ExecutionPlan plan =
         core::build_execution_plan(*kernel, nopt.plan());
     const core::NativeResult r =
@@ -434,6 +458,12 @@ int cmd_run(const Options& opt) {
     t.add_row({"executor", nopt.batch ? "batched" : "per-edge"});
     t.add_row({"backend", std::string(core::to_string(r.backend))});
     t.add_row({"strategy", std::string(core::to_string(r.strategy))});
+    t.add_row({"layout", std::string(core::to_string(plan.applied_layout)) +
+                             (plan.tile_iters
+                                  ? " (tile " +
+                                        std::to_string(plan.tile_iters) +
+                                        " iters)"
+                                  : "")});
   } else {
     core::RunResult r;
     if (engine == "classic") {
@@ -573,6 +603,7 @@ std::string lowering_plan_json(const compiler::LoweringPlan& plan) {
         .field("legal", ls.legal)
         .field("strategy", std::string(core::to_string(ls.chosen)))
         .field("rationale", ls.rationale)
+        .field("est_line_reuse", ls.est_line_reuse)
         .raw_field("chains", json_array(chains))
         .raw_field("scores", json_array(scores));
     loops.push_back(lw.str());
@@ -703,6 +734,10 @@ int run_service(std::istream& jobs_in, const Options& opt) {
   // cost model at execution time.
   const core::StrategyKind default_strategy =
       core::parse_strategy(opt.get("strategy", "auto"));
+  // And for the data-layout pass: jobs without their own layout= key get
+  // the service default.
+  const core::LayoutKind default_layout =
+      core::parse_layout(opt.get("layout", "none"));
 
   service::install_shutdown_signals();
 
@@ -730,6 +765,8 @@ int run_service(std::istream& jobs_in, const Options& opt) {
         req.backend = default_backend;
       if (req.plan.strategy == core::StrategyKind::Auto)
         req.plan.strategy = default_strategy;
+      if (req.plan.layout == core::LayoutKind::None)
+        req.plan.layout = default_layout;
       handles.push_back(sched.submit(std::move(req)));
     }
   }
@@ -884,6 +921,7 @@ PlanVerbContext plan_verb_context(const Options& opt) {
   ctx.popt.block_cyclic_size =
       static_cast<std::uint32_t>(opt.get_int("bc", 16));
   ctx.popt.inspector.dedup_buffers = opt.get_bool("dedup", false);
+  ctx.popt.layout = core::parse_layout(opt.get("layout", "none"));
   ctx.key = service::make_plan_key(*ctx.kernel, ctx.popt);
   return ctx;
 }
@@ -975,6 +1013,8 @@ int run_netserve(const Options& opt) {
       core::parse_backend(opt.get("backend", "auto"));
   const core::StrategyKind default_strategy =
       core::parse_strategy(opt.get("strategy", "auto"));
+  const core::LayoutKind default_layout =
+      core::parse_layout(opt.get("layout", "none"));
 
   service::ServeConfig scfg;
   scfg.host = opt.get("host", "127.0.0.1");
@@ -987,14 +1027,16 @@ int run_netserve(const Options& opt) {
 
   service::ServeLoop loop(
       sched,
-      [builder, lineno, default_backend,
-       default_strategy](std::string_view job_line) {
+      [builder, lineno, default_backend, default_strategy,
+       default_layout](std::string_view job_line) {
         service::JobBuild b = builder->build(job_line, ++*lineno);
         for (service::JobRequest& req : b.requests) {
           if (req.backend == core::BackendKind::Auto)
             req.backend = default_backend;
           if (req.plan.strategy == core::StrategyKind::Auto)
             req.plan.strategy = default_strategy;
+          if (req.plan.layout == core::LayoutKind::None)
+            req.plan.layout = default_layout;
         }
         return b;
       },
@@ -1391,6 +1433,10 @@ int cmd_version() {
                       core::resolve_backend(core::BackendKind::Auto)))
           .c_str());
   std::printf("hardware threads: %u\n", support::hardware_threads());
+  // Detected cache geometry — the inputs the layout pass's tile-size
+  // heuristic works from (core::layout_tile_iters).
+  std::printf("caches: %s\n",
+              support::to_string(support::host_cache_info()).c_str());
   return 0;
 }
 
